@@ -1,0 +1,63 @@
+"""The anomaly catalog (extension of Figures 2–4).
+
+§7: "variants of dag consistency were developed to forbid 'anomalies'
+... as they were discovered."  This bench automates the discovery: for
+each strict edge of the lattice, enumerate *all minimal* separating
+behaviours.  The paper's hand-crafted figures reappear as catalog
+entries, and the counts quantify how rare each anomaly class is.
+"""
+
+import pytest
+
+from repro.analysis import catalog_anomalies, render_catalog
+from repro.models import LC, NN, NW, SC, WN, WW, Universe
+
+RW4 = Universe(max_nodes=4, locations=("x",), include_nop=False)
+TWO_LOC = Universe(max_nodes=2, locations=("x", "y"), include_nop=False)
+
+EXPECTED = {
+    # (stronger, weaker): (minimal size, witness count at that size)
+    ("LC", "NN"): (4, 24),
+    ("NN", "NW"): (3, 3),
+    ("NN", "WN"): (2, 1),
+    ("NW", "WW"): (2, 1),  # the stale-⊥ read: W → R(⊥), NW forbids it
+    ("WN", "WW"): (3, 2),
+}
+
+PAIRS = {
+    ("LC", "NN"): (LC, NN),
+    ("NN", "NW"): (NN, NW),
+    ("NN", "WN"): (NN, WN),
+    ("NW", "WW"): (NW, WW),
+    ("WN", "WW"): (WN, WW),
+}
+
+
+@pytest.mark.parametrize("edge", sorted(EXPECTED), ids=lambda e: f"{e[1]}-minus-{e[0]}")
+def test_catalog_edge(benchmark, edge):
+    stronger, weaker = PAIRS[edge]
+    catalog = benchmark.pedantic(
+        catalog_anomalies,
+        args=(stronger, weaker, RW4),
+        kwargs={"max_witnesses": 1000},
+        rounds=1,
+    )
+    print()
+    print(render_catalog(catalog, show=1))
+    size, count = EXPECTED[edge]
+    assert catalog.minimal_size == size
+    assert len(catalog.witnesses) == count
+
+
+def test_sc_lc_catalog(benchmark):
+    catalog = benchmark.pedantic(
+        catalog_anomalies,
+        args=(SC, LC, TWO_LOC),
+        kwargs={"max_witnesses": 100},
+        rounds=1,
+    )
+    print()
+    print(render_catalog(catalog, show=2))
+    # Two concurrent writes to two locations already separate SC and LC.
+    assert catalog.minimal_size == 2
+    assert len(catalog.witnesses) == 4

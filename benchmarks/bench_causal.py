@@ -1,0 +1,120 @@
+"""Causal consistency in the framework (§7 exercise, extension).
+
+The paper invites formulating further models computation-centrically;
+`repro.models.causal` does it for causal memory.  This bench fixes CC's
+place in the landscape:
+
+* litmus profile: the textbook causal row — SB/IRIW allowed, MP, CoRR,
+  WRC, LB forbidden (reads-from ∪ precedence must stay acyclic);
+* lattice: SC ⊆ CC; CC incomparable with LC and with every
+  dag-consistent model (witnesses both ways at ≤ 4 nodes / 2 nodes);
+* constructibility: augmentation-closed (an online memory can always
+  observe a κ-maximal write) — so CC, like LC, is implementable exactly.
+"""
+
+from repro.lang import LITMUS_TESTS, litmus_outcome_allowed
+from repro.models import (
+    CC,
+    LC,
+    NN,
+    SC,
+    Universe,
+    find_nonconstructibility_witness,
+    is_stronger_on,
+    separating_witness,
+)
+
+EXPECTED_CC_ROW = {
+    "SB": True,
+    "MP": False,
+    "CoRR": False,
+    "IRIW": True,
+    "LB": False,
+    "WRC": False,
+    "SB+sync": False,
+}
+
+
+def test_cc_litmus_row(benchmark):
+    def classify():
+        return {t.name: litmus_outcome_allowed(t, "CC") for t in LITMUS_TESTS}
+
+    row = benchmark.pedantic(classify, rounds=1)
+    print()
+    print("CC litmus row:", row)
+    assert row == EXPECTED_CC_ROW
+
+
+def test_cc_lattice_position(benchmark):
+    sweep = Universe(max_nodes=3, locations=("x",))
+    wit_u = Universe(max_nodes=4, locations=("x",), include_nop=False)
+    two = Universe(max_nodes=2, locations=("x", "y"), include_nop=False)
+
+    def battery():
+        return {
+            "sc_in_cc": is_stronger_on(SC, CC, sweep) is None,
+            "nn_minus_cc": separating_witness(CC, NN, wit_u),
+            "cc_minus_nn": separating_witness(NN, CC, wit_u),
+            "lc_minus_cc": separating_witness(CC, LC, two),
+            "cc_minus_lc": separating_witness(LC, CC, wit_u),
+        }
+
+    result = benchmark.pedantic(battery, rounds=1)
+    assert result["sc_in_cc"]
+    for key in ("nn_minus_cc", "cc_minus_nn", "lc_minus_cc", "cc_minus_lc"):
+        assert result[key] is not None, key
+    print()
+    print("SC ⊆ CC on the sweep; CC incomparable with NN and LC, "
+          "witnessed both ways at ≤ 4 nodes")
+
+
+def test_cc_constructible(benchmark):
+    u = Universe(max_nodes=3, locations=("x",))
+    wit = benchmark.pedantic(
+        find_nonconstructibility_witness, args=(CC, u), rounds=1
+    )
+    assert wit is None
+    print()
+    print("CC: closed under augmentation (κ-maximal-write strategy)")
+
+
+def test_backer_maintains_cc_empirically(benchmark):
+    """Simulation-granularity finding: the simulated BACKER's atomic
+    whole-cache reconcile publishes a processor's writes together, so
+    its traces are causally consistent as well as location consistent.
+    (Real BACKER reconciles page by page; an interleaved fetch between
+    two page writebacks could still break causality — documented in
+    EXPERIMENTS.md as an artifact of the simulator's atomicity.)"""
+    from repro.lang import (
+        fib_computation,
+        iriw_computation,
+        racy_counter_computation,
+        store_buffer_computation,
+    )
+    from repro.runtime import BackerMemory, execute, work_stealing_schedule
+    from repro.verify import trace_admits_cc
+
+    workloads = [
+        fib_computation(7)[0],
+        racy_counter_computation(4, 3)[0],
+        store_buffer_computation()[0],
+        iriw_computation()[0],
+    ]
+
+    def sweep():
+        ok = total = 0
+        for comp in workloads:
+            for procs in (2, 4):
+                for seed in range(8):
+                    sched = work_stealing_schedule(comp, procs, rng=seed)
+                    mem = BackerMemory(
+                        spontaneous_reconcile_probability=0.3, rng=seed
+                    )
+                    total += 1
+                    ok += trace_admits_cc(execute(sched, mem))
+        return ok, total
+
+    ok, total = benchmark.pedantic(sweep, rounds=1)
+    print()
+    print(f"simulated BACKER: {ok}/{total} traces causally consistent")
+    assert ok == total

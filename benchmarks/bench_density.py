@@ -1,0 +1,53 @@
+"""Quantitative lattice: admission counts per model (extension).
+
+Figure 1 says which models include which; this bench measures by *how
+much*, counting the observer functions each model admits over an entire
+bounded universe.  The counts must order exactly as the lattice does —
+a full quantitative re-verification of every inclusion — and the
+fractions show the price of strength (SC admits a small fraction of the
+behaviours WW allows).
+"""
+
+from repro.analysis.density import measure_density, render_density
+from repro.models import LC, NN, NW, SC, WN, WW, Universe
+
+MODELS = [SC, LC, NN, NW, WN, WW]
+
+
+def test_density_table(benchmark):
+    universe = Universe(max_nodes=3, locations=("x",))
+    report = benchmark.pedantic(
+        measure_density, args=(MODELS, universe), rounds=1
+    )
+    print()
+    print(render_density(report))
+
+    counts = report.admitted
+    # The lattice, quantitatively.
+    assert counts["SC"] <= counts["LC"] <= counts["NN"]
+    assert counts["NN"] <= counts["NW"] <= counts["WW"]
+    assert counts["NN"] <= counts["WN"] <= counts["WW"]
+    # Single location: SC = LC exactly (see tests/test_properties.py).
+    assert counts["SC"] == counts["LC"]
+    # Every model admits at least one observer per computation
+    # (completeness), so admitted ≥ number of computations.
+    assert counts["SC"] >= report.total_computations
+    # And the weakest model is strictly more permissive than the
+    # strongest at this size (the lattice is non-degenerate).
+    assert counts["WW"] > counts["SC"]
+
+
+def test_density_gap_shape(benchmark):
+    universe = Universe(max_nodes=3, locations=("x",), include_nop=False)
+
+    def run():
+        return measure_density(MODELS, universe)
+
+    report = benchmark.pedantic(run, rounds=1)
+    comp, counts = report.widest_gap
+    print()
+    print(render_density(report))
+    # The widest gap appears on a 3-node computation with concurrency
+    # (serial computations admit the same counts in every model).
+    assert comp.num_nodes == 3
+    assert counts["WW"] > counts["SC"]

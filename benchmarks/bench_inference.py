@@ -1,0 +1,70 @@
+"""Model inference from traces: "which memory is this?" (extension).
+
+The paper's definition of "M implements Δ" is trace-based: every
+behaviour M generates must lie in Δ.  Observing executions therefore
+refines an upper bound on the strongest implemented model.  This bench
+measures the refinement:
+
+* a serialized memory never loses SC;
+* BACKER on the store-buffer litmus loses SC within a handful of traces
+  but keeps LC forever (it implements exactly LC, Luchangco's theorem);
+* the fault-injected protocol loses LC too.
+
+The "traces until SC eliminated" count is the empirical cost of
+distinguishing SC from LC by observation alone.
+"""
+
+from repro.lang import racy_counter_computation, store_buffer_computation
+from repro.runtime import BackerMemory, SerialMemory, execute, work_stealing_schedule
+from repro.verify import infer_models
+
+
+def traces_for(comp, memory_factory, procs, n):
+    out = []
+    for seed in range(n):
+        sched = work_stealing_schedule(comp, procs, rng=seed)
+        out.append(
+            execute(sched, memory_factory(seed)).partial_observer()
+        )
+    return out
+
+
+def test_serial_memory_inferred_sc(benchmark):
+    comp = racy_counter_computation(3, 2)[0]
+    traces = traces_for(comp, lambda s: SerialMemory(), 4, 10)
+    result = benchmark(infer_models, traces)
+    print()
+    print(f"serial memory: strongest consistent = {result.strongest_consistent()}")
+    assert result.strongest_consistent() == "SC"
+
+
+def test_backer_inferred_lc(benchmark):
+    comp = store_buffer_computation()[0]
+    traces = traces_for(comp, lambda s: BackerMemory(), 2, 10)
+    result = benchmark(infer_models, traces)
+    print()
+    print(
+        f"BACKER on SB: strongest = {result.strongest_consistent()}, "
+        f"SC eliminated by trace #{result.eliminated_by.get('SC')}"
+    )
+    assert result.strongest_consistent() == "LC"
+    assert result.eliminated_by["SC"] <= 2  # SB kills SC almost immediately
+
+
+def test_faulty_backer_inferred_below_lc(benchmark):
+    comp = racy_counter_computation(4, 3)[0]
+    traces = traces_for(
+        comp,
+        lambda s: BackerMemory(
+            drop_reconcile_probability=0.9, drop_flush_probability=0.9, rng=s
+        ),
+        4,
+        20,
+    )
+    result = benchmark.pedantic(infer_models, args=(traces,), rounds=1)
+    print()
+    print(
+        f"faulty BACKER: strongest = {result.strongest_consistent()}, "
+        f"verdicts = {result.consistent}"
+    )
+    assert not result.consistent["LC"]

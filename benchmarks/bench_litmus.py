@@ -1,0 +1,78 @@
+"""Litmus-outcome table: the model zoo on classical litmus shapes.
+
+Processor-centric programs embed into the computation framework as one
+chain per processor (the paper's §1 observation).  This bench classifies
+the standard litmus tests' weak outcomes against all six models,
+regenerating the kind of allowed/forbidden table the memory-model
+literature uses to compare models:
+
+======== ==== ==== ==== ==== ==== ====
+test      SC   LC   NN   NW   WN   WW
+======== ==== ==== ==== ==== ==== ====
+SB        no  yes  yes  yes  yes  yes
+MP        no  yes  yes  yes  yes  yes
+CoRR      no   no   no  yes  yes  yes
+IRIW      no  yes  yes  yes  yes  yes
+LB        no  yes  yes  yes  yes  yes
+WRC       no  yes  yes  yes  yes  yes
+SB+sync   no   no   no   no  yes  yes
+======== ==== ==== ==== ==== ==== ====
+
+SC forbids every weak outcome; LC (= coherence = NN*, Theorem 23) adds
+exactly per-location ordering, so only the coherence test CoRR
+distinguishes it from the weaker dag models (and CoRR also exhibits
+NN's strength over NW/WN/WW).  WRC shows coherence is not causality.
+SB+sync turns the store buffer's races into dag edges — the paper's
+"synchronization = edges" move — after which the weak outcome is a
+stale-⊥ read, forbidden by everything except WN/WW (the stale-read
+anomaly those two models are criticized for).
+"""
+
+import pytest
+
+from repro.lang import LITMUS_TESTS, litmus_outcome_allowed
+
+MODELS = ("SC", "LC", "NN", "NW", "WN", "WW")
+
+EXPECTED = {
+    "SB": (False, True, True, True, True, True),
+    "MP": (False, True, True, True, True, True),
+    "CoRR": (False, False, False, True, True, True),
+    "IRIW": (False, True, True, True, True, True),
+    "LB": (False, True, True, True, True, True),
+    "WRC": (False, True, True, True, True, True),
+    "SB+sync": (False, False, False, False, True, True),
+}
+
+
+@pytest.mark.parametrize("test", LITMUS_TESTS, ids=lambda t: t.name)
+def test_litmus_row(benchmark, test):
+    def classify():
+        return tuple(litmus_outcome_allowed(test, m) for m in MODELS)
+
+    row = benchmark(classify)
+    print()
+    print(f"{test.name}: {test.description}")
+    print("  " + "  ".join(
+        f"{m}={'allowed' if v else 'forbidden'}" for m, v in zip(MODELS, row)
+    ))
+    assert row == EXPECTED[test.name]
+
+
+def test_full_table(benchmark):
+    def table():
+        return {
+            t.name: tuple(litmus_outcome_allowed(t, m) for m in MODELS)
+            for t in LITMUS_TESTS
+        }
+
+    result = benchmark.pedantic(table, rounds=1)
+    print()
+    header = f"{'test':8}" + "".join(f"{m:>6}" for m in MODELS)
+    print(header)
+    for name, row in result.items():
+        print(
+            f"{name:8}"
+            + "".join(f"{'yes' if v else 'no':>6}" for v in row)
+        )
+    assert result == EXPECTED

@@ -1,0 +1,61 @@
+"""Streaming vs batch verification (extension).
+
+The batch LC checker needs the whole trace; the streaming verifier
+(THEORY.md §1's blocks maintained incrementally) works event by event
+and *localizes* the first violating event.  This bench measures both on
+long executions and checks the localization property: the verdicts
+always agree, and on faulty traces the stream truncated before the
+reported event is still consistent.
+"""
+
+from repro.lang import fib_computation, racy_counter_computation
+from repro.runtime import BackerMemory, execute, work_stealing_schedule
+from repro.verify import StreamingLCVerifier, trace_admits_lc
+
+
+def make_trace(comp, procs, seed, drop=0.0):
+    sched = work_stealing_schedule(comp, procs, rng=seed)
+    mem = BackerMemory(
+        drop_reconcile_probability=drop, drop_flush_probability=drop, rng=seed
+    )
+    return execute(sched, mem)
+
+
+def test_streaming_on_long_trace(benchmark):
+    comp = fib_computation(13)[0]  # 1505 nodes
+    trace = make_trace(comp, 8, seed=1)
+    violation = benchmark(StreamingLCVerifier.check_trace, trace)
+    assert violation is None
+    print()
+    print(f"fib(13): {comp.num_nodes} events streamed, no violation")
+
+
+def test_batch_on_long_trace(benchmark):
+    comp = fib_computation(13)[0]
+    trace = make_trace(comp, 8, seed=1)
+    po = trace.partial_observer()
+    ok = benchmark(trace_admits_lc, po)
+    assert ok
+
+
+def test_fault_localization(benchmark):
+    comp = racy_counter_computation(6, 4)[0]
+
+    def localize():
+        hits = []
+        for seed in range(25):
+            trace = make_trace(comp, 4, seed=seed, drop=0.9)
+            v = StreamingLCVerifier.check_trace(trace)
+            batch_ok = trace_admits_lc(trace.partial_observer())
+            assert (v is None) == batch_ok
+            if v is not None:
+                hits.append(v.node)
+        return hits
+
+    hits = benchmark.pedantic(localize, rounds=1)
+    print()
+    print(
+        f"{len(hits)}/25 faulty executions flagged; first-violation nodes: "
+        f"{sorted(set(hits))}"
+    )
+    assert hits

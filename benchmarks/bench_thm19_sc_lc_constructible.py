@@ -1,0 +1,62 @@
+"""Theorem 19 — SC and LC are complete, monotonic, constructible.
+
+Three sweeps over the full ≤3-node universe (alphabet {R, W, N}):
+
+* completeness: every computation admits an observer function in SC
+  (hence in every weaker model);
+* monotonicity: every member pair survives every relaxation of its
+  computation (Definition 5);
+* constructibility: every member pair extends to every augmented
+  computation (the Theorem 12 criterion, which for monotonic models is
+  equivalent to Definition 6).
+"""
+
+from repro.models import (
+    LC,
+    SC,
+    find_nonconstructibility_witness,
+    is_complete_on,
+    is_monotonic_on,
+)
+
+
+def test_thm19_completeness(benchmark, sweep_universe):
+    comps = list(sweep_universe.computations())
+
+    def check():
+        return is_complete_on(SC, comps), is_complete_on(LC, comps)
+
+    gaps = benchmark.pedantic(check, rounds=1)
+    assert gaps == (None, None)
+    print()
+    print(f"completeness: {len(comps)} computations, all admit SC and LC observers")
+
+
+def test_thm19_monotonicity(benchmark, sweep_universe):
+    def check():
+        return is_monotonic_on(SC, sweep_universe), is_monotonic_on(
+            LC, sweep_universe
+        )
+
+    violations = benchmark.pedantic(check, rounds=1)
+    assert violations == (None, None)
+    print()
+    print("monotonicity: no relaxation ever evicts an SC or LC pair")
+
+
+def test_thm19_sc_constructible(benchmark, sweep_universe):
+    wit = benchmark.pedantic(
+        find_nonconstructibility_witness, args=(SC, sweep_universe), rounds=1
+    )
+    assert wit is None
+    print()
+    print("SC: closed under augmentation on the entire n≤3 universe")
+
+
+def test_thm19_lc_constructible(benchmark, sweep_universe):
+    wit = benchmark.pedantic(
+        find_nonconstructibility_witness, args=(LC, sweep_universe), rounds=1
+    )
+    assert wit is None
+    print()
+    print("LC: closed under augmentation on the entire n≤3 universe")

@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one artifact of the paper (a figure or a
+theorem's claim) and *asserts* the claim before/while timing it, so a
+benchmark run doubles as a reproduction run.  EXPERIMENTS.md maps each
+file to its paper artifact and records expected output.
+"""
+
+import pytest
+
+from repro.models import Universe
+
+
+@pytest.fixture(scope="session")
+def sweep_universe() -> Universe:
+    """Inclusion-sweep universe: every computation on ≤ 3 nodes with the
+    full alphabet {R(x), W(x), N} (the paper's O for one location)."""
+    return Universe(max_nodes=3, locations=("x",))
+
+
+@pytest.fixture(scope="session")
+def witness_universe() -> Universe:
+    """Witness-search universe: ≤ 4 nodes, reads/writes only.  All the
+    paper's single-location witnesses (Figures 2–4) live here."""
+    return Universe(max_nodes=4, locations=("x",), include_nop=False)

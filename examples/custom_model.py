@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Define your own memory model and let the library characterize it.
+
+Definition 20 of the paper is a schema: any predicate ``Q(l, u, v, w)``
+over precedence triples yields a dag-consistency model.  This example
+defines two models the paper does not consider and runs the exploration
+battery on each: lattice position relative to the zoo, completeness,
+monotonicity, Theorem-12 constructibility, and the minimal non-SC
+anomalies it admits.
+
+* ``NR`` — the condition applies when the *middle* node reads the
+  location (the mirror image of NW): turns out nonconstructible, like
+  every middle-anchored predicate that fires with u = ⊥.
+* ``SAME-WRITER`` — applies only when u and v observe the same value
+  already; a vacuous-looking predicate that actually collapses to a
+  much stronger model (exploration shows where it lands).
+
+Run:  python examples/custom_model.py
+"""
+
+from repro.analysis import characterize_model, render_characterization
+from repro.models import QDagConsistency, Universe
+
+
+def middle_reads(comp, loc, u, v, w) -> bool:
+    """Q ≡ op(v) = R(l): the unexplored mirror of NW."""
+    return comp.op(v).reads(loc)
+
+
+def middle_accesses(comp, loc, u, v, w) -> bool:
+    """Q ≡ v accesses l at all (reads or writes)."""
+    op = comp.op(v)
+    return op.reads(loc) or op.writes(loc)
+
+
+def main() -> None:
+    universe = Universe(max_nodes=3, locations=("x",))
+    for name, predicate in [
+        ("NR (middle reads)", middle_reads),
+        ("NA (middle accesses)", middle_accesses),
+    ]:
+        model = QDagConsistency(predicate, name)
+        result = characterize_model(model, universe)
+        print(render_characterization(result))
+        if result.stuck_witness is not None:
+            from repro.analysis import render_pair
+
+            wit = result.stuck_witness
+            print("  the stuck pair:")
+            print(render_pair(wit.comp, wit.phi, indent="    "))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Classify classical litmus-test outcomes against the model zoo.
+
+Embeds processor-centric litmus programs (store buffering, message
+passing, coherence-of-reads, IRIW, load buffering) into the
+computation-centric framework — one dependency chain per processor —
+and asks each model whether the "interesting" weak outcome is allowed.
+
+The table shows the paper's lattice at work on concrete programs:
+sequential consistency forbids everything weak; location consistency
+(= NN*, the model BACKER maintains) additionally forbids only the
+coherence violation CoRR; the weaker dag-consistency models WW/WN/NW
+allow even that.
+
+Run:  python examples/litmus_outcomes.py
+"""
+
+from repro.lang import LITMUS_TESTS, litmus_outcome_allowed
+from repro.verify import find_races
+
+MODELS = ("SC", "CC", "LC", "NN", "NW", "WN", "WW")
+
+
+def main() -> None:
+    print(f"{'test':8}" + "".join(f"{m:>6}" for m in MODELS) + "   races")
+    print("-" * (8 + 6 * len(MODELS) + 8))
+    for test in LITMUS_TESTS:
+        comp, _ = test.build()
+        races = sum(1 for _ in find_races(comp))
+        row = "".join(
+            f"{'yes' if litmus_outcome_allowed(test, m) else 'no':>6}"
+            for m in MODELS
+        )
+        print(f"{test.name:8}{row}   {races:>5}")
+    print()
+    for test in LITMUS_TESTS:
+        print(f"{test.name:6} — {test.description}")
+
+
+if __name__ == "__main__":
+    main()

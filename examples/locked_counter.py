@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Locks and release consistency — the paper's §7 future work, running.
+
+Compares three versions of a concurrent counter:
+
+1. **properly locked** — every increment inside a critical section on
+   one lock: data-race free under every serialization; the LockRC model
+   accepts exactly the atomic behaviours and the DRF guarantee makes
+   reads SC-explainable;
+2. **unlocked** — the determinacy race detector lights up, and weak
+   (lost-update) behaviours are genuinely reachable;
+3. **wrongly locked** — two different locks: looks synchronized, is not
+   (the race detector still finds the conflict).
+
+Run:  python examples/locked_counter.py
+"""
+
+from repro.core import ObserverFunction, last_writer_function
+from repro.lang import unfold
+from repro.locks import LockRC, LockedComputation
+from repro.verify import find_races
+
+
+def make(kind: str) -> LockedComputation:
+    def task(ctx, lock_name):
+        if lock_name is None:
+            ctx.read("ctr")
+            ctx.write("ctr")
+        else:
+            with ctx.lock(lock_name):
+                ctx.read("ctr")
+                ctx.write("ctr")
+
+    def main(ctx):
+        ctx.write("ctr")
+        if kind == "locked":
+            ctx.spawn(task, "L")
+            ctx.spawn(task, "L")
+        elif kind == "unlocked":
+            ctx.spawn(task, None)
+            ctx.spawn(task, None)
+        else:  # wrong-locks
+            ctx.spawn(task, "L1")
+            ctx.spawn(task, "L2")
+        ctx.sync()
+        ctx.read("ctr")
+
+    comp, info = unfold(main)
+    return LockedComputation.from_unfold(comp, info)
+
+
+def main() -> None:
+    for kind in ("locked", "unlocked", "wrong-locks"):
+        locked = make(kind)
+        races_bare = sum(1 for _ in find_races(locked.comp))
+        n_ser = len(list(locked.induced_computations()))
+        drf = locked.is_drf() if n_ser else False
+        print(
+            f"{kind:12}  sections={locked.section_count()}  "
+            f"admissible serializations={n_ser}  "
+            f"races(bare dag)={races_bare}  DRF={drf}"
+        )
+    print()
+
+    locked = make("locked")
+    ser, induced = next(locked.induced_computations())
+    atomic = last_writer_function(induced, induced.dag.topological_order)
+    phi_atomic = ObserverFunction(
+        locked.comp, {loc: atomic.row(loc) for loc in atomic.locations}
+    )
+    print(
+        "atomic counter behaviour accepted by LockRC:",
+        LockRC.contains(locked, phi_atomic),
+    )
+
+    # Lost update: both tasks read the initial value.
+    comp = locked.comp
+    init = comp.writers("ctr")[0]
+    reads = comp.readers("ctr")
+    writes = [w for w in comp.writers("ctr") if w != init]
+    row: list = [None] * comp.num_nodes
+    for w in comp.writers("ctr"):
+        row[w] = w
+    for r in reads[:-1]:
+        row[r] = init
+    row[reads[-1]] = writes[-1]
+    for u in comp.nodes():
+        if row[u] is None and not comp.precedes(u, init):
+            row[u] = init
+    phi_lost = ObserverFunction(comp, {"ctr": tuple(row)})
+    print(
+        "lost-update behaviour accepted by LockRC:",
+        LockRC.contains(locked, phi_lost),
+        "(serialized critical sections forbid it)",
+    )
+
+
+if __name__ == "__main__":
+    main()

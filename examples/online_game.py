@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Constructibility as a game you can watch (paper, Section 3).
+
+An adversary reveals a computation one node at a time; an online memory
+must commit observer-function values immediately.  Constructible models
+(SC, LC, WW — and WN under the formal predicate table) can always
+continue; NN-dag consistency walks into Figure 4's trap and gets stuck.
+
+Run:  python examples/online_game.py
+"""
+
+from repro.models import LC, NN, NW, SC, WN, WW, OnlineGame
+from repro.core.ops import R, W
+
+MOVES = [
+    ("reveal W(x) — first concurrent write", W("x"), []),
+    ("reveal W(x) — second concurrent write", W("x"), []),
+    ("reveal R(x) after the first write", R("x"), [0]),
+    ("reveal R(x) after the second write", R("x"), [1]),
+    ("reveal R(x) after everything", R("x"), [0, 1, 2, 3]),
+]
+
+# The adversary's preferred commitments: the cross-observation trap.
+PREFERRED = [None, None, {"x": 1}, {"x": 0}, None]
+
+
+def play(model) -> None:
+    print(f"--- playing against {model.name}")
+    game = OnlineGame(model, strict=False)
+    for (label, op, preds), pref in zip(MOVES, PREFERRED):
+        cands = game.reveal(op, preds)
+        if cands is None:
+            print(f"  {label}")
+            print(f"  ✗ {model.name} is STUCK: no observer value works.")
+            print("    (the paper's Figure 4: NN is not constructible)")
+            return
+        shown = {loc: vals for loc, vals in cands.items()}
+        take = None
+        if pref is not None:
+            take = {
+                loc: v for loc, v in pref.items() if v in cands.get(loc, [])
+            } or None
+        game.commit(take)
+        committed = {
+            loc: game.observer().value(loc, game.num_nodes - 1)
+            for loc in shown
+        }
+        note = ""
+        if pref is not None and take is None:
+            note = "  (model refused the adversary's trap value!)"
+        print(f"  {label}: candidates {shown} → committed {committed}{note}")
+    print(f"  ✓ {model.name} survived; final pair verified in the model:",
+          model.contains(game.computation(), game.observer()))
+
+
+def main() -> None:
+    for model in (LC, NN, NW, WN, WW, SC):
+        play(model)
+        print()
+
+
+if __name__ == "__main__":
+    main()

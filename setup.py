@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists only so
+that ``pip install -e . --no-use-pep517`` works in offline environments
+where the ``wheel`` package (needed for PEP 517 editable installs) is
+unavailable.
+"""
+
+from setuptools import setup
+
+setup()

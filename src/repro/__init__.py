@@ -1,0 +1,90 @@
+"""repro — computation-centric memory models.
+
+A production-quality reproduction of *Computation-Centric Memory Models*
+(Matteo Frigo and Victor Luchangco, SPAA 1998).
+
+The package is organized bottom-up:
+
+* :mod:`repro.dag` — dag algorithms (reachability, topological sorts,
+  prefixes, generators).
+* :mod:`repro.core` — the paper's Section 2 vocabulary: operations,
+  computations (Definition 1), observer functions (Definition 2),
+  last-writer functions (Definition 13).
+* :mod:`repro.models` — SC, LC, the dag-consistency family (NN/NW/WN/WW
+  and arbitrary predicates), constructibility and bounded Δ* computation,
+  and empirical lattice tooling.
+* :mod:`repro.lang` — a Cilk-style spawn/sync frontend that unfolds
+  programs into computations.
+* :mod:`repro.runtime` — a simulated multiprocessor: schedulers
+  (greedy / work stealing), serialized memories, and the BACKER
+  coherence algorithm.
+* :mod:`repro.verify` — post-mortem verification of execution traces
+  against memory models.
+* :mod:`repro.analysis` — lattice reports regenerating Figure 1.
+* :mod:`repro.paperfigures` — the paper's Figures 2–4 as executable,
+  mechanically verified objects.
+
+Quickstart::
+
+    from repro import ComputationBuilder, ObserverFunction, LC, NN
+
+    b = ComputationBuilder()
+    a = b.write("x", name="A")
+    c = b.read("x", name="C", after=[a])
+    comp = b.build()
+    phi = ObserverFunction(comp, {"x": (a.node_id, a.node_id)})
+    assert LC.contains(comp, phi) and NN.contains(comp, phi)
+"""
+
+from repro.core import (
+    EMPTY_COMPUTATION,
+    Computation,
+    ComputationBuilder,
+    N,
+    ObserverFunction,
+    Op,
+    R,
+    W,
+    last_writer_function,
+)
+from repro.models import (
+    CC,
+    LC,
+    NN,
+    NW,
+    SC,
+    WN,
+    WW,
+    MemoryModel,
+    QDagConsistency,
+    Universe,
+    constructible_version,
+    find_nonconstructibility_witness,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Computation",
+    "ComputationBuilder",
+    "ObserverFunction",
+    "Op",
+    "R",
+    "W",
+    "N",
+    "EMPTY_COMPUTATION",
+    "last_writer_function",
+    "MemoryModel",
+    "QDagConsistency",
+    "SC",
+    "LC",
+    "CC",
+    "NN",
+    "NW",
+    "WN",
+    "WW",
+    "Universe",
+    "constructible_version",
+    "find_nonconstructibility_witness",
+    "__version__",
+]

@@ -1,0 +1,77 @@
+"""Analysis: empirical regeneration of the paper's Figure 1 lattice."""
+
+from repro.analysis.lattice import (
+    KNOWN_DEVIATIONS,
+    MEASURED_CONSTRUCTIBLE,
+    PAPER_CONSTRUCTIBLE,
+    PAPER_EDGES,
+    PAPER_INCOMPARABLE,
+    PAPER_MODELS,
+    LatticeResult,
+    compute_lattice,
+)
+from repro.analysis.anomalies import (
+    AnomalyCatalog,
+    catalog_anomalies,
+    render_catalog,
+)
+from repro.analysis.characterize import (
+    ModelCharacterization,
+    characterize_model,
+    render_characterization,
+)
+from repro.analysis.density import (
+    DensityReport,
+    measure_density,
+    render_density,
+)
+from repro.analysis.open_problems import (
+    StarVsLcReport,
+    explore_star_vs_lc,
+    render_star_report,
+)
+from repro.analysis.reproduce import (
+    ReproductionReport,
+    SectionResult,
+    full_reproduction,
+    render_report,
+)
+from repro.analysis.report import (
+    render_computation,
+    render_dot,
+    render_inclusion_matrix,
+    render_lattice_result,
+    render_pair,
+)
+
+__all__ = [
+    "PAPER_MODELS",
+    "PAPER_EDGES",
+    "PAPER_INCOMPARABLE",
+    "PAPER_CONSTRUCTIBLE",
+    "MEASURED_CONSTRUCTIBLE",
+    "KNOWN_DEVIATIONS",
+    "LatticeResult",
+    "compute_lattice",
+    "render_computation",
+    "render_pair",
+    "render_inclusion_matrix",
+    "render_lattice_result",
+    "StarVsLcReport",
+    "explore_star_vs_lc",
+    "render_star_report",
+    "DensityReport",
+    "measure_density",
+    "render_density",
+    "AnomalyCatalog",
+    "catalog_anomalies",
+    "render_catalog",
+    "render_dot",
+    "ModelCharacterization",
+    "characterize_model",
+    "render_characterization",
+    "full_reproduction",
+    "render_report",
+    "ReproductionReport",
+    "SectionResult",
+]

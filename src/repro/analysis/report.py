@@ -1,0 +1,155 @@
+"""Plain-text rendering of lattice results and computations.
+
+Benchmarks print through these helpers so their output reads like the
+paper's figures: an inclusion matrix, the strict edges with their
+witnesses, and per-figure verdict lines.
+"""
+
+from __future__ import annotations
+
+from repro.core.computation import Computation
+from repro.core.observer import ObserverFunction
+from repro.analysis.lattice import (
+    KNOWN_DEVIATIONS,
+    MEASURED_CONSTRUCTIBLE,
+    PAPER_CONSTRUCTIBLE,
+    PAPER_EDGES,
+    PAPER_MODELS,
+    LatticeResult,
+)
+
+__all__ = [
+    "render_computation",
+    "render_pair",
+    "render_inclusion_matrix",
+    "render_lattice_result",
+    "render_dot",
+]
+
+
+def render_computation(comp: Computation, indent: str = "  ") -> str:
+    """One line per node: id, op, direct predecessors."""
+    lines = []
+    for u in comp.nodes():
+        preds = sorted(comp.dag.predecessors(u))
+        dep = f" after {preds}" if preds else ""
+        lines.append(f"{indent}node {u}: {comp.op(u)!r}{dep}")
+    if not lines:
+        lines.append(f"{indent}(empty computation)")
+    return "\n".join(lines)
+
+
+def render_pair(comp: Computation, phi: ObserverFunction, indent: str = "  ") -> str:
+    """Computation plus the observer rows, location by location."""
+    out = [render_computation(comp, indent)]
+    for loc in sorted(set(comp.locations) | set(phi.locations), key=repr):
+        row = phi.row(loc)
+        pretty = ", ".join(
+            f"{u}→{'⊥' if v is None else v}" for u, v in enumerate(row)
+        )
+        out.append(f"{indent}Φ({loc!r}): {pretty}")
+    return "\n".join(out)
+
+
+def render_inclusion_matrix(result: LatticeResult) -> str:
+    """The full ⊆ matrix over the six paper models."""
+    names = [m.name for m in PAPER_MODELS]
+    width = max(len(n) for n in names) + 1
+    header = " " * width + " ".join(f"{n:>{width}}" for n in names)
+    rows = [header]
+    for a in names:
+        cells = " ".join(
+            f"{'⊆' if result.inclusions.get((a, b), False) else '·':>{width}}"
+            for b in names
+        )
+        rows.append(f"{a:>{width}}{cells}")
+    return "\n".join(rows)
+
+
+def render_lattice_result(result: LatticeResult) -> str:
+    """The complete Figure-1 report."""
+    lines = [
+        f"Figure 1 lattice over universe (n ≤ {result.universe.max_nodes}, "
+        f"locations = {result.universe.locations!r})",
+        "",
+        "Inclusion matrix (row ⊆ column):",
+        render_inclusion_matrix(result),
+        "",
+        "Strict edges (paper: stronger ⊊ weaker, witness in weaker only):",
+    ]
+    for a, b in PAPER_EDGES:
+        w = result.strictness.get((a, b))
+        verdict = "WITNESSED" if w is not None else "NO WITNESS FOUND"
+        lines.append(f"  {a} ⊊ {b}: {verdict}")
+        if w is not None:
+            lines.append(
+                f"    witness: {w.comp.num_nodes} nodes, in {w.in_model} "
+                f"not in {w.not_in_model}"
+            )
+    lines.append("")
+    lines.append("Constructibility (Theorem 12 augmentation sweep):")
+    for name, claimed in PAPER_CONSTRUCTIBLE.items():
+        witness = result.constructibility.get(name)
+        got = witness is None
+        expected = MEASURED_CONSTRUCTIBLE[name]
+        if got != expected:
+            mark = "✗ MISMATCH"
+        elif name in KNOWN_DEVIATIONS:
+            mark = "✓ (documented deviation from the paper's prose)"
+        else:
+            mark = "✓"
+        detail = (
+            "closed under augmentation on universe"
+            if witness is None
+            else f"stuck at {witness.comp.num_nodes} nodes on op {witness.blocking_op!r}"
+        )
+        lines.append(
+            f"  {name}: paper={claimed} measured={got} {mark} ({detail})"
+        )
+    problems = result.matches_paper()
+    lines.append("")
+    if problems:
+        lines.append("DISCREPANCIES vs. Figure 1:")
+        lines.extend(f"  - {p}" for p in problems)
+    else:
+        lines.append("All Figure 1 claims reproduced on this universe.")
+    return "\n".join(lines)
+
+
+def render_dot(
+    comp: Computation, phi: ObserverFunction | None = None, name: str = "computation"
+) -> str:
+    """Graphviz DOT rendering of a computation (optionally with Φ).
+
+    Node labels show the id and op; with ``phi``, each node's observed
+    values are appended and dashed grey "observation" edges point from
+    each observed write to its observer — the visual language of the
+    paper's figures.  Output renders with ``dot -Tpng``.
+    """
+    lines = [f"digraph {name} {{", "  rankdir=TB;", "  node [shape=box];"]
+    locs = []
+    if phi is not None:
+        locs = sorted(set(comp.locations) | set(phi.locations), key=repr)
+    for u in comp.nodes():
+        label = f"{u}: {comp.op(u)!r}"
+        if phi is not None:
+            views = ", ".join(
+                f"{loc}→{'⊥' if phi.value(loc, u) is None else phi.value(loc, u)}"
+                for loc in locs
+            )
+            if views:
+                label += f"\\n[{views}]"
+        lines.append(f'  n{u} [label="{label}"];')
+    for (u, v) in sorted(comp.dag.edges):
+        lines.append(f"  n{u} -> n{v};")
+    if phi is not None:
+        for loc in locs:
+            for u in comp.nodes():
+                w = phi.value(loc, u)
+                if w is not None and w != u:
+                    lines.append(
+                        f"  n{w} -> n{u} [style=dashed, color=grey, "
+                        f'label="{loc}"];'
+                    )
+    lines.append("}")
+    return "\n".join(lines)

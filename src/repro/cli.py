@@ -1,0 +1,333 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``lattice``
+    Regenerate the Figure 1 lattice on bounded universes and print the
+    report (inclusion matrix, strict-edge witnesses, constructibility).
+``figures``
+    Print and verify the paper's Figures 2–4 and the store-buffer pair.
+``run``
+    Unfold a bundled program, schedule it with work stealing, execute it
+    under a chosen memory, verify the trace, and optionally dump it as
+    JSON for later re-checking.
+``check``
+    Load a JSON document (observer function, partial observer, or trace)
+    and report which models admit it.
+
+Examples::
+
+    python -m repro lattice --sweep-nodes 3 --witness-nodes 4
+    python -m repro run --program fib --size 8 --procs 4 --memory backer
+    python -m repro run --program racy --procs 4 --drop-reconcile 0.9 \\
+        --out /tmp/bad_trace.json
+    python -m repro check /tmp/bad_trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+PROGRAMS = {
+    "fib": ("fib_computation", "size", 8),
+    "matmul": ("matmul_computation", "blocks", 2),
+    "scan": ("scan_computation", "n", 8),
+    "stencil": ("stencil_computation", "width", 6),
+    "tree-sum": ("tree_sum_computation", "n_leaves", 8),
+    "racy": ("racy_counter_computation", "n_tasks", 4),
+    "store-buffer": ("store_buffer_computation", None, None),
+    "iriw": ("iriw_computation", None, None),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for shell-completion tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Computation-centric memory models (Frigo & Luchangco, SPAA 1998)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lat = sub.add_parser("lattice", help="regenerate the Figure 1 lattice")
+    lat.add_argument("--sweep-nodes", type=int, default=3,
+                     help="inclusion-sweep universe bound (default 3)")
+    lat.add_argument("--witness-nodes", type=int, default=4,
+                     help="witness-search universe bound (default 4)")
+
+    sub.add_parser("figures", help="verify and print the paper's figures")
+
+    run = sub.add_parser("run", help="execute a bundled program and verify")
+    run.add_argument("--program", choices=sorted(PROGRAMS), default="fib")
+    run.add_argument("--size", type=int, default=None,
+                     help="program size parameter (meaning depends on program)")
+    run.add_argument("--procs", type=int, default=4)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--memory", choices=["backer", "serial"], default="backer")
+    run.add_argument("--drop-reconcile", type=float, default=0.0,
+                     help="BACKER fault injection probability")
+    run.add_argument("--drop-flush", type=float, default=0.0)
+    run.add_argument("--out", default=None,
+                     help="write the trace as JSON to this path")
+
+    chk = sub.add_parser("check", help="check a JSON document against the models")
+    chk.add_argument("path", help="file produced by `run --out` or repro.io.dumps")
+
+    inf = sub.add_parser(
+        "infer",
+        help="infer the strongest model consistent with a memory's traces",
+    )
+    inf.add_argument("--program", choices=sorted(PROGRAMS), default="racy")
+    inf.add_argument("--size", type=int, default=None)
+    inf.add_argument("--procs", type=int, default=4)
+    inf.add_argument("--runs", type=int, default=10)
+    inf.add_argument("--memory", choices=["backer", "serial"], default="backer")
+    inf.add_argument("--drop-reconcile", type=float, default=0.0)
+    inf.add_argument("--drop-flush", type=float, default=0.0)
+
+    conf = sub.add_parser(
+        "conformance",
+        help="randomized conformance campaign of a memory against a model",
+    )
+    conf.add_argument("--target", choices=["SC", "LC", "NN", "NW", "WN", "WW"],
+                      default="LC")
+    conf.add_argument("--memory", choices=["backer", "serial"], default="backer")
+    conf.add_argument("--drop-reconcile", type=float, default=0.0)
+    conf.add_argument("--drop-flush", type=float, default=0.0)
+    conf.add_argument("--runs", type=int, default=10,
+                      help="seeds per (workload, procs) cell")
+
+    rep = sub.add_parser(
+        "reproduce",
+        help="regenerate every paper artifact and print the verdict report",
+    )
+    rep.add_argument("--profile", choices=["quick", "full"], default="quick")
+    return parser
+
+
+def _cmd_lattice(args: argparse.Namespace) -> int:
+    from repro.analysis import compute_lattice, render_lattice_result
+    from repro.models import Universe
+
+    sweep = Universe(max_nodes=args.sweep_nodes, locations=("x",))
+    witness = Universe(
+        max_nodes=args.witness_nodes, locations=("x",), include_nop=False
+    )
+    result = compute_lattice(sweep, witness)
+    print(render_lattice_result(result))
+    return 0 if not result.matches_paper() else 1
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.analysis import render_pair
+    from repro.models import LC, NN, NW, SC, WN, WW
+    from repro.paperfigures import (
+        figure2_pair,
+        figure3_pair,
+        figure4_pair,
+        lc_not_sc_pair,
+    )
+
+    models = (SC, LC, NN, NW, WN, WW)
+    for name, pair in [
+        ("Figure 2", figure2_pair()),
+        ("Figure 3", figure3_pair()),
+        ("Figure 4", figure4_pair()),
+        ("Store buffer (SC vs LC)", lc_not_sc_pair()),
+    ]:
+        comp, phi = pair
+        print(f"== {name}")
+        print(render_pair(comp, phi))
+        verdicts = ", ".join(
+            f"{m.name}={'∈' if m.contains(comp, phi) else '∉'}" for m in models
+        )
+        print(f"  {verdicts}")
+        print()
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import repro.lang as lang
+    from repro.io import dumps
+    from repro.runtime import BackerMemory, SerialMemory, execute, work_stealing_schedule
+    from repro.verify import trace_admits_lc, trace_admits_sc
+
+    fn_name, size_param, default = PROGRAMS[args.program]
+    factory = getattr(lang, fn_name)
+    if size_param is None:
+        comp, info = factory()
+    else:
+        comp, info = factory(args.size if args.size is not None else default)
+
+    schedule = work_stealing_schedule(comp, args.procs, rng=args.seed)
+    if args.memory == "serial":
+        memory = SerialMemory()
+    else:
+        memory = BackerMemory(
+            drop_reconcile_probability=args.drop_reconcile,
+            drop_flush_probability=args.drop_flush,
+            rng=args.seed,
+        )
+    trace = execute(schedule, memory)
+    po = trace.partial_observer()
+    lc_ok = trace_admits_lc(po)
+    sc_order = trace_admits_sc(po) if comp.num_nodes <= 64 else None
+
+    print(
+        f"program={args.program} nodes={comp.num_nodes} "
+        f"spawns={info.spawn_count} procs={args.procs} "
+        f"makespan={schedule.makespan} memory={memory.name}"
+    )
+    print(f"reads={len(trace.reads)} constraints={po.num_constraints()}")
+    print(f"location consistent: {'yes' if lc_ok else 'NO — protocol violation'}")
+    if comp.num_nodes <= 64:
+        print(f"sequentially consistent: {'yes' if sc_order else 'no'}")
+    else:
+        print("sequentially consistent: (skipped, computation too large)")
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(dumps(trace))
+        print(f"trace written to {args.out}")
+    return 0 if lc_ok else 2
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.core import ObserverFunction
+    from repro.core.computation import Computation
+    from repro.io import loads
+    from repro.models import LC, NN, NW, SC, WN, WW
+    from repro.runtime import ExecutionTrace, PartialObserver
+    from repro.verify import trace_admits_lc, trace_admits_sc
+
+    with open(args.path) as f:
+        obj = loads(f.read())
+
+    if isinstance(obj, ExecutionTrace):
+        obj = obj.partial_observer()
+    if isinstance(obj, PartialObserver):
+        comp = obj.comp
+        lc = trace_admits_lc(obj)
+        print(f"partial observer: {comp.num_nodes} nodes, "
+              f"{obj.num_constraints()} constraints")
+        print(f"  completable within LC: {'yes' if lc else 'no'}")
+        if comp.num_nodes <= 64:
+            sc = trace_admits_sc(obj)
+            print(f"  completable within SC: {'yes' if sc is not None else 'no'}")
+        return 0 if lc else 2
+    if isinstance(obj, ObserverFunction):
+        comp = obj.computation
+        print(f"observer function: {comp.num_nodes} nodes")
+        for m in (SC, LC, NN, NW, WN, WW):
+            print(f"  {m.name}: {'∈' if m.contains(comp, obj) else '∉'}")
+        return 0
+    if isinstance(obj, Computation):
+        print(f"computation: {obj.num_nodes} nodes, "
+              f"{obj.dag.num_edges} edges, locations={list(obj.locations)}")
+        return 0
+    print(f"unsupported document type {type(obj).__name__}", file=sys.stderr)
+    return 1
+
+
+def _make_memory(args: argparse.Namespace, seed: int):
+    from repro.runtime import BackerMemory, SerialMemory
+
+    if args.memory == "serial":
+        return SerialMemory()
+    return BackerMemory(
+        drop_reconcile_probability=args.drop_reconcile,
+        drop_flush_probability=args.drop_flush,
+        rng=seed,
+    )
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    import repro.lang as lang
+    from repro.runtime import execute, work_stealing_schedule
+    from repro.verify import infer_models
+
+    fn_name, size_param, default = PROGRAMS[args.program]
+    factory = getattr(lang, fn_name)
+    if size_param is None:
+        comp, _ = factory()
+    else:
+        comp, _ = factory(args.size if args.size is not None else default)
+
+    traces = []
+    for seed in range(args.runs):
+        sched = work_stealing_schedule(comp, args.procs, rng=seed)
+        traces.append(
+            execute(sched, _make_memory(args, seed)).partial_observer()
+        )
+    result = infer_models(traces)
+    print(f"observed {result.traces_seen} traces of {args.program} "
+          f"under {args.memory}")
+    for name, ok in result.consistent.items():
+        note = (
+            ""
+            if ok
+            else f"  (eliminated by trace #{result.eliminated_by[name]})"
+        )
+        print(f"  {name}: {'consistent' if ok else 'VIOLATED'}{note}")
+    strongest = result.strongest_consistent()
+    print(f"strongest consistent model: {strongest or 'none in the zoo'}")
+    return 0
+
+
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    import repro.lang as lang
+    from repro.verify import conformance_campaign
+
+    workloads = [
+        lang.tree_sum_computation(8)[0],
+        lang.racy_counter_computation(4, 3)[0],
+        lang.store_buffer_computation()[0],
+    ]
+    report = conformance_campaign(
+        lambda seed: _make_memory(args, seed),
+        workloads,
+        target=args.target,
+        procs=(2, 4),
+        seeds=range(args.runs),
+    )
+    print(
+        f"conformance vs {args.target}: {report.runs} runs, "
+        f"{len(report.violations)} violations"
+    )
+    for v in report.violations[:5]:
+        print(
+            f"  workload #{v.workload_index} procs={v.procs} seed={v.seed} "
+            f"({v.num_constraints} constraints)"
+        )
+    if len(report.violations) > 5:
+        print(f"  ... and {len(report.violations) - 5} more")
+    return 0 if report.ok else 2
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.analysis import full_reproduction, render_report
+
+    report = full_reproduction(args.profile)
+    print(render_report(report))
+    return 0 if report.ok else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "lattice": _cmd_lattice,
+        "figures": _cmd_figures,
+        "run": _cmd_run,
+        "check": _cmd_check,
+        "infer": _cmd_infer,
+        "conformance": _cmd_conformance,
+        "reproduce": _cmd_reproduce,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""Core definitions of the computation-centric theory (paper, Section 2).
+
+Exports the vocabulary of the paper: operations (``R``/``W``/``N``),
+computations (Definition 1), observer functions (Definition 2), and
+last-writer functions (Definition 13).
+"""
+
+from repro.core.builder import ComputationBuilder, NodeHandle
+from repro.core.computation import (
+    EMPTY_COMPUTATION,
+    Computation,
+    relabel_computation,
+)
+from repro.core.last_writer import (
+    last_writer_function,
+    last_writer_row,
+    satisfies_last_writer_conditions,
+)
+from repro.core.observer import (
+    ObserverFunction,
+    relabel_observer,
+    candidate_values,
+    count_observer_functions,
+)
+from repro.core.ops import N, Op, R, W, Location, locations_of
+
+__all__ = [
+    "Op",
+    "R",
+    "W",
+    "N",
+    "Location",
+    "locations_of",
+    "Computation",
+    "EMPTY_COMPUTATION",
+    "relabel_computation",
+    "relabel_observer",
+    "ComputationBuilder",
+    "NodeHandle",
+    "ObserverFunction",
+    "candidate_values",
+    "count_observer_functions",
+    "last_writer_function",
+    "last_writer_row",
+    "satisfies_last_writer_conditions",
+]

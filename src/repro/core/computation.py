@@ -1,0 +1,328 @@
+"""Computations (Definition 1 of the paper).
+
+A *computation* ``C = (G, op)`` is a finite dag together with a labelling
+of each node by an abstract instruction.  A computation is not a program:
+it is the way a program *unfolded* in one particular execution.  Nodes are
+instruction instances; edges are the logical dependencies the program
+imposed (e.g. Cilk's spawn/sync edges), independent of which processor
+executed what.
+
+:class:`Computation` is immutable.  Nodes are the integers
+``0 .. num_nodes-1``; the op labelling is a tuple indexed by node id.
+
+The structural notions of Section 2 are all provided as methods:
+
+* prefixes (:meth:`Computation.is_prefix_of`, :meth:`Computation.restrict`,
+  :meth:`Computation.prefix_masks`),
+* relaxations (:meth:`Computation.relax`, :meth:`Computation.relaxations`),
+* extensions (:meth:`Computation.extensions_by`,
+  :meth:`Computation.is_extension_of`), and
+* augmented computations (:meth:`Computation.augment`, Definition 11).
+
+Prefix/extension relations are defined with respect to the *identity*
+embedding of node ids: ``C`` is a prefix of ``C'`` iff the nodes of ``C``
+are ``0 .. k-1``, those ids carry the same ops in ``C'``, and the edges of
+``C'`` among them are exactly the edges of ``C``.  This loses no
+generality for the theory (models here are invariant under relabelling —
+see :func:`repro.models.universe` for how universes exploit it) and keeps
+observer-function restriction trivial.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.ops import N, Op, R, W, Location, locations_of
+from repro.dag.digraph import Dag, bit_indices
+from repro.errors import InvalidComputationError
+
+__all__ = ["Computation", "EMPTY_COMPUTATION", "relabel_computation"]
+
+
+class Computation:
+    """An immutable computation ``(G, op)``.
+
+    Parameters
+    ----------
+    dag:
+        The dependency dag.
+    ops:
+        A sequence of :class:`~repro.core.ops.Op`, one per node, indexed by
+        node id.
+
+    Raises
+    ------
+    InvalidComputationError
+        If ``len(ops) != dag.num_nodes``.
+    """
+
+    __slots__ = ("_dag", "_ops", "_locs", "_writers", "_hash")
+
+    def __init__(self, dag: Dag, ops: Sequence[Op]) -> None:
+        ops = tuple(ops)
+        if len(ops) != dag.num_nodes:
+            raise InvalidComputationError(
+                f"op labelling has {len(ops)} entries for {dag.num_nodes} nodes"
+            )
+        for i, op in enumerate(ops):
+            if not isinstance(op, Op):
+                raise InvalidComputationError(f"ops[{i}] is not an Op: {op!r}")
+        self._dag = dag
+        self._ops = ops
+        self._locs: tuple[Location, ...] = tuple(locations_of(ops))
+        self._writers: dict[Location, int] | None = None
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def dag(self) -> Dag:
+        """The dependency dag ``G_C``."""
+        return self._dag
+
+    @property
+    def ops(self) -> tuple[Op, ...]:
+        """The op labelling, indexed by node id."""
+        return self._ops
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``|V_C|``."""
+        return self._dag.num_nodes
+
+    def nodes(self) -> range:
+        """The node set ``V_C``."""
+        return self._dag.nodes()
+
+    def op(self, u: int) -> Op:
+        """The instruction at node ``u``."""
+        return self._ops[u]
+
+    @property
+    def locations(self) -> tuple[Location, ...]:
+        """Sorted tuple of locations referenced by this computation."""
+        return self._locs
+
+    @property
+    def is_empty(self) -> bool:
+        """True iff this is the empty computation ``ε``."""
+        return self.num_nodes == 0
+
+    # ------------------------------------------------------------------
+    # Location structure
+    # ------------------------------------------------------------------
+
+    def _writer_masks(self) -> dict[Location, int]:
+        if self._writers is None:
+            masks: dict[Location, int] = {}
+            for u, op in enumerate(self._ops):
+                if op.is_write:
+                    masks[op.loc] = masks.get(op.loc, 0) | (1 << u)
+            self._writers = masks
+        return self._writers
+
+    def writers_mask(self, loc: Location) -> int:
+        """Bitset of nodes writing ``loc``."""
+        return self._writer_masks().get(loc, 0)
+
+    def writers(self, loc: Location) -> list[int]:
+        """Sorted list of nodes writing ``loc``."""
+        return list(bit_indices(self.writers_mask(loc)))
+
+    def readers(self, loc: Location) -> list[int]:
+        """Sorted list of nodes reading ``loc``."""
+        return [u for u, op in enumerate(self._ops) if op.reads(loc)]
+
+    def accessors(self, loc: Location) -> list[int]:
+        """Sorted list of nodes reading or writing ``loc``."""
+        return [u for u, op in enumerate(self._ops) if op.loc == loc]
+
+    # ------------------------------------------------------------------
+    # Precedence (delegated to the dag)
+    # ------------------------------------------------------------------
+
+    def precedes(self, u: int, v: int) -> bool:
+        """Strict precedence ``u ≺ v`` in ``G_C``."""
+        return self._dag.precedes(u, v)
+
+    def precedes_eq(self, u: int, v: int) -> bool:
+        """Reflexive precedence ``u ⪯ v``."""
+        return self._dag.precedes_eq(u, v)
+
+    # ------------------------------------------------------------------
+    # Structural operations (Section 2 and Definition 11)
+    # ------------------------------------------------------------------
+
+    def augment(self, o: Op) -> "Computation":
+        """The augmented computation ``aug_o(C)`` (Definition 11).
+
+        Adds a fresh node — ``final(C)``, with id ``num_nodes`` — that is a
+        successor of every existing node, labelled ``o``.
+        """
+        return Computation(self._dag.add_final_node(), self._ops + (o,))
+
+    @property
+    def final_node(self) -> int:
+        """The id the final node *would* get under :meth:`augment`.
+
+        Note this node does not exist in ``self``; it exists in
+        ``self.augment(o)`` for any ``o``.
+        """
+        return self.num_nodes
+
+    def relax(self, remove_edges: Iterable[tuple[int, int]]) -> "Computation":
+        """A relaxation of this computation (same nodes/ops, fewer edges)."""
+        return Computation(self._dag.with_edges_removed(remove_edges), self._ops)
+
+    def relaxations(self) -> Iterator["Computation"]:
+        """All ``2^|E|`` relaxations, including the computation itself.
+
+        Exponential in the edge count; intended for small computations in
+        monotonicity tests.
+        """
+        edges = sorted(self._dag.edges)
+        for k in range(len(edges) + 1):
+            for drop in combinations(edges, k):
+                yield self.relax(drop)
+
+    def restrict(self, mask: int) -> tuple["Computation", list[int]]:
+        """Subcomputation induced by the node bitset ``mask``.
+
+        Returns the subcomputation (nodes renumbered in increasing order of
+        old id) and the list mapping new ids to old ids.  If ``mask`` is a
+        prefix (downset) of the dag, the result is a prefix computation in
+        the paper's sense (modulo renumbering).
+        """
+        keep = list(bit_indices(mask))
+        sub, old_ids = self._dag.induced_subgraph(keep)
+        return Computation(sub, tuple(self._ops[u] for u in keep)), old_ids
+
+    def prefix_masks(self) -> Iterator[int]:
+        """All downset node-bitsets (prefixes) of this computation's dag."""
+        from repro.dag.prefixes import all_prefix_masks
+
+        return all_prefix_masks(self._dag)
+
+    def is_prefix_of(self, other: "Computation") -> bool:
+        """True iff ``self`` is a prefix of ``other`` under identity ids.
+
+        Requires: nodes ``0..k-1`` of ``other`` carry the same ops as
+        ``self``; the edges of ``other`` among them equal the edges of
+        ``self``; and no node ``>= k`` has an edge into a node ``< k``
+        (otherwise ``0..k-1`` would not be predecessor-closed).
+        """
+        k = self.num_nodes
+        if k > other.num_nodes:
+            return False
+        if other._ops[:k] != self._ops:
+            return False
+        inner = {(u, v) for (u, v) in other._dag.edges if u < k and v < k}
+        if inner != set(self._dag.edges):
+            return False
+        # Predecessor closure: no edge from a new node into the prefix.
+        for (u, v) in other._dag.edges:
+            if v < k <= u:
+                return False
+        return True
+
+    def is_extension_of(self, other: "Computation", o: Op | None = None) -> bool:
+        """True iff ``self`` extends ``other`` by one node (optionally ``o``).
+
+        An extension of ``C`` by ``o`` adds a single node labelled ``o``
+        such that ``C`` remains a prefix.
+        """
+        if self.num_nodes != other.num_nodes + 1:
+            return False
+        if not other.is_prefix_of(self):
+            return False
+        return o is None or self._ops[-1] == o
+
+    def extensions_by(self, o: Op) -> Iterator["Computation"]:
+        """All extensions of this computation by one node labelled ``o``.
+
+        The new node (id ``num_nodes``) may have any subset of the existing
+        nodes as direct predecessors and must have no successors, so there
+        are ``2^num_nodes`` extensions.  The augmented computation
+        (Definition 11) is the one with *all* nodes as predecessors; every
+        other extension is a relaxation of it, which is what makes
+        Theorem 12 work for monotonic models.
+        """
+        n = self.num_nodes
+        base_edges = list(self._dag.edges)
+        for mask in range(1 << n):
+            edges = base_edges + [(u, n) for u in bit_indices(mask)]
+            yield Computation(Dag(n + 1, edges), self._ops + (o,))
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def empty() -> "Computation":
+        """The empty computation ``ε``."""
+        return EMPTY_COMPUTATION
+
+    @staticmethod
+    def from_edges(
+        ops: Sequence[Op], edges: Iterable[tuple[int, int]]
+    ) -> "Computation":
+        """Build a computation from an op list and an edge list."""
+        return Computation(Dag(len(ops), edges), ops)
+
+    @staticmethod
+    def serial(ops: Sequence[Op]) -> "Computation":
+        """A totally ordered (single-processor) computation."""
+        n = len(ops)
+        return Computation(Dag(n, [(i, i + 1) for i in range(n - 1)]), ops)
+
+    # ------------------------------------------------------------------
+    # Equality / hashing / repr
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Computation):
+            return NotImplemented
+        return self._ops == other._ops and self._dag == other._dag
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._ops, self._dag))
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Computation(n={self.num_nodes}, ops={list(self._ops)}, "
+            f"edges={sorted(self._dag.edges)})"
+        )
+
+
+EMPTY_COMPUTATION = Computation(Dag(0), ())
+"""The empty computation ``ε`` (module-level singleton)."""
+
+# Re-export the op helpers for convenience: `from repro.core.computation
+# import R, W, N` reads naturally at call sites building computations.
+_ = (R, W, N)
+
+
+def relabel_computation(
+    comp: Computation, perm: Sequence[int]
+) -> Computation:
+    """The isomorphic computation with node ``u`` renamed ``perm[u]``.
+
+    ``perm`` must be a permutation of the node ids.  Every memory model
+    in this library is invariant under such relabellings (the
+    iso-invariance property tests quantify this), which is what licenses
+    enumerating only order-respecting dags in
+    :mod:`repro.models.universe`.
+    """
+    n = comp.num_nodes
+    if sorted(perm) != list(range(n)):
+        raise InvalidComputationError("relabel: not a permutation")
+    ops: list[Op] = [comp.op(0)] * n if n else []
+    for u in range(n):
+        ops[perm[u]] = comp.op(u)
+    edges = [(perm[u], perm[v]) for (u, v) in comp.dag.edges]
+    return Computation(Dag(n, edges), ops)

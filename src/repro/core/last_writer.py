@@ -1,0 +1,101 @@
+"""Last-writer functions (Definition 13) and their properties.
+
+Given a topological sort ``T`` of a computation, the last-writer function
+``W_T(l, u)`` is the most recent write to ``l`` at or before ``u`` in ``T``
+(or ``⊥`` if there is none).  The paper builds both SC (Definition 17) and
+LC (Definition 18) out of last-writer functions, and states three facts we
+expose as checkable procedures:
+
+* Theorem 14 — ``W_T`` exists and is unique (here: it is *computed*, which
+  is an existence proof; uniqueness is checked by
+  :func:`satisfies_last_writer_conditions` in tests).
+* Theorem 15 — if ``W_T(l, u) ≺_T v ⪯_T u`` then ``W_T(l, v) = W_T(l, u)``
+  (the "between" property).
+* Theorem 16 — ``W_T`` is an observer function (validated on construction).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.computation import Computation
+from repro.core.observer import ObserverFunction
+from repro.core.ops import Location
+from repro.dag.toposort import is_topological_sort
+from repro.errors import InvalidObserverError
+
+__all__ = [
+    "last_writer_function",
+    "last_writer_row",
+    "satisfies_last_writer_conditions",
+]
+
+
+def last_writer_row(
+    comp: Computation, order: Sequence[int], loc: Location
+) -> tuple[int | None, ...]:
+    """The tuple ``(W_T(loc, u))_u`` for the topological sort ``order``.
+
+    Single left-to-right sweep: maintain the latest write to ``loc`` seen
+    so far; a write updates the tracker *before* recording its own value,
+    which realizes condition 13.2's reflexivity (a write is its own last
+    writer).
+    """
+    row: list[int | None] = [None] * comp.num_nodes
+    last: int | None = None
+    for u in order:
+        if comp.op(u).writes(loc):
+            last = u
+        row[u] = last
+    return tuple(row)
+
+
+def last_writer_function(
+    comp: Computation,
+    order: Sequence[int],
+    locations: Iterable[Location] | None = None,
+    check_order: bool = True,
+) -> ObserverFunction:
+    """The last-writer function ``W_T`` as an :class:`ObserverFunction`.
+
+    Theorem 16 states ``W_T`` is an observer function; we construct it with
+    validation enabled, so any bug here would surface immediately as an
+    :class:`~repro.errors.InvalidObserverError`.
+    """
+    if check_order and not is_topological_sort(comp.dag, order):
+        raise InvalidObserverError(
+            "last_writer_function: order is not a topological sort"
+        )
+    locs = tuple(locations) if locations is not None else comp.locations
+    mapping = {loc: last_writer_row(comp, order, loc) for loc in locs}
+    return ObserverFunction(comp, mapping, validate=True)
+
+
+def satisfies_last_writer_conditions(
+    comp: Computation,
+    order: Sequence[int],
+    loc: Location,
+    row: Sequence[int | None],
+) -> bool:
+    """Check conditions 13.1–13.3 of Definition 13 directly.
+
+    Used by tests to certify both Theorem 14's uniqueness (any row passing
+    these conditions equals :func:`last_writer_row`) and the correctness of
+    the sweep implementation.
+    """
+    pos = {u: i for i, u in enumerate(order)}
+    for u in comp.nodes():
+        w = row[u]
+        if w is not None:
+            if not comp.op(w).writes(loc):  # 13.1
+                return False
+            if pos[w] > pos[u]:  # 13.2 (W_T(l,u) ⪯_T u)
+                return False
+            lo = pos[w]
+        else:
+            lo = -1
+        # 13.3: no write to loc strictly after W_T(l,u) and at-or-before u.
+        for v in comp.nodes():
+            if comp.op(v).writes(loc) and lo < pos[v] <= pos[u]:
+                return False
+    return True

@@ -1,0 +1,100 @@
+"""Memory operations (the instruction set ``O`` of the paper).
+
+Section 2 fixes the instruction set to read-write memories:
+
+    ``O = { R(l) : l ∈ L } ∪ { W(l) : l ∈ L } ∪ { N }``
+
+where ``N`` is any instruction that does not touch memory (a "no-op" from
+the memory's point of view — e.g. pure computation or synchronization).
+
+Locations (``L``) may be any hashable values; examples and tests typically
+use small integers or short strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+__all__ = ["Op", "R", "W", "N", "Location", "locations_of"]
+
+Location = Hashable
+"""Type alias for memory locations: any hashable value."""
+
+
+@dataclass(frozen=True)
+class Op:
+    """An abstract instruction.
+
+    ``kind`` is ``"R"`` (read), ``"W"`` (write) or ``"N"`` (no-op);
+    ``loc`` is the accessed location, or ``None`` for a no-op.
+
+    Instances are immutable and hashable, so ops can key dictionaries and
+    appear in frozen computations.  Use the module-level helpers
+    :func:`R`, :func:`W` and the constant :data:`N` rather than the
+    constructor.
+    """
+
+    kind: str
+    loc: Location | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("R", "W", "N"):
+            raise ValueError(f"unknown op kind {self.kind!r}")
+        if self.kind == "N" and self.loc is not None:
+            raise ValueError("no-op must not carry a location")
+        if self.kind in ("R", "W") and self.loc is None:
+            raise ValueError(f"{self.kind} op requires a location")
+
+    @property
+    def is_read(self) -> bool:
+        """True iff this op is a read."""
+        return self.kind == "R"
+
+    @property
+    def is_write(self) -> bool:
+        """True iff this op is a write."""
+        return self.kind == "W"
+
+    @property
+    def is_nop(self) -> bool:
+        """True iff this op does not access memory."""
+        return self.kind == "N"
+
+    def reads(self, loc: Location) -> bool:
+        """True iff this op is ``R(loc)``."""
+        return self.kind == "R" and self.loc == loc
+
+    def writes(self, loc: Location) -> bool:
+        """True iff this op is ``W(loc)``."""
+        return self.kind == "W" and self.loc == loc
+
+    def __repr__(self) -> str:
+        if self.kind == "N":
+            return "N"
+        return f"{self.kind}({self.loc!r})"
+
+
+def R(loc: Location) -> Op:
+    """The read instruction ``R(loc)``."""
+    return Op("R", loc)
+
+
+def W(loc: Location) -> Op:
+    """The write instruction ``W(loc)``."""
+    return Op("W", loc)
+
+
+N = Op("N")
+"""The unique no-op instruction."""
+
+
+def locations_of(ops: Iterable[Op]) -> list[Location]:
+    """The sorted list of distinct locations referenced by ``ops``.
+
+    Locations are sorted by ``repr`` so that heterogeneous location types
+    still yield a deterministic order (important for reproducible
+    enumeration and reporting).
+    """
+    locs = {op.loc for op in ops if op.loc is not None}
+    return sorted(locs, key=repr)

@@ -1,0 +1,64 @@
+"""Exhaustive enumeration of small dags.
+
+The benchmark that regenerates Figure 1 of the paper checks the model
+lattice over *every* computation up to a bounded size.  This module
+enumerates the dags.
+
+We enumerate dags whose node identity order ``0 < 1 < ... < n-1`` is a
+topological order (all edges go from a smaller id to a larger id).  Every
+dag is isomorphic to at least one such "ordered" dag, and all the memory
+models studied here are invariant under node relabelling, so this
+enumeration covers every behaviour while avoiding the factorially many
+relabellings.  (Some isomorphism classes appear multiple times — e.g. the
+two orientations of a single edge on two nodes — which only costs time,
+not soundness.)
+
+Counts of ordered dags: n=1: 1, n=2: 2, n=3: 8, n=4: 64, n=5: 1024
+(``2^(n choose 2)``).  A canonicalization pass (:func:`unique_dags`)
+deduplicates up to iso for the smallest sizes where that matters.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations
+from typing import Iterator
+
+from repro.dag.digraph import Dag
+
+__all__ = ["ordered_dags", "unique_dags", "canonical_form"]
+
+
+def ordered_dags(n: int) -> Iterator[Dag]:
+    """Yield every dag on ``n`` nodes whose edges satisfy ``u < v``."""
+    pairs = list(combinations(range(n), 2))
+    m = len(pairs)
+    for mask in range(1 << m):
+        edges = [pairs[i] for i in range(m) if mask & (1 << i)]
+        yield Dag(n, edges)
+
+
+def canonical_form(dag: Dag) -> frozenset[tuple[int, int]]:
+    """A canonical edge set for the isomorphism class of ``dag``.
+
+    Brute-force over all node permutations; only intended for the tiny
+    dags (n <= 6) used in exhaustive universes.  The canonical form is the
+    lexicographically least sorted edge tuple over all relabellings.
+    """
+    n = dag.num_nodes
+    best: tuple[tuple[int, int], ...] | None = None
+    for perm in permutations(range(n)):
+        relabeled = tuple(sorted((perm[u], perm[v]) for (u, v) in dag.edges))
+        if best is None or relabeled < best:
+            best = relabeled
+    assert best is not None or n == 0
+    return frozenset(best or ())
+
+
+def unique_dags(n: int) -> Iterator[Dag]:
+    """Yield one representative per isomorphism class of dags on ``n`` nodes."""
+    seen: set[frozenset[tuple[int, int]]] = set()
+    for dag in ordered_dags(n):
+        key = canonical_form(dag)
+        if key not in seen:
+            seen.add(key)
+            yield dag

@@ -1,0 +1,43 @@
+"""Interoperability with networkx.
+
+:class:`~repro.dag.digraph.Dag` is deliberately minimal (immutable,
+bitset-based); for everything else there is networkx.  These converters
+let users round-trip, and let the test suite *cross-validate* our
+algorithms (transitive closure, topological sorts, longest paths,
+antichains) against an independent, mature implementation.
+"""
+
+from __future__ import annotations
+
+from repro.dag.digraph import Dag
+from repro.errors import InvalidComputationError
+
+__all__ = ["to_networkx", "from_networkx"]
+
+
+def to_networkx(dag: Dag):
+    """Convert to a ``networkx.DiGraph`` (nodes 0..n-1, same edges)."""
+    import networkx as nx
+
+    g = nx.DiGraph()
+    g.add_nodes_from(dag.nodes())
+    g.add_edges_from(sorted(dag.edges))
+    return g
+
+
+def from_networkx(graph) -> Dag:
+    """Convert a ``networkx.DiGraph`` back to a :class:`Dag`.
+
+    Node labels must be exactly ``0 .. n-1`` (use
+    ``networkx.convert_node_labels_to_integers`` first if needed);
+    cycles raise :class:`~repro.errors.CycleError` via the ``Dag``
+    constructor.
+    """
+    nodes = sorted(graph.nodes())
+    n = len(nodes)
+    if nodes != list(range(n)):
+        raise InvalidComputationError(
+            "from_networkx: node labels must be 0..n-1 "
+            "(use networkx.convert_node_labels_to_integers)"
+        )
+    return Dag(n, list(graph.edges()))

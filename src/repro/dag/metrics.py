@@ -1,0 +1,109 @@
+"""Structural metrics of computation dags.
+
+These are the quantities the Cilk performance theory (and the BACKER
+analysis of [BFJ+96a], cited by the paper) is phrased in:
+
+* **work** ``T₁`` — total number of nodes (unit-cost instructions);
+* **span** ``T∞`` (critical-path length) — the longest chain, i.e. the
+  execution time on infinitely many processors;
+* **parallelism** ``T₁ / T∞`` — the speedup ceiling;
+* **width** — the largest antichain, i.e. the peak number of
+  simultaneously executable instructions, computed exactly via
+  Dilworth's theorem (minimum chain cover = maximum bipartite matching
+  on the transitive closure, by König duality).
+
+The scheduler benchmarks use these to check Graham/Brent-style bounds
+(``T_P ≤ T₁/P + T∞`` for greedy scheduling) on simulated executions.
+"""
+
+from __future__ import annotations
+
+from repro.dag.digraph import Dag, bit_indices
+
+__all__ = [
+    "work",
+    "span",
+    "parallelism",
+    "width",
+    "level_sizes",
+]
+
+
+def work(dag: Dag) -> int:
+    """Total work ``T₁``: the number of nodes."""
+    return dag.num_nodes
+
+
+def span(dag: Dag) -> int:
+    """Critical-path length ``T∞`` in *nodes* (0 for the empty dag).
+
+    Dynamic programming over the topological order: the longest chain
+    ending at each node.
+    """
+    n = dag.num_nodes
+    if n == 0:
+        return 0
+    longest = [1] * n
+    for u in dag.topological_order:
+        for p in dag.predecessors(u):
+            if longest[p] + 1 > longest[u]:
+                longest[u] = longest[p] + 1
+    return max(longest)
+
+
+def parallelism(dag: Dag) -> float:
+    """Average parallelism ``T₁ / T∞`` (0.0 for the empty dag)."""
+    s = span(dag)
+    return work(dag) / s if s else 0.0
+
+
+def level_sizes(dag: Dag) -> list[int]:
+    """Number of nodes at each depth (longest-chain-to-node) level.
+
+    ``level_sizes(d)[k]`` counts nodes whose longest incoming chain has
+    exactly ``k`` predecessors-in-sequence.  A quick "shape profile" of
+    the dag used in reports.
+    """
+    n = dag.num_nodes
+    if n == 0:
+        return []
+    depth = [0] * n
+    for u in dag.topological_order:
+        for p in dag.predecessors(u):
+            depth[u] = max(depth[u], depth[p] + 1)
+    out = [0] * (max(depth) + 1)
+    for d in depth:
+        out[d] += 1
+    return out
+
+
+def width(dag: Dag) -> int:
+    """Size of the maximum antichain (Dilworth's theorem, exact).
+
+    Minimum chain cover of the precedence order equals maximum matching
+    in the bipartite graph with an edge ``(u, v)`` for every comparable
+    pair ``u ≺ v``; the antichain number is ``n - |matching|``.  Uses
+    simple augmenting-path matching — ``O(V · E)`` on the closure, fine
+    for the dag sizes this library simulates.
+    """
+    n = dag.num_nodes
+    if n == 0:
+        return 0
+    succ_closure = [list(bit_indices(dag.descendants_mask(u))) for u in range(n)]
+    match_right: list[int | None] = [None] * n  # right vertex -> left vertex
+
+    def augment(u: int, seen: list[bool]) -> bool:
+        for v in succ_closure[u]:
+            if seen[v]:
+                continue
+            seen[v] = True
+            if match_right[v] is None or augment(match_right[v], seen):
+                match_right[v] = u
+                return True
+        return False
+
+    matching = 0
+    for u in range(n):
+        if augment(u, [False] * n):
+            matching += 1
+    return n - matching

@@ -1,0 +1,93 @@
+"""Prefixes (downsets) and antichains of a dag.
+
+A *prefix* of a dag ``G`` (paper, Section 2) is a subgraph closed under
+predecessors together with all induced edges.  Prefixes are the central
+object of constructibility (Definition 6): an online consistency algorithm
+sees the computation one prefix at a time.
+
+This module enumerates prefixes as node bitsets, checks the prefix
+property, and enumerates antichains (used by tests as certificates of
+incomparability).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.dag.digraph import Dag, bit_indices
+
+__all__ = [
+    "is_prefix_mask",
+    "all_prefix_masks",
+    "prefix_closure_mask",
+    "all_antichains",
+    "is_antichain",
+]
+
+
+def is_prefix_mask(dag: Dag, mask: int) -> bool:
+    """True iff the node set ``mask`` is closed under predecessors."""
+    return dag.is_prefix_node_set(mask)
+
+
+def prefix_closure_mask(dag: Dag, mask: int) -> int:
+    """The smallest prefix (downset) containing the nodes of ``mask``."""
+    out = mask
+    for u in bit_indices(mask):
+        out |= dag.ancestors_mask(u)
+    return out
+
+
+def all_prefix_masks(dag: Dag) -> Iterator[int]:
+    """Yield every downset of ``dag`` as a bitset, smallest first.
+
+    Enumerates by BFS over the downset lattice: starting from the empty
+    set, add any node whose predecessors are already present.  The number
+    of downsets can be exponential (``2^n`` for an edgeless dag); callers
+    should bound the dag size.
+    """
+    n = dag.num_nodes
+    seen = {0}
+    frontier = [0]
+    yield 0
+    while frontier:
+        mask = frontier.pop()
+        for u in range(n):
+            if mask & (1 << u):
+                continue
+            if dag.predecessor_mask(u) & ~mask:
+                continue
+            nxt = mask | (1 << u)
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+                yield nxt
+
+
+def is_antichain(dag: Dag, nodes: tuple[int, ...]) -> bool:
+    """True iff no two distinct nodes of ``nodes`` are comparable."""
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1 :]:
+            if dag.comparable(u, v):
+                return False
+    return True
+
+
+def all_antichains(dag: Dag) -> Iterator[tuple[int, ...]]:
+    """Yield every antichain of ``dag`` (including the empty one).
+
+    Backtracking over node ids in increasing order; a node may be added if
+    it is incomparable with everything chosen so far.
+    """
+    n = dag.num_nodes
+    chosen: list[int] = []
+
+    def backtrack(start: int) -> Iterator[tuple[int, ...]]:
+        yield tuple(chosen)
+        for u in range(start, n):
+            if all(not dag.comparable(u, v) for v in chosen):
+                chosen.append(u)
+                yield from backtrack(u + 1)
+                chosen.pop()
+
+    yield from backtrack(0)

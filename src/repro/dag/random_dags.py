@@ -1,0 +1,143 @@
+"""Seeded random dag generators.
+
+Used by the property-based tests and benchmarks to generate workloads of
+controlled shape:
+
+* :func:`gnp_dag` — classic random dag (each forward pair is an edge with
+  probability ``p`` under a random node ordering).
+* :func:`layered_dag` — nodes arranged in layers; edges only between
+  adjacent layers (models BSP-style phase computations).
+* :func:`fork_join_dag` — recursive binary fork/join skeletons, the shape
+  produced by Cilk's spawn/sync.
+* :func:`chain_dag` / :func:`empty_dag` — degenerate extremes (fully
+  serial / fully parallel) used as baselines.
+
+All generators take an explicit ``random.Random`` (or a seed) so every
+experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.dag.digraph import Dag
+
+__all__ = [
+    "gnp_dag",
+    "layered_dag",
+    "fork_join_dag",
+    "chain_dag",
+    "empty_dag",
+    "as_rng",
+]
+
+
+def as_rng(rng: random.Random | int | None) -> random.Random:
+    """Coerce ``rng`` (a Random, a seed, or None) into a ``random.Random``."""
+    if isinstance(rng, random.Random):
+        return rng
+    return random.Random(rng)
+
+
+def empty_dag(n: int) -> Dag:
+    """``n`` mutually independent nodes (no edges)."""
+    return Dag(n)
+
+
+def chain_dag(n: int) -> Dag:
+    """A total order: ``0 → 1 → ... → n-1``."""
+    return Dag(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def gnp_dag(n: int, p: float, rng: random.Random | int | None = None) -> Dag:
+    """Random dag: each pair ``(i, j)`` with ``i < j`` is an edge w.p. ``p``.
+
+    Node ids are randomly permuted relative to the generating order so that
+    node id carries no positional information (the identity order is still
+    always a topological sort of *some* relabelling, but callers cannot rely
+    on ids being topologically sorted).
+    """
+    r = as_rng(rng)
+    perm = list(range(n))
+    r.shuffle(perm)
+    edges: list[tuple[int, int]] = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if r.random() < p:
+                edges.append((perm[i], perm[j]))
+    return Dag(n, edges)
+
+
+def layered_dag(
+    layer_sizes: Iterable[int],
+    p: float = 0.5,
+    rng: random.Random | int | None = None,
+    connect_all: bool = False,
+) -> Dag:
+    """A layered dag with edges only between adjacent layers.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Sizes of consecutive layers; nodes are numbered layer by layer.
+    p:
+        Probability of each adjacent-layer edge (ignored if
+        ``connect_all``).
+    connect_all:
+        If true, every adjacent-layer pair is an edge (a "barrier" between
+        phases, like a BSP superstep boundary).
+    """
+    r = as_rng(rng)
+    sizes = list(layer_sizes)
+    offsets = [0]
+    for s in sizes:
+        offsets.append(offsets[-1] + s)
+    n = offsets[-1]
+    edges: list[tuple[int, int]] = []
+    for li in range(len(sizes) - 1):
+        for u in range(offsets[li], offsets[li + 1]):
+            for v in range(offsets[li + 1], offsets[li + 2]):
+                if connect_all or r.random() < p:
+                    edges.append((u, v))
+    return Dag(n, edges)
+
+
+def fork_join_dag(depth: int, fanout: int = 2) -> Dag:
+    """A recursive fork/join skeleton of the given depth.
+
+    ``depth == 0`` is a single node.  At depth ``d`` the dag is a fork node,
+    ``fanout`` parallel copies of the depth ``d-1`` skeleton, and a join
+    node.  This is exactly the dag shape of a Cilk spawn/sync tree, the
+    motivating workload of the paper.
+    """
+    if depth < 0:
+        raise ValueError("depth must be >= 0")
+    if fanout < 1:
+        raise ValueError("fanout must be >= 1")
+    edges: list[tuple[int, int]] = []
+    counter = 0
+
+    def fresh() -> int:
+        nonlocal counter
+        counter += 1
+        return counter - 1
+
+    def build(d: int) -> tuple[int, int]:
+        """Return (entry, exit) node ids of a depth-d skeleton."""
+        if d == 0:
+            u = fresh()
+            return u, u
+        fork = fresh()
+        join_children: list[int] = []
+        for _ in range(fanout):
+            entry, exit_ = build(d - 1)
+            edges.append((fork, entry))
+            join_children.append(exit_)
+        join = fresh()
+        for c in join_children:
+            edges.append((c, join))
+        return fork, join
+
+    build(depth)
+    return Dag(counter, edges)

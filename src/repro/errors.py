@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError`, so callers
+can catch library-specific failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "CycleError",
+    "InvalidComputationError",
+    "InvalidObserverError",
+    "ScheduleError",
+    "MemoryProtocolError",
+    "UniverseError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class CycleError(ReproError):
+    """Raised when a graph that must be acyclic contains a cycle."""
+
+
+class InvalidComputationError(ReproError):
+    """Raised when a computation violates Definition 1 of the paper.
+
+    Examples: an op labelling whose domain does not match the node set, or a
+    dag edge referencing a node outside the vertex set.
+    """
+
+
+class InvalidObserverError(ReproError):
+    """Raised when an observer function violates Definition 2 of the paper.
+
+    The three conditions are: (2.1) every observed node writes the observed
+    location; (2.2) a node never precedes the node it observes; (2.3) every
+    write observes itself.
+    """
+
+
+class ScheduleError(ReproError):
+    """Raised when an execution schedule violates dag precedence."""
+
+
+class MemoryProtocolError(ReproError):
+    """Raised when a simulated memory is driven outside its protocol.
+
+    For example, reading a location through a processor cache that was
+    never attached, or reconciling a cache twice without an intervening
+    operation.
+    """
+
+
+class UniverseError(ReproError):
+    """Raised when a bounded enumeration universe is queried out of range."""

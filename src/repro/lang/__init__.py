@@ -1,0 +1,47 @@
+"""Cilk-style language frontend: programs → computations.
+
+The paper assumes computations are "given a priori" by the way a program
+unfolds; this subpackage provides the unfolding.  :mod:`repro.lang.cilk`
+is the spawn/sync DSL; :mod:`repro.lang.programs` are canonical parallel
+workloads (fib, matmul, scan, stencil, tree-sum, racy counter).
+"""
+
+from repro.lang.bsp import BspInfo, BspProgram, bsp_exchange_computation
+from repro.lang.cilk import CilkContext, UnfoldInfo, unfold
+from repro.lang.processor_centric import (
+    LITMUS_TESTS,
+    LitmusTest,
+    from_processor_streams,
+    litmus_outcome_allowed,
+)
+from repro.lang.programs import (
+    fib_computation,
+    iriw_computation,
+    matmul_computation,
+    racy_counter_computation,
+    scan_computation,
+    stencil_computation,
+    store_buffer_computation,
+    tree_sum_computation,
+)
+
+__all__ = [
+    "CilkContext",
+    "UnfoldInfo",
+    "unfold",
+    "fib_computation",
+    "matmul_computation",
+    "scan_computation",
+    "stencil_computation",
+    "tree_sum_computation",
+    "racy_counter_computation",
+    "store_buffer_computation",
+    "iriw_computation",
+    "from_processor_streams",
+    "LitmusTest",
+    "LITMUS_TESTS",
+    "litmus_outcome_allowed",
+    "BspProgram",
+    "BspInfo",
+    "bsp_exchange_computation",
+]

@@ -1,0 +1,21 @@
+"""Lock-augmented computations and release-consistency-style models.
+
+Implements the future-work direction the paper names in Section 7
+("models such as release consistency require computations to be
+augmented with locks").  See :mod:`repro.locks.locked` for the design.
+"""
+
+from repro.locks.locked import CriticalSection, LockedComputation, LockSerialization
+from repro.locks.model import LockRC, LockReleaseConsistency
+from repro.locks.runtime import LockedExecution, execute_locked, pick_serialization
+
+__all__ = [
+    "CriticalSection",
+    "LockedComputation",
+    "LockSerialization",
+    "LockReleaseConsistency",
+    "LockRC",
+    "LockedExecution",
+    "execute_locked",
+    "pick_serialization",
+]

@@ -1,0 +1,191 @@
+"""Lock-augmented computations (Section 7 future work, implemented).
+
+The paper closes with: *"Some models, such as release consistency,
+require computations to be augmented with locks, and how to do this is a
+matter of active research."*  This module is one concrete way to do it,
+staying inside the computation-centric philosophy:
+
+* A :class:`LockedComputation` is a plain computation plus a set of
+  *critical sections* — matched (acquire, release) node pairs per lock.
+  Acquire/release nodes are ordinary no-ops: locks are synchronization,
+  not data, and the paper's observer functions already give no-ops
+  memory semantics.
+* The dag does **not** order sections on the same lock.  Mutual
+  exclusion is a per-execution choice: a *lock serialization* picks a
+  total order of each lock's sections, adding a
+  ``release(s_i) → acquire(s_{i+1})`` edge per consecutive pair.  Each
+  admissible (acyclic) serialization *induces* a plain computation, to
+  which every model in the library applies unchanged.
+* Data-race freedom (:meth:`LockedComputation.is_drf`) asks that every
+  induced computation be race-free — the computation-centric reading of
+  "properly synchronized".
+
+The companion model (:mod:`repro.locks.model`) quantifies existentially
+over serializations, which is exactly how release-consistent hardware
+behaves: *some* order of critical sections happened, and memory is only
+guaranteed consistent with respect to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations, product
+from typing import Iterator
+
+from repro.core.computation import Computation
+from repro.errors import CycleError, InvalidComputationError
+
+__all__ = ["CriticalSection", "LockedComputation", "LockSerialization"]
+
+
+@dataclass(frozen=True)
+class CriticalSection:
+    """One acquire/release pair on a lock."""
+
+    lock: object
+    acquire: int
+    release: int
+
+
+LockSerialization = dict
+"""Type alias: ``{lock: tuple[section_index, ...]}`` — for each lock, the
+order (by index into :attr:`LockedComputation.sections_of`) in which its
+critical sections execute."""
+
+
+class LockedComputation:
+    """A computation with critical sections awaiting serialization."""
+
+    def __init__(
+        self,
+        comp: Computation,
+        sections: dict[object, list[tuple[int, int]]],
+    ) -> None:
+        self.comp = comp
+        self._sections: dict[object, tuple[CriticalSection, ...]] = {}
+        for lock, pairs in sections.items():
+            secs = []
+            for (a, r) in pairs:
+                if not (0 <= a < comp.num_nodes and 0 <= r < comp.num_nodes):
+                    raise InvalidComputationError(
+                        f"critical section ({a}, {r}) out of range"
+                    )
+                if a != r and not comp.precedes(a, r):
+                    raise InvalidComputationError(
+                        f"acquire {a} must precede release {r}"
+                    )
+                secs.append(CriticalSection(lock, a, r))
+            if secs:
+                self._sections[lock] = tuple(secs)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def locks(self) -> tuple:
+        """The locks with at least one section, sorted by repr."""
+        return tuple(sorted(self._sections, key=repr))
+
+    def sections_of(self, lock: object) -> tuple[CriticalSection, ...]:
+        """The critical sections on one lock, in declaration order."""
+        return self._sections.get(lock, ())
+
+    def section_count(self) -> int:
+        """Total number of critical sections."""
+        return sum(len(s) for s in self._sections.values())
+
+    @staticmethod
+    def from_unfold(comp: Computation, info) -> "LockedComputation":
+        """Build from :func:`repro.lang.unfold`'s output (uses
+        ``info.lock_sections``)."""
+        return LockedComputation(comp, info.lock_sections)
+
+    # ------------------------------------------------------------------
+    # Serializations
+    # ------------------------------------------------------------------
+
+    def serialization_edges(
+        self, serialization: LockSerialization
+    ) -> list[tuple[int, int]]:
+        """The release→acquire edges a serialization adds."""
+        edges: list[tuple[int, int]] = []
+        for lock, order in serialization.items():
+            secs = self.sections_of(lock)
+            for i in range(len(order) - 1):
+                prev, nxt = secs[order[i]], secs[order[i + 1]]
+                edges.append((prev.release, nxt.acquire))
+        return edges
+
+    def induce(self, serialization: LockSerialization) -> Computation | None:
+        """The plain computation induced by a serialization.
+
+        Returns ``None`` when the added edges create a cycle (the
+        serialization is inadmissible — it would deadlock).
+        """
+        from repro.dag.digraph import Dag
+
+        extra = self.serialization_edges(serialization)
+        edges = list(self.comp.dag.edges) + extra
+        try:
+            return Computation(Dag(self.comp.num_nodes, edges), self.comp.ops)
+        except CycleError:
+            return None
+
+    def serializations(self) -> Iterator[LockSerialization]:
+        """Every candidate serialization (product of per-lock orders).
+
+        Factorial in the per-lock section count — locked workloads in
+        benchmarks keep a handful of sections per lock.
+        """
+        locks = self.locks
+        per_lock = [
+            list(permutations(range(len(self.sections_of(lock)))))
+            for lock in locks
+        ]
+        for combo in product(*per_lock):
+            yield dict(zip(locks, combo))
+
+    def induced_computations(self) -> Iterator[tuple[LockSerialization, Computation]]:
+        """Every admissible serialization with its induced computation."""
+        for ser in self.serializations():
+            induced = self.induce(ser)
+            if induced is not None:
+                yield ser, induced
+
+    def has_admissible_serialization(self) -> bool:
+        """Whether any serialization is acyclic (no structural deadlock)."""
+        return next(self.induced_computations(), None) is not None
+
+    # ------------------------------------------------------------------
+    # Data-race freedom
+    # ------------------------------------------------------------------
+
+    def is_drf(self) -> bool:
+        """Properly synchronized: every induced computation is race-free.
+
+        This is the computation-centric "DRF" premise: no matter how the
+        critical sections serialize, conflicting accesses are ordered.
+        """
+        from repro.verify.races import is_race_free
+
+        found_any = False
+        for _ser, induced in self.induced_computations():
+            found_any = True
+            if not is_race_free(induced):
+                return False
+        return found_any
+
+    def racy_serializations(self) -> Iterator[LockSerialization]:
+        """The admissible serializations whose induced computation races."""
+        from repro.verify.races import is_race_free
+
+        for ser, induced in self.induced_computations():
+            if not is_race_free(induced):
+                yield ser
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LockedComputation(n={self.comp.num_nodes}, "
+            f"locks={len(self._sections)}, sections={self.section_count()})"
+        )

@@ -1,0 +1,100 @@
+"""A release-consistency-style model over locked computations.
+
+Computation-centric release consistency, as this extension defines it:
+an observer function for a locked computation is *lock-consistent with
+respect to a base model* Δ when **some** admissible lock serialization
+induces a computation for which the observer function belongs to Δ.
+Formally::
+
+    LockRC_Δ = {(LC, Φ) : ∃ serialization S admissible for LC,
+                           Φ is an observer function for induce(LC, S)
+                           and (induce(LC, S), Φ) ∈ Δ}
+
+The base model defaults to LC — matching the lineage of the paper:
+BACKER extended with locks reconciles at acquire/release boundaries, so
+the memory it provides *between* critical sections is location
+consistency over the serialization that actually happened.
+
+The classical **DRF guarantee** becomes a theorem of the framework,
+property-tested in the suite: if the locked computation is data-race
+free (:meth:`~repro.locks.locked.LockedComputation.is_drf`) then every
+lock-consistent observer's *reads* coincide with the reads of a
+sequentially consistent execution of the witnessing induced computation
+— properly-synchronized programs cannot tell LC-with-locks from SC.
+"""
+
+from __future__ import annotations
+
+from repro.core.observer import ObserverFunction
+from repro.errors import InvalidObserverError
+from repro.locks.locked import LockedComputation, LockSerialization
+from repro.models.base import MemoryModel
+from repro.models.location_consistency import LC
+
+__all__ = ["LockReleaseConsistency", "LockRC"]
+
+
+class LockReleaseConsistency:
+    """Existential-over-serializations lifting of a base memory model.
+
+    Not a :class:`~repro.models.base.MemoryModel` — its domain is locked
+    computations — but deliberately parallel in shape: a ``contains``
+    predicate plus a certificate query.
+    """
+
+    def __init__(self, base: MemoryModel | None = None) -> None:
+        self.base = base if base is not None else LC
+        self.name = f"LockRC[{self.base.name}]"
+
+    def _lift(
+        self, locked: LockedComputation, ser: LockSerialization, phi: ObserverFunction
+    ) -> ObserverFunction | None:
+        """Re-validate Φ against the induced computation's precedence.
+
+        Adding serialization edges strengthens precedence, so an
+        observer valid for the bare computation may violate condition
+        2.2 (a node now precedes its observed write) in the induced one
+        — in which case this serialization cannot explain Φ.
+        """
+        induced = locked.induce(ser)
+        if induced is None:
+            return None
+        try:
+            return ObserverFunction(
+                induced,
+                {loc: phi.row(loc) for loc in phi.locations},
+                validate=True,
+            )
+        except InvalidObserverError:
+            return None
+
+    def contains(self, locked: LockedComputation, phi: ObserverFunction) -> bool:
+        """Membership: some admissible serialization explains Φ."""
+        return self.witness_serialization(locked, phi) is not None
+
+    def witness_serialization(
+        self, locked: LockedComputation, phi: ObserverFunction
+    ) -> LockSerialization | None:
+        """The certificate: a serialization whose induced computation
+        admits Φ under the base model, or ``None``."""
+        for ser in locked.serializations():
+            lifted = self._lift(locked, ser, phi)
+            if lifted is None:
+                continue
+            if self.base.contains(lifted.computation, lifted):
+                return ser
+        return None
+
+    def observers_via(
+        self, locked: LockedComputation, ser: LockSerialization
+    ):
+        """All base-model observer functions of one serialization's
+        induced computation (delegates to the base model)."""
+        induced = locked.induce(ser)
+        if induced is None:
+            return iter(())
+        return self.base.observers(induced)
+
+
+LockRC = LockReleaseConsistency(LC)
+"""The default lock-release-consistency model (base = LC)."""

@@ -1,0 +1,129 @@
+"""Causal consistency, formulated computation-centrically (§7 exercise).
+
+The paper closes by inviting other consistency models into the
+framework ("Another direction is to formulate other consistency models
+in the computation-centric framework").  This module does it for
+**causal memory** (Ahamad et al. 1995), whose processor-centric form
+says: writes must become visible in an order consistent with potential
+causality (program order ∪ reads-from, transitively).
+
+Computation-centric rendering.  Given (C, Φ), define the *causal order*
+``κ`` as the transitive closure of the dag edges together with the
+observation edges ``Φ(l, u) → u`` (a node is causally after the write
+it observed).  Then::
+
+    (C, Φ) ∈ CC  iff  κ is acyclic, and for every l, u:
+                      no l-write w' satisfies Φ(l, u) ≺κ w' ≼κ u
+                      (taking Φ(l, u) = ⊥ as causally before everything)
+
+i.e. each node observes a write that is not *causally overwritten* in
+its own causal past.  The dag's precedence generalizes program order
+exactly as the paper's SC/LC definitions generalize Lamport's.
+
+Lattice position (established empirically by the characterization tests
+and the litmus bench):
+
+* ``SC ⊆ CC`` — a global serialization is in particular causal;
+* CC is *incomparable* with LC and the dag-consistent family: CC admits
+  Figure 4's cross-observing pair (concurrent writes carry no causal
+  order) which LC forbids, and forbids WW's stale-⊥ read (the write is
+  in the reader's causal past) which WW admits;
+* CC forbids the classical causality litmus outcomes (CoRR, MP, WRC,
+  and LB — reads-from ∪ precedence must be acyclic) but admits SB and
+  IRIW — the textbook causal-memory profile.
+
+CC is monotonic (removing dag edges removes κ edges) and — unlike NN —
+**constructible**: an online algorithm can always have the final node
+observe a κ-*maximal* ``l``-write in its causal past (or ⊥ when there is
+none).  Maximality means no write is causally between; the new
+observation edge only extends κ *into* the final node, so no earlier
+node's condition changes.  The augmentation sweep confirms closure on
+every universe tested, and the random-adversary game never sticks.
+"""
+
+from __future__ import annotations
+
+from repro.core.computation import Computation
+from repro.core.observer import ObserverFunction
+from repro.dag.digraph import bit_indices
+from repro.models.base import MemoryModel
+
+__all__ = ["CausalConsistency", "CC"]
+
+
+class CausalConsistency(MemoryModel):
+    """The CC memory model (polynomial membership)."""
+
+    name = "CC"
+
+    @staticmethod
+    def causal_order(
+        comp: Computation, phi: ObserverFunction
+    ) -> list[int] | None:
+        """Strict-descendant bitsets of the causal order κ, or ``None``
+        if the observation edges make it cyclic."""
+        n = comp.num_nodes
+        succ = [0] * n
+        for (u, v) in comp.dag.edges:
+            succ[u] |= 1 << v
+        for loc in set(comp.locations) | set(phi.locations):
+            row = phi.row(loc)
+            for u in comp.nodes():
+                w = row[u]
+                if w is not None and w != u:
+                    succ[w] |= 1 << u
+        # Kahn for acyclicity + closure over a topological order.
+        indeg = [0] * n
+        for u in range(n):
+            for v in bit_indices(succ[u]):
+                indeg[v] += 1
+        frontier = [u for u in range(n) if indeg[u] == 0]
+        order: list[int] = []
+        while frontier:
+            u = frontier.pop()
+            order.append(u)
+            for v in bit_indices(succ[u]):
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    frontier.append(v)
+        if len(order) != n:
+            return None  # κ cyclic
+        desc = [0] * n
+        for u in reversed(order):
+            d = succ[u]
+            for v in bit_indices(succ[u]):
+                d |= desc[v]
+            desc[u] = d
+        return desc
+
+    def contains(self, comp: Computation, phi: ObserverFunction) -> bool:
+        desc = self.causal_order(comp, phi)
+        if desc is None:
+            return False
+        n = comp.num_nodes
+        # κ-ancestors, reflexive ("the causal past"), from the descendants.
+        past = [1 << u for u in range(n)]
+        for x in range(n):
+            for v in bit_indices(desc[x]):
+                past[v] |= 1 << x
+        for loc in set(comp.locations) | set(phi.locations):
+            row = phi.row(loc)
+            writers = comp.writers_mask(loc)
+            if not writers:
+                continue
+            for u in comp.nodes():
+                w = row[u]
+                if w is None:
+                    # ⊥ observed: no l-write may be in u's causal past.
+                    if writers & past[u]:
+                        return False
+                else:
+                    # No l-write strictly κ-between the observed write
+                    # and u (κ-past of u ∩ κ-future of w).
+                    if desc[w] & past[u] & writers & ~(1 << w):
+                        return False
+        return True
+
+
+CC = CausalConsistency()
+"""Module-level CC instance (the model is stateless)."""

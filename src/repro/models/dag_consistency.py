@@ -1,0 +1,219 @@
+"""Dag-consistent memory models (Definition 20).
+
+A Q-dag-consistent observer function satisfies, for every location ``l``
+and every triple ``u ≺ v ≺ w`` (``u`` possibly ``⊥``) where ``Q`` holds:
+
+    ``Φ(l, u) = Φ(l, w)  ⟹  Φ(l, v) = Φ(l, u)``.
+
+Two implementations are provided and cross-checked by the test suite:
+
+* :meth:`QDagConsistency.contains_reference` — a direct transcription of
+  Definition 20 iterating all precedence triples (``O(|L|·n³)``); works
+  for *any* predicate.
+* fiber-based fast checks for the four named predicates, derived as
+  follows.  Write ``S(l, x) = {u : Φ(l, u) = x}`` (the *fiber* of ``x``).
+
+  - **NN** (``Q ≡ true``): each write fiber must be precedence-convex
+    (no node outside the fiber has both an ancestor and a descendant in
+    it), and the ``⊥`` fiber must be ancestor-closed (taking ``u = ⊥``).
+  - **NW** (middle writes): for each write ``v`` to ``l``, no *other*
+    fiber may have a member on each side of ``v``; the ``⊥`` fiber only
+    needs a member *after* ``v`` (``u = ⊥`` is always available before).
+  - **WN** (source writes): the source must then be the fiber's own
+    write ``x`` (a write observes itself), so each write fiber must be
+    convex *from its write*: descendants of a non-member ``v`` with
+    ``x ≺ v`` may not meet ``S(l, x)``.
+  - **WW** (both write): the middle must additionally write ``l``: no
+    write fiber ``S(l, x)`` may have a member after another write ``v``
+    to ``l`` with ``x ≺ v``.
+
+All four reduce to a handful of bitset intersections per (node, fiber)
+pair via the cached transitive closure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.computation import Computation
+from repro.core.observer import ObserverFunction
+from repro.core.ops import Location
+from repro.dag.digraph import bit_indices
+from repro.models.base import MemoryModel
+from repro.models.predicates import (
+    Predicate,
+    nn_predicate,
+    nw_predicate,
+    wn_predicate,
+    ww_predicate,
+)
+
+__all__ = ["QDagConsistency", "NN", "NW", "WN", "WW", "dag_consistency_triples"]
+
+
+def dag_consistency_triples(
+    comp: Computation,
+) -> Iterator[tuple[int | None, int, int]]:
+    """All precedence triples ``u ≺ v ≺ w`` of a computation.
+
+    ``u`` ranges over nodes and ``⊥`` (encoded ``None``); ``v`` and ``w``
+    are nodes.  ``⊥ ≺ v`` holds for every node ``v``, so the ``u = None``
+    triples are exactly the pairs ``v ≺ w``.
+    """
+    dag = comp.dag
+    for v in comp.nodes():
+        ancs = list(bit_indices(dag.ancestors_mask(v)))
+        for w in bit_indices(dag.descendants_mask(v)):
+            yield None, v, w
+            for u in ancs:
+                yield u, v, w
+
+
+class QDagConsistency(MemoryModel):
+    """The Q-dag consistency model for a given predicate.
+
+    Parameters
+    ----------
+    predicate:
+        The predicate ``Q(C, l, u, v, w)`` (see
+        :mod:`repro.models.predicates`).
+    name:
+        Display name (e.g. ``"NN"``).
+    variant:
+        One of ``"NN"``, ``"NW"``, ``"WN"``, ``"WW"`` to enable the fast
+        fiber-based membership check, or ``None`` to always use the
+        reference triple check (for user-supplied predicates).
+    """
+
+    def __init__(
+        self, predicate: Predicate, name: str, variant: str | None = None
+    ) -> None:
+        if variant not in (None, "NN", "NW", "WN", "WW"):
+            raise ValueError(f"unknown variant {variant!r}")
+        self.predicate = predicate
+        self.name = name
+        self.variant = variant
+
+    # ------------------------------------------------------------------
+    # Reference implementation (any predicate)
+    # ------------------------------------------------------------------
+
+    def contains_reference(
+        self, comp: Computation, phi: ObserverFunction
+    ) -> bool:
+        """Literal Definition 20 check over all precedence triples."""
+        locs = set(comp.locations) | set(phi.locations)
+        for loc in locs:
+            row = phi.row(loc)
+            for u, v, w in dag_consistency_triples(comp):
+                phi_u = None if u is None else row[u]
+                if phi_u != row[w]:
+                    continue
+                if not self.predicate(comp, loc, u, v, w):
+                    continue
+                if row[v] != phi_u:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Fast fiber-based implementations
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check_nn(comp: Computation, loc: Location, row) -> bool:
+        fibers: dict[int | None, int] = {}
+        for u, x in enumerate(row):
+            fibers[x] = fibers.get(x, 0) | (1 << u)
+        dag = comp.dag
+        bot = fibers.get(None, 0)
+        for x, members in fibers.items():
+            if x is None:
+                # ⊥ fiber ancestor-closed: nothing outside it precedes a member.
+                for v in comp.nodes():
+                    if not (bot & (1 << v)) and (dag.descendants_mask(v) & bot):
+                        return False
+                continue
+            for v in comp.nodes():
+                if members & (1 << v):
+                    continue
+                if (dag.ancestors_mask(v) & members) and (
+                    dag.descendants_mask(v) & members
+                ):
+                    return False
+        return True
+
+    @staticmethod
+    def _check_nw(comp: Computation, loc: Location, row) -> bool:
+        fibers: dict[int | None, int] = {}
+        for u, x in enumerate(row):
+            fibers[x] = fibers.get(x, 0) | (1 << u)
+        dag = comp.dag
+        for v in comp.writers(loc):
+            for x, members in fibers.items():
+                if x == v:
+                    continue
+                if x is None:
+                    # u = ⊥ always precedes v, so a later ⊥-observer suffices.
+                    if dag.descendants_mask(v) & members:
+                        return False
+                elif (dag.ancestors_mask(v) & members) and (
+                    dag.descendants_mask(v) & members
+                ):
+                    return False
+        return True
+
+    @staticmethod
+    def _check_wn(comp: Computation, loc: Location, row) -> bool:
+        fibers: dict[int | None, int] = {}
+        for u, x in enumerate(row):
+            fibers[x] = fibers.get(x, 0) | (1 << u)
+        dag = comp.dag
+        for x, members in fibers.items():
+            if x is None:
+                continue
+            desc_x = dag.descendants_mask(x)
+            for v in bit_indices(desc_x & ~members):
+                if dag.descendants_mask(v) & members:
+                    return False
+        return True
+
+    @staticmethod
+    def _check_ww(comp: Computation, loc: Location, row) -> bool:
+        fibers: dict[int | None, int] = {}
+        for u, x in enumerate(row):
+            fibers[x] = fibers.get(x, 0) | (1 << u)
+        dag = comp.dag
+        writers_mask = comp.writers_mask(loc)
+        for x, members in fibers.items():
+            if x is None:
+                continue
+            desc_x = dag.descendants_mask(x)
+            for v in bit_indices(desc_x & writers_mask & ~(1 << x)):
+                if dag.descendants_mask(v) & members:
+                    return False
+        return True
+
+    def contains(self, comp: Computation, phi: ObserverFunction) -> bool:
+        if self.variant is None:
+            return self.contains_reference(comp, phi)
+        check = {
+            "NN": self._check_nn,
+            "NW": self._check_nw,
+            "WN": self._check_wn,
+            "WW": self._check_ww,
+        }[self.variant]
+        locs = set(comp.locations) | set(phi.locations)
+        return all(check(comp, loc, phi.row(loc)) for loc in locs)
+
+
+NN = QDagConsistency(nn_predicate, "NN", variant="NN")
+"""NN-dag consistency: the strongest dag-consistent model (Theorem 21)."""
+
+NW = QDagConsistency(nw_predicate, "NW", variant="NW")
+"""NW-dag consistency (middle node writes)."""
+
+WN = QDagConsistency(wn_predicate, "WN", variant="WN")
+"""WN-dag consistency — "dag consistency" of [BFJ+96a]."""
+
+WW = QDagConsistency(ww_predicate, "WW", variant="WW")
+"""WW-dag consistency — the original dag consistency of [BFJ+96b]."""

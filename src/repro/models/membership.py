@@ -1,0 +1,175 @@
+"""Shared machinery for serialization-based membership checks.
+
+Both LC membership (Definition 18) and the post-mortem trace checkers
+reduce to the same combinatorial core, the **block partition**: fix a
+location ``l`` and group nodes by the write they observe at ``l`` (the
+*fibers* of ``Φ(l, ·)``).  Definition 13's segment structure implies that
+``Φ(l, ·) = W_T(l, ·)`` for some topological sort ``T`` iff
+
+1. the fibers can be laid out as contiguous segments of ``T``,
+2. the ``⊥`` fiber (if non-empty) comes first, and
+3. each write fiber's segment starts with its write.
+
+This holds iff the *quotient graph* — one vertex per fiber, an edge
+``B → B'`` whenever some dag edge crosses from ``B`` to ``B'`` — is
+acyclic and the ``⊥`` fiber has no in-edges.  (Soundness: a topological
+order of the quotient, with each block internally topologically sorted
+and its write first, concatenates into a witnessing ``T``.  The write can
+go first because condition 2.2 of Definition 2 forbids in-block
+predecessors of the write.  Completeness: segments of any witnessing
+``T`` orient every crossing edge forward, so the quotient is acyclic, and
+a ``⊥``-fiber in-edge would place a ⊥-observing node after a write.)
+
+The functions here work on *rows* (``tuple[int | None, ...]`` indexed by
+node id) rather than :class:`ObserverFunction` objects so that the trace
+checkers can reuse them on partial assignments.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.computation import Computation
+from repro.core.ops import Location
+from repro.dag.digraph import bit_indices
+
+__all__ = [
+    "fibers_of_row",
+    "quotient_is_acyclic",
+    "location_blocks_admissible",
+    "block_witness_order",
+]
+
+
+def fibers_of_row(row: Sequence[int | None]) -> dict[int | None, int]:
+    """Group node ids by row value; returns ``{value: node_bitset}``."""
+    out: dict[int | None, int] = {}
+    for u, v in enumerate(row):
+        out[v] = out.get(v, 0) | (1 << u)
+    return out
+
+
+def _quotient(
+    comp: Computation, block_of: Sequence[int | None]
+) -> tuple[dict[int | None, set[int | None]], set[int | None]]:
+    """Quotient adjacency over blocks, and the set of block ids."""
+    adj: dict[int | None, set[int | None]] = {}
+    ids: set[int | None] = set(block_of)
+    for b in ids:
+        adj[b] = set()
+    for (u, v) in comp.dag.edges:
+        bu, bv = block_of[u], block_of[v]
+        if bu != bv:
+            adj[bu].add(bv)
+    return adj, ids
+
+
+def quotient_is_acyclic(
+    comp: Computation, block_of: Sequence[int | None]
+) -> bool:
+    """True iff the block quotient graph is acyclic."""
+    adj, ids = _quotient(comp, block_of)
+    indeg: dict[int | None, int] = {b: 0 for b in ids}
+    for b, outs in adj.items():
+        for c in outs:
+            indeg[c] += 1
+    frontier = [b for b in ids if indeg[b] == 0]
+    seen = 0
+    while frontier:
+        b = frontier.pop()
+        seen += 1
+        for c in adj[b]:
+            indeg[c] -= 1
+            if indeg[c] == 0:
+                frontier.append(c)
+    return seen == len(ids)
+
+
+def location_blocks_admissible(
+    comp: Computation, loc: Location, row: Sequence[int | None]
+) -> bool:
+    """Decide whether ``row`` equals ``W_T(loc, ·)`` for some ``T ∈ TS(C)``.
+
+    ``row`` must already satisfy Definition 2 pointwise at ``loc`` (writes
+    observe themselves; observed nodes write ``loc``; no node precedes its
+    observed write) — :class:`~repro.core.observer.ObserverFunction`
+    guarantees this.  The decision is then purely the block condition
+    described in the module docstring, and runs in ``O(V + E)``.
+    """
+    fibers = fibers_of_row(row)
+    # Every write to loc must head its own fiber (sanity; implied by 2.3).
+    for w in comp.writers(loc):
+        if row[w] != w:
+            return False
+    block_of = list(row)
+    adj, _ids = _quotient(comp, block_of)
+    # Bottom fiber (if present) must have no in-edges.
+    if None in fibers:
+        for b, outs in adj.items():
+            if None in outs:
+                return False
+    return quotient_is_acyclic(comp, block_of)
+
+
+def block_witness_order(
+    comp: Computation, loc: Location, row: Sequence[int | None]
+) -> tuple[int, ...] | None:
+    """A topological sort ``T`` with ``W_T(loc, ·) == row``, or ``None``.
+
+    The certificate companion of :func:`location_blocks_admissible`: when
+    the blocks are admissible, produce the witnessing sort by ordering the
+    quotient (⊥ block first), then topologically sorting each block with
+    its write first.
+    """
+    if not location_blocks_admissible(comp, loc, row):
+        return None
+    fibers = fibers_of_row(row)
+    block_of = list(row)
+    adj, ids = _quotient(comp, block_of)
+    # Topological order of blocks, bottom block first when present.
+    indeg: dict[int | None, int] = {b: 0 for b in ids}
+    for b, outs in adj.items():
+        for c in outs:
+            indeg[c] += 1
+    frontier = [b for b in ids if indeg[b] == 0 and b is not None]
+    order_blocks: list[int | None] = []
+    if None in ids:
+        order_blocks.append(None)
+        for c in adj[None]:
+            indeg[c] -= 1
+        frontier = [b for b in ids if indeg[b] == 0 and b is not None]
+    while frontier:
+        b = frontier.pop()
+        order_blocks.append(b)
+        for c in adj[b]:
+            indeg[c] -= 1
+            if indeg[c] == 0:
+                frontier.append(c)
+    assert len(order_blocks) == len(ids), "acyclicity was checked above"
+
+    order: list[int] = []
+    for b in order_blocks:
+        members = list(bit_indices(fibers[b]))
+        # Kahn restricted to the block, preferring the write first.  The
+        # write has no in-block predecessors (condition 2.2), so starting
+        # with it is always legal.
+        member_set = set(members)
+        indeg_n = {
+            u: sum(1 for p in comp.dag.predecessors(u) if p in member_set)
+            for u in members
+        }
+        avail = [u for u in members if indeg_n[u] == 0]
+        if b is not None:
+            avail.sort(key=lambda u: (u != b))  # write first
+        sub_order: list[int] = []
+        while avail:
+            u = avail.pop(0)
+            sub_order.append(u)
+            for v in comp.dag.successors(u):
+                if v in member_set:
+                    indeg_n[v] -= 1
+                    if indeg_n[v] == 0:
+                        avail.append(v)
+        assert len(sub_order) == len(members), "block subgraph is acyclic"
+        order.extend(sub_order)
+    return tuple(order)

@@ -1,0 +1,243 @@
+"""The online consistency game — constructibility, operationally.
+
+Section 3 motivates constructibility with a story: an adversary reveals
+the computation one node at a time; an online algorithm must commit
+observer-function values as it goes; a model is constructible iff the
+algorithm can always avoid getting *stuck* (no valid value for the next
+node).  This module turns the story into an executable game:
+
+* :class:`OnlineGame` holds the revealed prefix and the committed
+  observer values.  :meth:`OnlineGame.reveal` adds a node (with its
+  chosen predecessors) and returns, per location, the values that keep
+  the pair inside the model; :meth:`OnlineGame.commit` picks them.
+* For a **constructible** model, *every* reachable position offers at
+  least one continuation — no adversary (choosing ops, edges, and even
+  forcing which legal values the algorithm commits) can ever stall the
+  game.  The test suite plays random adversarial games against SC, LC,
+  WN and WW and never sticks.
+* For NN (and NW) the game is losable: replaying Figure 4's script —
+  two concurrent writes, two cross-observing reads, then any non-write
+  final node — leaves :meth:`OnlineGame.reveal` with an empty candidate
+  set.  :func:`figure4_script` packages that adversary.
+
+The game also makes Theorem 12 tangible: by monotonicity it suffices
+that the *fully-connected* reveal (the augmented computation) always
+has a continuation, which is exactly what
+:func:`repro.models.constructibility.can_extend_to_augmentation` checks
+pair by pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.computation import Computation
+from repro.core.observer import ObserverFunction, candidate_values
+from repro.core.ops import Op, Location
+from repro.dag.digraph import Dag
+from repro.errors import ReproError
+from repro.models.base import MemoryModel
+
+__all__ = ["OnlineGame", "StuckError", "figure4_script", "play_script"]
+
+
+class StuckError(ReproError):
+    """Raised when a reveal admits no value — the online algorithm lost."""
+
+
+@dataclass(frozen=True)
+class _Reveal:
+    """One adversary move: an op and the predecessor set."""
+
+    op: Op
+    preds: tuple[int, ...]
+
+
+class OnlineGame:
+    """Incremental construction of a (computation, observer) pair.
+
+    The invariant after every :meth:`commit`: the committed pair is in
+    the model.  ``strict`` controls what :meth:`reveal` does when no
+    value works: raise :class:`StuckError` (default) or return the empty
+    candidate list.
+    """
+
+    def __init__(self, model: MemoryModel, strict: bool = True) -> None:
+        self.model = model
+        self.strict = strict
+        self._ops: list[Op] = []
+        self._edges: list[tuple[int, int]] = []
+        self._rows: dict[Location, list[int | None]] = {}
+        self._pending: tuple[Computation, dict[Location, list[int | None]]] | None = None
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of committed nodes."""
+        return len(self._ops)
+
+    def computation(self) -> Computation:
+        """The committed prefix as a computation."""
+        return Computation(Dag(len(self._ops), self._edges), self._ops)
+
+    def observer(self) -> ObserverFunction:
+        """The committed observer function."""
+        comp = self.computation()
+        return ObserverFunction(
+            comp,
+            {loc: tuple(row) for loc, row in self._rows.items()},
+            validate=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Moves
+    # ------------------------------------------------------------------
+
+    def reveal(
+        self, op: Op, preds: Iterable[int] = ()
+    ) -> dict[Location, list[int | None]] | None:
+        """Adversary move: the next node, with its direct predecessors.
+
+        Returns, per location, the values the algorithm may commit for
+        the new node such that the extended pair stays in the model
+        (the dict is empty when the computation touches no locations —
+        still a continuable position).  When *no* combination works the
+        game is lost: raises :class:`StuckError` if ``strict``, else
+        returns ``None``.
+        """
+        node = len(self._ops)
+        preds = tuple(sorted(set(preds)))
+        for p in preds:
+            if not (0 <= p < node):
+                raise ReproError(f"reveal: unknown predecessor {p}")
+        new_ops = self._ops + [op]
+        new_edges = self._edges + [(p, node) for p in preds]
+        comp = Computation(Dag(node + 1, new_edges), new_ops)
+        locs = sorted(
+            set(comp.locations) | set(self._rows), key=repr
+        )
+        # Enumerate joint candidates (per-location values for the new
+        # node) that keep the pair in the model.
+        from itertools import product
+
+        per_loc: list[list[int | None]] = [
+            candidate_values(comp, loc, node) for loc in locs
+        ]
+        valid: dict[Location, set[int | None]] = {loc: set() for loc in locs}
+        any_valid = False
+        for combo in product(*per_loc):
+            rows = {}
+            for i, loc in enumerate(locs):
+                base = self._rows.get(loc, [None] * node)
+                rows[loc] = tuple(base) + (combo[i],)
+            phi = ObserverFunction(comp, rows, validate=False)
+            if self.model.contains(comp, phi):
+                any_valid = True
+                for i, loc in enumerate(locs):
+                    valid[loc].add(combo[i])
+        if not any_valid:
+            if self.strict:
+                raise StuckError(
+                    f"no valid observer value for node {node} ({op!r}) — "
+                    f"the model {self.model.name!r} is stuck"
+                )
+            return None
+        self._pending = (
+            comp,
+            {loc: list(self._rows.get(loc, [None] * node)) for loc in locs},
+        )
+        return {
+            loc: sorted(vals, key=lambda v: (v is None, v))
+            for loc, vals in valid.items()
+        }
+
+    def commit(self, choice: dict[Location, int | None] | None = None) -> None:
+        """Algorithm move: fix the new node's observer values.
+
+        ``choice`` maps locations to values; omitted locations take the
+        first valid value found.  The combination must itself be valid
+        (checked); on success the node becomes part of the prefix.
+        """
+        if self._pending is None:
+            raise ReproError("commit without a pending reveal")
+        comp, base_rows = self._pending
+        node = comp.num_nodes - 1
+        locs = sorted(base_rows, key=repr)
+        from itertools import product
+
+        per_loc: list[list[int | None]] = []
+        for loc in locs:
+            if choice is not None and loc in choice:
+                per_loc.append([choice[loc]])
+            else:
+                per_loc.append(candidate_values(comp, loc, node))
+        for combo in product(*per_loc):
+            rows = {
+                loc: tuple(base_rows[loc]) + (combo[i],)
+                for i, loc in enumerate(locs)
+            }
+            try:
+                phi = ObserverFunction(comp, rows, validate=True)
+            except ReproError:
+                continue  # user-chosen value violates Definition 2
+            if self.model.contains(comp, phi):
+                self._ops = list(comp.ops)
+                self._edges = sorted(comp.dag.edges)
+                self._rows = {
+                    loc: list(rows[loc]) for loc in locs
+                }
+                self._pending = None
+                return
+        raise StuckError("commit: chosen values are not valid for the model")
+
+
+def figure4_script() -> list[_Reveal]:
+    """The adversary that defeats any online NN algorithm (Figure 4).
+
+    Two concurrent writes, a read after each observing the *other* write
+    (forced by the adversary exploiting the algorithm's freedom — in
+    this scripted version the values are forced because they are the
+    only ones making the game interesting; see the tests for the forcing
+    argument), then a final read following everything.
+    """
+    from repro.core.ops import R, W
+
+    return [
+        _Reveal(W("x"), ()),
+        _Reveal(W("x"), ()),
+        _Reveal(R("x"), (0,)),
+        _Reveal(R("x"), (1,)),
+        _Reveal(R("x"), (0, 1, 2, 3)),
+    ]
+
+
+def play_script(
+    model: MemoryModel,
+    script: Sequence[_Reveal],
+    choices: Sequence[dict[Location, int | None] | None] = (),
+) -> OnlineGame | None:
+    """Play a scripted adversary; return the finished game or ``None``
+    if the algorithm got stuck.
+
+    ``choices`` are adversary *preferences* for the committed values:
+    when the preferred value is among the legal candidates it is taken
+    (this is how the Figure-4 adversary steers NN into the trap); when
+    the model already forbids it — the mark of a constructible model
+    protecting itself — the first legal value is committed instead.
+    """
+    game = OnlineGame(model, strict=False)
+    for i, move in enumerate(script):
+        cands = game.reveal(move.op, move.preds)
+        if cands is None:
+            return None
+        choice = choices[i] if i < len(choices) else None
+        if choice is not None:
+            choice = {
+                loc: v for loc, v in choice.items() if v in cands.get(loc, [])
+            } or None
+        game.commit(choice)
+    return game

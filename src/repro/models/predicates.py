@@ -1,0 +1,73 @@
+"""The predicates parameterizing dag consistency (Section 5).
+
+Definition 20 is parameterized by a predicate ``Q(l, u, v, w)`` over a
+location and a precedence triple ``u ≺ v ≺ w``.  The paper's four named
+predicates depend only on whether ``u`` and ``v`` write ``l`` ("W" for
+"write", "N" for "do not care"):
+
+========  ======================================  ==========================
+name      predicate                               resulting model
+========  ======================================  ==========================
+``NN``    ``true``                                strongest dag consistency
+``NW``    ``op(v) = W(l)``                        middle node must write
+``WN``    ``op(u) = W(l)``                        source node must write
+``WW``    ``op(u) = W(l) ∧ op(v) = W(l)``         original [BFJ+96b] model
+========  ======================================  ==========================
+
+Note the direction: *strengthening Q weakens the model*, because the
+consistency condition 20.1 is only required where Q holds.
+
+Predicates here take the computation explicitly (to look up ops) and
+receive ``u`` as ``None`` when ``u = ⊥`` (``v`` and ``w`` can never be
+``⊥`` inside a triple ``u ≺ v ≺ w``, since nothing precedes ``⊥``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.computation import Computation
+from repro.core.ops import Location
+
+__all__ = ["Predicate", "nn_predicate", "nw_predicate", "wn_predicate", "ww_predicate"]
+
+Predicate = Callable[[Computation, Location, "int | None", int, int], bool]
+"""Signature of a dag-consistency predicate ``Q(C, l, u, v, w)``.
+
+``u`` may be ``None`` (the paper's ``⊥``); ``v`` and ``w`` are node ids.
+"""
+
+
+def nn_predicate(
+    comp: Computation, loc: Location, u: int | None, v: int, w: int
+) -> bool:
+    """``Q ≡ true``: condition 20.1 applies to every triple."""
+    return True
+
+
+def nw_predicate(
+    comp: Computation, loc: Location, u: int | None, v: int, w: int
+) -> bool:
+    """``Q ≡ op(v) = W(l)``: only triples whose middle node writes ``l``."""
+    return comp.op(v).writes(loc)
+
+
+def wn_predicate(
+    comp: Computation, loc: Location, u: int | None, v: int, w: int
+) -> bool:
+    """``Q ≡ op(u) = W(l)``: only triples whose source writes ``l``.
+
+    ``u = ⊥`` is not a write, so the condition never applies there.
+    """
+    return u is not None and comp.op(u).writes(loc)
+
+
+def ww_predicate(
+    comp: Computation, loc: Location, u: int | None, v: int, w: int
+) -> bool:
+    """``Q ≡ op(u) = W(l) ∧ op(v) = W(l)`` (the original dag consistency)."""
+    return (
+        u is not None
+        and comp.op(u).writes(loc)
+        and comp.op(v).writes(loc)
+    )

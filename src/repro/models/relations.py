@@ -1,0 +1,185 @@
+"""Empirical model relations: inclusion, separation, completeness,
+monotonicity (Definitions 4–5 and the Figure 1 lattice).
+
+These checks are necessarily *bounded*: a membership oracle cannot decide
+``Δ ⊆ Δ'`` over all computations.  Inclusions verified on a universe are
+certificates for the bounded fragment; separations (witnesses) are full
+proofs of non-inclusion.  The Figure 1 benchmark combines both: every
+strict edge of the lattice needs an inclusion sweep *and* a witness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.computation import Computation
+from repro.core.observer import ObserverFunction
+from repro.models.base import MemoryModel
+from repro.models.universe import Universe
+
+__all__ = [
+    "SeparationWitness",
+    "is_stronger_on",
+    "separating_witness",
+    "inclusion_matrix",
+    "is_complete_on",
+    "is_monotonic_on",
+    "shrink_witness",
+]
+
+
+@dataclass(frozen=True)
+class SeparationWitness:
+    """A pair proving ``weaker ⊄ stronger``: it is in ``in_model`` only.
+
+    ``(comp, phi) ∈ in_model`` but ``∉ not_in_model`` — i.e. a behaviour
+    the first model allows and the second forbids.
+    """
+
+    comp: Computation
+    phi: ObserverFunction
+    in_model: str
+    not_in_model: str
+
+
+def is_stronger_on(
+    a: MemoryModel, b: MemoryModel, universe: Universe
+) -> SeparationWitness | None:
+    """Check ``a ⊆ b`` ("a is stronger than b", Definition 4) on a universe.
+
+    Returns ``None`` when every pair of ``a`` in the universe is also in
+    ``b``; otherwise the first counterexample (a certificate that ``a`` is
+    *not* stronger than ``b``).
+    """
+    for comp, phi in universe.pairs():
+        if a.contains(comp, phi) and not b.contains(comp, phi):
+            return SeparationWitness(comp, phi, a.name, b.name)
+    return None
+
+
+def separating_witness(
+    a: MemoryModel, b: MemoryModel, universe: Universe
+) -> SeparationWitness | None:
+    """A pair in ``b`` but not in ``a`` (proving the inclusion ``a ⊇ b``
+    fails, i.e. that ``b`` is strictly weaker if ``a ⊆ b`` also holds).
+
+    Enumeration is smallest-computation-first, so the returned witness is
+    minimal in node count (the library's analogue of the paper's Figures
+    2–4, which are all minimal or near-minimal examples).
+    """
+    for comp, phi in universe.pairs():
+        if b.contains(comp, phi) and not a.contains(comp, phi):
+            return SeparationWitness(comp, phi, b.name, a.name)
+    return None
+
+
+def inclusion_matrix(
+    models: Sequence[MemoryModel], universe: Universe
+) -> dict[tuple[str, str], bool]:
+    """For every ordered pair, whether ``models[i] ⊆ models[j]`` holds on
+    the universe.  A single enumeration pass evaluates all models per
+    pair, so the cost is ``|pairs| × |models|`` membership tests."""
+    names = [m.name for m in models]
+    included: dict[tuple[str, str], bool] = {
+        (x, y): True for x in names for y in names
+    }
+    for comp, phi in universe.pairs():
+        verdicts = [m.contains(comp, phi) for m in models]
+        for i, x in enumerate(names):
+            if not verdicts[i]:
+                continue
+            for j, y in enumerate(names):
+                if not verdicts[j]:
+                    included[(x, y)] = False
+    return included
+
+
+def is_complete_on(
+    model: MemoryModel, computations: Iterable[Computation]
+) -> Computation | None:
+    """Completeness check: every computation admits some observer function.
+
+    Returns the first computation with no member observer function, or
+    ``None`` when the model is complete on the given family.
+    """
+    for comp in computations:
+        if not model.admits(comp):
+            return comp
+    return None
+
+
+def is_monotonic_on(
+    model: MemoryModel, universe: Universe
+) -> tuple[Computation, ObserverFunction, Computation] | None:
+    """Monotonicity check (Definition 5) on a bounded universe.
+
+    For every member pair and every relaxation of its computation, the
+    pair (with the same Φ) must stay in the model.  Returns the first
+    violating ``(comp, phi, relaxation)`` triple, or ``None``.
+
+    Note relaxations of an ordered-dag computation are ordered-dag
+    computations, so the check stays inside the universe's closure.
+    """
+    for comp, phi in universe.model_pairs(model):
+        for relaxed in comp.relaxations():
+            if relaxed == comp:
+                continue
+            phi_rel = ObserverFunction(
+                relaxed,
+                {loc: phi.row(loc) for loc in phi.locations},
+                validate=False,
+            )
+            if not model.contains(relaxed, phi_rel):
+                return comp, phi, relaxed
+    return None
+
+
+def shrink_witness(
+    a: MemoryModel, b: MemoryModel, witness: SeparationWitness
+) -> SeparationWitness:
+    """Greedily shrink a separation witness (in ``b``, not in ``a``).
+
+    Tries removing sink nodes and dropping observer rows' computation
+    edges while the separation persists, yielding a smaller, more
+    readable example.  Removal keeps node sets prefix-closed so observer
+    restriction stays valid.
+    """
+    comp, phi = witness.comp, witness.phi
+
+    def separated(c: Computation, p: ObserverFunction) -> bool:
+        return b.contains(c, p) and not a.contains(c, p)
+
+    changed = True
+    while changed:
+        changed = False
+        # Try dropping any node whose removal keeps a downset (i.e. sinks).
+        n = comp.num_nodes
+        for u in range(n):
+            if comp.dag.successor_mask(u):
+                continue
+            mask = ((1 << n) - 1) & ~(1 << u)
+            sub, old_ids = comp.restrict(mask)
+            try:
+                sub_phi = phi.relabel(sub, old_ids)
+            except Exception:
+                continue
+            if separated(sub, sub_phi):
+                comp, phi = sub, sub_phi
+                changed = True
+                break
+        if changed:
+            continue
+        # Try dropping an edge (relaxation).
+        for edge in sorted(comp.dag.edges):
+            relaxed = comp.relax([edge])
+            phi_rel = ObserverFunction(
+                relaxed,
+                {loc: phi.row(loc) for loc in phi.locations},
+                validate=False,
+            )
+            if separated(relaxed, phi_rel):
+                comp, phi = relaxed, phi_rel
+                changed = True
+                break
+    return SeparationWitness(comp, phi, witness.in_model, witness.not_in_model)

@@ -1,0 +1,183 @@
+"""Bounded enumeration universes of computations and observer functions.
+
+The paper's theorems quantify over *all* computations.  To check them
+mechanically we enumerate every computation up to a size bound — every
+dag shape (node ids in topological order, which covers every isomorphism
+class; see :mod:`repro.dag.enumerate`) crossed with every op labelling —
+and, per computation, every valid observer function.
+
+A :class:`Universe` fixes the location set and the op alphabet and
+provides iteration, counting and per-model pair extraction.  Sizes grow
+fast (dags ``2^(n choose 2)``, labellings ``|O|^n``, observers up to
+``(writes+1)^(n·|L|)``), so the intended range is ``n ≤ 5`` with one
+location or ``n ≤ 3``–``4`` with two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Iterable, Iterator
+
+from repro.core.computation import Computation
+from repro.core.observer import ObserverFunction, count_observer_functions
+from repro.core.ops import N, Op, R, W, Location
+from repro.dag.enumerate import ordered_dags
+from repro.errors import UniverseError
+from repro.models.base import MemoryModel
+
+__all__ = ["Universe", "default_alphabet", "sample_computation", "sample_pair"]
+
+
+def default_alphabet(
+    locations: Iterable[Location], include_nop: bool = True
+) -> tuple[Op, ...]:
+    """The paper's instruction set ``O`` for a finite location set."""
+    ops: list[Op] = []
+    for loc in locations:
+        ops.append(R(loc))
+        ops.append(W(loc))
+    if include_nop:
+        ops.append(N)
+    return tuple(ops)
+
+
+@dataclass(frozen=True)
+class Universe:
+    """All computations on at most ``max_nodes`` nodes over ``locations``.
+
+    Parameters
+    ----------
+    max_nodes:
+        Inclusive bound on computation size.
+    locations:
+        The finite location set ``L``.
+    include_nop:
+        Whether the alphabet includes the no-op ``N`` (the paper's ``O``
+        always does; excluding it shrinks universes for expensive
+        experiments — noted wherever a benchmark does so).
+    """
+
+    max_nodes: int
+    locations: tuple[Location, ...] = ("x",)
+    include_nop: bool = True
+    _alphabet: tuple[Op, ...] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "_alphabet",
+            default_alphabet(self.locations, self.include_nop),
+        )
+
+    @property
+    def alphabet(self) -> tuple[Op, ...]:
+        """The instruction alphabet ``O``."""
+        return self._alphabet
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+
+    def computations_of_size(self, n: int) -> Iterator[Computation]:
+        """Every computation with exactly ``n`` nodes (ordered-dag ids)."""
+        if n < 0 or n > self.max_nodes:
+            raise UniverseError(
+                f"size {n} outside universe bound {self.max_nodes}"
+            )
+        for dag in ordered_dags(n):
+            for ops in product(self._alphabet, repeat=n):
+                yield Computation(dag, ops)
+
+    def computations(self) -> Iterator[Computation]:
+        """Every computation of size ``0 .. max_nodes``, smallest first."""
+        for n in range(self.max_nodes + 1):
+            yield from self.computations_of_size(n)
+
+    def observers(self, comp: Computation) -> Iterator[ObserverFunction]:
+        """Every valid observer function for ``comp`` over this universe's
+        locations (restricted to the computation's own locations — other
+        rows are forced all-⊥ and carry no information)."""
+        return ObserverFunction.enumerate_all(comp)
+
+    def pairs(
+        self, n: int | None = None
+    ) -> Iterator[tuple[Computation, ObserverFunction]]:
+        """Every (computation, observer) pair, optionally at one size."""
+        comps = (
+            self.computations() if n is None else self.computations_of_size(n)
+        )
+        for comp in comps:
+            for phi in self.observers(comp):
+                yield comp, phi
+
+    def model_pairs(
+        self, model: MemoryModel, n: int | None = None
+    ) -> Iterator[tuple[Computation, ObserverFunction]]:
+        """The pairs of ``model`` within this universe."""
+        for comp, phi in self.pairs(n):
+            if model.contains(comp, phi):
+                yield comp, phi
+
+    # ------------------------------------------------------------------
+    # Counting (for reports; avoids materializing pairs)
+    # ------------------------------------------------------------------
+
+    def count_computations(self, n: int) -> int:
+        """Number of computations of size ``n`` (dags × labellings)."""
+        from math import comb
+
+        return (2 ** comb(n, 2)) * (len(self._alphabet) ** n)
+
+    def count_pairs(self, n: int) -> int:
+        """Number of (computation, observer) pairs of size ``n``."""
+        return sum(
+            count_observer_functions(comp)
+            for comp in self.computations_of_size(n)
+        )
+
+
+def sample_computation(
+    rng, max_nodes: int, locations=("x",), include_nop: bool = True,
+    edge_probability: float = 0.4,
+):
+    """One random computation, uniform size in ``[0, max_nodes]``.
+
+    For statistical sweeps at sizes beyond exhaustive reach.  Uses a
+    G(n, p)-style dag (edges respect id order) and uniform op labels.
+    """
+    from repro.core.computation import Computation
+    from repro.dag.digraph import Dag
+
+    alphabet = default_alphabet(locations, include_nop)
+    n = rng.randint(0, max_nodes)
+    edges = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if rng.random() < edge_probability
+    ]
+    ops = [rng.choice(alphabet) for _ in range(n)]
+    return Computation(Dag(n, edges), ops)
+
+
+def sample_pair(
+    rng, max_nodes: int, locations=("x",), include_nop: bool = True,
+    edge_probability: float = 0.4,
+):
+    """One random (computation, valid observer function) pair.
+
+    Observer values drawn uniformly from Definition 2's pointwise
+    candidates, so every sample is valid by construction.
+    """
+    from repro.core.observer import ObserverFunction, candidate_values
+
+    comp = sample_computation(
+        rng, max_nodes, locations, include_nop, edge_probability
+    )
+    mapping = {}
+    for loc in comp.locations:
+        mapping[loc] = tuple(
+            rng.choice(candidate_values(comp, loc, u)) for u in comp.nodes()
+        )
+    return comp, ObserverFunction(comp, mapping, validate=False)

@@ -1,0 +1,48 @@
+"""Execution substrate: schedulers, memories, the BACKER protocol.
+
+The paper separates a computation from its schedule; this subpackage
+supplies the schedules (greedy and Cilk-style work stealing) and the
+memory systems (a serialized SC memory and the BACKER distributed-cache
+protocol, with optional fault injection), plus the discrete-event
+executor tying them together into verifiable traces.
+"""
+
+from repro.runtime.backer import BackerMemory, BackerStats
+from repro.runtime.directory import DirectoryMemory, DirectoryStats
+from repro.runtime.executor import execute
+from repro.runtime.paged_backer import PagedBackerMemory, PagedStats, modulo_pager
+from repro.runtime.memory_base import MemorySystem, SerialMemory
+from repro.runtime.replay import ReadDivergence, ReplayResult, replay
+from repro.runtime.timed import TimedExecution, simulate_timed
+from repro.runtime.scheduler import (
+    Schedule,
+    greedy_schedule,
+    serial_schedule,
+    work_stealing_schedule,
+)
+from repro.runtime.trace import ExecutionTrace, PartialObserver, ReadEvent
+
+__all__ = [
+    "Schedule",
+    "greedy_schedule",
+    "work_stealing_schedule",
+    "serial_schedule",
+    "MemorySystem",
+    "SerialMemory",
+    "BackerMemory",
+    "BackerStats",
+    "DirectoryMemory",
+    "DirectoryStats",
+    "PagedBackerMemory",
+    "PagedStats",
+    "modulo_pager",
+    "replay",
+    "ReplayResult",
+    "ReadDivergence",
+    "execute",
+    "simulate_timed",
+    "TimedExecution",
+    "ExecutionTrace",
+    "PartialObserver",
+    "ReadEvent",
+]

@@ -1,0 +1,169 @@
+"""The BACKER coherence algorithm (Blumofe et al. 1996; Luchangco 1997).
+
+BACKER is the algorithm the Cilk system used to maintain dag consistency
+on distributed caches, and the concrete motivation of the paper: the
+companion result [Luc97] cited in Section 7 proves BACKER actually
+maintains *location consistency*, which Theorem 23 then identifies as
+NN*.  Our simulation reproduces the protocol's three primitives over a
+backing store and per-processor caches:
+
+* **fetch** — copy a location from the backing store into a cache
+  (performed implicitly on a cache miss);
+* **reconcile** — write a dirty cached value back to the backing store,
+  marking it clean;
+* **flush** — reconcile then evict the whole cache.
+
+Protocol discipline (the Cilk steal/sync rule, expressed on dag edges):
+when an edge ``(u, v)`` crosses processors, ``u``'s processor reconciles
+its cache when ``u`` completes, and ``v``'s processor flushes its cache
+before ``v`` starts.  The executor reports exactly these events via the
+``node_completed`` / ``node_starting`` hooks.
+
+:class:`BackerMemory` also supports *fault injection* — independently
+dropping reconcile or flush events with given probabilities — to produce
+protocol-violating executions whose traces the post-mortem verifier
+(:mod:`repro.verify`) then correctly rejects.  This closes the loop on
+the paper's motivating use case: checking whether a memory implements a
+model by checking its behaviour after execution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.ops import Location
+from repro.dag.random_dags import as_rng
+from repro.runtime.memory_base import MemorySystem
+
+__all__ = ["BackerMemory", "BackerStats"]
+
+
+@dataclass
+class BackerStats:
+    """Protocol event counters for one execution.
+
+    ``reconciles``/``flushes`` count protocol *events* (one per hook);
+    ``writebacks`` counts the dirty *lines* actually transferred to the
+    backing store, which together with ``fetches`` gives the
+    communication volume comparable across protocols.
+    """
+
+    fetches: int = 0
+    reconciles: int = 0
+    flushes: int = 0
+    writebacks: int = 0
+    cache_hits: int = 0
+    dropped_reconciles: int = 0
+    dropped_flushes: int = 0
+
+    @property
+    def messages(self) -> int:
+        """Total lines moved between caches and the backing store."""
+        return self.fetches + self.writebacks
+
+
+class BackerMemory(MemorySystem):
+    """Per-processor caches over a backing store, with the BACKER protocol.
+
+    Parameters
+    ----------
+    drop_reconcile_probability / drop_flush_probability:
+        Fault-injection rates in ``[0, 1]``; ``0`` (default) is the
+        faithful protocol (which provably maintains LC), anything higher
+        yields executions that may violate LC.
+    spontaneous_reconcile_probability:
+        Probability of an *extra* reconcile of a processor's cache after
+        any node it executes.  Real BACKER may reconcile at any time
+        (e.g. on capacity evictions); extra reconciles never endanger LC
+        but make weak behaviours such as IRIW reader disagreement
+        reachable in simulation.
+    rng:
+        Seed or ``random.Random`` for fault injection decisions.
+    """
+
+    name = "backer"
+
+    def __init__(
+        self,
+        drop_reconcile_probability: float = 0.0,
+        drop_flush_probability: float = 0.0,
+        spontaneous_reconcile_probability: float = 0.0,
+        rng: random.Random | int | None = None,
+    ) -> None:
+        if not (0.0 <= drop_reconcile_probability <= 1.0):
+            raise ValueError("drop_reconcile_probability must be in [0, 1]")
+        if not (0.0 <= drop_flush_probability <= 1.0):
+            raise ValueError("drop_flush_probability must be in [0, 1]")
+        if not (0.0 <= spontaneous_reconcile_probability <= 1.0):
+            raise ValueError("spontaneous_reconcile_probability must be in [0, 1]")
+        self.drop_reconcile_probability = drop_reconcile_probability
+        self.drop_flush_probability = drop_flush_probability
+        self.spontaneous_reconcile_probability = spontaneous_reconcile_probability
+        self._rng = as_rng(rng)
+        self._main: dict[Location, int] = {}
+        self._caches: list[dict[Location, tuple[int | None, bool]]] = []
+        self.stats = BackerStats()
+
+    # ------------------------------------------------------------------
+    # Protocol primitives
+    # ------------------------------------------------------------------
+
+    def _reconcile_all(self, proc: int) -> None:
+        """Write back every dirty line of ``proc``'s cache."""
+        self.stats.reconciles += 1
+        cache = self._caches[proc]
+        for loc, (value, dirty) in list(cache.items()):
+            if dirty:
+                assert value is not None, "dirty lines always hold a write"
+                self._main[loc] = value
+                cache[loc] = (value, False)
+                self.stats.writebacks += 1
+
+    def _flush_all(self, proc: int) -> None:
+        """Reconcile then evict ``proc``'s entire cache."""
+        self._reconcile_all(proc)
+        self.stats.flushes += 1
+        self._caches[proc].clear()
+
+    # ------------------------------------------------------------------
+    # MemorySystem interface
+    # ------------------------------------------------------------------
+
+    def attach(self, num_procs: int) -> None:
+        self._main = {}
+        self._caches = [dict() for _ in range(num_procs)]
+        self.stats = BackerStats()
+
+    def read(self, proc: int, node: int, loc: Location) -> int | None:
+        cache = self._caches[proc]
+        if loc in cache:
+            self.stats.cache_hits += 1
+            return cache[loc][0]
+        self.stats.fetches += 1
+        value = self._main.get(loc)
+        cache[loc] = (value, False)
+        return value
+
+    def write(self, proc: int, node: int, loc: Location) -> None:
+        self._caches[proc][loc] = (node, True)
+
+    def node_starting(self, proc: int, node: int, cross_pred: bool) -> None:
+        if not cross_pred:
+            return
+        if self._rng.random() < self.drop_flush_probability:
+            self.stats.dropped_flushes += 1
+            return
+        self._flush_all(proc)
+
+    def node_completed(self, proc: int, node: int, cross_succ: bool) -> None:
+        if cross_succ:
+            if self._rng.random() < self.drop_reconcile_probability:
+                self.stats.dropped_reconciles += 1
+            else:
+                self._reconcile_all(proc)
+        elif (
+            self.spontaneous_reconcile_probability > 0.0
+            and self._rng.random() < self.spontaneous_reconcile_probability
+        ):
+            self._reconcile_all(proc)

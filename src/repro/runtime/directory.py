@@ -1,0 +1,121 @@
+"""An eager directory-based (MSI) coherence protocol.
+
+Section 7 of the paper asks whether algorithms cheaper than BACKER can
+implement models weaker than LC.  The flip side — what does it cost to
+maintain a *stronger* model? — is answered by classical eagerly-coherent
+protocols: write-invalidate directory schemes keep every cached copy
+consistent at all times, paying coherence traffic on *every* conflicting
+access instead of only at dag edges.
+
+:class:`DirectoryMemory` simulates a textbook MSI protocol:
+
+* a directory per location tracks the set of sharers and the exclusive
+  owner (if any);
+* a **read** miss fetches the line (forcing a writeback if some other
+  processor holds it modified) and joins the sharers;
+* a **write** gains exclusive ownership, invalidating every other copy
+  (one invalidation message per copy).
+
+Because each access observes the globally latest write the executor has
+performed, every trace is sequentially consistent — the strongest model
+in the zoo — and the protocol-comparison benchmark quantifies what that
+strength costs relative to BACKER's lazy, LC-only discipline: the
+coherence-message counts are the *shape* the dag-consistency line of
+work [BFJ+96a/b] used to argue for weaker models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ops import Location
+from repro.runtime.memory_base import MemorySystem
+
+__all__ = ["DirectoryMemory", "DirectoryStats"]
+
+
+@dataclass
+class DirectoryStats:
+    """Protocol message counters for one execution."""
+
+    fetches: int = 0
+    invalidations: int = 0
+    writebacks: int = 0
+    cache_hits: int = 0
+
+    @property
+    def messages(self) -> int:
+        """Total coherence messages (everything except local hits)."""
+        return self.fetches + self.invalidations + self.writebacks
+
+
+class DirectoryMemory(MemorySystem):
+    """Write-invalidate MSI directory protocol (maintains SC)."""
+
+    name = "directory"
+
+    #: MSI states for cached lines.
+    _SHARED = "S"
+    _MODIFIED = "M"
+
+    def __init__(self) -> None:
+        self._main: dict[Location, int] = {}
+        self._caches: list[dict[Location, tuple[int | None, str]]] = []
+        self._sharers: dict[Location, set[int]] = {}
+        self._owner: dict[Location, int | None] = {}
+        self.stats = DirectoryStats()
+
+    def attach(self, num_procs: int) -> None:
+        self._main = {}
+        self._caches = [dict() for _ in range(num_procs)]
+        self._sharers = {}
+        self._owner = {}
+        self.stats = DirectoryStats()
+
+    # ------------------------------------------------------------------
+    # Protocol actions
+    # ------------------------------------------------------------------
+
+    def _writeback_owner(self, loc: Location) -> None:
+        """Downgrade the exclusive owner (if any) to shared, flushing its
+        value to the backing store."""
+        owner = self._owner.get(loc)
+        if owner is None:
+            return
+        value, state = self._caches[owner][loc]
+        assert state == self._MODIFIED
+        assert value is not None, "modified lines always hold a write"
+        self._main[loc] = value
+        self._caches[owner][loc] = (value, self._SHARED)
+        self._owner[loc] = None
+        self.stats.writebacks += 1
+
+    # ------------------------------------------------------------------
+    # MemorySystem interface
+    # ------------------------------------------------------------------
+
+    def read(self, proc: int, node: int, loc: Location) -> int | None:
+        cache = self._caches[proc]
+        if loc in cache:
+            self.stats.cache_hits += 1
+            return cache[loc][0]
+        # Miss: if somebody holds it modified, they write back first.
+        self._writeback_owner(loc)
+        value = self._main.get(loc)
+        cache[loc] = (value, self._SHARED)
+        self._sharers.setdefault(loc, set()).add(proc)
+        self.stats.fetches += 1
+        return value
+
+    def write(self, proc: int, node: int, loc: Location) -> None:
+        # Gain exclusivity: write back a foreign owner, invalidate sharers.
+        if self._owner.get(loc) not in (None, proc):
+            self._writeback_owner(loc)
+        for p in list(self._sharers.get(loc, ())):
+            if p != proc:
+                self._caches[p].pop(loc, None)
+                self._sharers[loc].discard(p)
+                self.stats.invalidations += 1
+        self._caches[proc][loc] = (node, self._MODIFIED)
+        self._sharers.setdefault(loc, set()).add(proc)
+        self._owner[loc] = proc

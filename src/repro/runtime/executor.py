@@ -1,0 +1,54 @@
+"""The discrete-event executor: (computation, schedule, memory) → trace.
+
+Nodes run in global time order (same-step nodes serialized by processor
+id — legal because unit-time nodes sharing a step are dag-incomparable,
+which :class:`~repro.runtime.scheduler.Schedule` validation guarantees).
+Around each node the executor fires the coherence hooks that the BACKER
+protocol consumes:
+
+* before a node with a cross-processor predecessor: ``node_starting``
+  with ``cross_pred=True`` (BACKER: flush the consumer's cache);
+* after a node with a cross-processor successor: ``node_completed`` with
+  ``cross_succ=True`` (BACKER: reconcile the producer's cache).
+
+The trace records, for every read, the writer node id the memory
+returned — see :mod:`repro.runtime.trace`.
+"""
+
+from __future__ import annotations
+
+from repro.core.computation import Computation
+from repro.runtime.memory_base import MemorySystem
+from repro.runtime.scheduler import Schedule
+from repro.runtime.trace import ExecutionTrace, ReadEvent
+
+__all__ = ["execute"]
+
+
+def execute(schedule: Schedule, memory: MemorySystem) -> ExecutionTrace:
+    """Run a schedule against a memory system and collect the trace."""
+    comp: Computation = schedule.comp
+    memory.attach(schedule.num_procs)
+    trace = ExecutionTrace(comp, schedule, memory.name)
+    proc_of = schedule.proc_of
+
+    cross_pred = [
+        any(proc_of[u] != proc_of[v] for u in comp.dag.predecessors(v))
+        for v in comp.nodes()
+    ]
+    cross_succ = [
+        any(proc_of[u] != proc_of[v] for v in comp.dag.successors(u))
+        for u in comp.nodes()
+    ]
+
+    for u in schedule.execution_order():
+        p = proc_of[u]
+        memory.node_starting(p, u, cross_pred[u])
+        op = comp.op(u)
+        if op.is_read:
+            observed = memory.read(p, u, op.loc)
+            trace.reads.append(ReadEvent(u, op.loc, observed))
+        elif op.is_write:
+            memory.write(p, u, op.loc)
+        memory.node_completed(p, u, cross_succ[u])
+    return trace

@@ -1,0 +1,76 @@
+"""The memory-system interface driven by the executor.
+
+A memory system answers reads and accepts writes from simulated
+processors, and receives coherence hooks when execution crosses
+processor boundaries.  **Values are writer node ids**: a write by node
+``u`` stores the value ``u``, so every read directly names the write it
+observed — the executor's trace is therefore a partial observer function
+by construction, with no value-ambiguity (two writes never store the
+same value).
+
+Hooks
+-----
+``node_starting(proc, node, cross_pred)`` fires before a node executes;
+``cross_pred`` is true when some direct dag predecessor ran on a
+different processor.  ``node_completed(proc, node, cross_succ)`` fires
+after; ``cross_succ`` is true when some direct successor is scheduled
+elsewhere.  These are exactly the points where the BACKER protocol
+reconciles and flushes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.ops import Location
+
+__all__ = ["MemorySystem", "SerialMemory"]
+
+
+class MemorySystem(ABC):
+    """Abstract simulated memory."""
+
+    name: str = "memory"
+
+    @abstractmethod
+    def attach(self, num_procs: int) -> None:
+        """Reset state for an execution on ``num_procs`` processors."""
+
+    @abstractmethod
+    def read(self, proc: int, node: int, loc: Location) -> int | None:
+        """Return the writer node id observed at ``loc`` (``None`` = ⊥)."""
+
+    @abstractmethod
+    def write(self, proc: int, node: int, loc: Location) -> None:
+        """Perform node's write to ``loc`` (the stored value is ``node``)."""
+
+    def node_starting(self, proc: int, node: int, cross_pred: bool) -> None:
+        """Coherence hook before a node executes (default: no-op)."""
+
+    def node_completed(self, proc: int, node: int, cross_succ: bool) -> None:
+        """Coherence hook after a node executes (default: no-op)."""
+
+
+class SerialMemory(MemorySystem):
+    """One globally serialized store: the strongest (SC) memory.
+
+    Every operation hits a single shared map in execution order, so each
+    read observes the globally most recent write — the execution order
+    itself is the witnessing topological sort, making every trace
+    sequentially consistent by construction (the test suite checks this
+    via the SC trace verifier).
+    """
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        self._main: dict[Location, int] = {}
+
+    def attach(self, num_procs: int) -> None:
+        self._main = {}
+
+    def read(self, proc: int, node: int, loc: Location) -> int | None:
+        return self._main.get(loc)
+
+    def write(self, proc: int, node: int, loc: Location) -> None:
+        self._main[loc] = node

@@ -1,0 +1,176 @@
+"""Page-granular BACKER: false sharing, and the diff-based fix.
+
+The real BACKER moved whole *pages* between caches and the backing
+store, not single locations.  Coarse granularity introduces the classic
+**false-sharing hazard**: two processors write different locations that
+share a page; whichever reconciles *last* writes back its entire page
+copy — including its stale view of the other location — silently
+destroying the other processor's update.  The resulting execution can
+violate location consistency, and our post-mortem verifier catches it
+(that demonstration is a benchmark, not a bug).
+
+The production fix is *diff-based reconciliation* (as in TreadMarks-
+style DSM, and as the Cilk runtime effectively obtained by restricting
+programs): on fetch, keep a **twin** of the page; on reconcile, write
+back only the words that differ from the twin.  Concurrent writers to
+disjoint locations then merge instead of clobbering, and LC holds again.
+
+:class:`PagedBackerMemory` implements both modes:
+
+* ``reconcile_mode="clobber"`` — whole-page writeback (the hazard);
+* ``reconcile_mode="diff"`` — twin/diff writeback (the fix).
+
+Pages are defined by a ``page_of`` function mapping locations to page
+ids; the default maps every location to its own page, which makes the
+memory behave exactly like :class:`~repro.runtime.backer.BackerMemory`
+(a property the tests check).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from repro.core.ops import Location
+from repro.dag.random_dags import as_rng
+from repro.runtime.memory_base import MemorySystem
+
+__all__ = ["PagedBackerMemory", "PagedStats", "modulo_pager"]
+
+PageId = Hashable
+
+
+def modulo_pager(num_pages: int) -> Callable[[Location], PageId]:
+    """A pager hashing locations onto ``num_pages`` pages.
+
+    Deterministic across runs (uses ``hash`` of the repr, not the salted
+    builtin object hash, for stable experiment layouts).
+    """
+
+    def page_of(loc: Location) -> PageId:
+        import zlib
+
+        return zlib.crc32(repr(loc).encode()) % num_pages
+
+    return page_of
+
+
+@dataclass
+class PagedStats:
+    """Transfer counters for one execution (units: whole pages)."""
+
+    page_fetches: int = 0
+    page_writebacks: int = 0
+    diffed_words: int = 0
+    clobbered_words: int = 0
+    cache_hits: int = 0
+
+    @property
+    def fetches(self) -> int:
+        """Alias so the timed simulator prices page fetches like lines."""
+        return self.page_fetches
+
+    @property
+    def writebacks(self) -> int:
+        """Alias so the timed simulator prices page writebacks like lines."""
+        return self.page_writebacks
+
+
+class PagedBackerMemory(MemorySystem):
+    """BACKER over pages, with clobber or diff reconciliation."""
+
+    def __init__(
+        self,
+        page_of: Callable[[Location], PageId] | None = None,
+        reconcile_mode: str = "diff",
+        rng: random.Random | int | None = None,
+    ) -> None:
+        if reconcile_mode not in ("diff", "clobber"):
+            raise ValueError(f"unknown reconcile_mode {reconcile_mode!r}")
+        self.page_of = page_of or (lambda loc: ("page", repr(loc)))
+        self.reconcile_mode = reconcile_mode
+        self._rng = as_rng(rng)
+        # Backing store: page -> {loc: writer id}.
+        self._main: dict[PageId, dict[Location, int]] = {}
+        # Caches: per proc, page -> (copy, twin, dirty flag).  The copy
+        # and twin are {loc: writer id} snapshots.
+        self._caches: list[
+            dict[PageId, tuple[dict[Location, int], dict[Location, int], bool]]
+        ] = []
+        self.stats = PagedStats()
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"paged-backer[{self.reconcile_mode}]"
+
+    def attach(self, num_procs: int) -> None:
+        self._main = {}
+        self._caches = [dict() for _ in range(num_procs)]
+        self.stats = PagedStats()
+
+    # ------------------------------------------------------------------
+    # Page movement
+    # ------------------------------------------------------------------
+
+    def _fetch(self, proc: int, page: PageId) -> dict[Location, int]:
+        cache = self._caches[proc]
+        entry = cache.get(page)
+        if entry is not None:
+            self.stats.cache_hits += 1
+            return entry[0]
+        self.stats.page_fetches += 1
+        copy = dict(self._main.get(page, {}))
+        twin = dict(copy)
+        cache[page] = (copy, twin, False)
+        return copy
+
+    def _reconcile_page(self, page: PageId, copy, twin) -> None:
+        main = self._main.setdefault(page, {})
+        if self.reconcile_mode == "clobber":
+            # Whole-page writeback: stale words overwrite main.
+            self.stats.clobbered_words += len(copy)
+            main.clear()
+            main.update(copy)
+        else:
+            # Diff against the twin: only locally-modified words move.
+            for loc, value in copy.items():
+                if twin.get(loc) != value:
+                    main[loc] = value
+                    self.stats.diffed_words += 1
+
+    def _reconcile_all(self, proc: int) -> None:
+        cache = self._caches[proc]
+        for page, (copy, twin, dirty) in list(cache.items()):
+            if dirty:
+                self.stats.page_writebacks += 1
+                self._reconcile_page(page, copy, twin)
+                cache[page] = (copy, dict(copy), False)
+
+    def _flush_all(self, proc: int) -> None:
+        self._reconcile_all(proc)
+        self._caches[proc].clear()
+
+    # ------------------------------------------------------------------
+    # MemorySystem interface
+    # ------------------------------------------------------------------
+
+    def read(self, proc: int, node: int, loc: Location) -> int | None:
+        page = self.page_of(loc)
+        copy = self._fetch(proc, page)
+        return copy.get(loc)
+
+    def write(self, proc: int, node: int, loc: Location) -> None:
+        page = self.page_of(loc)
+        copy = self._fetch(proc, page)
+        copy[loc] = node
+        entry = self._caches[proc][page]
+        self._caches[proc][page] = (entry[0], entry[1], True)
+
+    def node_starting(self, proc: int, node: int, cross_pred: bool) -> None:
+        if cross_pred:
+            self._flush_all(proc)
+
+    def node_completed(self, proc: int, node: int, cross_succ: bool) -> None:
+        if cross_succ:
+            self._reconcile_all(proc)

@@ -1,0 +1,69 @@
+"""Deterministic replay of dumped traces.
+
+A dumped trace (:func:`repro.io.dump_trace`) carries everything needed
+to re-run the execution: the computation, the placement and timing, and
+the observed reads.  :func:`replay` re-executes the schedule against a
+fresh memory and compares read-for-read — the regression-detection loop
+of a memory-system developer:
+
+* replaying against the *same* protocol must reproduce the reads exactly
+  (all our memories are deterministic given the schedule and their RNG
+  seed);
+* replaying against a *different* protocol diffs the behaviours, read
+  event by read event (e.g. where exactly BACKER diverges from an
+  eagerly coherent memory on the same schedule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ops import Location
+from repro.runtime.executor import execute
+from repro.runtime.memory_base import MemorySystem
+from repro.runtime.trace import ExecutionTrace
+
+__all__ = ["ReadDivergence", "ReplayResult", "replay"]
+
+
+@dataclass(frozen=True)
+class ReadDivergence:
+    """One read that observed different writers in the two executions."""
+
+    node: int
+    loc: Location
+    original: int | None
+    replayed: int | None
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of a replay."""
+
+    identical: bool
+    divergences: list[ReadDivergence] = field(default_factory=list)
+    replayed_trace: ExecutionTrace | None = None
+
+
+def replay(trace: ExecutionTrace, memory: MemorySystem) -> ReplayResult:
+    """Re-execute a trace's schedule against ``memory`` and diff reads.
+
+    The schedule (placement + timing) is taken verbatim from the trace,
+    so the comparison isolates the memory system's behaviour.
+    """
+    new_trace = execute(trace.schedule, memory)
+    original = {(e.node, e.loc): e.observed for e in trace.reads}
+    replayed = {(e.node, e.loc): e.observed for e in new_trace.reads}
+    assert set(original) == set(replayed), (
+        "replay executed a different read set — schedule corruption"
+    )
+    divergences = [
+        ReadDivergence(node, loc, original[(node, loc)], replayed[(node, loc)])
+        for (node, loc) in sorted(original, key=lambda k: (k[0], repr(k[1])))
+        if original[(node, loc)] != replayed[(node, loc)]
+    ]
+    return ReplayResult(
+        identical=not divergences,
+        divergences=divergences,
+        replayed_trace=new_trace,
+    )

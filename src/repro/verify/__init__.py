@@ -1,0 +1,52 @@
+"""Post-mortem verification: did this execution obey the memory model?
+
+The entry points take a :class:`~repro.runtime.trace.PartialObserver`
+(obtained from :meth:`ExecutionTrace.partial_observer`):
+
+* :func:`trace_admits_lc` / :func:`lc_completion` — polynomial LC check
+  with a total-observer certificate;
+* :func:`trace_admits_sc` — exact SC check (returns a witnessing sort);
+* :func:`find_completion` — bounded completion search against any model.
+"""
+
+from repro.verify.checker import (
+    find_completion,
+    lc_completion,
+    lc_trace_orders,
+    trace_admits_lc,
+    trace_admits_sc,
+)
+from repro.verify.inference import (
+    ConformanceReport,
+    InferenceResult,
+    conformance_campaign,
+    infer_models,
+)
+from repro.verify.causal_trace import (
+    CausalViolation,
+    StreamingCCVerifier,
+    trace_admits_cc,
+)
+from repro.verify.races import Race, find_races, is_race_free, racy_locations
+from repro.verify.streaming import StreamingLCVerifier, StreamingViolation
+
+__all__ = [
+    "trace_admits_lc",
+    "lc_completion",
+    "lc_trace_orders",
+    "trace_admits_sc",
+    "find_completion",
+    "Race",
+    "find_races",
+    "is_race_free",
+    "racy_locations",
+    "infer_models",
+    "InferenceResult",
+    "conformance_campaign",
+    "ConformanceReport",
+    "StreamingLCVerifier",
+    "StreamingViolation",
+    "StreamingCCVerifier",
+    "CausalViolation",
+    "trace_admits_cc",
+]

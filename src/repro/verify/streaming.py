@@ -1,0 +1,198 @@
+"""Streaming (online) LC verification with fault localization.
+
+The batch checker (:func:`repro.verify.trace_admits_lc`) answers
+yes/no after the fact; this verifier consumes the execution as a stream
+of events and reports the *first event* at which location consistency
+became unsatisfiable — the question a runtime developer actually asks
+("which read went wrong?").
+
+It maintains, per location, the block structure of THEORY.md §1/§2
+incrementally:
+
+* every constrained event (a write, or a read with its observed writer)
+  joins a *block* — the fiber of its observed write (or the ⊥ block);
+* each node carries the set of blocks among its *constrained ancestors*
+  per location (propagated along edges as nodes arrive — block-level
+  reachability, bounded by the number of writes, not nodes);
+* a new member of block ``b`` with a constrained ancestor in block
+  ``a ≠ b`` adds the quotient edge ``a → b``; a cycle created by the
+  insertion, or any edge into a ⊥ block, is precisely an LC violation
+  (the streamed form of the batch condition), reported immediately with
+  the offending node and location.
+
+Cycle detection is the standard incremental scheme: on inserting
+``a → b``, search from ``b`` for ``a`` in the quotient (whose size is
+bounded by the writes to that location, not the trace length).
+
+Agreement with the batch checker on complete traces is property-tested;
+the bench measures the streaming cost per event on long executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.ops import Op, Location
+from repro.runtime.trace import ExecutionTrace
+
+__all__ = ["StreamingViolation", "StreamingLCVerifier"]
+
+_BOT = ("⊥",)  # per-location bottom-block sentinel (distinct from node ids)
+
+
+@dataclass(frozen=True)
+class StreamingViolation:
+    """The first event at which LC became unsatisfiable."""
+
+    node: int
+    loc: Location
+    reason: str
+
+
+class StreamingLCVerifier:
+    """Consume execution events; report the first LC violation.
+
+    Events arrive via :meth:`add_node` in any topological order of the
+    computation (execution order always qualifies).  Once a violation is
+    reported the verifier latches it (subsequent adds keep returning it).
+    """
+
+    def __init__(self) -> None:
+        #: per location: quotient adjacency over block ids.
+        self._adj: dict[Location, dict[object, set[object]]] = {}
+        #: per node: per location, frozenset of ancestor block ids.
+        self._anc_blocks: list[dict[Location, frozenset]] = []
+        #: per node: per location, its own block id (constrained only).
+        self._own_block: list[dict[Location, object]] = []
+        self.violation: StreamingViolation | None = None
+        self.events = 0
+
+    # ------------------------------------------------------------------
+    # Quotient maintenance
+    # ------------------------------------------------------------------
+
+    def _reaches(self, loc: Location, src: object, dst: object) -> bool:
+        adj = self._adj.get(loc, {})
+        stack = [src]
+        seen = {src}
+        while stack:
+            b = stack.pop()
+            if b == dst:
+                return True
+            for c in adj.get(b, ()):
+                if c not in seen:
+                    seen.add(c)
+                    stack.append(c)
+        return False
+
+    def _add_edge(
+        self, node: int, loc: Location, a: object, b: object
+    ) -> StreamingViolation | None:
+        if a == b:
+            return None
+        if b == _BOT:
+            return StreamingViolation(
+                node, loc,
+                "a node observing ⊥ follows a node that observed a write",
+            )
+        adj = self._adj.setdefault(loc, {})
+        if b in adj and self._reaches(loc, b, a):
+            return StreamingViolation(
+                node, loc,
+                f"write-serialization cycle between blocks {a!r} and {b!r}",
+            )
+        adj.setdefault(a, set()).add(b)
+        adj.setdefault(b, set())
+        return None
+
+    # ------------------------------------------------------------------
+    # Event interface
+    # ------------------------------------------------------------------
+
+    def add_node(
+        self,
+        op: Op,
+        preds: Iterable[int],
+        observed: int | None = None,
+    ) -> StreamingViolation | None:
+        """Consume the next node; return the (first) violation, if any.
+
+        ``observed`` is the writer id a read received (``None`` for ⊥);
+        it is ignored for writes (condition 2.3 fixes their block) and
+        for no-ops (unconstrained).
+        """
+        if self.violation is not None:
+            return self.violation
+        node = len(self._anc_blocks)
+        self.events += 1
+        preds = list(preds)
+        # Ancestor blocks: union over predecessors, plus their own blocks.
+        anc: dict[Location, set] = {}
+        for p in preds:
+            for loc, blocks in self._anc_blocks[p].items():
+                anc.setdefault(loc, set()).update(blocks)
+            for loc, b in self._own_block[p].items():
+                anc.setdefault(loc, set()).add(b)
+
+        own: dict[Location, object] = {}
+        if op.is_write:
+            own[op.loc] = node
+        elif op.is_read:
+            own[op.loc] = _BOT if observed is None else observed
+
+        # New quotient edges: ancestor block -> own block, per location.
+        for loc, b in own.items():
+            for a in anc.get(loc, ()):
+                v = self._add_edge(node, loc, a, b)
+                if v is not None:
+                    self.violation = v
+                    break
+            if self.violation is not None:
+                break
+            # Register the block even if isolated (for future edges).
+            self._adj.setdefault(loc, {}).setdefault(b, set())
+
+        self._anc_blocks.append(
+            {loc: frozenset(s) for loc, s in anc.items()}
+        )
+        self._own_block.append(own)
+        return self.violation
+
+    @property
+    def consistent_so_far(self) -> bool:
+        """True iff no violation has been detected yet."""
+        return self.violation is None
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def check_trace(
+        cls, trace: ExecutionTrace
+    ) -> StreamingViolation | None:
+        """Stream a completed trace through a fresh verifier.
+
+        Nodes are fed in execution order; the node-id mapping is
+        preserved (the verifier's internal ids follow feed order, and
+        execution order visits nodes in a topological order, so the
+        reported node is translated back to the trace's node id).
+        """
+        comp = trace.comp
+        observed = {e.node: e.observed for e in trace.reads}
+        order = trace.schedule.execution_order()
+        new_id = {u: i for i, u in enumerate(order)}
+        verifier = cls()
+        for u in order:
+            op = comp.op(u)
+            preds = [new_id[p] for p in comp.dag.predecessors(u)]
+            obs = observed.get(u)
+            # Observed writers always executed before the read (a memory
+            # can only return a value that exists), so their feed ids are
+            # already assigned.
+            obs_feed = None if obs is None else new_id[obs]
+            v = verifier.add_node(op, preds, obs_feed)
+            if v is not None:
+                return StreamingViolation(u, v.loc, v.reason)
+        return None

@@ -1,0 +1,1 @@
+"""Test package (enables ``from tests.conftest import ...`` helpers)."""

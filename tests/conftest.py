@@ -1,0 +1,93 @@
+"""Shared test fixtures and hypothesis strategies.
+
+The strategies build random dags, computations, and observer functions of
+bounded size.  They are deliberately small (n ≤ 6): most properties under
+test are universally quantified, and the interesting structure (the
+paper's witnesses) already appears at 4 nodes.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.computation import Computation
+from repro.core.observer import ObserverFunction, candidate_values
+from repro.core.ops import N, R, W
+from repro.dag.digraph import Dag
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def dags(draw, max_nodes: int = 6) -> Dag:
+    """Random dag with node ids in topological order (edges u < v)."""
+    n = draw(st.integers(min_value=0, max_value=max_nodes))
+    pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(pairs), unique=True, max_size=len(pairs))
+        if pairs
+        else st.just([])
+    )
+    return Dag(n, edges)
+
+
+@st.composite
+def computations(
+    draw, max_nodes: int = 6, locations: tuple = ("x",), include_nop: bool = True
+) -> Computation:
+    """Random computation over the given locations."""
+    dag = draw(dags(max_nodes=max_nodes))
+    alphabet = [R(loc) for loc in locations] + [W(loc) for loc in locations]
+    if include_nop:
+        alphabet.append(N)
+    ops = draw(
+        st.lists(
+            st.sampled_from(alphabet),
+            min_size=dag.num_nodes,
+            max_size=dag.num_nodes,
+        )
+    )
+    return Computation(dag, ops)
+
+
+@st.composite
+def computations_with_observer(
+    draw, max_nodes: int = 5, locations: tuple = ("x",), include_nop: bool = True
+) -> tuple[Computation, ObserverFunction]:
+    """Random (computation, valid observer function) pair.
+
+    The observer is drawn pointwise from the legal candidates of
+    Definition 2, so every draw is valid by construction.
+    """
+    comp = draw(
+        computations(
+            max_nodes=max_nodes, locations=locations, include_nop=include_nop
+        )
+    )
+    mapping = {}
+    for loc in comp.locations:
+        row = []
+        for u in comp.nodes():
+            cands = candidate_values(comp, loc, u)
+            row.append(draw(st.sampled_from(cands)))
+        mapping[loc] = tuple(row)
+    return comp, ObserverFunction(comp, mapping)
+
+
+# ---------------------------------------------------------------------------
+# Plain helpers (importable from tests via conftest)
+# ---------------------------------------------------------------------------
+
+
+def brute_force_sorts(dag: Dag) -> list[tuple[int, ...]]:
+    """All topological sorts by filtering permutations (n ≤ 7 only)."""
+    from itertools import permutations
+
+    out = []
+    for perm in permutations(range(dag.num_nodes)):
+        pos = {u: i for i, u in enumerate(perm)}
+        if all(pos[u] < pos[v] for (u, v) in dag.edges):
+            out.append(perm)
+    return out

@@ -1,0 +1,72 @@
+"""Tests for the model characterization explorer."""
+
+from repro.analysis import characterize_model, render_characterization
+from repro.models import (
+    LC,
+    NN,
+    WW,
+    IntersectionModel,
+    QDagConsistency,
+    Universe,
+)
+
+SMALL = Universe(max_nodes=3, locations=("x",))
+
+
+class TestZooMembersSelfCharacterize:
+    def test_lc_coincides_with_sc_single_location(self):
+        result = characterize_model(LC, SMALL)
+        # One location: SC = LC, so LC is equivalent to SC here.
+        assert result.equivalent_zoo() == "SC"
+        assert result.complete and result.monotonic
+        assert result.stuck_witness is None
+
+    def test_ww_is_weakest(self):
+        result = characterize_model(WW, SMALL)
+        assert result.contains_zoo("SC")
+        assert result.contains_zoo("NN")
+        assert result.inside("WW")
+        assert result.stuck_witness is None
+
+    def test_nn_characterization(self):
+        # At n <= 3 the NN stuckness (4 nodes) is invisible; inclusions
+        # still place NN correctly.
+        result = characterize_model(NN, SMALL)
+        assert result.inside("NN") and result.inside("WW")
+        assert result.contains_zoo("SC")
+
+
+class TestCustomModels:
+    def test_middle_reads_predicate(self):
+        custom = QDagConsistency(
+            lambda c, l, u, v, w: c.op(v).reads(l), "NR"
+        )
+        result = characterize_model(custom, SMALL)
+        # Weaker than NN (Theorem 21) but inside no zoo member at n<=3.
+        assert result.contains_zoo("NN")
+        assert result.strongest_zoo_above() is None
+        # Middle-anchored with u = ⊥ active: nonconstructible, like NW.
+        assert result.stuck_witness is not None
+        assert result.stuck_witness.comp.num_nodes == 3
+
+    def test_intersection_characterized(self):
+        from repro.models import NW, WN
+
+        both = IntersectionModel([NW, WN], "NW∩WN")
+        result = characterize_model(both, SMALL)
+        # NN ⊆ NW ∩ WN always; at n ≤ 3 they even coincide.
+        assert result.contains_zoo("NN")
+        assert result.inside("NW") and result.inside("WN")
+
+    def test_render(self):
+        result = characterize_model(WW, SMALL)
+        text = render_characterization(result)
+        assert "characterization of 'WW'" in text
+        assert "constructible: yes" in text
+        assert "weaker than" in text
+
+    def test_anomalies_recorded(self):
+        result = characterize_model(WW, SMALL)
+        assert result.anomalies is not None
+        assert result.anomalies.separated
+        assert result.anomalies.minimal_size == 2  # stale-⊥ read

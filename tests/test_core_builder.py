@@ -1,0 +1,105 @@
+"""Tests for the fluent ComputationBuilder."""
+
+import pytest
+
+from repro.core import ComputationBuilder, N, R, W
+from repro.errors import InvalidComputationError
+
+
+class TestBuilding:
+    def test_basic_chain(self):
+        b = ComputationBuilder()
+        a = b.write("x", name="A")
+        c = b.read("x", name="C", after=[a])
+        comp = b.build()
+        assert comp.num_nodes == 2
+        assert comp.op(0) == W("x")
+        assert comp.op(1) == R("x")
+        assert comp.precedes(a.node_id, c.node_id)
+
+    def test_nop(self):
+        b = ComputationBuilder()
+        b.nop(name="sync")
+        comp = b.build()
+        assert comp.op(0) == N
+
+    def test_after_multiple(self):
+        b = ComputationBuilder()
+        x = b.write("x")
+        y = b.write("y")
+        j = b.read("x", after=[x, y])
+        comp = b.build()
+        assert comp.precedes(x.node_id, j.node_id)
+        assert comp.precedes(y.node_id, j.node_id)
+
+    def test_after_accepts_ints(self):
+        b = ComputationBuilder()
+        b.write("x")
+        b.read("x", after=[0])
+        assert b.build().precedes(0, 1)
+
+    def test_empty_build(self):
+        assert ComputationBuilder().build().is_empty
+
+    def test_creation_order_is_topological(self):
+        b = ComputationBuilder()
+        n0 = b.nop()
+        n1 = b.nop(after=[n0])
+        n2 = b.nop(after=[n1])
+        comp = b.build()
+        assert comp.dag.topological_order == (0, 1, 2) or list(
+            comp.dag.topological_order
+        ) == sorted(comp.dag.topological_order)
+        assert n2.node_id == 2
+
+
+class TestNames:
+    def test_lookup(self):
+        b = ComputationBuilder()
+        b.write("x", name="A")
+        assert b["A"].node_id == 0
+        assert b.name_of(0) == "A"
+        assert b.names() == {"A": 0}
+
+    def test_duplicate_rejected(self):
+        b = ComputationBuilder()
+        b.write("x", name="A")
+        with pytest.raises(InvalidComputationError):
+            b.write("x", name="A")
+
+    def test_unnamed(self):
+        b = ComputationBuilder()
+        b.write("x")
+        assert b.name_of(0) is None
+
+    def test_handle_repr(self):
+        b = ComputationBuilder()
+        h = b.write("x", name="A")
+        assert "A" in repr(h)
+
+
+class TestEdges:
+    def test_forward_only(self):
+        b = ComputationBuilder()
+        b.nop()
+        b.nop()
+        with pytest.raises(InvalidComputationError):
+            b.add_edge(1, 0)
+
+    def test_self_edge_rejected(self):
+        b = ComputationBuilder()
+        b.nop()
+        with pytest.raises(InvalidComputationError):
+            b.add_edge(0, 0)
+
+    def test_unknown_node(self):
+        b = ComputationBuilder()
+        b.nop()
+        with pytest.raises(InvalidComputationError):
+            b.add_edge(0, 5)
+
+    def test_num_nodes(self):
+        b = ComputationBuilder()
+        assert b.num_nodes == 0
+        b.nop()
+        assert b.num_nodes == 1

@@ -1,0 +1,204 @@
+"""Tests for Computation (Definition 1) and its structural operations."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import EMPTY_COMPUTATION, Computation, N, R, W
+from repro.dag import Dag
+from repro.errors import InvalidComputationError
+from tests.conftest import computations
+
+
+class TestConstruction:
+    def test_basic(self):
+        c = Computation(Dag(2, [(0, 1)]), (W("x"), R("x")))
+        assert c.num_nodes == 2
+        assert c.op(0) == W("x")
+        assert c.locations == ("x",)
+
+    def test_length_mismatch(self):
+        with pytest.raises(InvalidComputationError):
+            Computation(Dag(2), (N,))
+
+    def test_non_op_rejected(self):
+        with pytest.raises(InvalidComputationError):
+            Computation(Dag(1), ("W(x)",))
+
+    def test_empty(self):
+        assert EMPTY_COMPUTATION.is_empty
+        assert EMPTY_COMPUTATION.num_nodes == 0
+        assert EMPTY_COMPUTATION.locations == ()
+
+    def test_from_edges(self):
+        c = Computation.from_edges([W("x"), R("x")], [(0, 1)])
+        assert c.precedes(0, 1)
+
+    def test_serial(self):
+        c = Computation.serial([W("x"), N, R("x")])
+        assert c.precedes(0, 2)
+        assert c.dag.num_edges == 2
+
+
+class TestLocationStructure:
+    def setup_method(self):
+        self.c = Computation(
+            Dag(4, [(0, 1)]), (W("x"), R("x"), W("y"), W("x"))
+        )
+
+    def test_writers(self):
+        assert self.c.writers("x") == [0, 3]
+        assert self.c.writers("y") == [2]
+        assert self.c.writers("z") == []
+
+    def test_writers_mask(self):
+        assert self.c.writers_mask("x") == 0b1001
+
+    def test_readers(self):
+        assert self.c.readers("x") == [1]
+        assert self.c.readers("y") == []
+
+    def test_accessors(self):
+        assert self.c.accessors("x") == [0, 1, 3]
+
+    def test_locations_sorted(self):
+        assert self.c.locations == ("x", "y")
+
+
+class TestAugment:
+    def test_augment_shape(self):
+        c = Computation(Dag(2), (W("x"), R("x")))
+        a = c.augment(N)
+        assert a.num_nodes == 3
+        assert a.op(2) == N
+        assert a.precedes(0, 2) and a.precedes(1, 2)
+
+    def test_augment_of_empty(self):
+        a = EMPTY_COMPUTATION.augment(W("x"))
+        assert a.num_nodes == 1
+        assert a.writers("x") == [0]
+
+    def test_final_node_property(self):
+        c = Computation(Dag(2), (N, N))
+        assert c.final_node == 2
+
+    @given(computations(max_nodes=5))
+    @settings(max_examples=40)
+    def test_original_is_prefix_of_augmentation(self, c):
+        assert c.is_prefix_of(c.augment(N))
+
+
+class TestPrefixRelation:
+    def test_identity_prefix(self):
+        c = Computation(Dag(2, [(0, 1)]), (W("x"), R("x")))
+        assert c.is_prefix_of(c)
+
+    def test_proper_prefix(self):
+        big = Computation(Dag(3, [(0, 1), (1, 2)]), (W("x"), R("x"), N))
+        small = Computation(Dag(2, [(0, 1)]), (W("x"), R("x")))
+        assert small.is_prefix_of(big)
+        assert not big.is_prefix_of(small)
+
+    def test_op_mismatch(self):
+        big = Computation(Dag(2), (W("x"), N))
+        small = Computation(Dag(1), (R("x"),))
+        assert not small.is_prefix_of(big)
+
+    def test_edge_mismatch(self):
+        big = Computation(Dag(2, [(0, 1)]), (N, N))
+        small = Computation(Dag(2), (N, N))
+        assert not small.is_prefix_of(big)  # missing inner edge
+
+    def test_backward_edge_blocks_prefix(self):
+        # New node pointing INTO the prefix violates predecessor closure.
+        big = Computation(Dag(2, [(1, 0)]), (N, N))
+        small = Computation(Dag(1), (N,))
+        assert not small.is_prefix_of(big)
+
+    def test_empty_is_prefix_of_all(self):
+        c = Computation(Dag(2, [(0, 1)]), (N, N))
+        assert EMPTY_COMPUTATION.is_prefix_of(c)
+
+
+class TestExtensions:
+    def test_extensions_count(self):
+        c = Computation(Dag(2), (N, N))
+        exts = list(c.extensions_by(R("x")))
+        assert len(exts) == 4  # 2^2 predecessor subsets
+
+    def test_extensions_are_extensions(self):
+        c = Computation(Dag(2, [(0, 1)]), (W("x"), N))
+        for ext in c.extensions_by(R("x")):
+            assert ext.is_extension_of(c)
+            assert ext.is_extension_of(c, R("x"))
+            assert not ext.is_extension_of(c, W("x"))
+
+    def test_augmentation_among_extensions(self):
+        c = Computation(Dag(2), (N, N))
+        exts = list(c.extensions_by(N))
+        assert c.augment(N) in exts
+
+    def test_is_extension_wrong_size(self):
+        c = Computation(Dag(2), (N, N))
+        assert not c.is_extension_of(c)
+
+
+class TestRestrict:
+    def test_restrict_prefix(self):
+        c = Computation(Dag(3, [(0, 1), (1, 2)]), (W("x"), R("x"), N))
+        sub, old = c.restrict(0b011)
+        assert old == [0, 1]
+        assert sub.ops == (W("x"), R("x"))
+        assert sub.dag.edges == {(0, 1)}
+
+    def test_restrict_renumbers(self):
+        c = Computation(Dag(3, [(0, 2)]), (W("x"), N, R("x")))
+        sub, old = c.restrict(0b101)
+        assert old == [0, 2]
+        assert sub.dag.edges == {(0, 1)}
+        assert sub.ops == (W("x"), R("x"))
+
+    def test_prefix_masks_are_prefixes(self):
+        c = Computation(Dag(3, [(0, 1), (0, 2)]), (N, N, N))
+        masks = set(c.prefix_masks())
+        assert 0 in masks and 0b111 in masks
+        assert 0b010 not in masks  # node 1 without its predecessor 0
+
+
+class TestRelaxations:
+    def test_relax(self):
+        c = Computation(Dag(2, [(0, 1)]), (N, N))
+        r = c.relax([(0, 1)])
+        assert r.dag.num_edges == 0
+        assert r.ops == c.ops
+
+    def test_relaxations_count(self):
+        c = Computation(Dag(3, [(0, 1), (1, 2)]), (N, N, N))
+        assert len(list(c.relaxations())) == 4
+
+    def test_relaxations_include_self_and_empty(self):
+        c = Computation(Dag(2, [(0, 1)]), (N, N))
+        rs = list(c.relaxations())
+        assert c in rs
+        assert any(r.dag.num_edges == 0 for r in rs)
+
+
+class TestEqualityHashing:
+    def test_equal(self):
+        a = Computation(Dag(2, [(0, 1)]), (W("x"), R("x")))
+        b = Computation(Dag(2, [(0, 1)]), (W("x"), R("x")))
+        assert a == b and hash(a) == hash(b)
+
+    def test_op_difference(self):
+        a = Computation(Dag(1), (W("x"),))
+        b = Computation(Dag(1), (R("x"),))
+        assert a != b
+
+    def test_edge_difference(self):
+        a = Computation(Dag(2, [(0, 1)]), (N, N))
+        b = Computation(Dag(2), (N, N))
+        assert a != b
+
+    def test_usable_in_sets(self):
+        a = Computation(Dag(1), (N,))
+        b = Computation(Dag(1), (N,))
+        assert len({a, b}) == 1

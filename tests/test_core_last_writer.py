@@ -1,0 +1,115 @@
+"""Tests for last-writer functions (Definition 13, Theorems 14–16)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    Computation,
+    N,
+    R,
+    W,
+    last_writer_function,
+    last_writer_row,
+    satisfies_last_writer_conditions,
+)
+from repro.dag import Dag, all_topological_sorts
+from repro.errors import InvalidObserverError
+from tests.conftest import computations
+
+
+class TestLastWriterRow:
+    def test_serial(self):
+        c = Computation.serial([W("x"), R("x"), W("x"), R("x")])
+        row = last_writer_row(c, (0, 1, 2, 3), "x")
+        assert row == (0, 0, 2, 2)
+
+    def test_no_writes(self):
+        c = Computation.serial([R("x"), R("x")])
+        assert last_writer_row(c, (0, 1), "x") == (None, None)
+
+    def test_write_is_own_last_writer(self):
+        c = Computation.serial([W("x"), W("x")])
+        assert last_writer_row(c, (0, 1), "x") == (0, 1)
+
+    def test_order_dependence(self):
+        c = Computation(Dag(3), (W("x"), W("x"), R("x")))
+        assert last_writer_row(c, (0, 1, 2), "x") == (0, 1, 1)
+        assert last_writer_row(c, (1, 0, 2), "x") == (0, 1, 0)
+        assert last_writer_row(c, (2, 0, 1), "x")[2] is None
+
+    def test_other_location_ignored(self):
+        c = Computation.serial([W("y"), R("x")])
+        assert last_writer_row(c, (0, 1), "x") == (None, None)
+
+
+class TestLastWriterFunction:
+    def test_is_observer(self):
+        c = Computation(Dag(3, [(0, 1)]), (W("x"), R("x"), W("x")))
+        for order in all_topological_sorts(c.dag):
+            phi = last_writer_function(c, order)
+            # Validation happens inside; also spot-check 2.3.
+            assert phi.value("x", 0) == 0
+            assert phi.value("x", 2) == 2
+
+    def test_rejects_bad_order(self):
+        c = Computation(Dag(2, [(0, 1)]), (W("x"), R("x")))
+        with pytest.raises(InvalidObserverError):
+            last_writer_function(c, (1, 0))
+
+    def test_explicit_locations(self):
+        c = Computation.serial([W("x"), R("x")])
+        phi = last_writer_function(c, (0, 1), locations=["x", "y"])
+        assert phi.row("y") == (None, None)
+
+
+@given(computations(max_nodes=5))
+@settings(max_examples=40)
+def test_theorem_16_always_observer(c):
+    """W_T is an observer function for every computation and sort."""
+    order = c.dag.topological_order
+    last_writer_function(c, order)  # validates internally; must not raise
+
+
+@given(computations(max_nodes=5))
+@settings(max_examples=40)
+def test_definition_13_conditions_hold(c):
+    order = c.dag.topological_order
+    for loc in c.locations:
+        row = last_writer_row(c, order, loc)
+        assert satisfies_last_writer_conditions(c, order, loc, row)
+
+
+@given(computations(max_nodes=4))
+@settings(max_examples=30)
+def test_theorem_14_uniqueness(c):
+    """Any row satisfying Definition 13 equals the computed one."""
+    from itertools import product
+
+    order = c.dag.topological_order
+    for loc in c.locations:
+        computed = last_writer_row(c, order, loc)
+        writers = c.writers(loc)
+        candidates = [None] + writers
+        matching = [
+            row
+            for row in product(candidates, repeat=c.num_nodes)
+            if satisfies_last_writer_conditions(c, order, loc, row)
+        ]
+        assert matching == [computed]
+
+
+@given(computations(max_nodes=5))
+@settings(max_examples=40)
+def test_theorem_15_between_property(c):
+    """W_T(l,u) ≺_T v ⪯_T u implies W_T(l,v) = W_T(l,u)."""
+    order = c.dag.topological_order
+    pos = {u: i for i, u in enumerate(order)}
+    for loc in c.locations:
+        row = last_writer_row(c, order, loc)
+        for u in c.nodes():
+            w = row[u]
+            if w is None:
+                continue
+            for v in c.nodes():
+                if pos[w] < pos[v] <= pos[u]:
+                    assert row[v] == w

@@ -1,0 +1,223 @@
+"""Tests for observer functions (Definition 2)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    Computation,
+    N,
+    ObserverFunction,
+    R,
+    W,
+    candidate_values,
+    count_observer_functions,
+)
+from repro.dag import Dag
+from repro.errors import InvalidObserverError
+from tests.conftest import computations, computations_with_observer
+
+
+def make_comp():
+    # 0: W(x) -> 1: R(x); 2: W(x) concurrent.
+    return Computation(Dag(3, [(0, 1)]), (W("x"), R("x"), W("x")))
+
+
+class TestValidation:
+    def test_valid(self):
+        c = make_comp()
+        phi = ObserverFunction(c, {"x": (0, 0, 2)})
+        assert phi.value("x", 1) == 0
+
+    def test_condition_21_observed_must_write(self):
+        # Node 1 (a read) cannot be observed.
+        c = Computation(Dag(2), (R("x"), R("x")))
+        with pytest.raises(InvalidObserverError):
+            ObserverFunction(c, {"x": (None, 0)})
+
+    def test_condition_21_wrong_location(self):
+        c = Computation(Dag(2), (W("y"), R("x")))
+        with pytest.raises(InvalidObserverError):
+            ObserverFunction(c, {"x": (None, 0)})
+
+    def test_condition_22_no_forward_observation(self):
+        # Node 0 precedes node 1 and must not observe it.
+        c = Computation(Dag(2, [(0, 1)]), (R("x"), W("x")))
+        with pytest.raises(InvalidObserverError):
+            ObserverFunction(c, {"x": (1, 1)})
+
+    def test_condition_22_concurrent_ok(self):
+        c = make_comp()
+        phi = ObserverFunction(c, {"x": (0, 2, 2)})  # read observes concurrent write
+        assert phi.value("x", 1) == 2
+
+    def test_condition_23_write_observes_itself(self):
+        c = make_comp()
+        with pytest.raises(InvalidObserverError):
+            ObserverFunction(c, {"x": (2, 0, 2)})  # write 0 observing write 2
+
+    def test_condition_23_write_not_bottom(self):
+        c = Computation(Dag(1), (W("x"),))
+        with pytest.raises(InvalidObserverError):
+            ObserverFunction(c, {"x": (None,)})
+
+    def test_out_of_range_node(self):
+        c = make_comp()
+        with pytest.raises(InvalidObserverError):
+            ObserverFunction(c, {"x": (0, 99, 2)})
+
+    def test_row_length_mismatch(self):
+        c = make_comp()
+        with pytest.raises(InvalidObserverError):
+            ObserverFunction(c, {"x": (0, 0)})
+
+    def test_implicit_row_with_writes_rejected(self):
+        # Omitting the row of a written location would violate 2.3.
+        c = Computation(Dag(1), (W("x"),))
+        with pytest.raises(InvalidObserverError):
+            ObserverFunction(c, {}, validate=False)
+
+    def test_unknown_location_row_is_bottom(self):
+        c = make_comp()
+        phi = ObserverFunction(c, {"x": (0, 0, 2)})
+        assert phi.value("zzz", 0) is None
+        assert phi.row("zzz") == (None, None, None)
+
+    def test_bottom_input(self):
+        c = make_comp()
+        phi = ObserverFunction(c, {"x": (0, 0, 2)})
+        assert phi.value("x", None) is None
+        assert phi("x", None) is None
+
+
+class TestCandidates:
+    def test_write_must_self_observe(self):
+        c = make_comp()
+        assert candidate_values(c, "x", 0) == [0]
+
+    def test_read_candidates(self):
+        c = make_comp()
+        # Node 1 may observe ⊥, its predecessor 0, or the concurrent 2.
+        assert candidate_values(c, "x", 1) == [None, 0, 2]
+
+    def test_forward_write_excluded(self):
+        c = Computation(Dag(2, [(0, 1)]), (R("x"), W("x")))
+        assert candidate_values(c, "x", 0) == [None]
+
+    def test_nop_candidates(self):
+        c = Computation(Dag(2), (N, W("x")))
+        assert candidate_values(c, "x", 0) == [None, 1]
+
+
+class TestEnumeration:
+    def test_count_matches_enumeration(self):
+        c = make_comp()
+        phis = list(ObserverFunction.enumerate_all(c))
+        assert len(phis) == count_observer_functions(c)
+        assert len(set(phis)) == len(phis)
+
+    def test_no_location_computation(self):
+        c = Computation(Dag(2, [(0, 1)]), (N, N))
+        phis = list(ObserverFunction.enumerate_all(c))
+        assert len(phis) == 1
+
+    def test_empty_computation(self):
+        from repro.core import EMPTY_COMPUTATION
+
+        phis = list(ObserverFunction.enumerate_all(EMPTY_COMPUTATION))
+        assert len(phis) == 1
+
+    @given(computations(max_nodes=4))
+    @settings(max_examples=30)
+    def test_all_enumerated_valid(self, c):
+        for phi in ObserverFunction.enumerate_all(c):
+            # Re-validate explicitly: must not raise.
+            ObserverFunction(c, {loc: phi.row(loc) for loc in c.locations})
+
+
+class TestStructure:
+    def test_fibers_partition(self):
+        c = make_comp()
+        phi = ObserverFunction(c, {"x": (0, 2, 2)})
+        fibers = phi.fibers("x")
+        assert fibers == {0: 0b001, 2: 0b110}
+
+    def test_fibers_with_bottom(self):
+        c = Computation(Dag(2), (R("x"), W("x")))
+        phi = ObserverFunction(c, {"x": (None, 1)})
+        assert phi.fibers("x") == {None: 0b01, 1: 0b10}
+
+    def test_restrict_to_prefix(self):
+        big = Computation(Dag(3, [(0, 1), (1, 2)]), (W("x"), R("x"), R("x")))
+        small = Computation(Dag(2, [(0, 1)]), (W("x"), R("x")))
+        phi = ObserverFunction(big, {"x": (0, 0, 0)})
+        sub = phi.restrict_to_prefix(small)
+        assert sub.computation == small
+        assert sub.row("x") == (0, 0)
+
+    def test_restrict_non_prefix_rejected(self):
+        big = Computation(Dag(2, [(0, 1)]), (W("x"), R("x")))
+        other = Computation(Dag(1), (R("x"),))
+        phi = ObserverFunction(big, {"x": (0, 0)})
+        with pytest.raises(InvalidObserverError):
+            phi.restrict_to_prefix(other)
+
+    def test_extends(self):
+        big = Computation(Dag(2, [(0, 1)]), (W("x"), R("x")))
+        small = Computation(Dag(1), (W("x"),))
+        phi_big = ObserverFunction(big, {"x": (0, 0)})
+        phi_small = ObserverFunction(small, {"x": (0,)})
+        assert phi_big.extends(phi_small)
+        assert not phi_small.extends(phi_big)
+
+    def test_with_value(self):
+        c = make_comp()
+        phi = ObserverFunction(c, {"x": (0, 0, 2)})
+        phi2 = phi.with_value("x", 1, 2)
+        assert phi2.value("x", 1) == 2
+        assert phi.value("x", 1) == 0  # original untouched
+
+    def test_with_value_validates(self):
+        c = make_comp()
+        phi = ObserverFunction(c, {"x": (0, 0, 2)})
+        with pytest.raises(InvalidObserverError):
+            phi.with_value("x", 0, 2)
+
+    def test_relabel(self):
+        c = Computation(Dag(3, [(0, 2)]), (W("x"), N, R("x")))
+        phi = ObserverFunction(c, {"x": (0, None, 0)})
+        sub, old = c.restrict(0b101)
+        moved = phi.relabel(sub, old)
+        assert moved.row("x") == (0, 0)
+
+    def test_relabel_dangling_reference(self):
+        c = Computation(Dag(3), (W("x"), R("x"), N))
+        phi = ObserverFunction(c, {"x": (0, 0, None)})
+        sub, old = c.restrict(0b110)  # drop the observed write 0
+        with pytest.raises(InvalidObserverError):
+            phi.relabel(sub, old)
+
+
+class TestEqualityHashing:
+    def test_equal_ignores_bottom_rows(self):
+        c = Computation(Dag(1), (R("x"),))
+        a = ObserverFunction(c, {"x": (None,)})
+        b = ObserverFunction(c, {})
+        assert a == b and hash(a) == hash(b)
+
+    def test_unequal_values(self):
+        c = make_comp()
+        a = ObserverFunction(c, {"x": (0, 0, 2)})
+        b = ObserverFunction(c, {"x": (0, 2, 2)})
+        assert a != b
+
+
+@given(computations_with_observer(max_nodes=5))
+@settings(max_examples=50)
+def test_drawn_observers_are_valid(pair):
+    comp, phi = pair
+    # Constructed with validation on in the strategy; double check rows.
+    for loc in comp.locations:
+        row = phi.row(loc)
+        for u in comp.nodes():
+            if comp.op(u).writes(loc):
+                assert row[u] == u

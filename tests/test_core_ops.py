@@ -1,0 +1,75 @@
+"""Tests for the operation vocabulary (R/W/N)."""
+
+import pytest
+
+from repro.core import N, Op, R, W, locations_of
+
+
+class TestOpConstruction:
+    def test_read(self):
+        op = R("x")
+        assert op.is_read and not op.is_write and not op.is_nop
+        assert op.loc == "x"
+
+    def test_write(self):
+        op = W(7)
+        assert op.is_write
+        assert op.loc == 7
+
+    def test_nop(self):
+        assert N.is_nop
+        assert N.loc is None
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Op("X", "x")
+
+    def test_nop_with_location_rejected(self):
+        with pytest.raises(ValueError):
+            Op("N", "x")
+
+    def test_read_without_location_rejected(self):
+        with pytest.raises(ValueError):
+            Op("R")
+
+
+class TestOpQueries:
+    def test_reads(self):
+        assert R("x").reads("x")
+        assert not R("x").reads("y")
+        assert not W("x").reads("x")
+        assert not N.reads("x")
+
+    def test_writes(self):
+        assert W("x").writes("x")
+        assert not W("x").writes("y")
+        assert not R("x").writes("x")
+        assert not N.writes("x")
+
+
+class TestOpIdentity:
+    def test_equality(self):
+        assert R("x") == R("x")
+        assert R("x") != W("x")
+        assert W("x") != W("y")
+
+    def test_hashable(self):
+        assert len({R("x"), R("x"), W("x"), N}) == 3
+
+    def test_repr(self):
+        assert repr(R("x")) == "R('x')"
+        assert repr(N) == "N"
+
+
+class TestLocationsOf:
+    def test_collects_and_sorts(self):
+        assert locations_of([R("b"), W("a"), N, R("a")]) == ["a", "b"]
+
+    def test_empty(self):
+        assert locations_of([]) == []
+        assert locations_of([N, N]) == []
+
+    def test_mixed_types(self):
+        # repr-based sort handles heterogeneous location types.
+        locs = locations_of([R(1), W("a")])
+        assert set(locs) == {1, "a"}

@@ -1,0 +1,201 @@
+"""Unit tests for the Dag class: construction, reachability, derived graphs."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.dag import Dag, bit_indices, bits
+from repro.errors import CycleError, InvalidComputationError
+from tests.conftest import dags
+
+
+class TestConstruction:
+    def test_empty(self):
+        d = Dag(0)
+        assert d.num_nodes == 0
+        assert d.num_edges == 0
+        assert list(d.nodes()) == []
+
+    def test_basic(self):
+        d = Dag(3, [(0, 1), (1, 2)])
+        assert d.num_nodes == 3
+        assert d.num_edges == 2
+        assert d.edges == {(0, 1), (1, 2)}
+
+    def test_duplicate_edges_collapse(self):
+        d = Dag(2, [(0, 1), (0, 1)])
+        assert d.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(CycleError):
+            Dag(2, [(1, 1)])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(CycleError):
+            Dag(3, [(0, 1), (1, 2), (2, 0)])
+
+    def test_two_cycle_rejected(self):
+        with pytest.raises(CycleError):
+            Dag(2, [(0, 1), (1, 0)])
+
+    def test_out_of_range_edge(self):
+        with pytest.raises(InvalidComputationError):
+            Dag(2, [(0, 2)])
+
+    def test_negative_nodes(self):
+        with pytest.raises(InvalidComputationError):
+            Dag(-1)
+
+
+class TestBitsHelpers:
+    def test_roundtrip(self):
+        assert list(bit_indices(bits([0, 3, 5]))) == [0, 3, 5]
+
+    def test_empty(self):
+        assert bits([]) == 0
+        assert list(bit_indices(0)) == []
+
+
+class TestAdjacency:
+    def setup_method(self):
+        # diamond 0 -> {1, 2} -> 3
+        self.d = Dag(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+
+    def test_successors(self):
+        assert sorted(self.d.successors(0)) == [1, 2]
+        assert list(self.d.successors(3)) == []
+
+    def test_predecessors(self):
+        assert sorted(self.d.predecessors(3)) == [1, 2]
+        assert list(self.d.predecessors(0)) == []
+
+    def test_degrees(self):
+        assert self.d.in_degree(0) == 0
+        assert self.d.out_degree(0) == 2
+        assert self.d.in_degree(3) == 2
+
+    def test_sources_sinks(self):
+        assert self.d.sources() == [0]
+        assert self.d.sinks() == [3]
+
+
+class TestReachability:
+    def setup_method(self):
+        self.d = Dag(5, [(0, 1), (0, 2), (1, 3), (2, 3)])  # node 4 isolated
+
+    def test_precedes_transitive(self):
+        assert self.d.precedes(0, 3)
+        assert self.d.precedes(0, 1)
+        assert not self.d.precedes(3, 0)
+        assert not self.d.precedes(1, 2)
+
+    def test_precedes_strict(self):
+        assert not self.d.precedes(0, 0)
+        assert self.d.precedes_eq(0, 0)
+
+    def test_isolated_node(self):
+        for u in range(4):
+            assert not self.d.comparable(4, u) or u == 4
+
+    def test_descendants_ancestors(self):
+        assert sorted(self.d.descendants(0)) == [1, 2, 3]
+        assert sorted(self.d.ancestors(3)) == [0, 1, 2]
+
+    def test_between(self):
+        assert sorted(bit_indices(self.d.between_mask(0, 3))) == [1, 2]
+        assert self.d.between_mask(1, 2) == 0
+
+    def test_comparable(self):
+        assert self.d.comparable(0, 3)
+        assert self.d.comparable(2, 2)
+        assert not self.d.comparable(1, 2)
+
+
+@given(dags(max_nodes=6))
+@settings(max_examples=60)
+def test_closure_matches_floyd_warshall(d):
+    """Bitset closure agrees with a reference O(n^3) computation."""
+    n = d.num_nodes
+    reach = [[False] * n for _ in range(n)]
+    for (u, v) in d.edges:
+        reach[u][v] = True
+    for k in range(n):
+        for i in range(n):
+            if reach[i][k]:
+                for j in range(n):
+                    if reach[k][j]:
+                        reach[i][j] = True
+    for u in range(n):
+        for v in range(n):
+            assert d.precedes(u, v) == reach[u][v]
+
+
+@given(dags(max_nodes=6))
+@settings(max_examples=40)
+def test_topological_order_is_valid(d):
+    order = d.topological_order
+    pos = {u: i for i, u in enumerate(order)}
+    assert sorted(order) == list(range(d.num_nodes))
+    for (u, v) in d.edges:
+        assert pos[u] < pos[v]
+
+
+class TestDerivedGraphs:
+    def test_induced_subgraph(self):
+        d = Dag(4, [(0, 1), (1, 2), (2, 3)])
+        sub, old = d.induced_subgraph([0, 2, 3])
+        assert old == [0, 2, 3]
+        assert sub.num_nodes == 3
+        assert sub.edges == {(1, 2)}  # only 2->3 survives, renumbered
+
+    def test_induced_subgraph_duplicates(self):
+        d = Dag(3, [(0, 1)])
+        with pytest.raises(InvalidComputationError):
+            d.induced_subgraph([0, 0])
+
+    def test_with_edges_removed(self):
+        d = Dag(3, [(0, 1), (1, 2)])
+        r = d.with_edges_removed([(0, 1)])
+        assert r.edges == {(1, 2)}
+
+    def test_add_final_node(self):
+        d = Dag(2, [(0, 1)])
+        a = d.add_final_node()
+        assert a.num_nodes == 3
+        assert (0, 2) in a.edges and (1, 2) in a.edges
+        assert a.precedes(0, 2)
+
+    def test_add_final_node_empty(self):
+        a = Dag(0).add_final_node()
+        assert a.num_nodes == 1
+        assert a.num_edges == 0
+
+    def test_transitive_reduction(self):
+        d = Dag(3, [(0, 1), (1, 2), (0, 2)])
+        assert d.transitive_reduction_edges() == {(0, 1), (1, 2)}
+
+    def test_transitive_reduction_keeps_needed(self):
+        d = Dag(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert d.transitive_reduction_edges() == d.edges
+
+    def test_is_prefix_node_set(self):
+        d = Dag(3, [(0, 1), (1, 2)])
+        assert d.is_prefix_node_set(0b001)
+        assert d.is_prefix_node_set(0b011)
+        assert not d.is_prefix_node_set(0b010)
+        assert not d.is_prefix_node_set(0b100)
+        assert d.is_prefix_node_set(0)
+
+
+class TestEqualityHashing:
+    def test_equal(self):
+        assert Dag(2, [(0, 1)]) == Dag(2, [(0, 1)])
+        assert hash(Dag(2, [(0, 1)])) == hash(Dag(2, [(0, 1)]))
+
+    def test_unequal_edges(self):
+        assert Dag(2, [(0, 1)]) != Dag(2)
+
+    def test_unequal_sizes(self):
+        assert Dag(2) != Dag(3)
+
+    def test_not_equal_other_type(self):
+        assert Dag(1) != "dag"

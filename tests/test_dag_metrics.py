@@ -1,0 +1,86 @@
+"""Tests for dag metrics: work, span, parallelism, width."""
+
+from hypothesis import given, settings
+
+from repro.dag import Dag, all_antichains, chain_dag, empty_dag, fork_join_dag
+from repro.dag.metrics import level_sizes, parallelism, span, width, work
+from tests.conftest import dags
+
+
+class TestWorkSpan:
+    def test_empty(self):
+        d = Dag(0)
+        assert work(d) == 0 and span(d) == 0 and parallelism(d) == 0.0
+
+    def test_chain(self):
+        d = chain_dag(5)
+        assert work(d) == 5 and span(d) == 5
+        assert parallelism(d) == 1.0
+
+    def test_antichain(self):
+        d = empty_dag(6)
+        assert span(d) == 1
+        assert parallelism(d) == 6.0
+
+    def test_diamond(self):
+        d = Dag(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert span(d) == 3
+
+    def test_fork_join(self):
+        d = fork_join_dag(2)
+        # fork, fork, leaf, leaf, join, fork, leaf, leaf, join, join
+        assert span(d) == 5  # fork-fork-leaf-join-join
+
+    def test_span_takes_longest_branch(self):
+        d = Dag(5, [(0, 1), (1, 2), (2, 3), (0, 4)])
+        assert span(d) == 4
+
+
+class TestLevels:
+    def test_chain_levels(self):
+        assert level_sizes(chain_dag(4)) == [1, 1, 1, 1]
+
+    def test_antichain_levels(self):
+        assert level_sizes(empty_dag(4)) == [4]
+
+    def test_diamond_levels(self):
+        d = Dag(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert level_sizes(d) == [1, 2, 1]
+
+    def test_empty(self):
+        assert level_sizes(Dag(0)) == []
+
+    def test_levels_sum_to_work(self):
+        d = fork_join_dag(3)
+        assert sum(level_sizes(d)) == work(d)
+
+
+class TestWidth:
+    def test_chain(self):
+        assert width(chain_dag(6)) == 1
+
+    def test_antichain(self):
+        assert width(empty_dag(6)) == 6
+
+    def test_diamond(self):
+        d = Dag(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert width(d) == 2
+
+    def test_empty(self):
+        assert width(Dag(0)) == 0
+
+    def test_fork_join_width_equals_fanout(self):
+        assert width(fork_join_dag(1, fanout=4)) == 4
+
+    @given(dags(max_nodes=7))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_bruteforce_antichains(self, d):
+        brute = max((len(a) for a in all_antichains(d)), default=0)
+        assert width(d) == brute
+
+    @given(dags(max_nodes=7))
+    @settings(max_examples=30, deadline=None)
+    def test_width_at_least_level_max(self, d):
+        levels = level_sizes(d)
+        if levels:
+            assert width(d) >= max(levels)

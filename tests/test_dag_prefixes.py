@@ -1,0 +1,84 @@
+"""Tests for prefix (downset) and antichain enumeration."""
+
+from hypothesis import given, settings
+
+from repro.dag import (
+    Dag,
+    all_antichains,
+    all_prefix_masks,
+    chain_dag,
+    empty_dag,
+    is_antichain,
+    is_prefix_mask,
+    prefix_closure_mask,
+)
+from tests.conftest import dags
+
+
+def brute_force_downsets(d: Dag) -> set[int]:
+    return {
+        mask
+        for mask in range(1 << d.num_nodes)
+        if all(
+            not (d.predecessor_mask(u) & ~mask)
+            for u in range(d.num_nodes)
+            if mask & (1 << u)
+        )
+    }
+
+
+@given(dags(max_nodes=6))
+@settings(max_examples=50)
+def test_prefixes_match_brute_force(d):
+    assert set(all_prefix_masks(d)) == brute_force_downsets(d)
+
+
+class TestPrefixes:
+    def test_chain_prefixes(self):
+        # Chains have exactly n+1 downsets.
+        assert len(list(all_prefix_masks(chain_dag(5)))) == 6
+
+    def test_antichain_prefixes(self):
+        assert len(list(all_prefix_masks(empty_dag(4)))) == 16
+
+    def test_empty(self):
+        assert list(all_prefix_masks(Dag(0))) == [0]
+
+    def test_is_prefix_mask(self):
+        d = chain_dag(3)
+        assert is_prefix_mask(d, 0b011)
+        assert not is_prefix_mask(d, 0b110)
+
+    def test_closure(self):
+        d = chain_dag(4)
+        assert prefix_closure_mask(d, 0b1000) == 0b1111
+        assert prefix_closure_mask(d, 0b0001) == 0b0001
+
+    def test_closure_is_prefix(self):
+        d = Dag(4, [(0, 2), (1, 2), (2, 3)])
+        closed = prefix_closure_mask(d, 0b1000)
+        assert is_prefix_mask(d, closed)
+        assert closed == 0b1111
+
+
+class TestAntichains:
+    def test_chain_antichains(self):
+        # In a chain: empty set + singletons.
+        assert len(list(all_antichains(chain_dag(4)))) == 5
+
+    def test_empty_graph(self):
+        assert list(all_antichains(Dag(0))) == [()]
+
+    def test_antichain_all_subsets_when_no_edges(self):
+        assert len(list(all_antichains(empty_dag(3)))) == 8
+
+    @given(dags(max_nodes=6))
+    @settings(max_examples=40)
+    def test_all_enumerated_are_antichains(self, d):
+        for chain in all_antichains(d):
+            assert is_antichain(d, chain)
+
+    def test_is_antichain_negative(self):
+        d = chain_dag(3)
+        assert not is_antichain(d, (0, 2))
+        assert is_antichain(d, (1,))

@@ -1,0 +1,103 @@
+"""Tests for topological-sort enumeration, counting, and sampling."""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.dag import (
+    Dag,
+    all_topological_sorts,
+    chain_dag,
+    count_topological_sorts,
+    empty_dag,
+    is_topological_sort,
+    random_topological_sort,
+)
+from tests.conftest import brute_force_sorts, dags
+
+
+class TestIsTopologicalSort:
+    def test_valid(self):
+        d = Dag(3, [(0, 1), (1, 2)])
+        assert is_topological_sort(d, (0, 1, 2))
+
+    def test_violates_edge(self):
+        d = Dag(3, [(0, 1), (1, 2)])
+        assert not is_topological_sort(d, (1, 0, 2))
+
+    def test_not_a_permutation(self):
+        d = Dag(3, [(0, 1)])
+        assert not is_topological_sort(d, (0, 1))
+        assert not is_topological_sort(d, (0, 0, 1))
+
+
+class TestEnumeration:
+    def test_chain_has_one_sort(self):
+        assert list(all_topological_sorts(chain_dag(4))) == [(0, 1, 2, 3)]
+
+    def test_empty_dag_has_factorial(self):
+        assert len(list(all_topological_sorts(empty_dag(3)))) == 6
+
+    def test_empty_graph(self):
+        assert list(all_topological_sorts(Dag(0))) == [()]
+
+    def test_diamond(self):
+        d = Dag(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        sorts = list(all_topological_sorts(d))
+        assert sorted(sorts) == [(0, 1, 2, 3), (0, 2, 1, 3)]
+
+    def test_no_duplicates(self):
+        d = Dag(4, [(0, 2)])
+        sorts = list(all_topological_sorts(d))
+        assert len(sorts) == len(set(sorts))
+
+
+@given(dags(max_nodes=5))
+@settings(max_examples=50)
+def test_enumeration_matches_brute_force(d):
+    enumerated = sorted(all_topological_sorts(d))
+    brute = sorted(brute_force_sorts(d))
+    assert enumerated == brute
+
+
+@given(dags(max_nodes=6))
+@settings(max_examples=50)
+def test_count_matches_enumeration(d):
+    assert count_topological_sorts(d) == len(list(all_topological_sorts(d)))
+
+
+class TestCounting:
+    def test_empty(self):
+        assert count_topological_sorts(Dag(0)) == 1
+
+    def test_chain(self):
+        assert count_topological_sorts(chain_dag(10)) == 1
+
+    def test_antichain(self):
+        import math
+
+        assert count_topological_sorts(empty_dag(6)) == math.factorial(6)
+
+    def test_fork_join(self):
+        # 0 -> {1,2,3} -> 4: middle layer permutes freely.
+        d = Dag(5, [(0, i) for i in (1, 2, 3)] + [(i, 4) for i in (1, 2, 3)])
+        assert count_topological_sorts(d) == 6
+
+
+class TestRandomSort:
+    @given(dags(max_nodes=6))
+    @settings(max_examples=50)
+    def test_always_valid(self, d):
+        order = random_topological_sort(d, random.Random(7))
+        assert is_topological_sort(d, order)
+
+    def test_deterministic_given_seed(self):
+        d = empty_dag(8)
+        a = random_topological_sort(d, random.Random(3))
+        b = random_topological_sort(d, random.Random(3))
+        assert a == b
+
+    def test_covers_multiple_sorts(self):
+        d = empty_dag(4)
+        seen = {random_topological_sort(d, random.Random(s)) for s in range(40)}
+        assert len(seen) > 3

@@ -1,0 +1,51 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation; these tests keep them from rotting.  Each
+script is executed in a subprocess with a generous timeout, and its
+output is checked for a script-specific marker line (so a silently
+broken example cannot pass).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: script name -> substring its stdout must contain.
+MARKERS = {
+    "quickstart.py": "single SC witness order",
+    "paper_figures.py": "unless F writes to the memory location",
+    "model_lattice.py": "All Figure 1 claims reproduced",
+    "backer_fork_join.py": "impossible under sequential consistency",
+    "fault_injection.py": "faithful protocol: zero violations",
+    "litmus_outcomes.py": "CoRR",
+    "locked_counter.py": "lost-update behaviour accepted by LockRC: False",
+    "online_game.py": "NN is STUCK",
+    "custom_model.py": "constructible: NO",
+    "lost_updates.py": "racy counter",
+}
+
+
+def test_every_example_has_a_marker():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(MARKERS), (
+        "examples/ and MARKERS out of sync — add a marker for new scripts"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(MARKERS))
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert MARKERS[script] in proc.stdout, (
+        f"{script} ran but its marker line is missing:\n"
+        f"{proc.stdout[-1500:]}"
+    )

@@ -1,0 +1,150 @@
+"""Tests for the BSP frontend."""
+
+import pytest
+
+from repro.core import R, W
+from repro.errors import ReproError
+from repro.lang.bsp import BspProgram, bsp_exchange_computation
+from repro.runtime import BackerMemory, execute, work_stealing_schedule
+from repro.verify import trace_admits_lc
+
+
+class TestBuilder:
+    def test_single_worker_chain(self):
+        prog = BspProgram(1)
+        with prog.superstep() as s:
+            s.on(0).write("x")
+            s.on(0).read("x")
+        comp, info = prog.build()
+        assert comp.num_nodes == 2
+        assert comp.precedes(0, 1)
+        assert info.num_supersteps == 1
+
+    def test_workers_concurrent_within_step(self):
+        prog = BspProgram(2)
+        with prog.superstep() as s:
+            a = s.on(0).write("a")
+            b = s.on(1).write("b")
+        comp, _ = prog.build()
+        assert not comp.precedes(a, b) and not comp.precedes(b, a)
+
+    def test_barrier_orders_steps(self):
+        prog = BspProgram(2)
+        with prog.superstep() as s:
+            a = s.on(0).write("a")
+            b = s.on(1).write("b")
+        with prog.superstep() as s:
+            c = s.on(0).read("b")
+        comp, _ = prog.build()
+        assert comp.precedes(a, c) and comp.precedes(b, c)
+
+    def test_silent_worker_skipped(self):
+        prog = BspProgram(3)
+        with prog.superstep() as s:
+            s.on(0).write("x")
+        with prog.superstep() as s:
+            s.on(2).read("x")
+        comp, info = prog.build()
+        assert comp.num_nodes == 2
+        assert comp.precedes(0, 1)
+        assert (0, 0) in info.chains and (1, 2) in info.chains
+        assert (0, 1) not in info.chains  # worker 1 stayed silent
+
+    def test_empty_superstep_transparent(self):
+        prog = BspProgram(2)
+        with prog.superstep() as s:
+            a = s.on(0).write("x")
+        with prog.superstep():
+            pass  # fully silent
+        with prog.superstep() as s:
+            b = s.on(1).read("x")
+        comp, info = prog.build()
+        assert comp.precedes(a, b)
+        assert info.num_supersteps == 2  # the silent one is not counted
+
+    def test_errors(self):
+        with pytest.raises(ReproError):
+            BspProgram(0)
+        prog = BspProgram(1)
+        step = prog.superstep()
+        with pytest.raises(ReproError):
+            prog.superstep()  # previous still open
+        with pytest.raises(ReproError):
+            prog.build()  # open superstep
+        with pytest.raises(ReproError):
+            step.on(5)
+        step.__exit__(None, None, None)
+        prog.build()
+
+    def test_emission_outside_step_rejected(self):
+        prog = BspProgram(1)
+        with prog.superstep() as s:
+            handle = s.on(0)
+            handle.write("x")
+        with pytest.raises(ReproError):
+            handle.write("y")  # superstep closed
+
+    def test_ops_recorded(self):
+        prog = BspProgram(1)
+        with prog.superstep() as s:
+            s.on(0).write("x")
+            s.on(0).read("x")
+            s.on(0).nop()
+        comp, _ = prog.build()
+        assert comp.op(0) == W("x") and comp.op(1) == R("x")
+        assert comp.op(2).is_nop
+
+
+class TestExchangeWorkload:
+    def test_shape(self):
+        comp, info = bsp_exchange_computation(workers=4, rounds=3)
+        assert info.num_supersteps == 3
+        # round 0: 1 op per worker; rounds 1+: 3 ops per worker.
+        assert comp.num_nodes == 4 * (1 + 3 + 3)
+
+    def test_reads_follow_their_writes(self):
+        comp, _ = bsp_exchange_computation(workers=3, rounds=2)
+        for loc in comp.locations:
+            for r in comp.readers(loc):
+                assert any(comp.precedes(w, r) for w in comp.writers(loc))
+
+    def test_race_free(self):
+        from repro.verify import is_race_free
+
+        assert is_race_free(bsp_exchange_computation(4, 3)[0])
+
+    def test_backer_lc_on_bsp(self):
+        comp, _ = bsp_exchange_computation(4, 3)
+        for procs in (2, 4):
+            for seed in range(3):
+                sched = work_stealing_schedule(comp, procs, rng=seed)
+                trace = execute(sched, BackerMemory())
+                assert trace_admits_lc(trace.partial_observer())
+
+    def test_layered_not_sp(self):
+        """Adjacent supersteps with ≥ 2 active workers produce the N
+        shape — BSP dags leave the series-parallel world."""
+        from repro.dag import is_series_parallel
+
+        prog = BspProgram(2)
+        with prog.superstep() as s:
+            s.on(0).write("a")
+            s.on(1).write("b")
+        with prog.superstep() as s:
+            s.on(0).read("a")
+            s.on(1).read("b")
+        comp, _ = prog.build()
+        # Every first-step node precedes every second-step node: this is
+        # actually complete bipartite, which IS node-SP; add a third
+        # step touching only one worker to break it.
+        prog2 = BspProgram(2)
+        with prog2.superstep() as s:
+            s.on(0).write("a")
+        with prog2.superstep() as s:
+            s.on(0).read("a")
+            s.on(1).write("b")
+        with prog2.superstep() as s:
+            s.on(1).read("b")
+        comp2, _ = prog2.build()
+        assert is_series_parallel(comp.dag)
+        assert is_series_parallel(comp2.dag)  # still SP: barriers nest

@@ -1,0 +1,165 @@
+"""Tests for the Cilk-style spawn/sync frontend."""
+
+from repro.core import N, R, W
+from repro.dag import is_series_parallel
+from repro.lang import CilkContext, unfold
+
+
+class TestSerialStructure:
+    def test_ops_serially_dependent(self):
+        def prog(ctx):
+            ctx.write("x")
+            ctx.read("x")
+            ctx.read("x")
+
+        comp, info = unfold(prog)
+        assert comp.num_nodes == 3
+        assert comp.precedes(0, 1) and comp.precedes(1, 2)
+        assert info.spawn_count == 0
+
+    def test_ops_recorded(self):
+        def prog(ctx):
+            ctx.write("x")
+            ctx.nop()
+            ctx.read("y")
+
+        comp, _ = unfold(prog)
+        assert comp.ops == (W("x"), N, R("y"))
+
+    def test_empty_program(self):
+        comp, info = unfold(lambda ctx: None)
+        assert comp.is_empty
+
+
+class TestSpawnSync:
+    def test_spawned_child_concurrent_with_continuation(self):
+        def child(ctx):
+            ctx.write("a")
+
+        def prog(ctx):
+            ctx.write("x")       # 0
+            ctx.spawn(child)     # child op = 1
+            ctx.write("y")       # 2 (continuation)
+            ctx.sync()
+            ctx.read("a")        # 3
+
+        comp, info = unfold(prog)
+        assert comp.precedes(0, 1)  # child after spawn point
+        assert comp.precedes(0, 2)
+        assert not comp.precedes(1, 2) and not comp.precedes(2, 1)  # parallel
+        assert comp.precedes(1, 3) and comp.precedes(2, 3)  # joined at sync
+        assert info.spawn_count == 1 and info.sync_count == 1
+
+    def test_sync_without_spawn_is_noop_structurally(self):
+        def prog(ctx):
+            ctx.write("x")
+            ctx.sync()
+            ctx.read("x")
+
+        comp, _ = unfold(prog)
+        assert comp.precedes(0, 1)
+
+    def test_implicit_sync_at_child_return(self):
+        # Child spawns a grandchild and returns without syncing; the
+        # grandchild must still be joined before the parent's sync target.
+        def grandchild(ctx):
+            ctx.write("g")
+
+        def child(ctx):
+            ctx.spawn(grandchild)
+            ctx.write("c")
+            # no explicit sync
+
+        def prog(ctx):
+            ctx.spawn(child)
+            ctx.sync()
+            ctx.read("g")
+
+        comp, _ = unfold(prog)
+        g = comp.writers("g")[0]
+        r = comp.readers("g")[0]
+        assert comp.precedes(g, r)
+
+    def test_multiple_children_all_joined(self):
+        def child(ctx, i):
+            ctx.write(("c", i))
+
+        def prog(ctx):
+            for i in range(3):
+                ctx.spawn(child, i)
+            ctx.sync()
+            ctx.nop()
+
+        comp, _ = unfold(prog)
+        last = comp.num_nodes - 1
+        for i in range(3):
+            w = comp.writers(("c", i))[0]
+            assert comp.precedes(w, last)
+
+    def test_children_mutually_concurrent(self):
+        def child(ctx, i):
+            ctx.write(("c", i))
+
+        def prog(ctx):
+            ctx.spawn(child, 0)
+            ctx.spawn(child, 1)
+            ctx.sync()
+
+        comp, _ = unfold(prog)
+        a = comp.writers(("c", 0))[0]
+        b = comp.writers(("c", 1))[0]
+        assert not comp.precedes(a, b) and not comp.precedes(b, a)
+
+    def test_spawn_args_kwargs(self):
+        seen = []
+
+        def child(ctx, a, b=0):
+            seen.append((a, b))
+            ctx.nop()
+
+        def prog(ctx):
+            ctx.spawn(child, 1, b=2)
+            ctx.sync()
+
+        unfold(prog)
+        assert seen == [(1, 2)]
+
+    def test_names_recorded(self):
+        def prog(ctx):
+            ctx.write("x", name="init")
+
+        _, info = unfold(prog)
+        assert info.names == {"init": 0}
+
+
+class TestSeriesParallelInvariant:
+    def test_nested_unfolding_is_sp(self):
+        def rec(ctx, depth):
+            if depth == 0:
+                ctx.write(("leaf", id(object())))
+                return
+            ctx.spawn(rec, depth - 1)
+            ctx.spawn(rec, depth - 1)
+            ctx.sync()
+            ctx.nop()
+
+        comp, _ = unfold(rec, 3)
+        assert is_series_parallel(comp.dag)
+
+    def test_interleaved_spawn_sync_is_sp(self):
+        def child(ctx):
+            ctx.nop()
+
+        def prog(ctx):
+            ctx.nop()
+            ctx.spawn(child)
+            ctx.nop()
+            ctx.sync()
+            ctx.spawn(child)
+            ctx.spawn(child)
+            ctx.nop()
+            ctx.sync()
+            ctx.nop()
+
+        comp, _ = unfold(prog)
+        assert is_series_parallel(comp.dag)

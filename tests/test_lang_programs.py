@@ -1,0 +1,137 @@
+"""Tests for the canonical program workloads."""
+
+import pytest
+
+from repro.dag import is_series_parallel
+from repro.lang import (
+    fib_computation,
+    iriw_computation,
+    matmul_computation,
+    racy_counter_computation,
+    scan_computation,
+    stencil_computation,
+    store_buffer_computation,
+    tree_sum_computation,
+)
+
+ALL_PROGRAMS = [
+    ("fib", lambda: fib_computation(5)),
+    ("matmul", lambda: matmul_computation(2)),
+    ("scan", lambda: scan_computation(4)),
+    ("stencil", lambda: stencil_computation(4, 2)),
+    ("tree_sum", lambda: tree_sum_computation(4)),
+    ("racy", lambda: racy_counter_computation(3, 2)),
+    ("store_buffer", store_buffer_computation),
+    ("iriw", iriw_computation),
+]
+
+
+@pytest.mark.parametrize("name,factory", ALL_PROGRAMS)
+def test_all_programs_are_series_parallel(name, factory):
+    comp, _ = factory()
+    assert is_series_parallel(comp.dag), name
+
+
+@pytest.mark.parametrize("name,factory", ALL_PROGRAMS)
+def test_all_programs_nonempty_with_memory_ops(name, factory):
+    comp, _ = factory()
+    assert comp.num_nodes > 0
+    assert comp.locations, name
+
+
+class TestFib:
+    def test_base_case(self):
+        comp, info = fib_computation(1)
+        assert comp.num_nodes == 1
+        assert info.spawn_count == 0  # a leaf call spawns nothing
+
+    def test_reads_follow_writes(self):
+        comp, _ = fib_computation(6)
+        # Every read of a fib cell is preceded by its write.
+        for loc in comp.locations:
+            writers = comp.writers(loc)
+            for r in comp.readers(loc):
+                assert any(comp.precedes(w, r) for w in writers)
+
+    def test_spawn_structure(self):
+        _, info = fib_computation(5)
+        assert info.spawn_count > 0 and info.sync_count > 0
+
+
+class TestMatmul:
+    def test_block_counts(self):
+        comp, _ = matmul_computation(2)
+        # 4 C-blocks each written by init + 2 accumulation steps.
+        assert len(comp.writers(("C", 0, 0))) == 3
+
+    def test_final_reads_joined(self):
+        comp, _ = matmul_computation(2)
+        # The final read of each C block follows every write to it.
+        for i in range(2):
+            for j in range(2):
+                loc = ("C", i, j)
+                final_read = comp.readers(loc)[-1]
+                for w in comp.writers(loc):
+                    assert comp.precedes(w, final_read)
+
+
+class TestScan:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            scan_computation(6)
+
+    def test_upsweep_feeds_downsweep(self):
+        comp, _ = scan_computation(4)
+        # The root sum is written before the root prefix is consumed.
+        root_sum_w = comp.writers(("s", 2, 0))[0]
+        prefix_readers = comp.readers(("p", 2, 0))
+        assert prefix_readers
+        assert all(comp.precedes(root_sum_w, r) for r in prefix_readers)
+
+
+class TestStencil:
+    def test_generation_dependencies(self):
+        comp, _ = stencil_computation(4, 2)
+        # Generation-2 cells read generation-1 cells.
+        r = comp.readers(("g", 1, 1))
+        w = comp.writers(("g", 1, 1))[0]
+        assert all(comp.precedes(w, x) for x in r)
+
+    def test_node_scaling(self):
+        small, _ = stencil_computation(4, 1)
+        big, _ = stencil_computation(4, 3)
+        assert big.num_nodes > small.num_nodes
+
+
+class TestTreeSum:
+    def test_root_read_after_all_leaves(self):
+        comp, _ = tree_sum_computation(8)
+        final = comp.readers(("t", 0, 8))[0]
+        for lo in range(8):
+            leaf_w = comp.writers(("t", lo, lo + 1))[0]
+            assert comp.precedes(leaf_w, final)
+
+
+class TestLitmus:
+    def test_store_buffer_shape(self):
+        comp, _ = store_buffer_computation()
+        assert comp.num_nodes == 4
+        (wx,) = comp.writers("x")
+        (ry,) = comp.readers("y")
+        assert comp.precedes(wx, ry)
+        (wy,) = comp.writers("y")
+        (rx,) = comp.readers("x")
+        assert comp.precedes(wy, rx)
+        # The two tasks are mutually concurrent.
+        assert not comp.precedes(wx, wy) and not comp.precedes(wy, wx)
+
+    def test_iriw_shape(self):
+        comp, _ = iriw_computation()
+        assert comp.num_nodes == 6
+        assert len(comp.readers("x")) == 2
+        assert len(comp.readers("y")) == 2
+
+    def test_racy_counter_counts(self):
+        comp, _ = racy_counter_computation(3, 2)
+        assert len(comp.writers("ctr")) == 1 + 3 * 2
+        assert len(comp.readers("ctr")) == 3 * 2 + 1

@@ -1,0 +1,93 @@
+"""Empirical checks of the paper's structural results on Δ*.
+
+* Lemma 7 — a union of constructible models is constructible.
+* Theorem 9 — Δ* is (9.1) inside Δ, (9.2) constructible, and (9.3) the
+  *weakest* constructible strengthening: it contains every constructible
+  model inside Δ.
+"""
+
+from repro.models import (
+    LC,
+    NN,
+    SC,
+    WN,
+    WW,
+    UnionModel,
+    Universe,
+    constructible_version,
+    find_nonconstructibility_witness,
+)
+
+UNIVERSE = Universe(max_nodes=3, locations=("x",))
+SMALL_RW = Universe(max_nodes=3, locations=("x",), include_nop=False)
+
+
+class TestLemma7:
+    def test_union_of_constructible_is_constructible(self):
+        """SC ∪ WW, LC ∪ WN, SC ∪ LC ∪ WW: all augmentation-closed."""
+        for parts in [(SC, WW), (LC, WN), (SC, LC, WW)]:
+            union = UnionModel(parts)
+            assert (
+                find_nonconstructibility_witness(union, UNIVERSE) is None
+            ), union.name
+
+    def test_union_weaker_than_parts(self):
+        union = UnionModel([SC, WW])
+        for comp, phi in UNIVERSE.pairs(2):
+            if SC.contains(comp, phi) or WW.contains(comp, phi):
+                assert union.contains(comp, phi)
+
+    def test_union_with_nonconstructible_part_can_break(self):
+        """Lemma 7 needs *all* parts constructible: NN alone (a union of
+        one) is the counterexample."""
+        union = UnionModel([NN])
+        wit = find_nonconstructibility_witness(
+            union, Universe(max_nodes=4, locations=("x",), include_nop=False)
+        )
+        assert wit is not None
+
+    def test_requires_parts(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            UnionModel([])
+
+    def test_name(self):
+        assert UnionModel([SC, WW]).name == "SC ∪ WW"
+        assert UnionModel([SC], name="just-sc").name == "just-sc"
+
+
+class TestTheorem9:
+    def setup_method(self):
+        self.result = constructible_version(NN, SMALL_RW)
+
+    def test_91_star_inside_delta(self):
+        """Δ* ⊆ Δ: every fixpoint pair is an NN pair."""
+        for comp in self.result.model.computations():
+            for phi in self.result.model.observers(comp):
+                assert NN.contains(comp, phi)
+
+    def test_92_star_constructible_on_sound_sizes(self):
+        """Δ* is augmentation-closed where the computation is sound."""
+        from repro.models import augmentation_extensions
+
+        star = self.result.model
+        for comp in star.computations():
+            if comp.num_nodes >= self.result.sound_max_nodes:
+                continue
+            for phi in list(star.observers(comp)):
+                for o in SMALL_RW.alphabet:
+                    assert any(
+                        star.contains(aug, phi2)
+                        for aug, phi2 in augmentation_extensions(comp, phi, o)
+                    ), (comp, phi, o)
+
+    def test_93_star_is_weakest(self):
+        """Every constructible model inside NN sits inside NN*: LC (the
+        only nontrivial constructible zoo member ⊆ NN) does."""
+        star = self.result.model
+        for n in range(self.result.sound_max_nodes + 1):
+            for comp in SMALL_RW.computations_of_size(n):
+                for phi in SMALL_RW.observers(comp):
+                    if LC.contains(comp, phi):
+                        assert star.contains(comp, phi)

@@ -1,0 +1,306 @@
+"""Tests for lock-augmented computations and the LockRC model."""
+
+import pytest
+
+from repro.core import Computation, ObserverFunction, R, W
+from repro.dag import Dag
+from repro.errors import InvalidComputationError
+from repro.lang import unfold
+from repro.locks import LockRC, LockedComputation
+from repro.models import LC, SC
+from repro.verify import is_race_free
+
+
+def locked_counter(n_tasks: int = 2) -> LockedComputation:
+    """n tasks each doing a locked read-modify-write of one counter."""
+
+    def task(ctx):
+        with ctx.lock("L"):
+            ctx.read("ctr")
+            ctx.write("ctr")
+
+    def main(ctx):
+        ctx.write("ctr")
+        for _ in range(n_tasks):
+            ctx.spawn(task)
+        ctx.sync()
+        ctx.read("ctr")
+
+    comp, info = unfold(main)
+    return LockedComputation.from_unfold(comp, info)
+
+
+def unlocked_counter(n_tasks: int = 2) -> Computation:
+    def task(ctx):
+        ctx.read("ctr")
+        ctx.write("ctr")
+
+    def main(ctx):
+        ctx.write("ctr")
+        for _ in range(n_tasks):
+            ctx.spawn(task)
+        ctx.sync()
+        ctx.read("ctr")
+
+    return unfold(main)[0]
+
+
+class TestLockedComputation:
+    def test_structure(self):
+        lc = locked_counter(2)
+        assert lc.locks == ("L",)
+        assert len(lc.sections_of("L")) == 2
+        assert lc.section_count() == 2
+
+    def test_invalid_section_order(self):
+        comp = Computation(Dag(2, [(0, 1)]), (W("x"), R("x")))
+        with pytest.raises(InvalidComputationError):
+            LockedComputation(comp, {"L": [(1, 0)]})  # release before acquire
+
+    def test_invalid_node(self):
+        comp = Computation(Dag(1), (W("x"),))
+        with pytest.raises(InvalidComputationError):
+            LockedComputation(comp, {"L": [(0, 5)]})
+
+    def test_serializations_count(self):
+        lc = locked_counter(3)
+        assert len(list(lc.serializations())) == 6  # 3! orders
+
+    def test_induced_computations_admissible(self):
+        lc = locked_counter(2)
+        induced = list(lc.induced_computations())
+        assert len(induced) == 2  # both orders acyclic (tasks concurrent)
+        for ser, comp in induced:
+            assert comp.num_nodes == lc.comp.num_nodes
+            assert len(comp.dag.edges) > len(lc.comp.dag.edges)
+
+    def test_nested_sections_same_lock_deadlock_detected(self):
+        # Two sections on one lock where one lies inside the other:
+        # serializing them either way adds a cycle-producing edge.
+        comp = Computation.serial([W("x"), R("x"), R("x"), R("x")])
+        lc = LockedComputation(comp, {"L": [(0, 3), (1, 2)]})
+        assert not lc.has_admissible_serialization()
+
+    def test_serialization_edges(self):
+        lc = locked_counter(2)
+        (s0,) = [lc.sections_of("L")[0]]
+        ser = {"L": (0, 1)}
+        edges = lc.serialization_edges(ser)
+        assert edges == [(s0.release, lc.sections_of("L")[1].acquire)]
+
+
+class TestDRF:
+    def test_locked_counter_is_drf(self):
+        assert locked_counter(2).is_drf()
+        assert locked_counter(3).is_drf()
+
+    def test_unlocked_counter_races(self):
+        assert not is_race_free(unlocked_counter(2))
+
+    def test_partially_locked_not_drf(self):
+        # One task locks, the other doesn't: still racy.
+        def locked_task(ctx):
+            with ctx.lock("L"):
+                ctx.read("ctr")
+                ctx.write("ctr")
+
+        def rogue_task(ctx):
+            ctx.write("ctr")
+
+        def main(ctx):
+            ctx.write("ctr")
+            ctx.spawn(locked_task)
+            ctx.spawn(rogue_task)
+            ctx.sync()
+
+        comp, info = unfold(main)
+        lc = LockedComputation.from_unfold(comp, info)
+        assert not lc.is_drf()
+        assert list(lc.racy_serializations())
+
+    def test_wrong_lock_not_drf(self):
+        # Two tasks lock *different* locks: no mutual exclusion.
+        def task(ctx, lock_name):
+            with ctx.lock(lock_name):
+                ctx.read("ctr")
+                ctx.write("ctr")
+
+        def main(ctx):
+            ctx.write("ctr")
+            ctx.spawn(task, "L1")
+            ctx.spawn(task, "L2")
+            ctx.sync()
+
+        comp, info = unfold(main)
+        lc = LockedComputation.from_unfold(comp, info)
+        assert not lc.is_drf()
+
+
+class TestLockRC:
+    def test_serialized_behaviour_accepted(self):
+        lc = locked_counter(2)
+        # Take any admissible serialization's last-writer observer.
+        from repro.core import last_writer_function
+
+        ser, induced = next(lc.induced_computations())
+        phi_induced = last_writer_function(
+            induced, induced.dag.topological_order
+        )
+        phi = ObserverFunction(
+            lc.comp, {loc: phi_induced.row(loc) for loc in phi_induced.locations}
+        )
+        assert LockRC.contains(lc, phi)
+        assert LockRC.witness_serialization(lc, phi) is not None
+
+    def test_atomicity_violation_rejected(self):
+        """Both tasks observing the initial write is a lost update —
+        impossible once critical sections serialize."""
+        lc = locked_counter(2)
+        comp = lc.comp
+        init = comp.writers("ctr")[0]
+        reads = comp.readers("ctr")
+        task_reads = [r for r in reads if r != reads[-1]]
+        writes = [w for w in comp.writers("ctr") if w != init]
+        # Build Φ: both task reads observe the initial write; task writes
+        # self-observe; final read observes the second task's write.
+        row = [None] * comp.num_nodes
+        for w in comp.writers("ctr"):
+            row[w] = w
+        for r in task_reads:
+            row[r] = init
+        row[reads[-1]] = writes[-1]
+        # Fill the remaining (no-op) nodes with the initial write where
+        # valid, else ⊥ — their values don't affect the conclusion, but
+        # LC membership needs a total function; choose observations that
+        # keep the *bare* computation LC-consistent so the rejection is
+        # attributable to the lock serialization alone.
+        for u in comp.nodes():
+            if row[u] is None and not comp.precedes(u, init):
+                row[u] = init
+        phi = ObserverFunction(comp, {"ctr": tuple(row)})
+        # Under some serialization-free reading this may or may not be
+        # plain-LC; under every *serialization* one task's read follows
+        # the other task's write, so LockRC must reject it.
+        assert not LockRC.contains(lc, phi)
+
+    def test_drf_guarantee_reads_are_sc(self):
+        """DRF theorem: for a properly synchronized locked computation,
+        every LockRC observer's reads match an SC execution of the
+        witnessing induced computation."""
+        lc = locked_counter(2)
+        assert lc.is_drf()
+        hits = 0
+        for ser, induced in lc.induced_computations():
+            for phi in LC.observers(induced):
+                hits += 1
+                # The same rows, viewed on the induced computation, must
+                # describe SC-explainable reads: race freedom forces the
+                # last-writer at every read, so some SC observer agrees
+                # on all reads.
+                sc_match = False
+                for psi in SC.observers(induced):
+                    if all(
+                        psi.value(loc, r) == phi.value(loc, r)
+                        for loc in induced.locations
+                        for r in induced.readers(loc)
+                    ):
+                        sc_match = True
+                        break
+                assert sc_match
+        assert hits > 0
+
+    def test_base_model_parameter(self):
+        from repro.locks import LockReleaseConsistency
+        from repro.models import WW
+
+        weak = LockReleaseConsistency(WW)
+        assert weak.name == "LockRC[WW]"
+        lc = locked_counter(2)
+        from repro.core import last_writer_function
+
+        ser, induced = next(lc.induced_computations())
+        phi_induced = last_writer_function(induced, induced.dag.topological_order)
+        phi = ObserverFunction(
+            lc.comp, {loc: phi_induced.row(loc) for loc in phi_induced.locations}
+        )
+        assert weak.contains(lc, phi)  # LC ⊆ WW
+
+    def test_inadmissible_everything_rejected(self):
+        comp = Computation.serial([W("x"), R("x"), R("x"), R("x")])
+        locked = LockedComputation(comp, {"L": [(0, 3), (1, 2)]})
+        phi = ObserverFunction(comp, {"x": (0, 0, 0, 0)})
+        assert not LockRC.contains(locked, phi)
+
+
+class TestLockedRuntime:
+    def test_execute_locked_end_to_end(self):
+        from repro.locks import execute_locked
+        from repro.runtime import BackerMemory
+
+        locked = locked_counter(3)
+        for seed in range(5):
+            result = execute_locked(locked, 4, BackerMemory(), rng=seed)
+            assert result.lock_consistent()
+            # The committed serialization is admissible.
+            assert locked.induce(result.serialization) is not None
+
+    def test_atomicity_preserved_at_runtime(self):
+        """Locked increments never interleave: each task's read observes
+        either the init write or another task's *complete* write — and
+        under the committed serialization the reads-from chain respects
+        the lock order."""
+        from repro.locks import execute_locked
+        from repro.runtime import BackerMemory
+
+        locked = locked_counter(2)
+        comp = locked.comp
+        init = comp.writers("ctr")[0]
+        for seed in range(10):
+            result = execute_locked(locked, 4, BackerMemory(), rng=seed)
+            induced = locked.induce(result.serialization)
+            observed = {e.node: e.observed for e in result.trace.reads}
+            secs = locked.sections_of("L")
+            order = result.serialization["L"]
+            # The first section's read sees init; the second sees the
+            # first section's write (BACKER reconciles at lock edges).
+            first, second = secs[order[0]], secs[order[1]]
+
+            def section_read(sec):
+                return next(
+                    r for r in comp.readers("ctr")
+                    if comp.precedes(sec.acquire, r) and comp.precedes(r, sec.release)
+                )
+
+            assert observed[section_read(first)] == init
+            first_write = next(
+                w for w in comp.writers("ctr")
+                if comp.precedes(first.acquire, w) and comp.precedes(w, first.release)
+            )
+            assert observed[section_read(second)] == first_write
+            _ = induced
+
+    def test_deadlocked_structure_raises(self):
+        import pytest
+        from repro.core import Computation, R, W
+        from repro.locks import LockedComputation, execute_locked
+        from repro.runtime import BackerMemory
+
+        comp = Computation.serial([W("x"), R("x"), R("x"), R("x")])
+        locked = LockedComputation(comp, {"L": [(0, 3), (1, 2)]})
+        with pytest.raises(ValueError):
+            execute_locked(locked, 2, BackerMemory(), rng=0)
+
+    def test_pick_serialization_deterministic(self):
+        from repro.locks import pick_serialization
+
+        locked = locked_counter(3)
+        assert pick_serialization(locked, 5) == pick_serialization(locked, 5)
+
+    def test_serializations_vary_with_seed(self):
+        from repro.locks import pick_serialization
+
+        locked = locked_counter(3)
+        seen = {
+            tuple(pick_serialization(locked, s)["L"]) for s in range(20)
+        }
+        assert len(seen) > 1

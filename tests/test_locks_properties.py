@@ -1,0 +1,119 @@
+"""Property-based tests for the locks extension."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import last_writer_function, ObserverFunction
+from repro.lang import unfold
+from repro.locks import LockRC, LockedComputation
+from repro.models import LC
+from repro.verify import is_race_free
+
+
+def random_locked_program(seed: int, n_tasks: int, locked_prob: float):
+    """A program with n_tasks concurrent counter tasks, each locked with
+    probability locked_prob (deterministic given the seed)."""
+    r = random.Random(seed)
+    plan = [r.random() < locked_prob for _ in range(n_tasks)]
+
+    def task(ctx, use_lock):
+        if use_lock:
+            with ctx.lock("L"):
+                ctx.read("ctr")
+                ctx.write("ctr")
+        else:
+            ctx.read("ctr")
+            ctx.write("ctr")
+
+    def main(ctx):
+        ctx.write("ctr")
+        for use_lock in plan:
+            ctx.spawn(task, use_lock)
+        ctx.sync()
+        ctx.read("ctr")
+
+    comp, info = unfold(main)
+    return LockedComputation.from_unfold(comp, info), plan
+
+
+class TestDRFDichotomy:
+    @given(st.integers(0, 500), st.integers(2, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_all_locked_iff_drf(self, seed, n_tasks):
+        """DRF holds exactly when every task (of ≥ 2) took the lock."""
+        locked, plan = random_locked_program(seed, n_tasks, 0.5)
+        expected_drf = all(plan)
+        assert locked.is_drf() == expected_drf
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_induced_computations_contain_base_edges(self, seed):
+        locked, _ = random_locked_program(seed, 2, 1.0)
+        base_edges = set(locked.comp.dag.edges)
+        for _ser, induced in locked.induced_computations():
+            assert base_edges <= set(induced.dag.edges)
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_serialized_sections_never_overlap(self, seed):
+        """In every induced computation, same-lock sections are totally
+        ordered: one's release precedes the other's acquire."""
+        locked, _ = random_locked_program(seed, 3, 1.0)
+        for _ser, induced in locked.induced_computations():
+            secs = locked.sections_of("L")
+            for i, a in enumerate(secs):
+                for b in secs[i + 1 :]:
+                    assert induced.precedes(a.release, b.acquire) or (
+                        induced.precedes(b.release, a.acquire)
+                    )
+
+
+class TestLockRCProperties:
+    @given(st.integers(0, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_every_serialization_behaviour_accepted(self, seed):
+        """Any induced computation's LC behaviour lifts into LockRC."""
+        locked, _ = random_locked_program(seed, 2, 1.0)
+        r = random.Random(seed)
+        sers = list(locked.induced_computations())
+        ser, induced = sers[r.randrange(len(sers))]
+        from repro.dag.toposort import random_topological_sort
+
+        order = random_topological_sort(induced.dag, r)
+        witness = last_writer_function(induced, order, check_order=False)
+        phi = ObserverFunction(
+            locked.comp,
+            {loc: witness.row(loc) for loc in witness.locations},
+        )
+        assert LockRC.contains(locked, phi)
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_drf_induced_race_free(self, seed):
+        locked, plan = random_locked_program(seed, 2, 1.0)
+        assert locked.is_drf()
+        for _ser, induced in locked.induced_computations():
+            assert is_race_free(induced)
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=10, deadline=None)
+    def test_lockrc_witness_membership(self, seed):
+        """When LockRC accepts, its witness serialization really admits
+        the observer under the base model."""
+        locked, _ = random_locked_program(seed, 2, 1.0)
+        ser, induced = next(locked.induced_computations())
+        witness = last_writer_function(induced, induced.dag.topological_order)
+        phi = ObserverFunction(
+            locked.comp,
+            {loc: witness.row(loc) for loc in witness.locations},
+        )
+        found = LockRC.witness_serialization(locked, phi)
+        assert found is not None
+        re_induced = locked.induce(found)
+        assert re_induced is not None
+        lifted = ObserverFunction(
+            re_induced, {loc: phi.row(loc) for loc in phi.locations}
+        )
+        assert LC.contains(re_induced, lifted)

@@ -1,0 +1,114 @@
+"""Tests for location consistency: polynomial algorithm vs. Definition 18."""
+
+from hypothesis import given, settings
+
+from repro.core import (
+    EMPTY_COMPUTATION,
+    Computation,
+    ObserverFunction,
+    R,
+    W,
+    last_writer_function,
+    last_writer_row,
+)
+from repro.dag import Dag, all_topological_sorts
+from repro.models import LC
+from repro.paperfigures import lc_not_sc_pair, nn_not_lc_pair
+from tests.conftest import computations, computations_with_observer
+
+
+class TestBasics:
+    def test_empty_pair_is_member(self):
+        phi = ObserverFunction(EMPTY_COMPUTATION, {})
+        assert LC.contains(EMPTY_COMPUTATION, phi)
+
+    def test_serial_last_writer_in_lc(self):
+        c = Computation.serial([W("x"), R("x"), W("x"), R("x")])
+        phi = last_writer_function(c, (0, 1, 2, 3))
+        assert LC.contains(c, phi)
+
+    def test_stale_read_after_write_rejected(self):
+        # W(x) -> W(x) -> R(x) with the read observing the first write.
+        c = Computation.serial([W("x"), W("x"), R("x")])
+        phi = ObserverFunction(c, {"x": (0, 1, 0)})
+        assert not LC.contains(c, phi)
+
+    def test_concurrent_writes_either_order(self):
+        # Two concurrent writes; a following read may see either.
+        c = Computation(Dag(3, [(0, 2), (1, 2)]), (W("x"), W("x"), R("x")))
+        for observed in (0, 1):
+            phi = ObserverFunction(c, {"x": (0, 1, observed)})
+            assert LC.contains(c, phi)
+
+    def test_cross_observation_rejected(self):
+        comp, phi = nn_not_lc_pair()
+        assert not LC.contains(comp, phi)
+
+    def test_store_buffer_accepted(self):
+        comp, phi = lc_not_sc_pair()
+        assert LC.contains(comp, phi)
+
+    def test_bottom_read_before_any_write(self):
+        c = Computation(Dag(2), (R("x"), W("x")))
+        phi = ObserverFunction(c, {"x": (None, 1)})
+        assert LC.contains(c, phi)
+
+    def test_bottom_read_after_write_rejected(self):
+        c = Computation.serial([W("x"), R("x")])
+        phi = ObserverFunction(c, {"x": (0, None)})
+        assert not LC.contains(c, phi)
+
+
+class TestWitnessOrders:
+    def test_certificate_reproduces_rows(self):
+        comp, phi = lc_not_sc_pair()
+        orders = LC.witness_orders(comp, phi)
+        assert orders is not None
+        for loc, order in orders.items():
+            assert last_writer_row(comp, order, loc) == phi.row(loc)
+
+    def test_none_for_nonmember(self):
+        comp, phi = nn_not_lc_pair()
+        assert LC.witness_orders(comp, phi) is None
+
+    @given(computations_with_observer(max_nodes=5))
+    @settings(max_examples=60)
+    def test_certificate_matches_membership(self, pair):
+        comp, phi = pair
+        member = LC.contains(comp, phi)
+        orders = LC.witness_orders(comp, phi)
+        assert (orders is not None) == member
+        if orders is not None:
+            for loc, order in orders.items():
+                assert last_writer_row(comp, order, loc) == phi.row(loc)
+
+
+@given(computations_with_observer(max_nodes=4))
+@settings(max_examples=80, deadline=None)
+def test_polynomial_matches_bruteforce(pair):
+    """The block algorithm agrees with enumerating TS(C) (Definition 18)."""
+    comp, phi = pair
+    assert LC.contains(comp, phi) == LC.contains_bruteforce(comp, phi)
+
+
+@given(computations(max_nodes=4))
+@settings(max_examples=30, deadline=None)
+def test_every_last_writer_is_lc_member(comp):
+    """Per-location last-writer functions built from one sort are in LC."""
+    for order in all_topological_sorts(comp.dag):
+        phi = last_writer_function(comp, order, check_order=False)
+        assert LC.contains(comp, phi)
+
+
+@given(computations_with_observer(max_nodes=4, locations=("x", "y")))
+@settings(max_examples=40, deadline=None)
+def test_two_locations_decided_independently(pair):
+    """LC membership is the conjunction of per-location admissibility."""
+    from repro.models import location_blocks_admissible
+
+    comp, phi = pair
+    expected = all(
+        location_blocks_admissible(comp, loc, phi.row(loc))
+        for loc in set(comp.locations) | set(phi.locations)
+    )
+    assert LC.contains(comp, phi) == expected

@@ -1,0 +1,164 @@
+"""Tests for model relations: completeness, monotonicity, witnesses."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import Computation, ObserverFunction, R, W
+from repro.dag import Dag
+from repro.models import (
+    LC,
+    NN,
+    NW,
+    SC,
+    WN,
+    WW,
+    ExplicitModel,
+    IntersectionModel,
+    Universe,
+    inclusion_matrix,
+    is_complete_on,
+    is_monotonic_on,
+    is_stronger_on,
+    separating_witness,
+    shrink_witness,
+)
+from tests.conftest import computations, computations_with_observer
+
+SMALL = Universe(max_nodes=2, locations=("x",))
+MODELS = (SC, LC, NN, NW, WN, WW)
+
+
+class TestCompleteness:
+    @given(computations(max_nodes=5))
+    @settings(max_examples=40, deadline=None)
+    def test_all_models_complete(self, comp):
+        """Every model admits the serial last-writer observer function."""
+        from repro.core import last_writer_function
+
+        phi = last_writer_function(comp, comp.dag.topological_order)
+        for m in MODELS:
+            assert m.contains(comp, phi), m.name
+
+    def test_is_complete_on_finds_nothing_for_sc(self):
+        comps = list(SMALL.computations())
+        assert is_complete_on(SC, comps) is None
+
+    def test_incomplete_explicit_model(self):
+        # An explicit model missing a computation is incomplete.
+        pairs = []
+        model = ExplicitModel(pairs, "empty-ish")
+        gap = is_complete_on(model, SMALL.computations())
+        assert gap is not None
+
+
+class TestMonotonicity:
+    """Definition 5: relaxations preserve membership (all six models)."""
+
+    def test_all_models_monotonic_on_universe(self):
+        for m in MODELS:
+            assert is_monotonic_on(m, SMALL) is None, m.name
+
+    @given(computations_with_observer(max_nodes=4))
+    @settings(max_examples=50, deadline=None)
+    def test_monotonic_under_single_edge_removal(self, pair):
+        comp, phi = pair
+        for edge in comp.dag.edges:
+            relaxed = comp.relax([edge])
+            phi_rel = ObserverFunction(
+                relaxed,
+                {loc: phi.row(loc) for loc in phi.locations},
+                validate=False,
+            )
+            for m in MODELS:
+                if m.contains(comp, phi):
+                    assert m.contains(relaxed, phi_rel), m.name
+
+    def test_non_monotonic_model_detected(self):
+        # An artificial model: contains pairs only when the dag has an edge
+        # (plus the empty pair).  Removing the edge exits the model.
+        class EdgeLover(ExplicitModel):
+            pass
+
+        comp = Computation(Dag(2, [(0, 1)]), (W("x"), R("x")))
+        phi = ObserverFunction(comp, {"x": (0, 0)})
+        from repro.core import EMPTY_COMPUTATION
+
+        model = ExplicitModel(
+            [(comp, phi), (EMPTY_COMPUTATION, ObserverFunction(EMPTY_COMPUTATION, {}))],
+            "edge-lover",
+        )
+        universe = Universe(max_nodes=2, locations=("x",))
+        violation = is_monotonic_on(model, universe)
+        assert violation is not None
+
+
+class TestInclusions:
+    def test_matrix_reflexive(self):
+        m = inclusion_matrix(MODELS, SMALL)
+        for a in MODELS:
+            assert m[(a.name, a.name)]
+
+    def test_chain_inclusions_small_universe(self):
+        m = inclusion_matrix(MODELS, SMALL)
+        for a, b in [("SC", "LC"), ("LC", "NN"), ("NN", "NW"), ("NN", "WN")]:
+            assert m[(a, b)]
+
+    def test_is_stronger_on_counterexample(self):
+        # WW is not stronger than NN; a witness exists at two nodes.
+        wit = is_stronger_on(WW, NN, Universe(max_nodes=2, locations=("x",)))
+        assert wit is not None
+        assert wit.in_model == "WW"
+
+    def test_is_stronger_on_confirms(self):
+        assert is_stronger_on(SC, WW, SMALL) is None
+
+
+class TestWitnesses:
+    def test_separating_witness_found(self):
+        u = Universe(max_nodes=2, locations=("x",))
+        wit = separating_witness(NN, WN, u)
+        assert wit is not None
+        assert WN.contains(wit.comp, wit.phi)
+        assert not NN.contains(wit.comp, wit.phi)
+
+    def test_no_witness_when_equal(self):
+        u = Universe(max_nodes=2, locations=("x",))
+        assert separating_witness(WW, WW, u) is None
+
+    def test_shrink_preserves_separation(self):
+        u = Universe(max_nodes=3, locations=("x",))
+        wit = separating_witness(NN, WW, u)
+        assert wit is not None
+        small = shrink_witness(NN, WW, wit)
+        assert WW.contains(small.comp, small.phi)
+        assert not NN.contains(small.comp, small.phi)
+        assert small.comp.num_nodes <= wit.comp.num_nodes
+
+
+class TestCombinators:
+    def test_intersection_model(self):
+        from repro.paperfigures import figure2_pair
+
+        comp, phi = figure2_pair()
+        both = IntersectionModel([NW, WN], "NW∩WN")
+        # Figure 2 is in NW but not WN, hence not in the intersection.
+        assert not both.contains(comp, phi)
+        assert NW.contains(comp, phi)
+
+    def test_intersection_requires_parts(self):
+        with pytest.raises(ValueError):
+            IntersectionModel([])
+
+    def test_explicit_model_membership(self):
+        comp = Computation(Dag(1), (W("x"),))
+        phi = ObserverFunction(comp, {"x": (0,)})
+        m = ExplicitModel([(comp, phi)], "one")
+        assert m.contains(comp, phi)
+        assert m.pair_count() == 1
+        assert list(m.computations()) == [comp]
+        other = Computation(Dag(1), (R("x"),))
+        assert not m.contains(other, ObserverFunction(other, {"x": (None,)}))
+
+    def test_admits(self):
+        comp = Computation(Dag(1), (W("x"),))
+        assert SC.admits(comp)

@@ -1,0 +1,120 @@
+"""Tests for sequential consistency (Definition 17)."""
+
+from hypothesis import given, settings
+
+from repro.core import (
+    EMPTY_COMPUTATION,
+    Computation,
+    ObserverFunction,
+    R,
+    W,
+    last_writer_function,
+)
+from repro.dag import Dag, all_topological_sorts
+from repro.models import LC, SC
+from repro.paperfigures import lc_not_sc_pair
+from tests.conftest import computations, computations_with_observer
+
+
+def sc_bruteforce(comp, phi) -> bool:
+    """Definition 17 by enumeration: one sort explaining every location."""
+    locs = sorted(set(comp.locations) | set(phi.locations), key=repr)
+    for order in all_topological_sorts(comp.dag):
+        w = last_writer_function(comp, order, locs, check_order=False)
+        if all(w.row(loc) == phi.row(loc) for loc in locs):
+            return True
+    return False
+
+
+class TestBasics:
+    def test_empty_member(self):
+        phi = ObserverFunction(EMPTY_COMPUTATION, {})
+        assert SC.contains(EMPTY_COMPUTATION, phi)
+
+    def test_serial_program(self):
+        c = Computation.serial([W("x"), R("x"), W("x"), R("x")])
+        phi = ObserverFunction(c, {"x": (0, 0, 2, 2)})
+        assert SC.contains(c, phi)
+        assert SC.witness_order(c, phi) == (0, 1, 2, 3)
+
+    def test_store_buffer_rejected(self):
+        comp, phi = lc_not_sc_pair()
+        assert not SC.contains(comp, phi)
+        assert SC.witness_order(comp, phi) is None
+
+    def test_sc_subset_lc(self):
+        comp, phi = lc_not_sc_pair()
+        assert LC.contains(comp, phi) and not SC.contains(comp, phi)
+
+    def test_concurrent_reads_see_different_writes_single_loc(self):
+        # Two concurrent writes, two concurrent readers each seeing a
+        # different one: impossible under any single serialization if the
+        # readers are ordered after both writes... here readers are
+        # concurrent with everything, so each can sit next to "its" write.
+        c = Computation(Dag(4), (W("x"), W("x"), R("x"), R("x")))
+        phi = ObserverFunction(c, {"x": (0, 1, 0, 1)})
+        assert SC.contains(c, phi)
+
+    def test_fresh_diamond(self):
+        c = Computation(
+            Dag(4, [(0, 1), (0, 2), (1, 3), (2, 3)]),
+            (W("x"), R("x"), W("x"), R("x")),
+        )
+        phi = ObserverFunction(c, {"x": (0, 0, 2, 2)})
+        assert SC.contains(c, phi)
+
+    def test_stale_diamond_rejected(self):
+        c = Computation(
+            Dag(4, [(0, 1), (0, 2), (1, 3), (2, 3)]),
+            (W("x"), R("x"), W("x"), R("x")),
+        )
+        phi = ObserverFunction(c, {"x": (0, 0, 2, 0)})
+        assert not SC.contains(c, phi)
+
+
+class TestWitness:
+    @given(computations_with_observer(max_nodes=5))
+    @settings(max_examples=60, deadline=None)
+    def test_witness_reproduces_phi(self, pair):
+        comp, phi = pair
+        order = SC.witness_order(comp, phi)
+        if order is not None:
+            locs = sorted(set(comp.locations) | set(phi.locations), key=repr)
+            w = last_writer_function(comp, order, locs)
+            for loc in locs:
+                assert w.row(loc) == phi.row(loc)
+
+
+@given(computations_with_observer(max_nodes=4))
+@settings(max_examples=80, deadline=None)
+def test_search_matches_bruteforce(pair):
+    comp, phi = pair
+    assert SC.contains(comp, phi) == sc_bruteforce(comp, phi)
+
+
+@given(computations_with_observer(max_nodes=4, locations=("x", "y"), include_nop=False))
+@settings(max_examples=40, deadline=None)
+def test_search_matches_bruteforce_two_locations(pair):
+    comp, phi = pair
+    assert SC.contains(comp, phi) == sc_bruteforce(comp, phi)
+
+
+@given(computations(max_nodes=4))
+@settings(max_examples=30, deadline=None)
+def test_observers_generator_matches_filter(comp):
+    """SC.observers (sort-based) equals filtering all observer functions."""
+    direct = set(SC.observers(comp))
+    filtered = {
+        phi
+        for phi in ObserverFunction.enumerate_all(comp)
+        if SC.contains(comp, phi)
+    }
+    assert direct == filtered
+
+
+@given(computations_with_observer(max_nodes=5))
+@settings(max_examples=60, deadline=None)
+def test_sc_stronger_than_lc(pair):
+    comp, phi = pair
+    if SC.contains(comp, phi):
+        assert LC.contains(comp, phi)

@@ -1,0 +1,88 @@
+"""Cross-validation of dag algorithms against networkx.
+
+Independent-implementation checks: our bitset closure, sort counting,
+span, and width must agree with networkx's mature graph algorithms on
+random dags.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.dag import Dag, chain_dag, fork_join_dag
+from repro.dag.interop import from_networkx, to_networkx
+from repro.dag.metrics import span, width
+from repro.dag.toposort import all_topological_sorts
+from repro.errors import CycleError, InvalidComputationError
+from tests.conftest import dags
+
+
+class TestRoundtrip:
+    @given(dags(max_nodes=8))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, d):
+        assert from_networkx(to_networkx(d)) == d
+
+    def test_bad_labels_rejected(self):
+        g = nx.DiGraph()
+        g.add_edge("a", "b")
+        with pytest.raises(InvalidComputationError):
+            from_networkx(g)
+
+    def test_cycle_rejected(self):
+        g = nx.DiGraph()
+        g.add_edges_from([(0, 1), (1, 0)])
+        with pytest.raises(CycleError):
+            from_networkx(g)
+
+
+class TestCrossValidation:
+    @given(dags(max_nodes=8))
+    @settings(max_examples=50, deadline=None)
+    def test_transitive_closure(self, d):
+        g = to_networkx(d)
+        nx_closure = nx.transitive_closure(g)
+        for u in d.nodes():
+            ours = set(d.descendants(u))
+            theirs = set(nx_closure.successors(u))
+            assert ours == theirs
+
+    @given(dags(max_nodes=6))
+    @settings(max_examples=40, deadline=None)
+    def test_all_topological_sorts(self, d):
+        ours = sorted(all_topological_sorts(d))
+        theirs = sorted(
+            tuple(s) for s in nx.all_topological_sorts(to_networkx(d))
+        )
+        assert ours == theirs
+
+    @given(dags(max_nodes=8))
+    @settings(max_examples=40, deadline=None)
+    def test_span_matches_longest_path(self, d):
+        g = to_networkx(d)
+        if d.num_nodes == 0:
+            assert span(d) == 0
+        else:
+            # networkx counts edges; our span counts nodes.
+            assert span(d) == nx.dag_longest_path_length(g) + 1
+
+    @given(dags(max_nodes=7))
+    @settings(max_examples=30, deadline=None)
+    def test_width_matches_antichain(self, d):
+        g = to_networkx(d)
+        best = max(
+            (len(a) for a in nx.antichains(g)), default=0
+        )
+        assert width(d) == best
+
+    @given(dags(max_nodes=8))
+    @settings(max_examples=30, deadline=None)
+    def test_transitive_reduction(self, d):
+        ours = d.transitive_reduction_edges()
+        theirs = frozenset(nx.transitive_reduction(to_networkx(d)).edges())
+        assert ours == theirs
+
+    def test_shapes(self):
+        assert from_networkx(to_networkx(chain_dag(5))) == chain_dag(5)
+        fj = fork_join_dag(3)
+        assert nx.is_directed_acyclic_graph(to_networkx(fj))

@@ -1,0 +1,226 @@
+"""Tests for the online consistency game (constructibility, operational)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ops import N, R, W
+from repro.errors import ReproError
+from repro.models import (
+    LC,
+    NN,
+    NW,
+    SC,
+    WN,
+    WW,
+    OnlineGame,
+    StuckError,
+    figure4_script,
+    play_script,
+)
+
+FIG4_CHOICES = [None, None, {"x": 1}, {"x": 0}, None]
+
+
+class TestGameMechanics:
+    def test_reveal_candidates(self):
+        g = OnlineGame(LC)
+        cands = g.reveal(W("x"))
+        assert cands == {"x": [0]}  # writes observe themselves
+
+    def test_commit_without_reveal(self):
+        g = OnlineGame(LC)
+        with pytest.raises(ReproError):
+            g.commit()
+
+    def test_unknown_predecessor(self):
+        g = OnlineGame(LC)
+        with pytest.raises(ReproError):
+            g.reveal(N, preds=[3])
+
+    def test_state_accumulates(self):
+        g = OnlineGame(SC)
+        g.reveal(W("x"))
+        g.commit()
+        g.reveal(R("x"), preds=[0])
+        g.commit({"x": 0})
+        comp = g.computation()
+        phi = g.observer()
+        assert comp.num_nodes == 2
+        assert phi.value("x", 1) == 0
+        assert SC.contains(comp, phi)
+
+    def test_committed_pair_always_in_model(self):
+        g = OnlineGame(LC)
+        for move, choice in [
+            (W("x"), None),
+            (W("x"), None),
+            (R("x"), None),
+        ]:
+            g.reveal(move, preds=range(g.num_nodes))
+            g.commit(choice)
+        assert LC.contains(g.computation(), g.observer())
+
+    def test_invalid_commit_choice(self):
+        g = OnlineGame(LC)
+        g.reveal(W("x"))
+        with pytest.raises(StuckError):
+            g.commit({"x": None})  # writes must observe themselves
+
+    def test_nop_only_game(self):
+        g = OnlineGame(NN)
+        cands = g.reveal(N)
+        assert cands == {}
+        g.commit()
+        assert g.num_nodes == 1
+
+
+class TestFigure4Adversary:
+    def test_nn_gets_stuck(self):
+        assert play_script(NN, figure4_script(), FIG4_CHOICES) is None
+
+    def test_constructible_models_survive(self):
+        for model in (SC, LC, WN, WW):
+            game = play_script(model, figure4_script(), FIG4_CHOICES)
+            assert game is not None, model.name
+            assert model.contains(game.computation(), game.observer())
+
+    def test_lc_refuses_the_trap(self):
+        """The operational meaning of constructibility: LC's candidate
+        set at node 3 already excludes the cross-observation."""
+        g = OnlineGame(LC, strict=False)
+        g.reveal(W("x"))
+        g.commit()
+        g.reveal(W("x"))
+        g.commit()
+        g.reveal(R("x"), preds=[0])
+        g.commit({"x": 1})  # observe the concurrent write: legal for LC
+        cands = g.reveal(R("x"), preds=[1])
+        assert 0 not in cands["x"]  # the trap value is not offered
+
+    def test_nn_allows_the_trap_then_dies(self):
+        g = OnlineGame(NN, strict=False)
+        g.reveal(W("x"))
+        g.commit()
+        g.reveal(W("x"))
+        g.commit()
+        g.reveal(R("x"), preds=[0])
+        g.commit({"x": 1})
+        cands = g.reveal(R("x"), preds=[1])
+        assert 0 in cands["x"]  # NN happily offers it...
+        g.commit({"x": 0})
+        assert g.reveal(R("x"), preds=[0, 1, 2, 3]) is None  # ...and dies
+
+    def test_strict_mode_raises(self):
+        g = OnlineGame(NN, strict=True)
+        g.reveal(W("x"))
+        g.commit()
+        g.reveal(W("x"))
+        g.commit()
+        g.reveal(R("x"), preds=[0])
+        g.commit({"x": 1})
+        g.reveal(R("x"), preds=[1])
+        g.commit({"x": 0})
+        with pytest.raises(StuckError):
+            g.reveal(R("x"), preds=[0, 1, 2, 3])
+
+
+class TestRandomAdversary:
+    """Constructible models never get stuck under random play."""
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_lc_never_stuck(self, seed):
+        self._play_random(LC, seed)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_ww_never_stuck(self, seed):
+        self._play_random(WW, seed)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_wn_never_stuck(self, seed):
+        """WN's constructibility (the documented deviation), live."""
+        self._play_random(WN, seed)
+
+    @staticmethod
+    def _play_random(model, seed, steps=5):
+        r = random.Random(seed)
+        g = OnlineGame(model, strict=False)
+        ops = [R("x"), W("x"), N]
+        for _ in range(steps):
+            op = r.choice(ops)
+            n = g.num_nodes
+            preds = [p for p in range(n) if r.random() < 0.5]
+            cands = g.reveal(op, preds)
+            assert cands is not None, f"{model.name} stuck under random play"
+            # Commit a random legal value (adversarial to the future).
+            choice = {
+                loc: r.choice(vals) for loc, vals in cands.items() if vals
+            }
+            g.commit(choice or None)
+        assert model.contains(g.computation(), g.observer())
+
+    def test_figure4_pair_replays_and_sticks(self):
+        """The Figure-4 pair, replayed move for move, sticks the NN game
+        — tying the game to Theorem 12's machinery.
+
+        Not every stuck pair is *online-reachable*: a committed value
+        can only name an already-revealed node, so the pair's
+        "observation graph" (dag edges plus ``observed → observer``
+        edges) must be acyclic.  Figure 4's pair is; some searched
+        witnesses are not (see the companion test below).
+        """
+        from repro.paperfigures import figure4_pair
+
+        comp, phi = figure4_pair()
+        g = OnlineGame(NN, strict=False)
+        for u in comp.nodes():
+            preds = list(comp.dag.predecessors(u))
+            cands = g.reveal(comp.op(u), preds)
+            assert cands is not None
+            g.commit({loc: phi.value(loc, u) for loc in comp.locations})
+        assert g.observer() == phi
+        # Revealing any non-write as a final node kills the game.
+        assert g.reveal(R("x"), preds=range(comp.num_nodes)) is None
+
+    def test_online_reachability_requires_acyclic_observations(self):
+        """A stuck pair whose observations and dag edges form a cycle
+        cannot arise online: its own single-node prefix restrictions are
+        not observer functions.  The enumeration-order witness found by
+        the universe search has exactly this shape."""
+        from repro.models import Universe, find_nonconstructibility_witness
+
+        wit = find_nonconstructibility_witness(
+            NN, Universe(max_nodes=4, locations=("x",), include_nop=False)
+        )
+        assert wit is not None
+        comp, phi = wit.comp, wit.phi
+        # Build the observation graph and check for a cycle by Kahn.
+        edges = set(comp.dag.edges)
+        for loc in comp.locations:
+            for u in comp.nodes():
+                v = phi.value(loc, u)
+                if v is not None and v != u:
+                    edges.add((v, u))
+        n = comp.num_nodes
+        indeg = [0] * n
+        for (_a, b) in edges:
+            indeg[b] += 1
+        frontier = [u for u in range(n) if indeg[u] == 0]
+        seen = 0
+        while frontier:
+            u = frontier.pop()
+            seen += 1
+            for (a, b) in edges:
+                if a == u:
+                    indeg[b] -= 1
+                    if indeg[b] == 0:
+                        frontier.append(b)
+        assert seen < n, (
+            "expected the first searched witness to be online-unreachable "
+            "(cyclic observations); if search order changed, adjust this test"
+        )

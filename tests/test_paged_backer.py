@@ -1,0 +1,144 @@
+"""Tests for page-granular BACKER (false sharing, twin/diff fix)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import matmul_computation, tree_sum_computation
+from repro.runtime import (
+    BackerMemory,
+    PagedBackerMemory,
+    execute,
+    modulo_pager,
+    work_stealing_schedule,
+)
+from repro.verify import trace_admits_lc
+from tests.conftest import computations
+
+
+class TestUnit:
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            PagedBackerMemory(reconcile_mode="yolo")
+
+    def test_read_own_write(self):
+        m = PagedBackerMemory(page_of=modulo_pager(1))
+        m.attach(2)
+        m.write(0, 1, "x")
+        assert m.read(0, 2, "x") == 1
+
+    def test_diff_preserves_concurrent_updates_on_one_page(self):
+        """Two processors write different locations of one page; diff
+        reconciliation merges both into the backing store."""
+        m = PagedBackerMemory(page_of=lambda loc: "P", reconcile_mode="diff")
+        m.attach(3)
+        m.write(0, 1, "a")
+        m.write(1, 2, "b")
+        m.node_completed(0, 1, cross_succ=True)
+        m.node_completed(1, 2, cross_succ=True)
+        m.node_starting(2, 3, cross_pred=True)
+        assert m.read(2, 3, "a") == 1
+        assert m.read(2, 3, "b") == 2
+
+    def test_clobber_loses_concurrent_update(self):
+        """Whole-page writeback: the second reconcile destroys the first
+        processor's update to the shared page."""
+        m = PagedBackerMemory(page_of=lambda loc: "P", reconcile_mode="clobber")
+        m.attach(3)
+        # Both procs fetch the (empty) page first, then write disjoint words.
+        assert m.read(0, 0, "a") is None
+        assert m.read(1, 0, "b") is None
+        m.write(0, 1, "a")
+        m.write(1, 2, "b")
+        m.node_completed(0, 1, cross_succ=True)
+        m.node_completed(1, 2, cross_succ=True)  # clobbers a's update
+        m.node_starting(2, 3, cross_pred=True)
+        assert m.read(2, 3, "b") == 2
+        assert m.read(2, 3, "a") is None  # the lost update
+
+    def test_stats_tracked(self):
+        m = PagedBackerMemory(page_of=modulo_pager(1), reconcile_mode="diff")
+        m.attach(2)
+        m.write(0, 1, "x")
+        m.node_completed(0, 1, cross_succ=True)
+        assert m.stats.page_writebacks == 1
+        assert m.stats.diffed_words == 1
+        assert m.stats.page_fetches >= 1
+
+    def test_name_reflects_mode(self):
+        assert "diff" in PagedBackerMemory().name
+        assert "clobber" in PagedBackerMemory(reconcile_mode="clobber").name
+
+
+class TestEquivalenceWithPlainBacker:
+    @given(computations(max_nodes=8), st.integers(1, 4), st.integers(0, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_per_location_pages_match_plain_backer(self, comp, procs, seed):
+        """One location per page (the default) reproduces BACKER's reads
+        exactly, in either reconcile mode."""
+        sched = work_stealing_schedule(comp, procs, rng=seed)
+        plain = execute(sched, BackerMemory())
+        for mode in ("diff", "clobber"):
+            paged = execute(sched, PagedBackerMemory(reconcile_mode=mode))
+            assert [
+                (e.node, e.loc, e.observed) for e in paged.reads
+            ] == [(e.node, e.loc, e.observed) for e in plain.reads]
+
+
+class TestFalseSharing:
+    def test_clobber_violates_lc_under_false_sharing(self):
+        comp = matmul_computation(2)[0]
+        violations = 0
+        for seed in range(10):
+            sched = work_stealing_schedule(comp, 4, rng=seed)
+            mem = PagedBackerMemory(
+                page_of=modulo_pager(2), reconcile_mode="clobber"
+            )
+            trace = execute(sched, mem)
+            if not trace_admits_lc(trace.partial_observer()):
+                violations += 1
+        assert violations > 0
+
+    def test_diff_maintains_lc_under_false_sharing(self):
+        for comp in (matmul_computation(2)[0], tree_sum_computation(8)[0]):
+            for seed in range(10):
+                sched = work_stealing_schedule(comp, 4, rng=seed)
+                mem = PagedBackerMemory(
+                    page_of=modulo_pager(2), reconcile_mode="diff"
+                )
+                trace = execute(sched, mem)
+                assert trace_admits_lc(trace.partial_observer())
+
+    @given(computations(max_nodes=8), st.integers(2, 4), st.integers(0, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_diff_lc_on_random_dags(self, comp, procs, seed):
+        sched = work_stealing_schedule(comp, procs, rng=seed)
+        mem = PagedBackerMemory(page_of=modulo_pager(2), reconcile_mode="diff")
+        trace = execute(sched, mem)
+        assert trace_admits_lc(trace.partial_observer())
+
+    def test_pager_deterministic(self):
+        p = modulo_pager(4)
+        assert p(("C", 1, 2)) == p(("C", 1, 2))
+        assert 0 <= p("anything") < 4
+
+
+class TestTimedIntegration:
+    def test_timed_simulation_prices_paged_transfers(self):
+        from repro.lang import tree_sum_computation
+        from repro.runtime import simulate_timed
+        from repro.verify import trace_admits_lc
+
+        comp = tree_sum_computation(8)[0]
+        cheap = simulate_timed(
+            comp, 4,
+            memory=PagedBackerMemory(page_of=modulo_pager(4)),
+            miss_cost=0, rng=1,
+        )
+        costly = simulate_timed(
+            comp, 4,
+            memory=PagedBackerMemory(page_of=modulo_pager(4)),
+            miss_cost=8, rng=1,
+        )
+        assert costly.makespan > cheap.makespan  # transfers were priced
+        assert trace_admits_lc(costly.partial_observer())

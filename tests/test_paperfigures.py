@@ -1,0 +1,95 @@
+"""Tests pinning the paper figures to their claimed membership profiles."""
+
+from repro.models import LC, NN, NW, SC, WN, WW
+from repro.paperfigures import (
+    figure2_pair,
+    figure3_pair,
+    figure4_blocking_ops,
+    figure4_pair,
+    lc_not_sc_pair,
+    nn_not_lc_pair,
+)
+
+ALL = (SC, LC, NN, NW, WN, WW)
+
+
+def profile(comp, phi):
+    return {m.name: m.contains(comp, phi) for m in ALL}
+
+
+class TestFigure2:
+    def test_exact_profile(self):
+        comp, phi = figure2_pair()
+        assert profile(comp, phi) == {
+            "SC": False,
+            "LC": False,
+            "NN": False,
+            "NW": True,
+            "WN": False,
+            "WW": True,
+        }
+
+    def test_four_nodes_like_paper(self):
+        comp, _ = figure2_pair()
+        assert comp.num_nodes == 4
+
+
+class TestFigure3:
+    def test_exact_profile(self):
+        comp, phi = figure3_pair()
+        assert profile(comp, phi) == {
+            "SC": False,
+            "LC": False,
+            "NN": False,
+            "NW": False,
+            "WN": True,
+            "WW": True,
+        }
+
+    def test_four_nodes_like_paper(self):
+        comp, _ = figure3_pair()
+        assert comp.num_nodes == 4
+
+
+class TestFigure4:
+    def test_in_nn(self):
+        comp, phi = figure4_pair()
+        assert NN.contains(comp, phi)
+
+    def test_not_in_lc(self):
+        comp, phi = nn_not_lc_pair()
+        assert not LC.contains(comp, phi)
+
+    def test_blocking_ops_are_non_writes(self):
+        ops = figure4_blocking_ops()
+        assert all(not op.is_write for op in ops)
+        assert len(ops) == 2
+
+
+class TestStoreBuffer:
+    def test_lc_yes_sc_no(self):
+        comp, phi = lc_not_sc_pair()
+        assert LC.contains(comp, phi)
+        assert not SC.contains(comp, phi)
+
+    def test_in_all_dag_models(self):
+        comp, phi = lc_not_sc_pair()
+        for m in (NN, NW, WN, WW):
+            assert m.contains(comp, phi), m.name
+
+    def test_uses_two_locations(self):
+        comp, _ = lc_not_sc_pair()
+        assert len(comp.locations) == 2
+
+
+class TestMutualStructure:
+    def test_figures_2_3_witness_incomparability(self):
+        """Figures 2 and 3 jointly prove NW and WN incomparable."""
+        c2, p2 = figure2_pair()
+        c3, p3 = figure3_pair()
+        assert NW.contains(c2, p2) and not WN.contains(c2, p2)
+        assert WN.contains(c3, p3) and not NW.contains(c3, p3)
+
+    def test_figure4_witnesses_theorem_22_strictness(self):
+        comp, phi = figure4_pair()
+        assert NN.contains(comp, phi) and not LC.contains(comp, phi)

@@ -1,0 +1,99 @@
+"""Tests for the processor-centric bridge and the litmus suite."""
+
+import pytest
+
+from repro.core import R, W
+from repro.lang import (
+    LITMUS_TESTS,
+    LitmusTest,
+    from_processor_streams,
+    litmus_outcome_allowed,
+)
+
+
+class TestFromStreams:
+    def test_program_order_chains(self):
+        comp, ids = from_processor_streams([[W("x"), R("x")], [R("x")]])
+        assert comp.num_nodes == 3
+        assert comp.precedes(ids[0][0], ids[0][1])
+        a, b = ids[0][0], ids[1][0]
+        assert not comp.precedes(a, b) and not comp.precedes(b, a)
+
+    def test_sync_edges(self):
+        comp, ids = from_processor_streams(
+            [[W("x")], [R("x")]], sync_edges=[((0, 0), (1, 0))]
+        )
+        assert comp.precedes(ids[0][0], ids[1][0])
+
+    def test_empty_streams(self):
+        comp, ids = from_processor_streams([[], []])
+        assert comp.is_empty
+        assert ids == [[], []]
+
+    def test_node_table(self):
+        comp, ids = from_processor_streams([[W("x"), W("y")], [R("x")]])
+        assert ids == [[0, 1], [2]]
+        assert comp.op(2) == R("x")
+
+
+class TestLitmusStructure:
+    @pytest.mark.parametrize("test", LITMUS_TESTS, ids=lambda t: t.name)
+    def test_builds(self, test):
+        comp, partial = test.build()
+        assert comp.num_nodes >= 3
+        assert partial.num_constraints() >= 2
+
+    def test_outcomes_constrain_reads_only(self):
+        for test in LITMUS_TESTS:
+            comp, ids = from_processor_streams(test.streams)
+            for (p, i) in test.outcome:
+                assert comp.op(ids[p][i]).is_read
+
+    def test_names_unique(self):
+        names = [t.name for t in LITMUS_TESTS]
+        assert len(set(names)) == len(names)
+
+
+# The textbook table: which weak outcomes each model allows.
+EXPECTED = {
+    # name: (SC, LC, NN, NW, WN, WW)
+    "SB": (False, True, True, True, True, True),
+    "MP": (False, True, True, True, True, True),
+    "CoRR": (False, False, False, True, True, True),
+    "IRIW": (False, True, True, True, True, True),
+    "LB": (False, True, True, True, True, True),
+    "WRC": (False, True, True, True, True, True),
+    "SB+sync": (False, False, False, False, True, True),
+}
+
+MODELS = ("SC", "LC", "NN", "NW", "WN", "WW")
+
+
+class TestLitmusTable:
+    @pytest.mark.parametrize("test", LITMUS_TESTS, ids=lambda t: t.name)
+    def test_expected_row(self, test):
+        expected = EXPECTED[test.name]
+        got = tuple(litmus_outcome_allowed(test, m) for m in MODELS)
+        assert got == expected, f"{test.name}: {dict(zip(MODELS, got))}"
+
+    def test_sc_forbids_all_weak_outcomes(self):
+        for test in LITMUS_TESTS:
+            assert not litmus_outcome_allowed(test, "SC"), test.name
+
+    def test_corr_separates_coherent_from_incoherent(self):
+        corr = next(t for t in LITMUS_TESTS if t.name == "CoRR")
+        assert not litmus_outcome_allowed(corr, "LC")
+        assert not litmus_outcome_allowed(corr, "NN")
+        assert litmus_outcome_allowed(corr, "WW")
+
+    def test_custom_litmus(self):
+        # A trivially satisfiable outcome: the read sees the only write
+        # that precedes it.
+        t = LitmusTest(
+            name="custom",
+            description="read after write, same processor",
+            streams=((W("x"), R("x")),),
+            outcome={(0, 1): (0, 0)},
+        )
+        for m in MODELS:
+            assert litmus_outcome_allowed(t, m), m

@@ -1,0 +1,122 @@
+"""Tests for determinacy-race detection, and the race-freedom theorem."""
+
+from hypothesis import given, settings
+
+from repro.core import Computation, N, ObserverFunction, R, W
+from repro.dag import Dag
+from repro.lang import (
+    racy_counter_computation,
+    store_buffer_computation,
+    tree_sum_computation,
+)
+from repro.models import LC
+from repro.verify import find_races, is_race_free, racy_locations
+from tests.conftest import computations
+
+
+class TestDetection:
+    def test_serial_is_race_free(self):
+        c = Computation.serial([W("x"), R("x"), W("x")])
+        assert is_race_free(c)
+
+    def test_concurrent_write_write(self):
+        c = Computation(Dag(2), (W("x"), W("x")))
+        races = list(find_races(c))
+        assert len(races) == 1
+        assert races[0].kind == "write-write"
+        assert (races[0].u, races[0].v) == (0, 1)
+
+    def test_concurrent_read_write(self):
+        c = Computation(Dag(2), (W("x"), R("x")))
+        races = list(find_races(c))
+        assert len(races) == 1
+        assert races[0].kind == "read-write"
+
+    def test_concurrent_reads_do_not_race(self):
+        c = Computation(Dag(3), (W("y"), R("x"), R("x")))
+        assert is_race_free(c)
+
+    def test_different_locations_do_not_race(self):
+        c = Computation(Dag(2), (W("x"), W("y")))
+        assert is_race_free(c)
+
+    def test_ordered_accesses_do_not_race(self):
+        c = Computation(Dag(2, [(0, 1)]), (W("x"), W("x")))
+        assert is_race_free(c)
+
+    def test_no_duplicate_pairs(self):
+        c = Computation(Dag(2), (W("x"), W("x")))
+        races = list(find_races(c))
+        assert len(races) == len({(r.u, r.v, repr(r.loc)) for r in races})
+
+    def test_racy_locations(self):
+        c = Computation(Dag(4), (W("x"), W("x"), W("y"), R("z")))
+        assert racy_locations(c) == ["x"]
+
+
+class TestWorkloads:
+    def test_tree_sum_race_free(self):
+        assert is_race_free(tree_sum_computation(8)[0])
+
+    def test_racy_counter_races(self):
+        comp = racy_counter_computation(3, 1)[0]
+        assert not is_race_free(comp)
+        kinds = {r.kind for r in find_races(comp)}
+        assert "write-write" in kinds
+
+    def test_store_buffer_read_write_races(self):
+        # Each thread's read races with the other thread's write; there
+        # are no write-write races.
+        races = list(find_races(store_buffer_computation()[0]))
+        assert len(races) == 2
+        assert {r.kind for r in races} == {"read-write"}
+
+
+class TestRaceFreedomTheorem:
+    """Race-free ⟹ the memory model does not matter.
+
+    On a race-free computation, per location all accesses form a chain,
+    so the last-writer function is the same for every topological sort;
+    LC then admits exactly one value at every read, and all models
+    coincide on reads.
+    """
+
+    @given(computations(max_nodes=5))
+    @settings(max_examples=60, deadline=None)
+    def test_race_free_reads_deterministic_under_lc(self, comp):
+        if not is_race_free(comp):
+            return
+        seen_rows: dict = {}
+        for phi in LC.observers(comp):
+            for loc in comp.locations:
+                for r in comp.readers(loc):
+                    key = (loc, r)
+                    v = phi.value(loc, r)
+                    if key in seen_rows:
+                        assert seen_rows[key] == v, (
+                            "race-free computation with two LC-admissible "
+                            "read outcomes"
+                        )
+                    else:
+                        seen_rows[key] = v
+
+    @given(computations(max_nodes=5))
+    @settings(max_examples=60, deadline=None)
+    def test_divergent_reader_outcomes_imply_race(self, comp):
+        """Converse direction: if the last-writer value at some *read*
+        differs across topological sorts, the location is racy.  (Other
+        nodes' last-writer entries may vary without any race — a no-op
+        concurrent with ordered writes — so the claim is about reads.)"""
+        from repro.dag.toposort import all_topological_sorts
+        from repro.core.last_writer import last_writer_row
+
+        for loc in comp.locations:
+            readers = comp.readers(loc)
+            if not readers:
+                continue
+            reader_rows = {
+                tuple(last_writer_row(comp, order, loc)[r] for r in readers)
+                for order in all_topological_sorts(comp.dag)
+            }
+            if len(reader_rows) > 1:
+                assert any(r.loc == loc for r in find_races(comp))

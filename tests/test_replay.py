@@ -1,0 +1,52 @@
+"""Tests for deterministic trace replay."""
+
+from repro.io import dumps, loads
+from repro.lang import racy_counter_computation, store_buffer_computation
+from repro.runtime import (
+    BackerMemory,
+    SerialMemory,
+    execute,
+    replay,
+    work_stealing_schedule,
+)
+
+
+def make_trace(comp, memory, procs=2, seed=0):
+    sched = work_stealing_schedule(comp, procs, rng=seed)
+    return execute(sched, memory)
+
+
+class TestReplay:
+    def test_same_protocol_identical(self):
+        comp = racy_counter_computation(3, 2)[0]
+        trace = make_trace(comp, BackerMemory(), procs=4, seed=3)
+        result = replay(trace, BackerMemory())
+        assert result.identical
+        assert result.divergences == []
+
+    def test_replay_after_serialization_roundtrip(self):
+        comp = store_buffer_computation()[0]
+        trace = make_trace(comp, BackerMemory())
+        again = loads(dumps(trace))
+        result = replay(again, BackerMemory())
+        assert result.identical
+
+    def test_cross_protocol_divergence_localized(self):
+        """Replaying a weak SB execution against an eager memory diverges
+        exactly at the two litmus reads."""
+        comp = store_buffer_computation()[0]
+        trace = make_trace(comp, BackerMemory(), procs=2, seed=0)
+        weak_reads = {e.observed for e in trace.reads}
+        result = replay(trace, SerialMemory())
+        if None in weak_reads:  # the weak outcome occurred
+            assert not result.identical
+            assert 1 <= len(result.divergences) <= 2
+            for d in result.divergences:
+                assert d.original is None and d.replayed is not None
+
+    def test_replayed_trace_attached(self):
+        comp = racy_counter_computation(2, 1)[0]
+        trace = make_trace(comp, BackerMemory())
+        result = replay(trace, SerialMemory())
+        assert result.replayed_trace is not None
+        assert result.replayed_trace.memory_name == "serial"

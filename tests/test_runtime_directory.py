@@ -1,0 +1,100 @@
+"""Tests for the MSI directory protocol."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import (
+    DirectoryMemory,
+    execute,
+    greedy_schedule,
+    work_stealing_schedule,
+)
+from repro.verify import trace_admits_sc
+from tests.conftest import computations
+
+
+class TestProtocolUnit:
+    def test_read_unwritten(self):
+        m = DirectoryMemory()
+        m.attach(2)
+        assert m.read(0, 0, "x") is None
+        assert m.stats.fetches == 1
+
+    def test_read_own_modified_hits(self):
+        m = DirectoryMemory()
+        m.attach(2)
+        m.write(0, 1, "x")
+        assert m.read(0, 2, "x") == 1
+        assert m.stats.cache_hits == 1
+        assert m.stats.fetches == 0
+
+    def test_remote_read_forces_writeback(self):
+        m = DirectoryMemory()
+        m.attach(2)
+        m.write(0, 1, "x")
+        assert m.read(1, 2, "x") == 1  # sees the latest write immediately
+        assert m.stats.writebacks == 1
+        assert m.stats.fetches == 1
+
+    def test_write_invalidates_sharers(self):
+        m = DirectoryMemory()
+        m.attach(3)
+        m.write(0, 1, "x")
+        m.read(1, 2, "x")
+        m.read(2, 3, "x")
+        m.write(1, 4, "x")  # invalidates procs 0 and 2
+        assert m.stats.invalidations == 2
+        # Everyone now sees the new value on (re)fetch.
+        assert m.read(0, 5, "x") == 4
+        assert m.read(2, 6, "x") == 4
+
+    def test_write_write_migration(self):
+        m = DirectoryMemory()
+        m.attach(2)
+        m.write(0, 1, "x")
+        m.write(1, 2, "x")  # takes ownership from proc 0
+        assert m.read(0, 3, "x") == 2
+
+    def test_sharers_no_invalidation_on_reads(self):
+        m = DirectoryMemory()
+        m.attach(3)
+        m.write(0, 1, "x")
+        m.read(1, 2, "x")
+        m.read(2, 3, "x")
+        assert m.stats.invalidations == 0
+
+    def test_attach_resets(self):
+        m = DirectoryMemory()
+        m.attach(1)
+        m.write(0, 1, "x")
+        m.attach(1)
+        assert m.read(0, 2, "x") is None
+        assert m.stats.fetches == 1
+
+    def test_messages_property(self):
+        m = DirectoryMemory()
+        m.attach(2)
+        m.write(0, 1, "x")
+        m.read(1, 2, "x")
+        assert m.stats.messages == m.stats.fetches + m.stats.invalidations + m.stats.writebacks
+
+
+class TestEndToEnd:
+    @given(computations(max_nodes=8), st.integers(1, 4), st.integers(0, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_directory_traces_always_sc(self, comp, procs, seed):
+        """Eager coherence + serialized execution = SC, on any dag."""
+        sched = work_stealing_schedule(comp, procs, rng=seed)
+        trace = execute(sched, DirectoryMemory())
+        assert trace_admits_sc(trace.partial_observer()) is not None
+
+    def test_workloads_sc(self):
+        from repro.lang import racy_counter_computation, store_buffer_computation
+
+        for comp in (
+            racy_counter_computation(3, 2)[0],
+            store_buffer_computation()[0],
+        ):
+            sched = greedy_schedule(comp, 4, rng=2)
+            trace = execute(sched, DirectoryMemory())
+            assert trace_admits_sc(trace.partial_observer()) is not None

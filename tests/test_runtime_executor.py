@@ -1,0 +1,134 @@
+"""Tests for the executor and trace/partial-observer plumbing."""
+
+import pytest
+
+from repro.core import Computation, N, R, W
+from repro.dag import Dag
+from repro.errors import InvalidObserverError
+from repro.runtime import (
+    BackerMemory,
+    PartialObserver,
+    SerialMemory,
+    execute,
+    greedy_schedule,
+    serial_schedule,
+)
+
+
+def sb_comp():
+    # 0:W(x) -> 1:R(y);  2:W(y) -> 3:R(x)
+    return Computation(
+        Dag(4, [(0, 1), (2, 3)]), (W("x"), R("y"), W("y"), R("x"))
+    )
+
+
+class TestExecute:
+    def test_reads_recorded(self):
+        comp = Computation.serial([W("x"), R("x"), R("x")])
+        trace = execute(serial_schedule(comp), SerialMemory())
+        assert [(e.node, e.loc, e.observed) for e in trace.reads] == [
+            (1, "x", 0),
+            (2, "x", 0),
+        ]
+
+    def test_serial_memory_last_writer(self):
+        comp = Computation.serial([W("x"), R("x"), W("x"), R("x")])
+        trace = execute(serial_schedule(comp), SerialMemory())
+        assert trace.reads[0].observed == 0
+        assert trace.reads[1].observed == 2
+
+    def test_memory_name_recorded(self):
+        comp = Computation.serial([W("x")])
+        trace = execute(serial_schedule(comp), BackerMemory())
+        assert trace.memory_name == "backer"
+
+    def test_backer_hooks_fire_on_cross_edges(self):
+        comp = sb_comp()
+        # Force the two chains onto different processors.
+        from repro.runtime import Schedule
+
+        sched = Schedule(comp, (0, 0, 1, 1), (0, 1, 0, 1), 2)
+        mem = BackerMemory()
+        trace = execute(sched, mem)
+        # No cross edges here (chains are per-proc), so no reconciles.
+        assert mem.stats.reconciles == 0
+        observed = {e.node: e.observed for e in trace.reads}
+        # Each read misses the other chain's write: the SB weak outcome.
+        assert observed[1] is None and observed[3] is None
+
+    def test_cross_edge_reconciles(self):
+        # 0:W(x) on p0, 1:R(x) on p1, with an edge 0 -> 1.
+        comp = Computation(Dag(2, [(0, 1)]), (W("x"), R("x")))
+        from repro.runtime import Schedule
+
+        sched = Schedule(comp, (0, 1), (0, 1), 2)
+        mem = BackerMemory()
+        trace = execute(sched, mem)
+        assert mem.stats.reconciles >= 1
+        assert trace.reads[0].observed == 0  # coherence preserved
+
+
+class TestPartialObserver:
+    def test_from_trace(self):
+        comp = Computation.serial([W("x"), R("x")])
+        trace = execute(serial_schedule(comp), SerialMemory())
+        po = trace.partial_observer()
+        assert po.constrained("x") == {0: 0, 1: 0}
+        assert po.num_constraints() == 2
+
+    def test_writes_self_constrained(self):
+        comp = Computation.serial([W("x"), W("x")])
+        trace = execute(serial_schedule(comp), SerialMemory())
+        po = trace.partial_observer()
+        assert po.constrained("x") == {0: 0, 1: 1}
+
+    def test_invalid_constraint_not_a_write(self):
+        comp = Computation.serial([R("x"), R("x")])
+        with pytest.raises(InvalidObserverError):
+            PartialObserver(comp, {"x": {1: 0}})  # node 0 is a read
+
+    def test_invalid_constraint_forward(self):
+        comp = Computation.serial([R("x"), W("x")])
+        with pytest.raises(InvalidObserverError):
+            PartialObserver(comp, {"x": {0: 1}})  # observes its successor
+
+    def test_invalid_write_self(self):
+        comp = Computation.serial([W("x"), W("x")])
+        with pytest.raises(InvalidObserverError):
+            PartialObserver(comp, {"x": {1: 0}})
+
+    def test_is_completion(self):
+        from repro.core import ObserverFunction
+
+        comp = Computation.serial([W("x"), R("x")])
+        po = PartialObserver(comp, {"x": {0: 0, 1: 0}})
+        phi = ObserverFunction(comp, {"x": (0, 0)})
+        assert po.is_completion(phi)
+
+    def test_is_not_completion(self):
+        from repro.core import ObserverFunction
+
+        comp = Computation(Dag(2), (W("x"), R("x")))
+        po = PartialObserver(comp, {"x": {1: None}})
+        phi = ObserverFunction(comp, {"x": (0, 0)})
+        assert not po.is_completion(phi)
+
+    def test_entries_iteration(self):
+        comp = Computation.serial([W("x"), R("x")])
+        po = PartialObserver(comp, {"x": {0: 0, 1: None}})
+        entries = set(po.entries())
+        assert entries == {("x", 0, 0), ("x", 1, None)}
+
+    def test_locations(self):
+        comp = Computation(Dag(2), (W("x"), W("y")))
+        po = PartialObserver(comp, {"x": {0: 0}, "y": {1: 1}})
+        assert po.locations == ("x", "y")
+
+
+class TestSchedulesTimesMemories:
+    def test_greedy_plus_backer_runs(self):
+        comp = sb_comp()
+        for p in (1, 2, 4):
+            sched = greedy_schedule(comp, p, rng=p)
+            trace = execute(sched, BackerMemory())
+            assert len(trace.reads) == 2

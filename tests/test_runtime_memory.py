@@ -1,0 +1,131 @@
+"""Tests for the memory systems: SerialMemory and BackerMemory."""
+
+import pytest
+
+from repro.runtime import BackerMemory, SerialMemory
+
+
+class TestSerialMemory:
+    def test_read_unwritten_is_bottom(self):
+        m = SerialMemory()
+        m.attach(2)
+        assert m.read(0, 0, "x") is None
+
+    def test_read_sees_latest_write(self):
+        m = SerialMemory()
+        m.attach(2)
+        m.write(0, 5, "x")
+        assert m.read(1, 6, "x") == 5
+        m.write(1, 7, "x")
+        assert m.read(0, 8, "x") == 7
+
+    def test_attach_resets(self):
+        m = SerialMemory()
+        m.attach(1)
+        m.write(0, 1, "x")
+        m.attach(1)
+        assert m.read(0, 2, "x") is None
+
+
+class TestBackerProtocol:
+    def test_read_own_write_from_cache(self):
+        m = BackerMemory()
+        m.attach(2)
+        m.write(0, 3, "x")
+        assert m.read(0, 4, "x") == 3
+        assert m.stats.cache_hits == 1
+
+    def test_dirty_write_invisible_until_reconcile(self):
+        m = BackerMemory()
+        m.attach(2)
+        m.write(0, 3, "x")
+        # Processor 1 fetches from main, which hasn't seen the write.
+        assert m.read(1, 4, "x") is None
+
+    def test_reconcile_then_flush_makes_visible(self):
+        m = BackerMemory()
+        m.attach(2)
+        m.write(0, 3, "x")
+        m.node_completed(0, 3, cross_succ=True)   # reconcile proc 0
+        m.node_starting(1, 4, cross_pred=True)    # flush proc 1
+        assert m.read(1, 4, "x") == 3
+
+    def test_stale_cache_without_flush(self):
+        m = BackerMemory()
+        m.attach(2)
+        assert m.read(1, 0, "x") is None  # caches ⊥
+        m.write(0, 1, "x")
+        m.node_completed(0, 1, cross_succ=True)
+        # No flush on proc 1: the stale ⊥ line sticks (BACKER allows it).
+        assert m.read(1, 2, "x") is None
+
+    def test_flush_evicts(self):
+        m = BackerMemory()
+        m.attach(2)
+        assert m.read(1, 0, "x") is None
+        m.write(0, 1, "x")
+        m.node_completed(0, 1, cross_succ=True)
+        m.node_starting(1, 2, cross_pred=True)
+        assert m.read(1, 2, "x") == 1
+
+    def test_no_hooks_no_protocol_activity(self):
+        m = BackerMemory()
+        m.attach(2)
+        m.node_starting(0, 0, cross_pred=False)
+        m.node_completed(0, 0, cross_succ=False)
+        assert m.stats.reconciles == 0
+        assert m.stats.flushes == 0
+
+    def test_stats_counts(self):
+        m = BackerMemory()
+        m.attach(2)
+        m.read(0, 0, "x")
+        m.write(0, 1, "x")
+        m.node_completed(0, 1, cross_succ=True)
+        assert m.stats.fetches == 1
+        assert m.stats.reconciles == 1
+
+    def test_reconcile_writes_back_dirty_only_once(self):
+        m = BackerMemory()
+        m.attach(1)
+        m.write(0, 1, "x")
+        m.node_completed(0, 1, cross_succ=True)
+        m.node_completed(0, 2, cross_succ=True)
+        # Second reconcile finds nothing dirty; main unchanged.
+        assert m.read(0, 3, "x") == 1
+
+
+class TestFaultInjection:
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            BackerMemory(drop_reconcile_probability=1.5)
+        with pytest.raises(ValueError):
+            BackerMemory(drop_flush_probability=-0.1)
+        with pytest.raises(ValueError):
+            BackerMemory(spontaneous_reconcile_probability=2.0)
+
+    def test_dropped_reconcile_counted(self):
+        m = BackerMemory(drop_reconcile_probability=1.0, rng=0)
+        m.attach(2)
+        m.write(0, 1, "x")
+        m.node_completed(0, 1, cross_succ=True)
+        assert m.stats.dropped_reconciles == 1
+        m.node_starting(1, 2, cross_pred=True)
+        assert m.read(1, 2, "x") is None  # the write never reached main
+
+    def test_dropped_flush_counted(self):
+        m = BackerMemory(drop_flush_probability=1.0, rng=0)
+        m.attach(2)
+        assert m.read(1, 0, "x") is None
+        m.write(0, 1, "x")
+        m.node_completed(0, 1, cross_succ=True)
+        m.node_starting(1, 2, cross_pred=True)  # dropped!
+        assert m.stats.dropped_flushes == 1
+        assert m.read(1, 2, "x") is None  # stale line survived
+
+    def test_spontaneous_reconcile(self):
+        m = BackerMemory(spontaneous_reconcile_probability=1.0, rng=0)
+        m.attach(2)
+        m.write(0, 1, "x")
+        m.node_completed(0, 1, cross_succ=False)  # spontaneous reconcile
+        assert m.read(1, 2, "x") == 1

@@ -1,0 +1,115 @@
+"""Tests for the event-driven timed simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Computation, N
+from repro.dag import Dag, chain_dag, fork_join_dag
+from repro.dag.metrics import span, work
+from repro.errors import ScheduleError
+from repro.runtime import BackerMemory, SerialMemory, simulate_timed
+from repro.verify import trace_admits_lc
+from tests.conftest import computations
+
+
+def nops(dag: Dag) -> Computation:
+    return Computation(dag, (N,) * dag.num_nodes)
+
+
+class TestBasics:
+    def test_empty(self):
+        res = simulate_timed(nops(Dag(0)), 2)
+        assert res.makespan == 0.0
+
+    def test_requires_processor(self):
+        with pytest.raises(ScheduleError):
+            simulate_timed(nops(Dag(1)), 0)
+
+    def test_unit_cost_chain(self):
+        res = simulate_timed(nops(chain_dag(5)), 2, miss_cost=0, rng=0)
+        assert res.makespan == 5.0
+
+    def test_unit_cost_parallel(self):
+        res = simulate_timed(nops(Dag(8)), 4, miss_cost=0, rng=0)
+        assert res.makespan <= 8.0
+        assert res.makespan >= 2.0
+
+    def test_precedence_validated(self):
+        comp = nops(fork_join_dag(3))
+        res = simulate_timed(comp, 4, rng=1)
+        res.validate()  # must not raise
+        for (u, v) in comp.dag.edges:
+            assert res.start_of[v] >= res.finish_of[u]
+
+    def test_all_nodes_executed(self):
+        comp = nops(fork_join_dag(2))
+        res = simulate_timed(comp, 3, rng=2)
+        assert all(f > 0 for f in res.finish_of)
+
+
+class TestCostModel:
+    def test_zero_miss_cost_bounds(self):
+        comp = nops(fork_join_dag(3))
+        t1, tinf = work(comp.dag), span(comp.dag)
+        for p in (1, 2, 4):
+            res = simulate_timed(comp, p, miss_cost=0, rng=0)
+            assert res.makespan >= max(tinf, t1 / p)
+
+    def test_single_processor_pays_no_protocol(self):
+        from repro.lang import fib_computation
+
+        comp = fib_computation(7)[0]
+        res0 = simulate_timed(comp, 1, miss_cost=0, rng=0)
+        res8 = simulate_timed(comp, 1, miss_cost=8, rng=0)
+        assert res0.makespan == res8.makespan == comp.num_nodes
+
+    def test_miss_cost_monotone(self):
+        from repro.lang import fib_computation
+
+        comp = fib_computation(7)[0]
+        spans = [
+            simulate_timed(comp, 4, miss_cost=m, rng=3).makespan
+            for m in (0, 2, 8)
+        ]
+        assert spans[0] <= spans[1] <= spans[2]
+
+    def test_steals_counted(self):
+        comp = nops(Dag(12))
+        res = simulate_timed(comp, 4, rng=0)
+        assert res.steals > 0  # everything starts on proc 0
+
+
+class TestCorrectness:
+    @given(computations(max_nodes=8), st.integers(1, 4), st.integers(0, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_backer_timed_always_lc(self, comp, procs, seed):
+        res = simulate_timed(comp, procs, miss_cost=3, rng=seed)
+        assert trace_admits_lc(res.partial_observer())
+
+    def test_workloads_lc(self):
+        from repro.lang import matmul_computation, racy_counter_computation
+
+        for comp in (
+            matmul_computation(2)[0],
+            racy_counter_computation(3, 2)[0],
+        ):
+            for p in (2, 4):
+                res = simulate_timed(comp, p, miss_cost=5, rng=p)
+                assert trace_admits_lc(res.partial_observer())
+
+    def test_serial_memory_also_works(self):
+        from repro.verify import trace_admits_sc
+
+        comp = nops(fork_join_dag(2))
+        res = simulate_timed(comp, 2, memory=SerialMemory(), rng=0)
+        assert trace_admits_sc(res.partial_observer()) is not None
+
+    def test_deterministic_by_seed(self):
+        from repro.lang import fib_computation
+
+        comp = fib_computation(6)[0]
+        a = simulate_timed(comp, 4, rng=11)
+        b = simulate_timed(comp, 4, rng=11)
+        assert a.makespan == b.makespan
+        assert a.proc_of == b.proc_of

@@ -1,0 +1,142 @@
+"""Tests for the streaming LC verifier."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import N, R, W
+from repro.lang import racy_counter_computation, store_buffer_computation
+from repro.runtime import (
+    BackerMemory,
+    SerialMemory,
+    execute,
+    work_stealing_schedule,
+)
+from repro.verify import trace_admits_lc
+from repro.verify.streaming import StreamingLCVerifier
+from tests.conftest import computations
+
+
+class TestEventInterface:
+    def test_empty_consistent(self):
+        v = StreamingLCVerifier()
+        assert v.consistent_so_far
+
+    def test_simple_chain_ok(self):
+        v = StreamingLCVerifier()
+        assert v.add_node(W("x"), []) is None          # node 0
+        assert v.add_node(R("x"), [0], observed=0) is None
+        assert v.consistent_so_far
+
+    def test_stale_bottom_detected(self):
+        v = StreamingLCVerifier()
+        v.add_node(W("x"), [])
+        violation = v.add_node(R("x"), [0], observed=None)
+        assert violation is not None
+        assert violation.loc == "x"
+        assert "⊥" in violation.reason
+
+    def test_stale_read_detected(self):
+        # W0 -> W1 -> R(observes W0): serialization cycle.
+        v = StreamingLCVerifier()
+        v.add_node(W("x"), [])
+        v.add_node(W("x"), [0])
+        violation = v.add_node(R("x"), [1], observed=0)
+        assert violation is not None
+        assert "cycle" in violation.reason
+
+    def test_cross_observation_detected(self):
+        # Figure 4's shape, streamed.
+        v = StreamingLCVerifier()
+        v.add_node(W("x"), [])            # 0
+        v.add_node(W("x"), [])            # 1
+        assert v.add_node(R("x"), [0], observed=1) is None  # 2: sees other
+        violation = v.add_node(R("x"), [1], observed=0)     # 3: cycle
+        assert violation is not None
+
+    def test_violation_latches(self):
+        v = StreamingLCVerifier()
+        v.add_node(W("x"), [])
+        first = v.add_node(R("x"), [0], observed=None)
+        later = v.add_node(N, [])
+        assert later is first
+
+    def test_nops_unconstrained(self):
+        v = StreamingLCVerifier()
+        v.add_node(W("x"), [])
+        v.add_node(N, [0])
+        assert v.add_node(R("x"), [1], observed=0) is None
+
+    def test_independent_locations(self):
+        v = StreamingLCVerifier()
+        v.add_node(W("x"), [])
+        v.add_node(W("y"), [0])
+        assert v.add_node(R("y"), [1], observed=1) is None
+        # ⊥ read of x after the x-write: violation at x, not y.
+        violation = v.add_node(R("x"), [2], observed=None)
+        assert violation is not None and violation.loc == "x"
+
+
+class TestTraceAgreement:
+    @given(computations(max_nodes=8), st.integers(1, 4), st.integers(0, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_batch_on_faithful_backer(self, comp, procs, seed):
+        sched = work_stealing_schedule(comp, procs, rng=seed)
+        trace = execute(sched, BackerMemory())
+        assert StreamingLCVerifier.check_trace(trace) is None
+        assert trace_admits_lc(trace.partial_observer())
+
+    @given(computations(max_nodes=8), st.integers(2, 4), st.integers(0, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_batch_on_faulty_backer(self, comp, procs, seed):
+        sched = work_stealing_schedule(comp, procs, rng=seed)
+        mem = BackerMemory(
+            drop_reconcile_probability=0.7,
+            drop_flush_probability=0.7,
+            rng=seed,
+        )
+        trace = execute(sched, mem)
+        streaming = StreamingLCVerifier.check_trace(trace)
+        batch = trace_admits_lc(trace.partial_observer())
+        assert (streaming is None) == batch
+
+    def test_localizes_violating_node(self):
+        """The reported node really is a witness: the trace truncated
+        just before it is still LC."""
+        comp = racy_counter_computation(4, 3)[0]
+        found = False
+        for seed in range(40):
+            sched = work_stealing_schedule(comp, 4, rng=seed)
+            mem = BackerMemory(
+                drop_reconcile_probability=0.9,
+                drop_flush_probability=0.9,
+                rng=seed,
+            )
+            trace = execute(sched, mem)
+            violation = StreamingLCVerifier.check_trace(trace)
+            if violation is None:
+                continue
+            found = True
+            # Rebuild the stream up to (but excluding) the violator.
+            order = trace.schedule.execution_order()
+            cut = order.index(violation.node)
+            observed = {e.node: e.observed for e in trace.reads}
+            new_id = {u: i for i, u in enumerate(order)}
+            v = StreamingLCVerifier()
+            for u in order[:cut]:
+                obs = observed.get(u)
+                assert (
+                    v.add_node(
+                        comp.op(u),
+                        [new_id[p] for p in comp.dag.predecessors(u)],
+                        None if obs is None else new_id[obs],
+                    )
+                    is None
+                )
+        assert found
+
+    def test_serial_memory_never_flagged(self):
+        comp = store_buffer_computation()[0]
+        for seed in range(5):
+            sched = work_stealing_schedule(comp, 2, rng=seed)
+            trace = execute(sched, SerialMemory())
+            assert StreamingLCVerifier.check_trace(trace) is None

@@ -1,0 +1,208 @@
+"""Tests for post-mortem trace verification."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Computation, ObserverFunction, R, W
+from repro.dag import Dag
+from repro.models import LC, NN, SC, WW
+from repro.runtime import PartialObserver
+from repro.verify import (
+    find_completion,
+    lc_completion,
+    trace_admits_lc,
+    trace_admits_sc,
+)
+from tests.conftest import computations_with_observer
+
+
+def sb_partial(missed: bool) -> tuple[Computation, PartialObserver]:
+    comp = Computation(
+        Dag(4, [(0, 1), (2, 3)]), (W("x"), R("y"), W("y"), R("x"))
+    )
+    if missed:
+        cons = {"x": {0: 0, 3: None}, "y": {2: 2, 1: None}}
+    else:
+        cons = {"x": {0: 0, 3: 0}, "y": {2: 2, 1: 2}}
+    return comp, PartialObserver(comp, cons)
+
+
+class TestLCCheck:
+    def test_store_buffer_weak_outcome_is_lc(self):
+        comp, po = sb_partial(missed=True)
+        assert trace_admits_lc(po)
+
+    def test_store_buffer_weak_outcome_not_sc(self):
+        comp, po = sb_partial(missed=True)
+        assert trace_admits_sc(po) is None
+
+    def test_store_buffer_strong_outcome_is_sc(self):
+        comp, po = sb_partial(missed=False)
+        assert trace_admits_sc(po) is not None
+
+    def test_stale_read_rejected(self):
+        # W -> W -> R with the read observing the older write.
+        comp = Computation.serial([W("x"), W("x"), R("x")])
+        po = PartialObserver(comp, {"x": {2: 0}})
+        assert not trace_admits_lc(po)
+
+    def test_bottom_read_after_write_rejected(self):
+        comp = Computation.serial([W("x"), R("x")])
+        po = PartialObserver(comp, {"x": {1: None}})
+        assert not trace_admits_lc(po)
+
+    def test_cross_observation_rejected(self):
+        # The Figure 4 shape, as a trace.
+        comp = Computation(
+            Dag(4, [(0, 2), (1, 3)]), (W("x"), W("x"), R("x"), R("x"))
+        )
+        po = PartialObserver(comp, {"x": {2: 1, 3: 0}})
+        assert not trace_admits_lc(po)
+
+    def test_unconstrained_nodes_flexible(self):
+        # An unconstrained no-op between incompatible-looking reads is
+        # fine — it belongs to no block.
+        comp = Computation(
+            Dag(3, [(0, 1), (1, 2)]), (W("x"), R("y"), R("x"))
+        )
+        po = PartialObserver(comp, {"x": {0: 0, 2: 0}})
+        assert trace_admits_lc(po)
+
+    def test_no_constraints_trivially_lc(self):
+        comp = Computation(Dag(2), (R("x"), R("x")))
+        po = PartialObserver(comp, {})
+        assert trace_admits_lc(po)
+
+
+class TestLCCompletion:
+    def test_certificate_is_lc_member(self):
+        comp, po = sb_partial(missed=True)
+        phi = lc_completion(po)
+        assert phi is not None
+        assert LC.contains(comp, phi)
+        assert po.is_completion(phi)
+
+    def test_none_for_violation(self):
+        comp = Computation.serial([W("x"), R("x")])
+        po = PartialObserver(comp, {"x": {1: None}})
+        assert lc_completion(po) is None
+
+    @given(computations_with_observer(max_nodes=5))
+    @settings(max_examples=60, deadline=None)
+    def test_total_observer_roundtrip(self, pair):
+        """A total LC observer, viewed as constraints, passes and completes
+        back to an LC member agreeing on every constraint."""
+        comp, phi = pair
+        cons = {
+            loc: {u: phi.value(loc, u) for u in comp.nodes()}
+            for loc in comp.locations
+        }
+        po = PartialObserver(comp, cons)
+        member = LC.contains(comp, phi)
+        assert trace_admits_lc(po) == member
+        if member:
+            completed = lc_completion(po)
+            assert completed is not None
+            for loc in comp.locations:
+                assert completed.row(loc) == phi.row(loc)
+
+
+class TestSCCheck:
+    @given(computations_with_observer(max_nodes=4))
+    @settings(max_examples=50, deadline=None)
+    def test_total_constraints_match_sc_model(self, pair):
+        comp, phi = pair
+        cons = {
+            loc: {u: phi.value(loc, u) for u in comp.nodes()}
+            for loc in comp.locations
+        }
+        po = PartialObserver(comp, cons)
+        assert (trace_admits_sc(po) is not None) == SC.contains(comp, phi)
+
+    def test_witness_order_is_topological(self):
+        comp, po = sb_partial(missed=False)
+        order = trace_admits_sc(po)
+        assert order is not None
+        pos = {u: i for i, u in enumerate(order)}
+        for (u, v) in comp.dag.edges:
+            assert pos[u] < pos[v]
+
+    def test_empty_computation(self):
+        from repro.core import EMPTY_COMPUTATION
+
+        po = PartialObserver(EMPTY_COMPUTATION, {})
+        assert trace_admits_sc(po) == ()
+
+
+class TestFindCompletion:
+    def test_completion_within_ww(self):
+        # A stale-⊥ read violates LC/NN but completes within WW/WN.
+        comp = Computation.serial([W("x"), R("x")])
+        po = PartialObserver(comp, {"x": {1: None}})
+        assert find_completion(NN, po) is None
+        assert find_completion(WW, po) is not None
+
+    def test_respects_constraints(self):
+        comp = Computation.serial([W("x"), R("x")])
+        po = PartialObserver(comp, {"x": {1: 0}})
+        phi = find_completion(LC, po)
+        assert phi is not None and phi.value("x", 1) == 0
+
+    def test_budget_guard(self):
+        import pytest
+
+        comp = Computation(
+            Dag(12), tuple([W("x")] * 6 + [R("x")] * 6)
+        )
+        po = PartialObserver(comp, {})
+        with pytest.raises(ValueError):
+            find_completion(LC, po, max_candidates=10)
+
+    @given(computations_with_observer(max_nodes=4))
+    @settings(max_examples=30, deadline=None)
+    def test_lc_search_agrees_with_polynomial(self, pair):
+        """find_completion(LC) agrees with the polynomial partial check
+        when constraints come from reads/writes only (trace shape)."""
+        comp, phi = pair
+        cons = {}
+        for loc in comp.locations:
+            row = {}
+            for u in comp.nodes():
+                op = comp.op(u)
+                if op.reads(loc) or op.writes(loc):
+                    row[u] = phi.value(loc, u)
+            if row:
+                cons[loc] = row
+        po = PartialObserver(comp, cons)
+        found = find_completion(LC, po, max_candidates=500_000)
+        assert (found is not None) == trace_admits_lc(po)
+
+
+class TestLcTraceOrders:
+    def test_certificates_reproduce_constraints(self):
+        from repro.core.last_writer import last_writer_row
+        from repro.verify import lc_trace_orders
+
+        comp, po = sb_partial(missed=True)
+        orders = lc_trace_orders(po)
+        assert orders is not None
+        for loc, order in orders.items():
+            row = last_writer_row(comp, order, loc)
+            for node, want in po.constrained(loc).items():
+                assert row[node] == want
+
+    def test_none_on_violation(self):
+        from repro.verify import lc_trace_orders
+
+        comp = Computation.serial([W("x"), R("x")])
+        po = PartialObserver(comp, {"x": {1: None}})
+        assert lc_trace_orders(po) is None
+
+    def test_orders_are_topological(self):
+        from repro.dag.toposort import is_topological_sort
+        from repro.verify import lc_trace_orders
+
+        comp, po = sb_partial(missed=True)
+        orders = lc_trace_orders(po)
+        for order in orders.values():
+            assert is_topological_sort(comp.dag, order)
