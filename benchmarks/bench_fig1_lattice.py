@@ -49,3 +49,25 @@ def test_fig1_full_battery(benchmark, sweep_universe, witness_universe):
     print()
     print(report)
     assert result.matches_paper() == []
+
+
+def test_fig1_parallel_identical_to_serial(
+    benchmark, sweep_universe, witness_universe
+):
+    """The sharded engine's canonical-order merge reproduces the serial
+    battery bit-for-bit: same matrix, same witnesses pair-for-pair."""
+    from repro.runtime.parallel import clear_sweep_caches
+
+    clear_sweep_caches()
+    serial = compute_lattice(sweep_universe, witness_universe, jobs=1)
+
+    def parallel_run():
+        clear_sweep_caches()
+        return compute_lattice(sweep_universe, witness_universe, jobs=2)
+
+    parallel = benchmark.pedantic(parallel_run, rounds=1, iterations=1)
+    assert parallel.inclusions == serial.inclusions
+    assert parallel.strictness == serial.strictness
+    assert parallel.incomparability == serial.incomparability
+    assert parallel.constructibility == serial.constructibility
+    assert parallel.matches_paper() == []

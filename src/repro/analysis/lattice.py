@@ -20,17 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.models.base import MemoryModel
-from repro.models.constructibility import (
-    NonconstructibilityWitness,
-    find_nonconstructibility_witness,
-)
+from repro.models.constructibility import NonconstructibilityWitness
 from repro.models.dag_consistency import NN, NW, WN, WW
 from repro.models.location_consistency import LC
-from repro.models.relations import (
-    SeparationWitness,
-    inclusion_matrix,
-    separating_witness,
-)
+from repro.models.relations import SeparationWitness
 from repro.models.sequential import SC
 from repro.models.universe import Universe
 
@@ -105,6 +98,8 @@ class LatticeResult:
     ``incomparability`` — witnesses both ways for each incomparable pair.
     ``constructibility[m]`` — ``None`` if augmentation-closed on the
     universe (consistent with constructible), else the failing witness.
+    ``sweep_stats`` — per-sweep :class:`~repro.runtime.parallel.SweepStats`
+    instrumentation (shard timings, cache hit rates), keyed by sweep name.
     """
 
     universe: Universe
@@ -118,6 +113,7 @@ class LatticeResult:
     constructibility: dict[str, NonconstructibilityWitness | None] = field(
         default_factory=dict
     )
+    sweep_stats: dict[str, object] = field(default_factory=dict)
 
     def matches_paper(self) -> list[str]:
         """Discrepancies from Figure 1, excluding documented deviations.
@@ -149,7 +145,9 @@ class LatticeResult:
 
 
 def compute_lattice(
-    universe: Universe, witness_universe: Universe | None = None
+    universe: Universe,
+    witness_universe: Universe | None = None,
+    jobs: int | None = None,
 ) -> LatticeResult:
     """Run the full Figure-1 battery on a universe.
 
@@ -157,17 +155,29 @@ def compute_lattice(
     witness searches separately — witnesses live at n = 4, so a smaller
     search universe keeps the expensive part cheap while inclusions sweep
     the larger one.
+
+    All sweeps run through the sharded engine
+    (:mod:`repro.runtime.parallel`): ``jobs=None`` defers to the
+    ``REPRO_JOBS`` environment variable (default serial in-process),
+    ``jobs=N`` forces ``N`` workers.  The engine's canonical-order merge
+    makes every witness identical to the serial per-question sweeps.
     """
+    from repro.runtime.parallel import (
+        parallel_inclusion_matrix,
+        parallel_lattice_battery,
+    )
+
     wuniv = witness_universe or universe
     models = PAPER_MODELS
-    result = LatticeResult(
-        universe=universe,
-        inclusions=inclusion_matrix(models, universe),
-    )
     by_name = {m.name: m for m in models}
 
-    def find_separation(a_name: str, b_name: str) -> SeparationWitness | None:
-        """Witness in b \\ a — the paper's fixed figures first, then search.
+    inclusions, inc_stats = parallel_inclusion_matrix(
+        models, universe, jobs=jobs
+    )
+    result = LatticeResult(universe=universe, inclusions=inclusions)
+
+    def seeded(a_name: str, b_name: str) -> SeparationWitness | None:
+        """Witness in b \\ a among the paper's fixed figure pairs.
 
         The SC/LC separation needs two locations, which single-location
         witness universes cannot provide, so seeding is not merely an
@@ -177,19 +187,40 @@ def compute_lattice(
         for comp, phi in _seed_pairs():
             if b.contains(comp, phi) and not a.contains(comp, phi):
                 return SeparationWitness(comp, phi, b.name, a.name)
-        return separating_witness(a, b, wuniv)
+        return None
+
+    wanted = list(PAPER_EDGES)
+    for a, b in PAPER_INCOMPARABLE:
+        wanted += [(b, a), (a, b)]
+    separations: dict[tuple[str, str], SeparationWitness | None] = {}
+    unresolved: list[tuple[str, str]] = []
+    for edge in dict.fromkeys(wanted):
+        separations[edge] = seeded(*edge)
+        if separations[edge] is None:
+            unresolved.append(edge)
+
+    battery, battery_stats = parallel_lattice_battery(
+        wuniv,
+        edges=unresolved,
+        constructibility=models,
+        jobs=jobs,
+    )
+    for edge in unresolved:
+        separations[edge] = battery.witnesses[edge]
 
     for a, b in PAPER_EDGES:
-        result.strictness[(a, b)] = find_separation(a, b)
+        result.strictness[(a, b)] = separations[(a, b)]
     for a, b in PAPER_INCOMPARABLE:
         result.incomparability[(a, b)] = (
-            find_separation(b, a),
-            find_separation(a, b),
+            separations[(b, a)],
+            separations[(a, b)],
         )
     for m in models:
-        result.constructibility[m.name] = find_nonconstructibility_witness(
-            m, wuniv
-        )
+        result.constructibility[m.name] = battery.nonconstructibility[m.name]
+    result.sweep_stats = {
+        "inclusion-matrix": inc_stats,
+        "lattice-battery": battery_stats,
+    }
     return result
 
 

@@ -71,11 +71,13 @@ def _sec_figures() -> SectionResult:
     return SectionResult("Figures 2–4 and the SC/LC separation", all(ok for _l, ok in checks), detail)
 
 
-def _sec_lattice(sweep: Universe, witness: Universe) -> SectionResult:
+def _sec_lattice(
+    sweep: Universe, witness: Universe, jobs: int | None = None
+) -> SectionResult:
     from repro.analysis.lattice import compute_lattice
     from repro.analysis.report import render_lattice_result
 
-    result = compute_lattice(sweep, witness)
+    result = compute_lattice(sweep, witness, jobs=jobs)
     problems = result.matches_paper()
     return SectionResult(
         "Figure 1 — the model lattice",
@@ -84,18 +86,13 @@ def _sec_lattice(sweep: Universe, witness: Universe) -> SectionResult:
     )
 
 
-def _sec_theorem23(universe: Universe) -> SectionResult:
+def _sec_theorem23(universe: Universe, jobs: int | None = None) -> SectionResult:
     from repro.core.ops import N as NOP, R
-    from repro.models import LC, NN, augmentation_closed_at
+    from repro.runtime.parallel import parallel_thm23_counts
 
-    stuck = total = lc_in_nn = 0
-    for comp, phi in universe.model_pairs(NN):
-        if LC.contains(comp, phi):
-            lc_in_nn += 1
-            continue
-        total += 1
-        if augmentation_closed_at(NN, comp, phi, [R("x"), NOP]) is not None:
-            stuck += 1
+    (lc_in_nn, total, stuck), _stats = parallel_thm23_counts(
+        universe, probes=(R("x"), NOP), jobs=jobs
+    )
     ok = total > 0 and stuck == total
     detail = (
         f"  NN ∖ LC pairs: {total}; pruned by one augmentation: {stuck}\n"
@@ -144,8 +141,14 @@ def _sec_open_problem(max_nodes: int) -> SectionResult:
     )
 
 
-def full_reproduction(profile: str = "quick") -> ReproductionReport:
-    """Run the battery; ``profile`` ∈ {"quick", "full"}."""
+def full_reproduction(
+    profile: str = "quick", jobs: int | None = None
+) -> ReproductionReport:
+    """Run the battery; ``profile`` ∈ {"quick", "full"}.
+
+    ``jobs`` is forwarded to the sharded sweep engine for the lattice and
+    Theorem-23 sections (``None`` defers to ``REPRO_JOBS``, default
+    serial)."""
     if profile == "quick":
         sweep = Universe(max_nodes=2, locations=("x",))
         witness = Universe(max_nodes=4, locations=("x",), include_nop=False)
@@ -160,8 +163,8 @@ def full_reproduction(profile: str = "quick") -> ReproductionReport:
         raise ValueError(f"unknown profile {profile!r}")
     report = ReproductionReport(profile=profile)
     report.sections.append(_sec_figures())
-    report.sections.append(_sec_lattice(sweep, witness))
-    report.sections.append(_sec_theorem23(thm23_universe))
+    report.sections.append(_sec_lattice(sweep, witness, jobs=jobs))
+    report.sections.append(_sec_theorem23(thm23_universe, jobs=jobs))
     report.sections.append(_sec_backer(runs))
     report.sections.append(_sec_open_problem(star_nodes))
     return report

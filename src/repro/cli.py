@@ -17,7 +17,7 @@ Commands
 
 Examples::
 
-    python -m repro lattice --sweep-nodes 3 --witness-nodes 4
+    python -m repro lattice --sweep-nodes 3 --witness-nodes 4 --jobs 4 --stats
     python -m repro run --program fib --size 8 --procs 4 --memory backer
     python -m repro run --program racy --procs 4 --drop-reconcile 0.9 \\
         --out /tmp/bad_trace.json
@@ -57,6 +57,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="inclusion-sweep universe bound (default 3)")
     lat.add_argument("--witness-nodes", type=int, default=4,
                      help="witness-search universe bound (default 4)")
+    lat.add_argument("--jobs", type=int, default=None,
+                     help="sweep worker processes (default: $REPRO_JOBS or 1; "
+                          "0 = all cores)")
+    lat.add_argument("--stats", action="store_true",
+                     help="print per-shard sweep timings and cache hit rates")
 
     sub.add_parser("figures", help="verify and print the paper's figures")
 
@@ -105,6 +110,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="regenerate every paper artifact and print the verdict report",
     )
     rep.add_argument("--profile", choices=["quick", "full"], default="quick")
+    rep.add_argument("--jobs", type=int, default=None,
+                     help="sweep worker processes (default: $REPRO_JOBS or 1; "
+                          "0 = all cores)")
     return parser
 
 
@@ -116,8 +124,12 @@ def _cmd_lattice(args: argparse.Namespace) -> int:
     witness = Universe(
         max_nodes=args.witness_nodes, locations=("x",), include_nop=False
     )
-    result = compute_lattice(sweep, witness)
+    result = compute_lattice(sweep, witness, jobs=args.jobs)
     print(render_lattice_result(result))
+    if args.stats:
+        for stats in result.sweep_stats.values():
+            print()
+            print(stats.render())
     return 0 if not result.matches_paper() else 1
 
 
@@ -309,7 +321,7 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.analysis import full_reproduction, render_report
 
-    report = full_reproduction(args.profile)
+    report = full_reproduction(args.profile, jobs=args.jobs)
     print(render_report(report))
     return 0 if report.ok else 1
 
@@ -326,7 +338,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         "conformance": _cmd_conformance,
         "reproduce": _cmd_reproduce,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except ValueError as exc:
+        # Bad runtime configuration (e.g. REPRO_JOBS=banana): a clean
+        # one-line error, not a traceback.
+        print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

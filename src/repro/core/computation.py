@@ -30,9 +30,11 @@ observer-function restriction trivial.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from itertools import combinations
 from typing import Iterable, Iterator, Sequence
 
+from repro import _caching
 from repro.core.ops import N, Op, R, W, Location, locations_of
 from repro.dag.digraph import Dag, bit_indices
 from repro.errors import InvalidComputationError
@@ -161,8 +163,15 @@ class Computation:
 
         Adds a fresh node — ``final(C)``, with id ``num_nodes`` — that is a
         successor of every existing node, labelled ``o``.
+
+        Memoized: constructibility sweeps augment the same computation by
+        the same op once per model and once per observer candidate, and
+        the result (like all computations) is immutable, so sharing one
+        instance is safe and skips rebuilding the dag and its closure.
         """
-        return Computation(self._dag.add_final_node(), self._ops + (o,))
+        if not _caching.ENABLED:
+            return Computation(self._dag.add_final_node(), self._ops + (o,))
+        return _augmented(self, o)
 
     @property
     def final_node(self) -> int:
@@ -297,6 +306,12 @@ class Computation:
             f"Computation(n={self.num_nodes}, ops={list(self._ops)}, "
             f"edges={sorted(self._dag.edges)})"
         )
+
+
+@lru_cache(maxsize=1 << 16)
+def _augmented(comp: Computation, o: Op) -> Computation:
+    """Shared, memoized ``aug_o(C)`` instances (see :meth:`Computation.augment`)."""
+    return Computation(comp._dag.add_final_node(), comp._ops + (o,))
 
 
 EMPTY_COMPUTATION = Computation(Dag(0), ())

@@ -16,8 +16,10 @@ expose as checkable procedures:
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterable, Sequence
 
+from repro import _caching
 from repro.core.computation import Computation
 from repro.core.observer import ObserverFunction
 from repro.core.ops import Location
@@ -40,7 +42,20 @@ def last_writer_row(
     so far; a write updates the tracker *before* recording its own value,
     which realizes condition 13.2's reflexivity (a write is its own last
     writer).
+
+    Memoized on ``(comp, order, loc)``: exhaustive sweeps re-derive the
+    same rows across observer candidates and model checks, and both
+    :class:`~repro.core.computation.Computation` and the order tuple hash
+    by value.
     """
+    if not _caching.ENABLED:
+        return _last_writer_row_impl(comp, tuple(order), loc)
+    return _last_writer_row_cached(comp, tuple(order), loc)
+
+
+def _last_writer_row_impl(
+    comp: Computation, order: tuple[int, ...], loc: Location
+) -> tuple[int | None, ...]:
     row: list[int | None] = [None] * comp.num_nodes
     last: int | None = None
     for u in order:
@@ -48,6 +63,9 @@ def last_writer_row(
             last = u
         row[u] = last
     return tuple(row)
+
+
+_last_writer_row_cached = lru_cache(maxsize=1 << 16)(_last_writer_row_impl)
 
 
 def last_writer_function(

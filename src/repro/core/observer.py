@@ -76,7 +76,7 @@ class ObserverFunction:
         :class:`~repro.errors.InvalidObserverError` on violation.
     """
 
-    __slots__ = ("_comp", "_map", "_hash")
+    __slots__ = ("_comp", "_map", "_hash", "_locs")
 
     def __init__(
         self,
@@ -98,6 +98,7 @@ class ObserverFunction:
                 norm[loc] = row
         self._map = norm
         self._hash: int | None = None
+        self._locs: tuple[Location, ...] | None = None
         if validate:
             self._validate()
         # Even when callers skip full validation, writes must observe
@@ -150,7 +151,9 @@ class ObserverFunction:
     @property
     def locations(self) -> tuple[Location, ...]:
         """Locations with an explicit (not all-⊥) row, sorted by repr."""
-        return tuple(sorted(self._map, key=repr))
+        if self._locs is None:
+            self._locs = tuple(sorted(self._map, key=repr))
+        return self._locs
 
     def value(self, loc: Location, u: int | None) -> int | None:
         """``Φ(loc, u)``; ``u = None`` denotes ``⊥`` (and returns ``⊥``)."""

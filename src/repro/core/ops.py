@@ -14,9 +14,10 @@ use small integers or short strings.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Hashable, Iterable
 
-__all__ = ["Op", "R", "W", "N", "Location", "locations_of"]
+__all__ = ["Op", "R", "W", "N", "Location", "locations_of", "merged_locations"]
 
 Location = Hashable
 """Type alias for memory locations: any hashable value."""
@@ -98,3 +99,18 @@ def locations_of(ops: Iterable[Op]) -> list[Location]:
     """
     locs = {op.loc for op in ops if op.loc is not None}
     return sorted(locs, key=repr)
+
+
+@lru_cache(maxsize=1 << 12)
+def merged_locations(
+    a: tuple[Location, ...], b: tuple[Location, ...]
+) -> tuple[Location, ...]:
+    """Sorted (by repr) union of two location tuples, memoized.
+
+    Membership predicates merge ``comp.locations`` with ``phi.locations``
+    on every query; universes draw both from a handful of distinct
+    tuples, so the merge is worth caching across the whole sweep.
+    """
+    if a == b:
+        return a
+    return tuple(sorted(set(a) | set(b), key=repr))

@@ -16,23 +16,44 @@ not soundness.)
 Counts of ordered dags: n=1: 1, n=2: 2, n=3: 8, n=4: 64, n=5: 1024
 (``2^(n choose 2)``).  A canonicalization pass (:func:`unique_dags`)
 deduplicates up to iso for the smallest sizes where that matters.
+
+Edge masks are the unit of work distribution: each ordered dag on ``n``
+nodes is identified by an integer mask over the ``C(n, 2)`` candidate
+edges, so a contiguous mask range ``[start, stop)`` names a shard of the
+enumeration space that any process can regenerate independently (see
+:mod:`repro.runtime.parallel`).
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from itertools import combinations, permutations
+from math import comb
 from typing import Iterator
 
+from repro import _caching
 from repro.dag.digraph import Dag
 
-__all__ = ["ordered_dags", "unique_dags", "canonical_form"]
+__all__ = ["ordered_dags", "unique_dags", "canonical_form", "num_edge_masks"]
 
 
-def ordered_dags(n: int) -> Iterator[Dag]:
-    """Yield every dag on ``n`` nodes whose edges satisfy ``u < v``."""
+def num_edge_masks(n: int) -> int:
+    """Number of ordered dags on ``n`` nodes: ``2^(n choose 2)`` edge masks."""
+    return 1 << comb(n, 2)
+
+
+def ordered_dags(n: int, start: int = 0, stop: int | None = None) -> Iterator[Dag]:
+    """Yield every dag on ``n`` nodes whose edges satisfy ``u < v``.
+
+    ``start``/``stop`` restrict the enumeration to the edge masks in
+    ``[start, stop)`` — the sharding hook used by the parallel sweep
+    engine.  The default covers the full range ``[0, 2^(n choose 2))``.
+    """
     pairs = list(combinations(range(n), 2))
     m = len(pairs)
-    for mask in range(1 << m):
+    if stop is None:
+        stop = 1 << m
+    for mask in range(start, stop):
         edges = [pairs[i] for i in range(m) if mask & (1 << i)]
         yield Dag(n, edges)
 
@@ -43,7 +64,17 @@ def canonical_form(dag: Dag) -> frozenset[tuple[int, int]]:
     Brute-force over all node permutations; only intended for the tiny
     dags (n <= 6) used in exhaustive universes.  The canonical form is the
     lexicographically least sorted edge tuple over all relabellings.
+
+    Memoized: universes revisit the same dag shapes across op labellings
+    and sweep rounds, and :class:`Dag` hashes by value, so repeat lookups
+    are cache hits even for freshly constructed equal dags.
     """
+    if not _caching.ENABLED:
+        return _canonical_form_impl(dag)
+    return _canonical_form_cached(dag)
+
+
+def _canonical_form_impl(dag: Dag) -> frozenset[tuple[int, int]]:
     n = dag.num_nodes
     best: tuple[tuple[int, int], ...] | None = None
     for perm in permutations(range(n)):
@@ -52,6 +83,9 @@ def canonical_form(dag: Dag) -> frozenset[tuple[int, int]]:
             best = relabeled
     assert best is not None or n == 0
     return frozenset(best or ())
+
+
+_canonical_form_cached = lru_cache(maxsize=1 << 16)(_canonical_form_impl)
 
 
 def unique_dags(n: int) -> Iterator[Dag]:

@@ -15,7 +15,6 @@ the usual SP-dag definition.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
 
 from repro.dag.digraph import Dag
 

@@ -18,14 +18,17 @@ module provides:
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterator, Sequence
 
 import random
 
+from repro import _caching
 from repro.dag.digraph import Dag, bit_indices
 
 __all__ = [
     "all_topological_sorts",
+    "cached_topological_sorts",
     "count_topological_sorts",
     "random_topological_sort",
     "is_topological_sort",
@@ -72,6 +75,25 @@ def all_topological_sorts(dag: Dag) -> Iterator[tuple[int, ...]]:
                 indeg[u] = 0
 
     yield from backtrack()
+
+
+def cached_topological_sorts(dag: Dag) -> tuple[tuple[int, ...], ...]:
+    """All topological sorts of ``dag``, materialized and memoized.
+
+    Exhaustive sweeps evaluate many (labelling, observer) combinations
+    over the *same* dag shape, and :class:`Dag` hashes by value, so the
+    sort set is computed once per shape per process.  Only use this for
+    the small dags of enumeration universes — the tuple holds up to
+    ``n!`` sorts.
+    """
+    if not _caching.ENABLED:
+        return tuple(all_topological_sorts(dag))
+    return _cached_topological_sorts(dag)
+
+
+@lru_cache(maxsize=4096)
+def _cached_topological_sorts(dag: Dag) -> tuple[tuple[int, ...], ...]:
+    return tuple(all_topological_sorts(dag))
 
 
 def count_topological_sorts(dag: Dag) -> int:

@@ -16,13 +16,42 @@ membership oracle alone.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from functools import lru_cache
 from typing import Iterable, Iterator
 
+from repro import _caching
 from repro.core.computation import Computation
 from repro.core.observer import ObserverFunction
 from repro.core.ops import Location
 
-__all__ = ["MemoryModel", "IntersectionModel", "UnionModel", "ExplicitModel"]
+__all__ = [
+    "MemoryModel",
+    "IntersectionModel",
+    "UnionModel",
+    "ExplicitModel",
+    "cached_membership",
+]
+
+
+@lru_cache(maxsize=1 << 17)
+def _membership(model: "MemoryModel", comp, phi) -> bool:
+    return model.contains(comp, phi)
+
+
+def cached_membership(model: "MemoryModel", comp, phi) -> bool:
+    """Memoized ``model.contains(comp, phi)`` for stateless models.
+
+    Exhaustive sweeps ask the same membership question repeatedly — SC
+    runs the LC pre-check internally, the lattice battery queries every
+    model on every pair, and constructibility sweeps revisit augmented
+    pairs — and computations/observers hash by value, so a process-wide
+    verdict cache collapses all of that.  Models whose verdicts could
+    change after construction (``cache_membership = False``, e.g.
+    :class:`ExplicitModel`) bypass the cache.
+    """
+    if not _caching.ENABLED or not model.cache_membership:
+        return model.contains(comp, phi)
+    return _membership(model, comp, phi)
 
 
 class MemoryModel(ABC):
@@ -37,6 +66,19 @@ class MemoryModel(ABC):
 
     #: Human-readable name used in reports and reprs.
     name: str = "model"
+
+    #: Whether :func:`cached_membership` may memoize this model's verdicts
+    #: (safe for stateless predicate models; subclasses whose membership
+    #: can change after construction must set this to False).
+    cache_membership: bool = True
+
+    #: Optional closed-form answer to the Theorem-12 one-step test: a
+    #: method ``(comp, phi, o) -> bool`` deciding whether some Φ' in the
+    #: model on ``aug_o(comp)`` restricts to ``phi``, equivalent to (but
+    #: faster than) the candidate search in
+    #: :func:`repro.models.constructibility.can_extend_to_augmentation`.
+    #: ``None`` means "use the generic search".
+    augmentation_extends = None
 
     @abstractmethod
     def contains(self, comp: Computation, phi: ObserverFunction) -> bool:
@@ -123,6 +165,8 @@ class ExplicitModel(MemoryModel):
     bounded constructible-version computation.  Pairs for computations
     outside the stored domain are *not* members.
     """
+
+    cache_membership = False
 
     def __init__(
         self,

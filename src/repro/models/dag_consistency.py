@@ -37,7 +37,7 @@ from typing import Iterator
 
 from repro.core.computation import Computation
 from repro.core.observer import ObserverFunction
-from repro.core.ops import Location
+from repro.core.ops import Location, merged_locations
 from repro.dag.digraph import bit_indices
 from repro.models.base import MemoryModel
 from repro.models.predicates import (
@@ -93,6 +93,16 @@ class QDagConsistency(MemoryModel):
         self.predicate = predicate
         self.name = name
         self.variant = variant
+        self._check = (
+            None
+            if variant is None
+            else {
+                "NN": self._check_nn,
+                "NW": self._check_nw,
+                "WN": self._check_wn,
+                "WW": self._check_ww,
+            }[variant]
+        )
 
     # ------------------------------------------------------------------
     # Reference implementation (any predicate)
@@ -194,15 +204,10 @@ class QDagConsistency(MemoryModel):
         return True
 
     def contains(self, comp: Computation, phi: ObserverFunction) -> bool:
-        if self.variant is None:
+        check = self._check
+        if check is None:
             return self.contains_reference(comp, phi)
-        check = {
-            "NN": self._check_nn,
-            "NW": self._check_nw,
-            "WN": self._check_wn,
-            "WW": self._check_ww,
-        }[self.variant]
-        locs = set(comp.locations) | set(phi.locations)
+        locs = merged_locations(comp.locations, phi.locations)
         return all(check(comp, loc, phi.row(loc)) for loc in locs)
 
 

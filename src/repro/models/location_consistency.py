@@ -18,15 +18,40 @@ cross-checks both against the brute-force definitional check
 
 from __future__ import annotations
 
+from functools import lru_cache
+
+from repro import _caching
 from repro.core.computation import Computation
 from repro.core.last_writer import last_writer_row
 from repro.core.observer import ObserverFunction
-from repro.core.ops import Location
-from repro.dag.toposort import all_topological_sorts
-from repro.models.base import MemoryModel
+from repro.core.ops import Location, merged_locations
+from repro.dag.toposort import cached_topological_sorts
+from repro.models.base import MemoryModel, cached_membership
 from repro.models.membership import block_witness_order, location_blocks_admissible
 
 __all__ = ["LocationConsistency", "LC"]
+
+#: Node-count bound for deciding membership by materialized per-location
+#: row sets (at most ``n!`` sorts per computation — keep it small).
+_ROW_SET_MAX_NODES = 6
+
+
+@lru_cache(maxsize=1 << 15)
+def _lc_row_set(
+    comp: Computation, loc: Location
+) -> frozenset[tuple[int | None, ...]]:
+    """Every realizable last-writer row ``W_T(loc, ·)`` for ``comp``.
+
+    Definition 18 decouples locations, so ``(C, Φ) ∈ LC`` iff each
+    location's row appears in this set; enumeration sweeps revisit the
+    same computation with a handful of observer rows each, and augmented
+    computations recur across every extension candidate, which makes the
+    materialized set pay for itself quickly.
+    """
+    return frozenset(
+        last_writer_row(comp, order, loc)
+        for order in cached_topological_sorts(comp.dag)
+    )
 
 
 class LocationConsistency(MemoryModel):
@@ -35,17 +60,37 @@ class LocationConsistency(MemoryModel):
     name = "LC"
 
     @staticmethod
-    def _locations(comp: Computation, phi: ObserverFunction) -> set[Location]:
+    def _locations(
+        comp: Computation, phi: ObserverFunction
+    ) -> tuple[Location, ...]:
         # Locations outside this set have all-⊥ rows and no writes in the
         # computation; the empty topological-sort requirement is satisfied
         # by any T, so they never affect membership.
-        return set(comp.locations) | set(phi.locations)
+        return merged_locations(comp.locations, phi.locations)
 
     def contains(self, comp: Computation, phi: ObserverFunction) -> bool:
+        if _caching.ENABLED and comp.num_nodes <= _ROW_SET_MAX_NODES:
+            return all(
+                phi.row(loc) in _lc_row_set(comp, loc)
+                for loc in self._locations(comp, phi)
+            )
         return all(
             location_blocks_admissible(comp, loc, phi.row(loc))
             for loc in self._locations(comp, phi)
         )
+
+    def augmentation_extends(self, comp, phi, o) -> bool:
+        """Closed-form Theorem-12 test: LC closure reduces to membership.
+
+        Definition 18 decouples locations: if each location ``l`` has a
+        sort ``T_l`` with ``W_{T_l}(l, ·) = Φ(l, ·)``, then ``T_l·f``
+        certifies the extended row on ``aug_o(C)`` (``f`` observes the
+        last writer under ``T_l``, or itself when ``o`` writes ``l``),
+        and conversely dropping ``f`` from a certificate sort restricts
+        an LC extension to an LC member.  This is Theorem 19's closure
+        argument, specialized to one augmentation step.
+        """
+        return cached_membership(self, comp, phi)
 
     def witness_orders(
         self, comp: Computation, phi: ObserverFunction
@@ -75,7 +120,7 @@ class LocationConsistency(MemoryModel):
             want = phi.row(loc)
             if not any(
                 last_writer_row(comp, order, loc) == want
-                for order in all_topological_sorts(comp.dag)
+                for order in cached_topological_sorts(comp.dag)
             ):
                 return False
         return True

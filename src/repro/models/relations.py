@@ -75,11 +75,26 @@ def separating_witness(
 
 
 def inclusion_matrix(
-    models: Sequence[MemoryModel], universe: Universe
+    models: Sequence[MemoryModel],
+    universe: Universe,
+    jobs: int | None = None,
 ) -> dict[tuple[str, str], bool]:
     """For every ordered pair, whether ``models[i] ⊆ models[j]`` holds on
     the universe.  A single enumeration pass evaluates all models per
-    pair, so the cost is ``|pairs| × |models|`` membership tests."""
+    pair, so the cost is ``|pairs| × |models|`` membership tests.
+
+    ``jobs`` delegates the sweep to the sharded engine
+    (:func:`repro.runtime.parallel.parallel_inclusion_matrix`); ``None``
+    keeps the serial in-process loop below.  Both produce identical
+    matrices — the merge is a conjunction over a partition.
+    """
+    if jobs is not None:
+        from repro.runtime.parallel import parallel_inclusion_matrix
+
+        included, _stats = parallel_inclusion_matrix(
+            models, universe, jobs=jobs
+        )
+        return included
     names = [m.name for m in models]
     included: dict[tuple[str, str], bool] = {
         (x, y): True for x in names for y in names

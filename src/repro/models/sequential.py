@@ -22,14 +22,40 @@ sequential consistency of a behaviour is NP-complete in general, Gibbons
 
 from __future__ import annotations
 
+from functools import lru_cache
+
+from repro import _caching
 from repro.core.computation import Computation
-from repro.core.last_writer import last_writer_function
+from repro.core.last_writer import last_writer_function, last_writer_row
 from repro.core.observer import ObserverFunction
-from repro.core.ops import Location
-from repro.models.base import MemoryModel
+from repro.core.ops import Location, merged_locations
+from repro.models.base import MemoryModel, cached_membership
 from repro.models.location_consistency import LC
 
 __all__ = ["SequentialConsistency", "SC"]
+
+#: Node-count bound under which membership is decided by materializing
+#: the full set of last-writer row tuples (one per topological sort) —
+#: at most ``n!`` sorts, so this must stay small.
+_ROW_SET_MAX_NODES = 6
+
+
+@lru_cache(maxsize=1 << 14)
+def _sc_row_sets(
+    comp: Computation, locs: tuple[Location, ...]
+) -> frozenset[tuple[tuple[int | None, ...], ...]]:
+    """Every realizable ``(W_T(l, ·))_l`` row tuple for ``comp``.
+
+    Membership in SC is exactly "Φ's rows form one of these tuples", so
+    for the small computations of enumeration universes one materialized
+    set per ``(comp, locs)`` answers every observer query by lookup.
+    """
+    from repro.dag.toposort import cached_topological_sorts
+
+    return frozenset(
+        tuple(last_writer_row(comp, order, loc) for loc in locs)
+        for order in cached_topological_sorts(comp.dag)
+    )
 
 
 class SequentialConsistency(MemoryModel):
@@ -38,6 +64,10 @@ class SequentialConsistency(MemoryModel):
     name = "SC"
 
     def contains(self, comp: Computation, phi: ObserverFunction) -> bool:
+        if _caching.ENABLED and comp.num_nodes <= _ROW_SET_MAX_NODES:
+            locs = merged_locations(comp.locations, phi.locations)
+            rows = tuple(phi.row(loc) for loc in locs)
+            return rows in _sc_row_sets(comp, locs)
         return self.witness_order(comp, phi) is not None
 
     def witness_order(
@@ -47,11 +77,13 @@ class SequentialConsistency(MemoryModel):
 
         Runs the cheap polynomial LC check first: SC ⊆ LC, so an LC
         failure immediately refutes SC membership without any search.
+        The pre-check goes through the membership cache — sweeps that
+        query both SC and LC on the same pair pay for LC only once.
         """
-        if not LC.contains(comp, phi):
+        if not cached_membership(LC, comp, phi):
             return None
-        locs: tuple[Location, ...] = tuple(
-            sorted(set(comp.locations) | set(phi.locations), key=repr)
+        locs: tuple[Location, ...] = merged_locations(
+            comp.locations, phi.locations
         )
         n = comp.num_nodes
         if n == 0:
@@ -107,6 +139,19 @@ class SequentialConsistency(MemoryModel):
             return result
         return None
 
+    def augmentation_extends(self, comp, phi, o) -> bool:
+        """Closed-form Theorem-12 test: SC closure reduces to membership.
+
+        If ``(C, Φ) ∈ SC`` with witness sort ``T``, then ``T·f`` is a
+        topological sort of ``aug_o(C)`` (the final node succeeds
+        everything, so it is last in every sort) and ``W_{T·f}`` restricts
+        to ``W_T = Φ`` — appending ``f`` changes no existing node's last
+        writer.  Conversely any SC extension restricts to an SC member by
+        dropping ``f`` from its witness sort.  Hence extendability is
+        exactly membership, for every op ``o``.
+        """
+        return cached_membership(self, comp, phi)
+
     def observers(self, comp, locations=None):
         """Generate SC observer functions directly from topological sorts.
 
@@ -114,11 +159,11 @@ class SequentialConsistency(MemoryModel):
         ``W_T`` for ``T ∈ TS(C)`` is an SC observer function and vice
         versa, so we enumerate sorts and deduplicate.
         """
-        from repro.dag.toposort import all_topological_sorts
+        from repro.dag.toposort import cached_topological_sorts
 
         seen: set[ObserverFunction] = set()
         locs = tuple(locations) if locations is not None else comp.locations
-        for order in all_topological_sorts(comp.dag):
+        for order in cached_topological_sorts(comp.dag):
             phi = last_writer_function(comp, order, locs, check_order=False)
             if phi not in seen:
                 seen.add(phi)

@@ -79,13 +79,23 @@ class Universe:
     # Enumeration
     # ------------------------------------------------------------------
 
-    def computations_of_size(self, n: int) -> Iterator[Computation]:
-        """Every computation with exactly ``n`` nodes (ordered-dag ids)."""
+    def computations_of_size(
+        self, n: int, mask_range: tuple[int, int] | None = None
+    ) -> Iterator[Computation]:
+        """Every computation with exactly ``n`` nodes (ordered-dag ids).
+
+        ``mask_range=(lo, hi)`` restricts the dag shapes to the edge masks
+        in ``[lo, hi)`` — the sharding hook of the parallel sweep engine
+        (:mod:`repro.runtime.parallel`).  Enumeration order is edge mask
+        ascending, then labelling, so concatenating the shards of a
+        partition reproduces the unsharded order exactly.
+        """
         if n < 0 or n > self.max_nodes:
             raise UniverseError(
                 f"size {n} outside universe bound {self.max_nodes}"
             )
-        for dag in ordered_dags(n):
+        lo, hi = mask_range if mask_range is not None else (0, None)
+        for dag in ordered_dags(n, lo, hi):
             for ops in product(self._alphabet, repeat=n):
                 yield Computation(dag, ops)
 
@@ -94,6 +104,12 @@ class Universe:
         for n in range(self.max_nodes + 1):
             yield from self.computations_of_size(n)
 
+    def num_edge_masks(self, n: int) -> int:
+        """Number of ordered-dag edge masks at size ``n`` (``2^(n choose 2)``)."""
+        from repro.dag.enumerate import num_edge_masks
+
+        return num_edge_masks(n)
+
     def observers(self, comp: Computation) -> Iterator[ObserverFunction]:
         """Every valid observer function for ``comp`` over this universe's
         locations (restricted to the computation's own locations — other
@@ -101,21 +117,34 @@ class Universe:
         return ObserverFunction.enumerate_all(comp)
 
     def pairs(
-        self, n: int | None = None
+        self,
+        n: int | None = None,
+        mask_range: tuple[int, int] | None = None,
     ) -> Iterator[tuple[Computation, ObserverFunction]]:
-        """Every (computation, observer) pair, optionally at one size."""
+        """Every (computation, observer) pair, optionally at one size.
+
+        ``mask_range`` shards the dag shapes and requires ``n`` (a mask
+        range is meaningless across sizes).
+        """
+        if mask_range is not None and n is None:
+            raise UniverseError("mask_range requires an explicit size n")
         comps = (
-            self.computations() if n is None else self.computations_of_size(n)
+            self.computations()
+            if n is None
+            else self.computations_of_size(n, mask_range)
         )
         for comp in comps:
             for phi in self.observers(comp):
                 yield comp, phi
 
     def model_pairs(
-        self, model: MemoryModel, n: int | None = None
+        self,
+        model: MemoryModel,
+        n: int | None = None,
+        mask_range: tuple[int, int] | None = None,
     ) -> Iterator[tuple[Computation, ObserverFunction]]:
         """The pairs of ``model`` within this universe."""
-        for comp, phi in self.pairs(n):
+        for comp, phi in self.pairs(n, mask_range):
             if model.contains(comp, phi):
                 yield comp, phi
 

@@ -65,7 +65,7 @@ def figure2_pair() -> tuple[Computation, ObserverFunction]:
     a = b.write(LOC, name="A")
     rb = b.read(LOC, name="B", after=[a])
     c = b.write(LOC, name="C")
-    d = b.read(LOC, name="D", after=[rb])
+    b.read(LOC, name="D", after=[rb])
     comp = b.build()
     phi = ObserverFunction(
         comp,
@@ -96,7 +96,7 @@ def figure3_pair() -> tuple[Computation, ObserverFunction]:
     a = b.write(LOC, name="A")
     c = b.read(LOC, name="C")
     w = b.write(LOC, name="B", after=[c])
-    d = b.read(LOC, name="D", after=[w])
+    b.read(LOC, name="D", after=[w])
     comp = b.build()
     phi = ObserverFunction(
         comp,
@@ -131,8 +131,8 @@ def figure4_pair() -> tuple[Computation, ObserverFunction]:
     b = ComputationBuilder()
     a = b.write(LOC, name="A")
     w2 = b.write(LOC, name="B")
-    c = b.read(LOC, name="C", after=[a])
-    d = b.read(LOC, name="D", after=[w2])
+    b.read(LOC, name="C", after=[a])
+    b.read(LOC, name="D", after=[w2])
     comp = b.build()
     phi = ObserverFunction(
         comp,
@@ -177,9 +177,9 @@ def lc_not_sc_pair() -> tuple[Computation, ObserverFunction]:
     """
     b = ComputationBuilder()
     a = b.write("x", name="A")
-    rb = b.read("y", name="B", after=[a])
+    b.read("y", name="B", after=[a])
     c = b.write("y", name="C")
-    d = b.read("x", name="D", after=[c])
+    b.read("x", name="D", after=[c])
     comp = b.build()
     phi = ObserverFunction(
         comp,

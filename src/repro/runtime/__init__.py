@@ -5,9 +5,28 @@ supplies the schedules (greedy and Cilk-style work stealing) and the
 memory systems (a serialized SC memory and the BACKER distributed-cache
 protocol, with optional fault injection), plus the discrete-event
 executor tying them together into verifiable traces.
+
+It also hosts the parallel sweep engine (:mod:`repro.runtime.parallel`)
+that shards universe enumerations across a process pool for the model
+checking benchmarks.
 """
 
 from repro.runtime.backer import BackerMemory, BackerStats
+from repro.runtime.parallel import (
+    LatticeBatteryResult,
+    ShardSpec,
+    SweepStats,
+    clear_sweep_caches,
+    effective_jobs,
+    make_shards,
+    parallel_inclusion_matrix,
+    parallel_lattice_battery,
+    parallel_nonconstructibility_witnesses,
+    parallel_separation_witnesses,
+    parallel_thm23_counts,
+    run_shards,
+    sweep_cache_info,
+)
 from repro.runtime.directory import DirectoryMemory, DirectoryStats
 from repro.runtime.executor import execute
 from repro.runtime.paged_backer import PagedBackerMemory, PagedStats, modulo_pager
@@ -45,4 +64,17 @@ __all__ = [
     "ExecutionTrace",
     "PartialObserver",
     "ReadEvent",
+    "ShardSpec",
+    "SweepStats",
+    "LatticeBatteryResult",
+    "parallel_lattice_battery",
+    "effective_jobs",
+    "make_shards",
+    "run_shards",
+    "clear_sweep_caches",
+    "sweep_cache_info",
+    "parallel_inclusion_matrix",
+    "parallel_separation_witnesses",
+    "parallel_nonconstructibility_witnesses",
+    "parallel_thm23_counts",
 ]

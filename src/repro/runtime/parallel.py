@@ -1,0 +1,800 @@
+"""Process-pool sweep engine for universe-scale model checking.
+
+Every "evaluation" artifact of this repository — the Figure 1 lattice,
+the Figures 2–4 witness searches, the Theorem 19/23 sweeps — exhaustively
+enumerates ordered dags: ``2^(n choose 2)`` edge masks crossed with op
+labellings and observer functions.  The instances are independent, so the
+sweeps are embarrassingly parallel (cf. Naylor & Moore's *axe* checker
+and Chini & Saivasan's consistency-algorithm framework).  This module is
+the shared substrate:
+
+* :class:`ShardSpec` — a picklable description of one slice of the
+  enumeration space (a contiguous edge-mask range at one size), which any
+  worker process can regenerate independently;
+* :func:`make_shards` / :func:`run_shards` — chunked dispatch over a
+  ``ProcessPoolExecutor`` with a serial fallback (``jobs=1``, the
+  ``REPRO_JOBS`` environment variable, or universes too small to amortize
+  pool startup);
+* fused sweep kernels — one enumeration pass evaluates *all* requested
+  models/edges instead of re-enumerating per question, which is where the
+  bulk of the single-core win comes from (membership verdicts and
+  augmentation extensions are shared across questions via the caches in
+  :mod:`repro.dag.enumerate`, :mod:`repro.core.computation` and
+  :mod:`repro.models.constructibility`);
+* :class:`SweepStats` — per-shard timings and cache hit rates, surfaced
+  by ``repro lattice --stats`` and the ``BENCH_parallel_sweep.json``
+  benchmark, so speedups are measured rather than asserted.
+
+Deterministic merging: shards partition the canonical enumeration order
+(size ascending, then edge mask ascending), workers return per-shard
+results, and merges fold them in shard order — so counts, inclusion
+matrices and *first-witness* searches are bit-identical to the serial
+sweep regardless of worker scheduling.
+
+Set ``REPRO_JOBS`` (or pass ``--jobs`` on the CLI) to choose the worker
+count; ``0`` means one worker per CPU, ``1`` forces the serial path.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Callable, Sequence
+
+from repro.models.universe import Universe
+
+__all__ = [
+    "ShardSpec",
+    "ShardMeta",
+    "ShardOutcome",
+    "SweepStats",
+    "effective_jobs",
+    "make_shards",
+    "run_shards",
+    "clear_sweep_caches",
+    "sweep_cache_info",
+    "parallel_inclusion_matrix",
+    "parallel_separation_witnesses",
+    "parallel_nonconstructibility_witnesses",
+    "parallel_thm23_counts",
+    "parallel_lattice_battery",
+    "LatticeBatteryResult",
+]
+
+PARALLEL_THRESHOLD = 512
+"""Universes with fewer computations than this run serially: forking a
+pool costs more than the sweep itself."""
+
+MODEL_NAMES = ("SC", "LC", "CC", "NN", "NW", "WN", "WW")
+"""Names resolvable by the sweep kernels (the shipped model zoo)."""
+
+
+# ----------------------------------------------------------------------
+# Work description
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One independently-enumerable slice of a universe.
+
+    The tuple of universe parameters plus ``(n, mask_lo, mask_hi)`` fully
+    determines the slice, so the spec pickles in a few bytes and each
+    worker regenerates its computations locally instead of receiving them
+    over a pipe.
+    """
+
+    max_nodes: int
+    locations: tuple
+    include_nop: bool
+    n: int
+    mask_lo: int
+    mask_hi: int
+
+    def universe(self) -> Universe:
+        """Rebuild the owning universe (cheap; workers call this once)."""
+        return Universe(
+            max_nodes=self.max_nodes,
+            locations=self.locations,
+            include_nop=self.include_nop,
+        )
+
+    def iter_pairs(self):
+        """The (computation, observer) pairs of this shard, in canonical
+        order (edge mask ascending, then labelling, then observer)."""
+        return self.universe().pairs(self.n, (self.mask_lo, self.mask_hi))
+
+    @property
+    def num_masks(self) -> int:
+        """Number of dag shapes in this shard."""
+        return self.mask_hi - self.mask_lo
+
+
+@dataclass
+class ShardMeta:
+    """Instrumentation for one shard's execution (in its worker process)."""
+
+    n: int
+    mask_lo: int
+    mask_hi: int
+    seconds: float
+    pairs: int
+    caches: dict[str, dict[str, int]] = field(default_factory=dict)
+
+
+@dataclass
+class ShardOutcome:
+    """A kernel's return value: the payload plus its instrumentation."""
+
+    payload: Any
+    meta: ShardMeta
+
+
+@dataclass
+class SweepStats:
+    """Aggregated instrumentation for one sweep."""
+
+    label: str
+    jobs: int
+    mode: str
+    wall_seconds: float = 0.0
+    shards: list[ShardMeta] = field(default_factory=list)
+
+    @property
+    def pairs(self) -> int:
+        """Total pairs visited across shards (early exits visit fewer)."""
+        return sum(m.pairs for m in self.shards)
+
+    def cache_totals(self) -> dict[str, dict[str, int]]:
+        """Per-cache hits/misses summed over shards."""
+        totals: dict[str, dict[str, int]] = {}
+        for meta in self.shards:
+            for name, counts in meta.caches.items():
+                agg = totals.setdefault(name, {"hits": 0, "misses": 0})
+                agg["hits"] += counts["hits"]
+                agg["misses"] += counts["misses"]
+        return totals
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (used by the benchmark artifacts)."""
+        return {
+            "label": self.label,
+            "jobs": self.jobs,
+            "mode": self.mode,
+            "wall_seconds": self.wall_seconds,
+            "pairs": self.pairs,
+            "shards": [
+                {
+                    "n": m.n,
+                    "mask_lo": m.mask_lo,
+                    "mask_hi": m.mask_hi,
+                    "seconds": m.seconds,
+                    "pairs": m.pairs,
+                }
+                for m in self.shards
+            ],
+            "caches": self.cache_totals(),
+        }
+
+    def render(self) -> str:
+        """Human-readable table for ``--stats``."""
+        lines = [
+            f"sweep {self.label!r}: {self.mode}, jobs={self.jobs}, "
+            f"{self.pairs} pairs in {self.wall_seconds:.3f}s"
+        ]
+        for m in self.shards:
+            lines.append(
+                f"  shard n={m.n} masks[{m.mask_lo}:{m.mask_hi}) "
+                f"{m.pairs:>6} pairs  {m.seconds:.3f}s"
+            )
+        for name, c in sorted(self.cache_totals().items()):
+            total = c["hits"] + c["misses"]
+            rate = (100.0 * c["hits"] / total) if total else 0.0
+            lines.append(
+                f"  cache {name}: {rate:.0f}% hit ({c['hits']}/{total})"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Cache instrumentation
+# ----------------------------------------------------------------------
+
+
+def _tracked_caches() -> dict[str, Any]:
+    from repro.core.computation import _augmented
+    from repro.core.last_writer import _last_writer_row_cached
+    from repro.dag.enumerate import _canonical_form_cached
+    from repro.dag.toposort import _cached_topological_sorts
+    from repro.models.base import _membership
+    from repro.models.constructibility import _extension_pairs
+    from repro.models.location_consistency import _lc_row_set
+    from repro.models.sequential import _sc_row_sets
+
+    return {
+        "augment": _augmented,
+        "canonical_form": _canonical_form_cached,
+        "extension_pairs": _extension_pairs,
+        "last_writer_row": _last_writer_row_cached,
+        "lc_row_set": _lc_row_set,
+        "membership": _membership,
+        "sc_row_sets": _sc_row_sets,
+        "topological_sorts": _cached_topological_sorts,
+    }
+
+
+def sweep_cache_info() -> dict[str, dict[str, int]]:
+    """Current hits/misses/size of every memoized sweep hot path."""
+    out: dict[str, dict[str, int]] = {}
+    for name, fn in _tracked_caches().items():
+        info = fn.cache_info()
+        out[name] = {
+            "hits": info.hits,
+            "misses": info.misses,
+            "currsize": info.currsize,
+        }
+    return out
+
+
+def clear_sweep_caches() -> None:
+    """Reset every memoized sweep hot path (benchmark baselines use this)."""
+    for fn in _tracked_caches().values():
+        fn.cache_clear()
+
+
+# ----------------------------------------------------------------------
+# Planning and dispatch
+# ----------------------------------------------------------------------
+
+
+def effective_jobs(jobs: int | None = None) -> int:
+    """Resolve a worker count: explicit arg, else ``REPRO_JOBS``, else 1.
+
+    ``0`` (from either source) means one worker per CPU.  The default is
+    serial so that library callers and the test suite only fork worker
+    pools on request.
+    """
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS")
+        if env is None:
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ValueError(f"REPRO_JOBS must be an integer, got {env!r}")
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _total_computations(universe: Universe) -> int:
+    return sum(
+        universe.count_computations(n) for n in range(universe.max_nodes + 1)
+    )
+
+
+def make_shards(
+    universe: Universe, jobs: int = 1, shards_per_job: int = 4
+) -> list[ShardSpec]:
+    """Partition a universe into shards, in canonical enumeration order.
+
+    Every size gets at least one shard; the edge-mask ranges of the
+    largest sizes are split so the total shard count approaches
+    ``jobs * shards_per_job`` (over-decomposition smooths load imbalance
+    between sparse and dense dag shapes).  The shards exactly partition
+    the enumeration space: concatenated in order they reproduce the
+    serial sweep.
+    """
+    sizes = range(universe.max_nodes + 1)
+    weights = {n: universe.count_computations(n) for n in sizes}
+    total = sum(weights.values()) or 1
+    target = max(1, jobs * shards_per_job)
+    shards: list[ShardSpec] = []
+    for n in sizes:
+        masks = universe.num_edge_masks(n)
+        want = max(1, round(target * weights[n] / total)) if jobs > 1 else 1
+        k = min(masks, want)
+        # Near-even contiguous split of [0, masks) into k ranges.
+        base, extra = divmod(masks, k)
+        lo = 0
+        for i in range(k):
+            hi = lo + base + (1 if i < extra else 0)
+            shards.append(
+                ShardSpec(
+                    max_nodes=universe.max_nodes,
+                    locations=tuple(universe.locations),
+                    include_nop=universe.include_nop,
+                    n=n,
+                    mask_lo=lo,
+                    mask_hi=hi,
+                )
+            )
+            lo = hi
+        assert lo == masks
+    return shards
+
+
+def run_shards(
+    kernel: Callable[[ShardSpec], ShardOutcome],
+    shards: Sequence[ShardSpec],
+    jobs: int = 1,
+    label: str = "sweep",
+) -> tuple[list[Any], SweepStats]:
+    """Run ``kernel`` over every shard and return payloads in shard order.
+
+    ``jobs <= 1`` (or a single shard) runs in-process — the serial
+    fallback — through the *same* kernel code path, which is what makes
+    "parallel equals serial" trivially auditable.  Otherwise shards are
+    dispatched one at a time (``chunksize=1``) to a process pool so slow
+    shards don't convoy behind fast ones.
+    """
+    t0 = time.perf_counter()
+    if jobs <= 1 or len(shards) <= 1:
+        outcomes = [kernel(s) for s in shards]
+        mode = "serial"
+    else:
+        workers = min(jobs, len(shards))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(kernel, shards, chunksize=1))
+        mode = f"process-pool({workers})"
+    stats = SweepStats(
+        label=label,
+        jobs=jobs,
+        mode=mode,
+        wall_seconds=time.perf_counter() - t0,
+        shards=[o.meta for o in outcomes],
+    )
+    return [o.payload for o in outcomes], stats
+
+
+def _instrumented(
+    body: Callable[[ShardSpec], tuple[Any, int]], shard: ShardSpec
+) -> ShardOutcome:
+    """Run a kernel body and wrap its result with timing + cache deltas."""
+    before = sweep_cache_info()
+    t0 = time.perf_counter()
+    payload, pairs = body(shard)
+    seconds = time.perf_counter() - t0
+    after = sweep_cache_info()
+    caches = {
+        name: {
+            "hits": after[name]["hits"] - before[name]["hits"],
+            "misses": after[name]["misses"] - before[name]["misses"],
+        }
+        for name in after
+    }
+    meta = ShardMeta(
+        n=shard.n,
+        mask_lo=shard.mask_lo,
+        mask_hi=shard.mask_hi,
+        seconds=seconds,
+        pairs=pairs,
+        caches=caches,
+    )
+    return ShardOutcome(payload=payload, meta=meta)
+
+
+def _resolve_models(names: Sequence[str]) -> dict[str, Any]:
+    from repro.models import CC, LC, NN, NW, SC, WN, WW
+
+    registry = {m.name: m for m in (SC, LC, CC, NN, NW, WN, WW)}
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        raise ValueError(f"unknown model name(s) {unknown!r}")
+    return {n: registry[n] for n in names}
+
+
+def _model_names(models: Sequence) -> tuple[str, ...]:
+    return tuple(m if isinstance(m, str) else m.name for m in models)
+
+
+# ----------------------------------------------------------------------
+# Sweep kernels (module-level: they must pickle for the process pool)
+# ----------------------------------------------------------------------
+
+
+def inclusion_kernel(shard: ShardSpec, names: tuple[str, ...]) -> ShardOutcome:
+    """Per-shard inclusion matrix over ``names`` (merged by AND)."""
+    from repro.models.base import cached_membership
+
+    models = _resolve_models(names)
+
+    def body(shard: ShardSpec) -> tuple[dict, int]:
+        included = {(x, y): True for x in names for y in names}
+        pairs = 0
+        for comp, phi in shard.iter_pairs():
+            pairs += 1
+            verdicts = {
+                n: cached_membership(m, comp, phi) for n, m in models.items()
+            }
+            for x in names:
+                if not verdicts[x]:
+                    continue
+                for y in names:
+                    if not verdicts[y]:
+                        included[(x, y)] = False
+        return included, pairs
+
+    return _instrumented(body, shard)
+
+
+def witness_kernel(
+    shard: ShardSpec, edges: tuple[tuple[str, str], ...]
+) -> ShardOutcome:
+    """Per-shard first separation witness for each edge ``(a, b)``.
+
+    An edge asks for a pair in ``b`` but not in ``a``.  All edges share
+    one enumeration pass; membership is evaluated lazily per model and at
+    most once per pair.  The shard stops early once every edge is
+    witnessed locally.
+    """
+    from repro.models.base import cached_membership
+    from repro.models.relations import SeparationWitness
+
+    names = tuple(sorted({x for e in edges for x in e}))
+    models = _resolve_models(names)
+
+    def body(shard: ShardSpec) -> tuple[dict, int]:
+        found: dict[tuple[str, str], SeparationWitness] = {}
+        pairs = 0
+        for comp, phi in shard.iter_pairs():
+            pairs += 1
+            verdicts: dict[str, bool] = {}
+
+            def member(name: str) -> bool:
+                if name not in verdicts:
+                    verdicts[name] = cached_membership(
+                        models[name], comp, phi
+                    )
+                return verdicts[name]
+
+            for a, b in edges:
+                if (a, b) in found:
+                    continue
+                if member(b) and not member(a):
+                    found[(a, b)] = SeparationWitness(comp, phi, b, a)
+            if len(found) == len(edges):
+                break
+        return found, pairs
+
+    return _instrumented(body, shard)
+
+
+def nonconstructibility_kernel(
+    shard: ShardSpec, names: tuple[str, ...]
+) -> ShardOutcome:
+    """Per-shard first Theorem-12 failure for each named model.
+
+    Fuses what was previously one full universe sweep *per model* into a
+    single pass; the model-independent augmentation extensions are shared
+    across models through the ``extension_pairs`` cache.
+    """
+    from repro.models.base import cached_membership
+    from repro.models.constructibility import (
+        NonconstructibilityWitness,
+        augmentation_closed_at,
+    )
+
+    models = _resolve_models(names)
+
+    def body(shard: ShardSpec) -> tuple[dict, int]:
+        alphabet = shard.universe().alphabet
+        found: dict[str, NonconstructibilityWitness] = {}
+        pairs = 0
+        for comp, phi in shard.iter_pairs():
+            pairs += 1
+            for name, model in models.items():
+                if name in found or not cached_membership(model, comp, phi):
+                    continue
+                bad = augmentation_closed_at(model, comp, phi, alphabet)
+                if bad is not None:
+                    found[name] = NonconstructibilityWitness(comp, phi, bad)
+            if len(found) == len(names):
+                break
+        return found, pairs
+
+    return _instrumented(body, shard)
+
+
+def lattice_battery_kernel(
+    shard: ShardSpec,
+    edges: tuple[tuple[str, str], ...],
+    constructibility: tuple[str, ...],
+    thm23_probes: tuple | None,
+) -> ShardOutcome:
+    """One enumeration pass answering the whole Figure-1/Theorem-23 battery.
+
+    Fuses the separation-witness, nonconstructibility and Theorem-23
+    sweeps over a single shard scan: each pair's membership verdicts are
+    computed lazily at most once and shared by every question, and the
+    model-independent augmentation extensions are shared by every
+    closure test.  This locality is what the per-question sweeps of the
+    seed code structurally could not exploit.
+    """
+    from repro.models.base import cached_membership
+    from repro.models.constructibility import (
+        NonconstructibilityWitness,
+        augmentation_closed_at,
+    )
+    from repro.models.relations import SeparationWitness
+
+    names = sorted(
+        {x for e in edges for x in e}
+        | set(constructibility)
+        | ({"NN", "LC"} if thm23_probes is not None else set())
+    )
+    models = _resolve_models(names)
+    # Constructibility (a ``None`` verdict) and Theorem-23 counts need the
+    # full scan; a shard may only stop early when every question it was
+    # asked is a first-witness search and all are locally answered.
+    may_break = not constructibility and thm23_probes is None
+
+    def body(shard: ShardSpec) -> tuple[dict, int]:
+        alphabet = shard.universe().alphabet
+        found_w: dict[tuple[str, str], SeparationWitness] = {}
+        found_nc: dict[str, NonconstructibilityWitness] = {}
+        lc_in_nn = nn_minus_lc = stuck = 0
+        pairs = 0
+        for comp, phi in shard.iter_pairs():
+            pairs += 1
+            verdicts: dict[str, bool] = {}
+
+            def member(name: str) -> bool:
+                if name not in verdicts:
+                    verdicts[name] = cached_membership(
+                        models[name], comp, phi
+                    )
+                return verdicts[name]
+
+            for a, b in edges:
+                if (a, b) not in found_w and member(b) and not member(a):
+                    found_w[(a, b)] = SeparationWitness(comp, phi, b, a)
+            if thm23_probes is not None and member("NN"):
+                if member("LC"):
+                    lc_in_nn += 1
+                else:
+                    nn_minus_lc += 1
+                    if (
+                        augmentation_closed_at(
+                            models["NN"], comp, phi, thm23_probes
+                        )
+                        is not None
+                    ):
+                        stuck += 1
+            for name in constructibility:
+                if name in found_nc or not member(name):
+                    continue
+                bad = augmentation_closed_at(
+                    models[name], comp, phi, alphabet
+                )
+                if bad is not None:
+                    found_nc[name] = NonconstructibilityWitness(
+                        comp, phi, bad
+                    )
+            if may_break and len(found_w) == len(edges):
+                break
+        payload = {
+            "witnesses": found_w,
+            "nonconstructibility": found_nc,
+            "thm23": (lc_in_nn, nn_minus_lc, stuck),
+        }
+        return payload, pairs
+
+    return _instrumented(body, shard)
+
+
+def thm23_kernel(shard: ShardSpec, probes: tuple) -> ShardOutcome:
+    """Per-shard Theorem 23 counts: (LC∩NN pairs, NN∖LC pairs, pruned)."""
+    from repro.models import LC, NN
+    from repro.models.base import cached_membership
+    from repro.models.constructibility import augmentation_closed_at
+
+    def body(shard: ShardSpec) -> tuple[tuple[int, int, int], int]:
+        lc_in_nn = total = stuck = 0
+        pairs = 0
+        for comp, phi in shard.iter_pairs():
+            pairs += 1
+            if not cached_membership(NN, comp, phi):
+                continue
+            if cached_membership(LC, comp, phi):
+                lc_in_nn += 1
+                continue
+            total += 1
+            if augmentation_closed_at(NN, comp, phi, probes) is not None:
+                stuck += 1
+        return (lc_in_nn, total, stuck), pairs
+
+    return _instrumented(body, shard)
+
+
+# ----------------------------------------------------------------------
+# Public sweeps (plan → dispatch → deterministic merge)
+# ----------------------------------------------------------------------
+
+
+def _plan(
+    universe: Universe, jobs: int | None, parallel_threshold: int | None
+) -> tuple[list[ShardSpec], int]:
+    jobs_eff = effective_jobs(jobs)
+    threshold = (
+        PARALLEL_THRESHOLD if parallel_threshold is None else parallel_threshold
+    )
+    if jobs_eff > 1 and _total_computations(universe) < threshold:
+        jobs_eff = 1
+    return make_shards(universe, jobs_eff), jobs_eff
+
+
+def parallel_inclusion_matrix(
+    models: Sequence,
+    universe: Universe,
+    jobs: int | None = None,
+    parallel_threshold: int | None = None,
+) -> tuple[dict[tuple[str, str], bool], SweepStats]:
+    """Sharded :func:`repro.models.relations.inclusion_matrix`.
+
+    Merge is a conjunction over shards: an inclusion holds on the
+    universe iff it holds on every slice of the partition.
+    """
+    names = _model_names(models)
+    shards, jobs_eff = _plan(universe, jobs, parallel_threshold)
+    payloads, stats = run_shards(
+        partial(inclusion_kernel, names=names),
+        shards,
+        jobs=jobs_eff,
+        label="inclusion-matrix",
+    )
+    included = {(x, y): True for x in names for y in names}
+    for shard_matrix in payloads:
+        for key, ok in shard_matrix.items():
+            if not ok:
+                included[key] = False
+    return included, stats
+
+
+def parallel_separation_witnesses(
+    edges: Sequence[tuple[str, str]],
+    universe: Universe,
+    jobs: int | None = None,
+    parallel_threshold: int | None = None,
+) -> tuple[dict[tuple[str, str], Any], SweepStats]:
+    """Sharded multi-edge witness search; first witness per edge.
+
+    Shards are merged in canonical order, so each edge's witness is the
+    first one the *serial* enumeration would have found (witness
+    minimality in node count is preserved).
+    """
+    edges = tuple(edges)
+    shards, jobs_eff = _plan(universe, jobs, parallel_threshold)
+    payloads, stats = run_shards(
+        partial(witness_kernel, edges=edges),
+        shards,
+        jobs=jobs_eff,
+        label="separation-witnesses",
+    )
+    merged: dict[tuple[str, str], Any] = {edge: None for edge in edges}
+    for shard_found in payloads:  # payloads follow canonical shard order
+        for edge in edges:
+            if merged[edge] is None and edge in shard_found:
+                merged[edge] = shard_found[edge]
+    return merged, stats
+
+
+def parallel_nonconstructibility_witnesses(
+    models: Sequence,
+    universe: Universe,
+    jobs: int | None = None,
+    parallel_threshold: int | None = None,
+) -> tuple[dict[str, Any], SweepStats]:
+    """Sharded Theorem-12 sweep for every model at once; first witness per
+    model in canonical order (``None`` = augmentation-closed on the
+    universe, i.e. consistent with constructibility)."""
+    names = _model_names(models)
+    shards, jobs_eff = _plan(universe, jobs, parallel_threshold)
+    payloads, stats = run_shards(
+        partial(nonconstructibility_kernel, names=names),
+        shards,
+        jobs=jobs_eff,
+        label="nonconstructibility",
+    )
+    merged: dict[str, Any] = {name: None for name in names}
+    for shard_found in payloads:
+        for name in names:
+            if merged[name] is None and name in shard_found:
+                merged[name] = shard_found[name]
+    return merged, stats
+
+
+@dataclass
+class LatticeBatteryResult:
+    """Merged output of :func:`parallel_lattice_battery`.
+
+    ``witnesses[(a, b)]`` — first pair in ``b ∖ a`` in canonical order,
+    or ``None``.  ``nonconstructibility[m]`` — first Theorem-12 failure
+    for model ``m``, or ``None`` (augmentation-closed on the universe).
+    ``thm23`` — ``(lc_in_nn, nn_minus_lc, pruned)`` counts, all zero when
+    no probes were requested.
+    """
+
+    witnesses: dict[tuple[str, str], Any] = field(default_factory=dict)
+    nonconstructibility: dict[str, Any] = field(default_factory=dict)
+    thm23: tuple[int, int, int] = (0, 0, 0)
+
+
+def parallel_lattice_battery(
+    universe: Universe,
+    edges: Sequence[tuple[str, str]] = (),
+    constructibility: Sequence = (),
+    thm23_probes: Sequence | None = None,
+    jobs: int | None = None,
+    parallel_threshold: int | None = None,
+) -> tuple[LatticeBatteryResult, SweepStats]:
+    """The fused Figure-1/Theorem-23 battery over one universe.
+
+    Answers every requested question — separation witnesses for
+    ``edges``, Theorem-12 constructibility for ``constructibility``
+    models, Theorem-23 counts when ``thm23_probes`` is given — in a
+    single sharded enumeration pass.  Merging follows canonical shard
+    order, so first-witness results are bit-identical to the serial
+    per-question sweeps; counts merge by summation.
+    """
+    edges = tuple(edges)
+    nc_names = _model_names(constructibility)
+    probes = None if thm23_probes is None else tuple(thm23_probes)
+    shards, jobs_eff = _plan(universe, jobs, parallel_threshold)
+    payloads, stats = run_shards(
+        partial(
+            lattice_battery_kernel,
+            edges=edges,
+            constructibility=nc_names,
+            thm23_probes=probes,
+        ),
+        shards,
+        jobs=jobs_eff,
+        label="lattice-battery",
+    )
+    result = LatticeBatteryResult(
+        witnesses={edge: None for edge in edges},
+        nonconstructibility={name: None for name in nc_names},
+    )
+    lc_in_nn = nn_minus_lc = stuck = 0
+    for payload in payloads:  # canonical shard order
+        for edge in edges:
+            if result.witnesses[edge] is None:
+                result.witnesses[edge] = payload["witnesses"].get(edge)
+        for name in nc_names:
+            if result.nonconstructibility[name] is None:
+                result.nonconstructibility[name] = payload[
+                    "nonconstructibility"
+                ].get(name)
+        a, b, c = payload["thm23"]
+        lc_in_nn += a
+        nn_minus_lc += b
+        stuck += c
+    result.thm23 = (lc_in_nn, nn_minus_lc, stuck)
+    return result, stats
+
+
+def parallel_thm23_counts(
+    universe: Universe,
+    probes: Sequence,
+    jobs: int | None = None,
+    parallel_threshold: int | None = None,
+) -> tuple[tuple[int, int, int], SweepStats]:
+    """Sharded Theorem-23 sweep: ``(lc_in_nn, nn_minus_lc, pruned)``.
+
+    Counts are merged by summation, which is order-independent.
+    """
+    shards, jobs_eff = _plan(universe, jobs, parallel_threshold)
+    payloads, stats = run_shards(
+        partial(thm23_kernel, probes=tuple(probes)),
+        shards,
+        jobs=jobs_eff,
+        label="thm23-counts",
+    )
+    lc_in_nn = sum(p[0] for p in payloads)
+    total = sum(p[1] for p in payloads)
+    stuck = sum(p[2] for p in payloads)
+    return (lc_in_nn, total, stuck), stats

@@ -13,7 +13,6 @@ from repro.runtime import (
     work_stealing_schedule,
 )
 from repro.verify import StreamingCCVerifier, trace_admits_cc
-from repro.verify.causal_trace import CausalViolation
 from tests.conftest import computations, computations_with_observer
 
 

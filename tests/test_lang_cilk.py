@@ -2,7 +2,7 @@
 
 from repro.core import N, R, W
 from repro.dag import is_series_parallel
-from repro.lang import CilkContext, unfold
+from repro.lang import unfold
 
 
 class TestSerialStructure:

@@ -2,8 +2,7 @@
 
 from hypothesis import given, settings
 
-from repro.core import Computation, N, ObserverFunction, R, W
-from repro.dag import Dag
+from repro.core import N, ObserverFunction, R, W
 from repro.models import (
     LC,
     NN,

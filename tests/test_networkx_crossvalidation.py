@@ -9,7 +9,7 @@ import networkx as nx
 import pytest
 from hypothesis import given, settings
 
-from repro.dag import Dag, chain_dag, fork_join_dag
+from repro.dag import chain_dag, fork_join_dag
 from repro.dag.interop import from_networkx, to_networkx
 from repro.dag.metrics import span, width
 from repro.dag.toposort import all_topological_sorts

@@ -1,0 +1,220 @@
+"""The parallel sweep engine: sharding, dispatch, and serial equivalence.
+
+The engine's contract is that the process-pool path is *bit-identical*
+to the serial sweep: shards partition the canonical enumeration order,
+specs pickle cleanly into worker processes, and merges fold shard
+results back in order.  These tests pin each piece on n ≤ 4 universes
+(small enough to cross-check against direct serial loops), forcing the
+pool with ``parallel_threshold=0`` where the universes would otherwise
+demote to the in-process fallback.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.ops import N as NOP, R
+from repro.models import (
+    LC,
+    NN,
+    SC,
+    WW,
+    Universe,
+    augmentation_closed_at,
+    find_nonconstructibility_witness,
+    inclusion_matrix,
+    separating_witness,
+)
+from repro.runtime.parallel import (
+    ShardSpec,
+    clear_sweep_caches,
+    effective_jobs,
+    make_shards,
+    parallel_inclusion_matrix,
+    parallel_nonconstructibility_witnesses,
+    parallel_separation_witnesses,
+    parallel_thm23_counts,
+)
+
+SWEEP = Universe(max_nodes=3, locations=("x",))
+WITNESS = Universe(max_nodes=4, locations=("x",), include_nop=False)
+
+
+# ---------------------------------------------------------------------------
+# Sharding
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("universe", [SWEEP, WITNESS])
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+def test_shards_partition_enumeration_space(universe, jobs):
+    """Shards exactly tile every size's edge-mask range, in order."""
+    shards = make_shards(universe, jobs=jobs)
+    for n in range(universe.max_nodes + 1):
+        ranges = [(s.mask_lo, s.mask_hi) for s in shards if s.n == n]
+        assert ranges, f"size {n} has no shard"
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == universe.num_edge_masks(n)
+        for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+            assert hi == lo, "shard mask ranges overlap or leave gaps"
+    # Canonical order: size ascending, then mask ascending.
+    keys = [(s.n, s.mask_lo) for s in shards]
+    assert keys == sorted(keys)
+
+
+def test_shards_cover_every_pair_exactly_once():
+    """Concatenated shard pairs reproduce the serial enumeration."""
+    serial = [
+        (comp, phi)
+        for n in range(WITNESS.max_nodes + 1)
+        for comp in WITNESS.computations_of_size(n)
+        for phi in WITNESS.observers(comp)
+    ]
+    sharded = [
+        pair
+        for shard in make_shards(WITNESS, jobs=4)
+        for pair in shard.iter_pairs()
+    ]
+    assert len(sharded) == len(serial)
+    assert sharded == serial
+
+
+def test_shard_spec_pickle_round_trip():
+    """Work items must survive the pipe to a worker process unchanged."""
+    for shard in make_shards(WITNESS, jobs=4):
+        clone = pickle.loads(pickle.dumps(shard))
+        assert clone == shard
+        assert clone.universe() == shard.universe()
+        first = next(iter(shard.iter_pairs()), None)
+        assert next(iter(clone.iter_pairs()), None) == first
+
+
+# ---------------------------------------------------------------------------
+# Worker-count resolution
+# ---------------------------------------------------------------------------
+
+
+def test_effective_jobs_explicit_argument_wins(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "7")
+    assert effective_jobs(3) == 3
+
+
+def test_effective_jobs_env_fallback(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert effective_jobs() == 1  # default: serial
+    monkeypatch.setenv("REPRO_JOBS", "1")
+    assert effective_jobs() == 1
+    monkeypatch.setenv("REPRO_JOBS", "5")
+    assert effective_jobs() == 5
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    assert effective_jobs() == (os.cpu_count() or 1)
+
+
+def test_effective_jobs_rejects_garbage(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "many")
+    with pytest.raises(ValueError):
+        effective_jobs()
+
+
+# ---------------------------------------------------------------------------
+# Parallel == serial (pool forced via parallel_threshold=0)
+# ---------------------------------------------------------------------------
+
+
+def test_parallel_inclusion_matrix_matches_serial():
+    models = (SC, LC, NN, WW)
+    serial = inclusion_matrix(models, SWEEP)
+    for jobs in (1, 2):
+        clear_sweep_caches()
+        matrix, stats = parallel_inclusion_matrix(
+            models, SWEEP, jobs=jobs, parallel_threshold=0
+        )
+        assert matrix == serial
+        if jobs == 1:
+            assert stats.mode == "serial"
+        else:
+            assert stats.mode.startswith("process-pool")
+
+
+def test_parallel_witnesses_match_serial_first_witness():
+    """First-witness determinism: the merged witness is the one the
+    serial enumeration finds, for every requested edge at once."""
+    edges = (("LC", "NN"), ("NN", "WW"))
+    by_name = {m.name: m for m in (LC, NN, WW)}
+    serial = {
+        (a, b): separating_witness(by_name[a], by_name[b], WITNESS)
+        for a, b in edges
+    }
+    for jobs in (1, 2):
+        clear_sweep_caches()
+        found, _stats = parallel_separation_witnesses(
+            edges, WITNESS, jobs=jobs, parallel_threshold=0
+        )
+        for edge in edges:
+            assert serial[edge] is not None, f"{edge} should separate at n<=4"
+            assert found[edge] is not None
+            assert found[edge].comp == serial[edge].comp
+            assert found[edge].phi == serial[edge].phi
+
+
+def test_parallel_nonconstructibility_matches_serial():
+    models = (NN, LC)
+    serial = {
+        m.name: find_nonconstructibility_witness(m, WITNESS) for m in models
+    }
+    clear_sweep_caches()
+    found, _stats = parallel_nonconstructibility_witnesses(
+        models, WITNESS, jobs=2, parallel_threshold=0
+    )
+    for m in models:
+        got, want = found[m.name], serial[m.name]
+        if want is None:
+            assert got is None
+        else:
+            assert got is not None
+            assert got.comp == want.comp
+            assert got.phi == want.phi
+
+
+def test_parallel_thm23_counts_match_serial_loop():
+    probes = (R("x"), NOP)
+    lc_in_nn = nn_minus_lc = stuck = 0
+    for comp, phi in WITNESS.model_pairs(NN):
+        if LC.contains(comp, phi):
+            lc_in_nn += 1
+            continue
+        nn_minus_lc += 1
+        if augmentation_closed_at(NN, comp, phi, probes) is not None:
+            stuck += 1
+    for jobs in (1, 2):
+        clear_sweep_caches()
+        counts, _stats = parallel_thm23_counts(
+            WITNESS, probes=probes, jobs=jobs, parallel_threshold=0
+        )
+        assert counts == (lc_in_nn, nn_minus_lc, stuck)
+
+
+def test_small_universe_demotes_to_serial_despite_jobs():
+    """Below the amortization threshold the pool is skipped entirely."""
+    _, stats = parallel_inclusion_matrix((SC, LC), SWEEP, jobs=4)
+    assert stats.mode == "serial"
+
+
+def test_repro_jobs_env_drives_sweeps(monkeypatch):
+    """jobs=None defers to REPRO_JOBS; '1' means the serial fallback."""
+    monkeypatch.setenv("REPRO_JOBS", "1")
+    _, stats = parallel_inclusion_matrix(
+        (SC, LC), SWEEP, jobs=None, parallel_threshold=0
+    )
+    assert stats.jobs == 1
+    assert stats.mode == "serial"
+    monkeypatch.setenv("REPRO_JOBS", "2")
+    matrix, stats = parallel_inclusion_matrix(
+        (SC, LC), SWEEP, jobs=None, parallel_threshold=0
+    )
+    assert stats.jobs == 2
+    assert stats.mode.startswith("process-pool")
+    assert matrix == inclusion_matrix((SC, LC), SWEEP)

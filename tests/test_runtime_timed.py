@@ -8,7 +8,7 @@ from repro.core import Computation, N
 from repro.dag import Dag, chain_dag, fork_join_dag
 from repro.dag.metrics import span, work
 from repro.errors import ScheduleError
-from repro.runtime import BackerMemory, SerialMemory, simulate_timed
+from repro.runtime import SerialMemory, simulate_timed
 from repro.verify import trace_admits_lc
 from tests.conftest import computations
 
