@@ -1,0 +1,110 @@
+"""Race detection scaling: SP-bags vs the transitive-closure sweeps.
+
+Three detectors over growing ``fib``/``matmul``/``stencil`` unfoldings:
+
+* **sp-bags** — :func:`repro.verify.spbags.spbags_races` on the SP
+  expression recorded by ``unfold``: one serial walk, a union-find, no
+  reachability anywhere.
+* **closure (rows)** — the rewritten exact sweep
+  (:func:`repro.verify.races.find_races`, caches off): per-writer mask
+  arithmetic against the dag's reachability bitset rows.
+* **closure (naive)** — the seed's per-pair sweep
+  (:func:`repro.verify.races.find_races_naive`): per-location accessor
+  scans plus a seen-set per candidate pair.
+
+Each engine leg gets a freshly unfolded computation so no closure rows
+or memoized race lists leak between timings.  The acceptance gate of
+the analyzer work rides on the largest workloads: every computation
+with ≥ 2,000 nodes must be analyzed by SP-bags in under a second while
+the naive closure sweep is at least 10× slower.  Results land in
+``BENCH_races.json`` at the repository root for the CI artifact trail.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro._caching import sweep_caching
+from repro.lang import fib_computation, matmul_computation, stencil_computation
+from repro.verify import find_races, find_races_naive, spbags_races
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_races.json"
+
+WORKLOADS = [
+    ("fib", {"n": 8}, lambda: fib_computation(8)),
+    ("fib", {"n": 11}, lambda: fib_computation(11)),
+    ("fib", {"n": 14}, lambda: fib_computation(14)),
+    ("matmul", {"blocks": 3}, lambda: matmul_computation(3)),
+    ("matmul", {"blocks": 5}, lambda: matmul_computation(5)),
+    ("matmul", {"blocks": 10}, lambda: matmul_computation(10)),
+    ("stencil", {"width": 8, "steps": 6}, lambda: stencil_computation(8, 6)),
+    ("stencil", {"width": 14, "steps": 12}, lambda: stencil_computation(14, 12)),
+    ("stencil", {"width": 22, "steps": 26}, lambda: stencil_computation(22, 26)),
+]
+
+
+def _best_of(fn, repeats=3):
+    seconds = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        seconds.append(time.perf_counter() - t0)
+    return min(seconds)
+
+
+def test_spbags_vs_closure_scaling(benchmark):
+    rows = []
+    with sweep_caching(False):
+        for program, params, factory in WORKLOADS:
+            # Fresh unfolding per engine leg: reachability rows cache on
+            # the Dag instance and must not subsidize the closure legs.
+            comp_sp, info = factory()
+            spbags_s = _best_of(lambda: spbags_races(comp_sp, info.sp))
+
+            comp_rows, _ = factory()
+            rows_s = _best_of(lambda: list(find_races(comp_rows)))
+
+            comp_naive, _ = factory()
+            naive_s = _best_of(
+                lambda: list(find_races_naive(comp_naive)),
+                repeats=1 if comp_naive.num_nodes >= 1000 else 3,
+            )
+
+            # All three see the same racy locations (the detectors'
+            # agreement contract, restated on the benchmark workloads).
+            locs = {r.loc for r in spbags_races(comp_sp, info.sp)}
+            assert locs == {r.loc for r in find_races(comp_rows)}
+            assert locs == {r.loc for r in find_races_naive(comp_naive)}
+
+            rows.append(
+                {
+                    "program": program,
+                    "params": params,
+                    "nodes": comp_sp.num_nodes,
+                    "spbags_seconds": round(spbags_s, 6),
+                    "closure_rows_seconds": round(rows_s, 6),
+                    "closure_naive_seconds": round(naive_s, 6),
+                    "naive_over_spbags": round(naive_s / spbags_s, 2),
+                }
+            )
+
+    # Acceptance: ≥2,000-node computations analyze in <1s under SP-bags
+    # while the naive closure sweep is ≥10× slower.
+    big = [r for r in rows if r["nodes"] >= 2000]
+    assert big, "benchmark must include a ≥2,000-node workload"
+    for r in big:
+        assert r["spbags_seconds"] < 1.0, r
+        assert r["naive_over_spbags"] >= 10.0, r
+
+    # The leg pytest-benchmark records: SP-bags on the largest workload.
+    comp_big, info_big = WORKLOADS[-1][2]()
+    benchmark.pedantic(
+        lambda: spbags_races(comp_big, info_big.sp), rounds=3, iterations=1
+    )
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            {"benchmark": "races", "workloads": rows}, indent=2
+        )
+        + "\n"
+    )

@@ -14,6 +14,11 @@ Commands
 ``check``
     Load a JSON document (observer function, partial observer, or trace)
     and report which models admit it.
+``lint``
+    Static race analysis of a bundled program or a serialized
+    computation: SP-bags determinacy races, lockset classification,
+    text or JSON diagnostics.  Exits 0 when data-race free, 2 otherwise
+    — built for CI.
 
 Examples::
 
@@ -22,6 +27,8 @@ Examples::
     python -m repro run --program racy --procs 4 --drop-reconcile 0.9 \\
         --out /tmp/bad_trace.json
     python -m repro check /tmp/bad_trace.json
+    python -m repro lint racy --format json
+    python -m repro lint /tmp/computation.json --engine closure
 """
 
 from __future__ import annotations
@@ -29,6 +36,8 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Sequence
+
+from repro.errors import ReproError
 
 __all__ = ["main", "build_parser"]
 
@@ -39,9 +48,26 @@ PROGRAMS = {
     "stencil": ("stencil_computation", "width", 6),
     "tree-sum": ("tree_sum_computation", "n_leaves", 8),
     "racy": ("racy_counter_computation", "n_tasks", 4),
+    "locked-counter": ("locked_counter_computation", "n_tasks", 4),
     "store-buffer": ("store_buffer_computation", None, None),
     "iriw": ("iriw_computation", None, None),
 }
+
+
+def _resolve_program(name: str, size: int | None):
+    """Unfold a bundled program by CLI name → (comp, info)."""
+    import repro.lang as lang
+
+    if name not in PROGRAMS:
+        raise ValueError(
+            f"unknown program {name!r} (choose from "
+            f"{', '.join(sorted(PROGRAMS))})"
+        )
+    fn_name, size_param, default = PROGRAMS[name]
+    factory = getattr(lang, fn_name)
+    if size_param is None:
+        return factory()
+    return factory(size if size is not None else default)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -77,9 +103,29 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--drop-flush", type=float, default=0.0)
     run.add_argument("--out", default=None,
                      help="write the trace as JSON to this path")
+    run.add_argument("--sanitize", action="store_true",
+                     help="check each event against LC during execution; "
+                          "halt at the first violation with a witness")
 
     chk = sub.add_parser("check", help="check a JSON document against the models")
     chk.add_argument("path", help="file produced by `run --out` or repro.io.dumps")
+
+    lint = sub.add_parser(
+        "lint",
+        help="static race analysis of a program or serialized computation",
+    )
+    lint.add_argument(
+        "target",
+        help="bundled program name (see `run --program`) or a path to a "
+             "JSON document containing a computation or trace",
+    )
+    lint.add_argument("--size", type=int, default=None,
+                      help="program size parameter (bundled programs only)")
+    lint.add_argument("--engine", choices=["auto", "sp-bags", "closure"],
+                      default="auto",
+                      help="auto: SP-bags when series-parallel, else the "
+                           "exact closure sweep")
+    lint.add_argument("--format", choices=["text", "json"], default="text")
 
     inf = sub.add_parser(
         "infer",
@@ -162,19 +208,15 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    import repro.lang as lang
     from repro.io import dumps
     from repro.runtime import BackerMemory, SerialMemory, execute, work_stealing_schedule
-    from repro.verify import trace_admits_lc, trace_admits_sc
+    from repro.runtime.memory_base import MemorySystem
+    from repro.verify import TraceSanitizer, trace_admits_lc, trace_admits_sc
 
-    fn_name, size_param, default = PROGRAMS[args.program]
-    factory = getattr(lang, fn_name)
-    if size_param is None:
-        comp, info = factory()
-    else:
-        comp, info = factory(args.size if args.size is not None else default)
+    comp, info = _resolve_program(args.program, args.size)
 
     schedule = work_stealing_schedule(comp, args.procs, rng=args.seed)
+    memory: MemorySystem
     if args.memory == "serial":
         memory = SerialMemory()
     else:
@@ -183,7 +225,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             drop_flush_probability=args.drop_flush,
             rng=args.seed,
         )
-    trace = execute(schedule, memory)
+    sanitizer = TraceSanitizer(comp) if args.sanitize else None
+    trace = execute(schedule, memory, sanitizer=sanitizer)
+    if trace.violation is not None:
+        v = trace.violation
+        print(
+            f"sanitizer: violation at event #{v.event_index} "
+            f"(node {v.node}, {v.loc!r}): {v.reason}"
+        )
+        print(f"  witness nodes: {list(v.witness)}")
+        return 2
     po = trace.partial_observer()
     lc_ok = trace_admits_lc(po)
     sc_order = trace_admits_sc(po) if comp.num_nodes <= 64 else None
@@ -243,6 +294,58 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.verify.lint import lint_computation
+
+    if args.target in PROGRAMS:
+        comp, info = _resolve_program(args.target, args.size)
+        report = lint_computation(
+            comp,
+            target=args.target,
+            engine=args.engine,
+            sp=info.sp,
+            lock_sections=info.lock_sections,
+            node_paths=info.node_paths,
+            names=info.names,
+        )
+    else:
+        from repro.core.computation import Computation
+        from repro.io import loads
+        from repro.runtime import ExecutionTrace
+
+        if not os.path.exists(args.target):
+            raise ValueError(
+                f"{args.target!r} is neither a bundled program "
+                f"({', '.join(sorted(PROGRAMS))}) nor an existing file"
+            )
+        with open(args.target) as f:
+            obj = loads(f.read())
+        if isinstance(obj, ExecutionTrace):
+            comp = obj.comp
+        elif isinstance(obj, Computation):
+            comp = obj
+        else:
+            comp = getattr(obj, "comp", None) or getattr(
+                obj, "computation", None
+            )
+            if not isinstance(comp, Computation):
+                raise ValueError(
+                    f"document {args.target!r} carries no computation "
+                    f"(got {type(obj).__name__})"
+                )
+        report = lint_computation(
+            comp, target=args.target, engine=args.engine
+        )
+
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return 0 if report.clean else 2
+
+
 def _make_memory(args: argparse.Namespace, seed: int):
     from repro.runtime import BackerMemory, SerialMemory
 
@@ -256,16 +359,10 @@ def _make_memory(args: argparse.Namespace, seed: int):
 
 
 def _cmd_infer(args: argparse.Namespace) -> int:
-    import repro.lang as lang
     from repro.runtime import execute, work_stealing_schedule
     from repro.verify import infer_models
 
-    fn_name, size_param, default = PROGRAMS[args.program]
-    factory = getattr(lang, fn_name)
-    if size_param is None:
-        comp, _ = factory()
-    else:
-        comp, _ = factory(args.size if args.size is not None else default)
+    comp, _ = _resolve_program(args.program, args.size)
 
     traces = []
     for seed in range(args.runs):
@@ -334,15 +431,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         "figures": _cmd_figures,
         "run": _cmd_run,
         "check": _cmd_check,
+        "lint": _cmd_lint,
         "infer": _cmd_infer,
         "conformance": _cmd_conformance,
         "reproduce": _cmd_reproduce,
     }[args.command]
     try:
         return handler(args)
-    except ValueError as exc:
-        # Bad runtime configuration (e.g. REPRO_JOBS=banana): a clean
-        # one-line error, not a traceback.
+    except (ValueError, OSError, ReproError) as exc:
+        # Bad runtime configuration (REPRO_JOBS=banana), an unknown
+        # program name, a missing/unreadable input file, or a malformed
+        # JSON document (json.JSONDecodeError is a ValueError,
+        # repro.io.FormatError a ReproError): a clean one-line error,
+        # not a traceback.
         print(f"repro {args.command}: error: {exc}", file=sys.stderr)
         return 2
 

@@ -32,12 +32,17 @@ from repro.dag.random_dags import (
 )
 from repro.dag.sp import (
     SPNode,
+    all_sp_trees,
     balanced_sp,
     is_series_parallel,
     leaf,
     parallel,
     random_sp,
     series,
+    sp_decompose,
+    sp_leaves,
+    sp_orders,
+    sp_precedes,
     sp_to_dag,
 )
 from repro.dag.toposort import (
@@ -83,4 +88,9 @@ __all__ = [
     "is_series_parallel",
     "balanced_sp",
     "random_sp",
+    "sp_leaves",
+    "sp_orders",
+    "sp_precedes",
+    "all_sp_trees",
+    "sp_decompose",
 ]

@@ -16,6 +16,7 @@ from repro.lang.processor_centric import (
 )
 from repro.lang.programs import (
     fib_computation,
+    locked_counter_computation,
     iriw_computation,
     matmul_computation,
     racy_counter_computation,
@@ -35,6 +36,7 @@ __all__ = [
     "stencil_computation",
     "tree_sum_computation",
     "racy_counter_computation",
+    "locked_counter_computation",
     "store_buffer_computation",
     "iriw_computation",
     "from_processor_streams",

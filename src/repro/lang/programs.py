@@ -27,6 +27,7 @@ from repro.lang.cilk import CilkContext, UnfoldInfo, unfold
 
 __all__ = [
     "fib_computation",
+    "locked_counter_computation",
     "matmul_computation",
     "scan_computation",
     "stencil_computation",
@@ -216,6 +217,41 @@ def racy_counter_computation(
         for _ in range(increments):
             ctx.read("ctr")
             ctx.write("ctr")
+
+    def main(ctx: CilkContext) -> None:
+        ctx.write("ctr")  # initialize
+        for _ in range(n_tasks):
+            ctx.spawn(task)
+        ctx.sync()
+        ctx.read("ctr")
+
+    return unfold(main)
+
+
+def locked_counter_computation(
+    n_tasks: int = 4, increments: int = 2, lock: str | None = "L"
+) -> tuple[Computation, UnfoldInfo]:
+    """The racy counter with every increment inside a critical section.
+
+    Shape-identical to :func:`racy_counter_computation` but each task's
+    read-modify-write pairs run under ``with ctx.lock(lock)``, so the
+    bare dag's determinacy races are all *lock-mediated*: any
+    serialization of the sections (:mod:`repro.locks`) orders them, and
+    the lockset analyzer (:mod:`repro.verify.spbags`) classifies the
+    program as data-race free.  Pass ``lock=None`` to drop the locks
+    and recover the racy variant — handy for lint fixtures needing a
+    clean/racy pair of equal shape.
+    """
+
+    def task(ctx: CilkContext) -> None:
+        for _ in range(increments):
+            if lock is None:
+                ctx.read("ctr")
+                ctx.write("ctr")
+            else:
+                with ctx.lock(lock):
+                    ctx.read("ctr")
+                    ctx.write("ctr")
 
     def main(ctx: CilkContext) -> None:
         ctx.write("ctr")  # initialize

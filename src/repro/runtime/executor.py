@@ -12,20 +12,33 @@ protocol consumes:
   ``cross_succ=True`` (BACKER: reconcile the producer's cache).
 
 The trace records, for every read, the writer node id the memory
-returned — see :mod:`repro.runtime.trace`.
+returned — see :mod:`repro.runtime.trace`.  Passing a *sanitizer*
+(:class:`repro.verify.sanitizer.TraceSanitizer`) checks each event
+against the model's invariants as it happens; the first violation is
+recorded on the trace and, when the sanitizer halts, stops the run at
+the violating event.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 from repro.core.computation import Computation
 from repro.runtime.memory_base import MemorySystem
 from repro.runtime.scheduler import Schedule
 from repro.runtime.trace import ExecutionTrace, ReadEvent
 
+if TYPE_CHECKING:  # verify imports runtime; keep the cycle static-only
+    from repro.verify.sanitizer import TraceSanitizer
+
 __all__ = ["execute"]
 
 
-def execute(schedule: Schedule, memory: MemorySystem) -> ExecutionTrace:
+def execute(
+    schedule: Schedule,
+    memory: MemorySystem,
+    sanitizer: "TraceSanitizer | None" = None,
+) -> ExecutionTrace:
     """Run a schedule against a memory system and collect the trace."""
     comp: Computation = schedule.comp
     memory.attach(schedule.num_procs)
@@ -45,10 +58,19 @@ def execute(schedule: Schedule, memory: MemorySystem) -> ExecutionTrace:
         p = proc_of[u]
         memory.node_starting(p, u, cross_pred[u])
         op = comp.op(u)
+        observed: int | None = None
         if op.is_read:
             observed = memory.read(p, u, op.loc)
             trace.reads.append(ReadEvent(u, op.loc, observed))
         elif op.is_write:
             memory.write(p, u, op.loc)
         memory.node_completed(p, u, cross_succ[u])
+        if sanitizer is not None:
+            violation = sanitizer.on_node(
+                u, op, comp.dag.predecessors(u), observed
+            )
+            if violation is not None:
+                trace.violation = violation
+                if sanitizer.halt:
+                    break
     return trace

@@ -11,13 +11,16 @@ asks whether the partial function *completes* to a member of a model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping
+from typing import TYPE_CHECKING, Iterator, Mapping
 
 from repro.core.computation import Computation
 from repro.core.observer import ObserverFunction
 from repro.core.ops import Location
 from repro.errors import InvalidObserverError
 from repro.runtime.scheduler import Schedule
+
+if TYPE_CHECKING:  # verify imports runtime; keep the cycle static-only
+    from repro.verify.sanitizer import SanitizerViolation
 
 __all__ = ["ReadEvent", "ExecutionTrace", "PartialObserver"]
 
@@ -33,12 +36,18 @@ class ReadEvent:
 
 @dataclass
 class ExecutionTrace:
-    """The observable outcome of executing a schedule against a memory."""
+    """The observable outcome of executing a schedule against a memory.
+
+    ``violation`` is set by the executor when a sanitizer was attached
+    and flagged an event (see :mod:`repro.verify.sanitizer`); a halting
+    sanitizer also truncates ``reads`` at the violating event.
+    """
 
     comp: Computation
     schedule: Schedule
     memory_name: str
     reads: list[ReadEvent] = field(default_factory=list)
+    violation: "SanitizerViolation | None" = None
 
     def partial_observer(self) -> "PartialObserver":
         """The partial observer function this trace determines."""

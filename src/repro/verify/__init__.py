@@ -7,6 +7,12 @@ The entry points take a :class:`~repro.runtime.trace.PartialObserver`
   with a total-observer certificate;
 * :func:`trace_admits_sc` — exact SC check (returns a witnessing sort);
 * :func:`find_completion` — bounded completion search against any model.
+
+Static analysis lives here too: the exact race sweep
+(:mod:`repro.verify.races`), the near-linear SP-bags detector with
+lockset classification (:mod:`repro.verify.spbags`), the lint engine
+behind ``repro lint`` (:mod:`repro.verify.lint`), and the in-execution
+trace sanitizer (:mod:`repro.verify.sanitizer`).
 """
 
 from repro.verify.checker import (
@@ -27,7 +33,21 @@ from repro.verify.causal_trace import (
     StreamingCCVerifier,
     trace_admits_cc,
 )
-from repro.verify.races import Race, find_races, is_race_free, racy_locations
+from repro.verify.lint import Diagnostic, LintReport, lint_computation
+from repro.verify.races import (
+    Race,
+    find_races,
+    find_races_naive,
+    is_race_free,
+    racy_locations,
+)
+from repro.verify.sanitizer import SanitizerViolation, TraceSanitizer
+from repro.verify.spbags import (
+    ClassifiedRace,
+    classify_races,
+    node_locksets,
+    spbags_races,
+)
 from repro.verify.streaming import StreamingLCVerifier, StreamingViolation
 
 __all__ = [
@@ -38,8 +58,18 @@ __all__ = [
     "find_completion",
     "Race",
     "find_races",
+    "find_races_naive",
     "is_race_free",
     "racy_locations",
+    "spbags_races",
+    "node_locksets",
+    "classify_races",
+    "ClassifiedRace",
+    "Diagnostic",
+    "LintReport",
+    "lint_computation",
+    "TraceSanitizer",
+    "SanitizerViolation",
     "infer_models",
     "InferenceResult",
     "conformance_campaign",

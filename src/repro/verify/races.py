@@ -9,21 +9,38 @@ behaviour (tested as a property in the suite); with races, the models
 genuinely diverge.
 
 Cilk's dag-consistency line of work (the paper's origin story) paired
-the memory model with exactly this notion of race; the classic
-detection algorithm is SP-bags, but with the whole computation in hand
-a transitive-closure sweep is simpler and exact.
+the memory model with exactly this notion of race.  Two detectors live
+in :mod:`repro.verify`:
+
+* this module — the *exact* transitive-closure sweep, enumerating every
+  racing pair from the dag's cached reachability bitsets.  It is the
+  oracle the on-the-fly detector is verified against, so it is itself
+  written on whole bitset rows (one pass to bucket accessors per
+  location, then pure mask arithmetic per writer) and memoized through
+  :mod:`repro._caching`;
+* :mod:`repro.verify.spbags` — the near-linear SP-bags detector
+  (Feng & Leiserson) for series-parallel computations, which needs no
+  closure at all.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator
 
+from repro import _caching
 from repro.core.computation import Computation
 from repro.core.ops import Location
 from repro.dag.digraph import bit_indices
 
-__all__ = ["Race", "find_races", "is_race_free", "racy_locations"]
+__all__ = [
+    "Race",
+    "find_races",
+    "find_races_naive",
+    "is_race_free",
+    "racy_locations",
+]
 
 
 @dataclass(frozen=True)
@@ -40,11 +57,81 @@ class Race:
 
 
 def find_races(comp: Computation) -> Iterator[Race]:
-    """Yield every race, in (location-repr, u, v) order.
+    """Yield every race, in (location-repr, writer, partner) order.
 
     For each location: a write races with any incomparable access, and
-    two incomparable reads never race.  Implemented with the cached
-    closure bitsets — ``O(Σ_l writers(l) · accesses(l))`` bit operations.
+    two incomparable reads never race.  Implemented on whole bitset
+    rows: one pass over the ops buckets accessors and writers per
+    location into masks, then each writer's racing partners are a
+    single mask expression against the cached closure rows —
+    ``access & ~(ancestors | descendants)`` — with write-write pairs
+    deduplicated by emitting them from the smaller node id only (no
+    per-pair bookkeeping).  The enumeration order is identical to the
+    historical per-pair sweep (:func:`find_races_naive`).
+
+    Memoized on the computation via :mod:`repro._caching` — the race
+    list is the oracle every on-the-fly analyzer is cross-checked
+    against, and lock-aware lint classifies the same pairs again.
+    """
+    if _caching.ENABLED:
+        return iter(_find_races_cached(comp))
+    return iter(_find_races_impl(comp))
+
+
+def _find_races_impl(comp: Computation) -> tuple[Race, ...]:
+    dag = comp.dag
+    access_mask: dict[Location, int] = {}
+    write_mask: dict[Location, int] = {}
+    for u, op in enumerate(comp.ops):
+        loc = op.loc
+        if loc is None:
+            continue
+        bit = 1 << u
+        access_mask[loc] = access_mask.get(loc, 0) | bit
+        if op.is_write:
+            write_mask[loc] = write_mask.get(loc, 0) | bit
+    races: list[Race] = []
+    for loc in comp.locations:
+        wmask = write_mask.get(loc, 0)
+        if not wmask:
+            continue
+        amask = access_mask[loc]
+        for w in bit_indices(wmask):
+            bit = 1 << w
+            incomparable = amask & ~(
+                dag.ancestors_mask(w) | dag.descendants_mask(w) | bit
+            )
+            # A write-write pair is emitted only from its smaller id;
+            # dropping the write partners below w dedupes without a
+            # seen-set while preserving the historical output order.
+            partners = incomparable & ~(wmask & (bit - 1))
+            for other in bit_indices(partners):
+                pair = (w, other) if w < other else (other, w)
+                races.append(
+                    Race(
+                        loc,
+                        pair[0],
+                        pair[1],
+                        "write-write"
+                        if (wmask >> other) & 1
+                        else "read-write",
+                    )
+                )
+    return tuple(races)
+
+
+_find_races_cached = lru_cache(maxsize=1 << 12)(_find_races_impl)
+
+
+def find_races_naive(comp: Computation) -> Iterator[Race]:
+    """The historical per-pair closure sweep, retained as a baseline.
+
+    Semantically identical to :func:`find_races` (the equivalence is
+    property-tested) but pays an ``O(n)`` accessor scan per location
+    and a seen-set membership test per candidate pair.  Benchmarks
+    (``benchmarks/bench_races.py``) use it as the honest "closure
+    sweep" the SP-bags detector is measured against; it is not
+    memoized on purpose.
     """
     dag = comp.dag
     for loc in comp.locations:

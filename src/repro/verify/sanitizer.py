@@ -1,0 +1,229 @@
+"""TSan-style execution sanitizer: catch model violations at the event.
+
+Post-mortem verification (:func:`repro.verify.trace_admits_lc`, the
+streaming checker) answers "was this execution consistent?" after the
+run.  A broken memory system — a fault-injected backer dropping
+reconciles, a paging bug — is then diagnosed from the completed trace.
+This module moves the check *into* the execution, the way ThreadSanitizer
+sits inside a running program: :func:`repro.runtime.executor.execute`
+feeds every node to a :class:`TraceSanitizer` as it executes, each read
+is checked incrementally against the model's allowed last-writers, and
+the first violating event halts the run with a minimal witness.
+
+The invariant checked is location consistency (LC, the paper's weakest
+model and the one every simulated memory here promises): per location
+the observed writes must embed into a single serialization respected by
+the dag.  The sanitizer maintains the per-location quotient-block
+structure of :class:`repro.verify.streaming.StreamingLCVerifier` — a
+violation is an edge into the ⊥ block or a cycle among blocks — but
+works on the computation's *original node ids* and additionally records
+which event introduced each quotient edge, so a violation comes with a
+*witness*: the shortest chain of node ids whose observations are
+mutually contradictory.  For a fault-injected backer this pinpoints the
+exact read that returned the stale value, not just "the trace fails".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.computation import Computation
+from repro.core.ops import Location, Op
+from repro.runtime.trace import ExecutionTrace
+
+__all__ = ["SanitizerViolation", "TraceSanitizer"]
+
+_BOT = ("⊥",)  # per-location bottom block (cannot collide with node ids)
+
+
+@dataclass(frozen=True)
+class SanitizerViolation:
+    """The first event at which the execution left the model.
+
+    ``witness`` is a minimal chain of node ids demonstrating the
+    contradiction: the nodes whose observations created the quotient
+    edges on the violating cycle (or the write an upstream event was
+    bound to, for a ⊥ violation), ending with the violating node
+    itself.  ``event_index`` is the position in execution order.
+    """
+
+    node: int
+    loc: Location
+    observed: int | None
+    reason: str
+    witness: tuple[int, ...]
+    event_index: int
+
+
+class TraceSanitizer:
+    """Incremental LC checker fed by the executor, node by node.
+
+    Feed order must be a topological order of the computation —
+    execution order always qualifies.  ``halt`` (default) tells the
+    executor to stop at the first violation; either way the sanitizer
+    latches the first violation and keeps returning it.
+
+    Use via ``execute(schedule, memory, sanitizer=TraceSanitizer(comp))``
+    or standalone with :meth:`check_trace` on a completed trace.
+    """
+
+    def __init__(self, comp: Computation, halt: bool = True) -> None:
+        self.comp = comp
+        self.halt = halt
+        self.violation: SanitizerViolation | None = None
+        self.events = 0
+        #: per location: quotient edges ``a -> {b: origin node id}``.
+        self._adj: dict[Location, dict[object, dict[object, int]]] = {}
+        #: per seen node: per location, ancestor block ids.
+        self._anc: dict[int, dict[Location, frozenset]] = {}
+        #: per seen node: per location, its own block id.
+        self._own: dict[int, dict[Location, object]] = {}
+
+    # ------------------------------------------------------------------
+    # Quotient maintenance with edge provenance
+    # ------------------------------------------------------------------
+
+    def _cycle_witness(
+        self, loc: Location, src: object, dst: object
+    ) -> tuple[int, ...] | None:
+        """Origin nodes along a quotient path ``src → … → dst``, if any."""
+        adj = self._adj.get(loc, {})
+        parent: dict[object, tuple[object, int]] = {}
+        stack = [src]
+        seen = {src}
+        while stack:
+            b = stack.pop()
+            if b == dst:
+                chain: list[int] = []
+                cur = b
+                while cur in parent:
+                    prev, origin = parent[cur]
+                    chain.append(origin)
+                    cur = prev
+                chain.reverse()
+                return tuple(chain)
+            for c, origin in adj.get(b, {}).items():
+                if c not in seen:
+                    seen.add(c)
+                    parent[c] = (b, origin)
+                    stack.append(c)
+        return None
+
+    def _insert(
+        self,
+        node: int,
+        idx: int,
+        loc: Location,
+        a: object,
+        b: object,
+        observed: int | None,
+    ) -> SanitizerViolation | None:
+        if a == b:
+            return None
+        if b == _BOT:
+            # ``a`` is a write's block, so its id *is* the writer node.
+            anchor = (a,) if isinstance(a, int) else ()
+            return SanitizerViolation(
+                node,
+                loc,
+                None,
+                f"read observed ⊥ at {loc!r} although an earlier event "
+                f"was already bound to write {a!r}",
+                anchor + (node,),
+                idx,
+            )
+        adj = self._adj.setdefault(loc, {})
+        if b in adj:
+            chain = self._cycle_witness(loc, b, a)
+            if chain is not None:
+                return SanitizerViolation(
+                    node,
+                    loc,
+                    observed,
+                    f"stale value at {loc!r}: observing write {b!r} "
+                    f"contradicts the established order after {a!r} "
+                    "(cycle in the write serialization)",
+                    chain + (node,),
+                    idx,
+                )
+        adj.setdefault(a, {})[b] = node
+        adj.setdefault(b, {})
+        return None
+
+    # ------------------------------------------------------------------
+    # Event interface (called by the executor)
+    # ------------------------------------------------------------------
+
+    def on_node(
+        self,
+        node: int,
+        op: Op,
+        preds: Iterable[int],
+        observed: int | None = None,
+    ) -> SanitizerViolation | None:
+        """Consume one executed node; return the first violation, if any.
+
+        ``node`` and ``preds`` are original computation node ids;
+        ``observed`` is the writer id the memory returned for a read
+        (``None`` for ⊥; ignored for writes and no-ops).
+        """
+        if self.violation is not None:
+            return self.violation
+        idx = self.events
+        self.events += 1
+
+        anc: dict[Location, set] = {}
+        for p in preds:
+            for loc, blocks in self._anc.get(p, {}).items():
+                anc.setdefault(loc, set()).update(blocks)
+            for loc, block in self._own.get(p, {}).items():
+                anc.setdefault(loc, set()).add(block)
+
+        own: dict[Location, object] = {}
+        if op.is_write:
+            own[op.loc] = node
+        elif op.is_read:
+            own[op.loc] = _BOT if observed is None else observed
+
+        for loc, b in own.items():
+            for a in anc.get(loc, ()):
+                v = self._insert(node, idx, loc, a, b, observed)
+                if v is not None:
+                    self.violation = v
+                    break
+            if self.violation is not None:
+                break
+            self._adj.setdefault(loc, {}).setdefault(b, {})
+
+        self._anc[node] = {loc: frozenset(s) for loc, s in anc.items()}
+        self._own[node] = own
+        return self.violation
+
+    @property
+    def consistent_so_far(self) -> bool:
+        """True iff no violation has been detected yet."""
+        return self.violation is None
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def check_trace(
+        cls, trace: ExecutionTrace
+    ) -> SanitizerViolation | None:
+        """Replay a completed trace through a fresh sanitizer."""
+        comp = trace.comp
+        observed = {e.node: e.observed for e in trace.reads}
+        san = cls(comp)
+        for u in trace.schedule.execution_order():
+            v = san.on_node(
+                u,
+                comp.op(u),
+                comp.dag.predecessors(u),
+                observed.get(u),
+            )
+            if v is not None:
+                return v
+        return None

@@ -112,6 +112,131 @@ class TestRunAndCheck:
         assert "computation: 4 nodes" in out
 
 
+class TestLint:
+    def test_clean_program_exits_zero(self, capsys):
+        rc = main(["lint", "tree-sum"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "clean — no races" in out
+
+    def test_racy_program_exits_nonzero_with_diagnostics(self, capsys):
+        rc = main(["lint", "racy"])
+        out = capsys.readouterr().out
+        assert rc == 2
+        assert "data-race" in out
+        assert "main/s0" in out  # node paths in diagnostics
+
+    def test_locked_counter_passes_with_lock_mediated_report(self, capsys):
+        rc = main(["lint", "locked-counter"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "lock-mediated" in out
+        assert "locks {L} vs {L}" in out
+
+    def test_json_output(self, capsys):
+        rc = main(["lint", "racy", "--format", "json"])
+        out = capsys.readouterr().out
+        assert rc == 2
+        data = json.loads(out)
+        assert data["clean"] is False
+        assert data["engine"] == "sp-bags"
+        assert data["data_races"] == len(data["diagnostics"])
+        d = data["diagnostics"][0]
+        assert set(d) == {
+            "loc", "kind", "classification", "u", "v", "locks_u", "locks_v",
+        }
+
+    def test_closure_engine_enumerates_all_pairs(self, capsys):
+        main(["lint", "racy", "--format", "json"])
+        spbags = json.loads(capsys.readouterr().out)
+        main(["lint", "racy", "--format", "json", "--engine", "closure"])
+        closure = json.loads(capsys.readouterr().out)
+        assert closure["engine"] == "closure"
+        assert closure["races"] >= spbags["races"]
+
+    def test_lint_serialized_computation(self, capsys, tmp_path):
+        from repro.io import dumps
+        from repro.lang import tree_sum_computation
+
+        path = tmp_path / "comp.json"
+        path.write_text(dumps(tree_sum_computation(4)[0]))
+        rc = main(["lint", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "clean" in out
+
+    def test_lint_serialized_trace(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        main(["run", "--program", "racy", "--out", str(path)])
+        capsys.readouterr()
+        rc = main(["lint", str(path)])
+        assert rc == 2
+
+
+class TestCleanErrors:
+    """Malformed inputs: one-line error + exit 2, never a traceback."""
+
+    def test_unknown_program_or_file(self, capsys):
+        rc = main(["lint", "no-such-thing"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert err.count("\n") == 1
+        assert "neither a bundled program" in err
+
+    def test_malformed_json_lint(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("this is not json {{{")
+        rc = main(["lint", str(path)])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "repro lint: error:" in err
+        assert "Traceback" not in err
+
+    def test_malformed_json_check(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2")
+        rc = main(["check", str(path)])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "repro check: error:" in err
+
+    def test_missing_file_check(self, capsys, tmp_path):
+        rc = main(["check", str(tmp_path / "nope.json")])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "repro check: error:" in err
+
+    def test_wrong_document_type_lint(self, capsys, tmp_path):
+        from repro.io import dumps
+        from repro.paperfigures import figure2_pair
+
+        _, phi = figure2_pair()
+        path = tmp_path / "phi.json"
+        path.write_text(dumps(phi))
+        # An observer function carries its computation — lint accepts it.
+        rc = main(["lint", str(path)])
+        assert rc in (0, 2)
+        assert "Traceback" not in capsys.readouterr().err
+
+
+class TestRunSanitize:
+    def test_sanitize_flags_faulty_backer(self, capsys):
+        rc = main(["run", "--program", "racy", "--procs", "4",
+                   "--drop-reconcile", "1.0", "--drop-flush", "1.0",
+                   "--sanitize"])
+        out = capsys.readouterr().out
+        assert rc == 2
+        assert "sanitizer: violation at event" in out
+        assert "witness nodes" in out
+
+    def test_sanitize_clean_on_faithful_memory(self, capsys):
+        rc = main(["run", "--program", "tree-sum", "--size", "4",
+                   "--procs", "2", "--sanitize"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "sanitizer" not in out
+
+
 class TestInferAndConformance:
     def test_infer_serial_memory(self, capsys):
         rc = main(["infer", "--program", "racy", "--memory", "serial",

@@ -2,15 +2,21 @@
 
 from hypothesis import given, settings
 
-from repro.core import Computation, N, ObserverFunction, R, W
+from repro.core import Computation, R, W
 from repro.dag import Dag
 from repro.lang import (
+    matmul_computation,
     racy_counter_computation,
     store_buffer_computation,
     tree_sum_computation,
 )
 from repro.models import LC
-from repro.verify import find_races, is_race_free, racy_locations
+from repro.verify import (
+    find_races,
+    find_races_naive,
+    is_race_free,
+    racy_locations,
+)
 from tests.conftest import computations
 
 
@@ -70,6 +76,40 @@ class TestWorkloads:
         races = list(find_races(store_buffer_computation()[0]))
         assert len(races) == 2
         assert {r.kind for r in races} == {"read-write"}
+
+
+class TestFastEqualsNaive:
+    """The bitset-row sweep is a drop-in for the historical per-pair one.
+
+    Not just the same *set* — the same *sequence*: the rewrite dedupes
+    write-write pairs by emitting from the smaller id only, which is
+    exactly the first-encounter order the old seen-set produced.
+    """
+
+    @staticmethod
+    def assert_same(comp):
+        fast = list(find_races(comp))
+        naive = list(find_races_naive(comp))
+        assert fast == naive
+
+    @given(computations(max_nodes=6, locations=("x", "y")))
+    @settings(max_examples=150, deadline=None)
+    def test_random_computations(self, comp):
+        self.assert_same(comp)
+
+    def test_programs(self):
+        for comp in (
+            racy_counter_computation(4, 3)[0],
+            store_buffer_computation()[0],
+            matmul_computation(2)[0],
+            tree_sum_computation(8)[0],
+        ):
+            self.assert_same(comp)
+
+    def test_memoized_across_calls(self):
+        comp = racy_counter_computation(3, 2)[0]
+        first = list(find_races(comp))
+        assert list(find_races(comp)) == first
 
 
 class TestRaceFreedomTheorem:

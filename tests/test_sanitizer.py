@@ -1,0 +1,148 @@
+"""The in-execution trace sanitizer: catch LC violations at the event.
+
+Three properties anchor the module:
+
+* a fault-injected backer is flagged *during* the run, at the first
+  violating read, with a witness of node ids explaining the conflict;
+* the sanitizer's verdict agrees with the post-mortem checkers (the
+  streaming LC verifier and the batch ``trace_admits_lc``) on every
+  trace, faulty or faithful;
+* a faithful memory never trips it.
+"""
+
+from repro.lang import racy_counter_computation, stencil_computation
+from repro.runtime import (
+    BackerMemory,
+    SerialMemory,
+    execute,
+    work_stealing_schedule,
+)
+from repro.verify import (
+    StreamingLCVerifier,
+    TraceSanitizer,
+    trace_admits_lc,
+)
+
+
+def _run(comp, drop, seed, sanitizer=None):
+    sched = work_stealing_schedule(comp, 4, rng=seed)
+    mem = BackerMemory(
+        drop_reconcile_probability=drop,
+        drop_flush_probability=drop,
+        rng=seed,
+    )
+    return execute(sched, mem, sanitizer=sanitizer)
+
+
+class TestFaultInjection:
+    def test_total_fault_flagged_at_first_bad_read(self):
+        comp, _ = racy_counter_computation(4, 3)
+        flagged = 0
+        for seed in range(20):
+            san = TraceSanitizer(comp)
+            trace = _run(comp, 1.0, seed, sanitizer=san)
+            if trace.violation is None:
+                continue
+            flagged += 1
+            v = trace.violation
+            # Halting sanitizer: the run stops at the violating event,
+            # so the last recorded read IS the flagged one.
+            assert trace.reads[-1].node == v.node
+            assert v.witness[-1] == v.node
+            assert all(0 <= w < comp.num_nodes for w in v.witness)
+            # The prefix up to (excluding) the violation was consistent:
+            # replaying all but the last event trips nothing.
+            replay = TraceSanitizer(comp)
+            observed = {e.node: e.observed for e in trace.reads[:-1]}
+            order = trace.schedule.execution_order()
+            for u in order[: order.index(v.node)]:
+                assert (
+                    replay.on_node(
+                        u,
+                        comp.op(u),
+                        comp.dag.predecessors(u),
+                        observed.get(u),
+                    )
+                    is None
+                )
+        assert flagged >= 10, "total fault injection must usually trip"
+
+    def test_faithful_backer_never_flagged(self):
+        for comp, _ in (
+            racy_counter_computation(4, 3),
+            stencil_computation(6, 3),
+        ):
+            for seed in range(10):
+                san = TraceSanitizer(comp)
+                trace = _run(comp, 0.0, seed, sanitizer=san)
+                assert trace.violation is None
+                assert san.consistent_so_far
+
+    def test_serial_memory_never_flagged(self):
+        comp, _ = racy_counter_computation(4, 2)
+        sched = work_stealing_schedule(comp, 2, rng=0)
+        trace = execute(sched, SerialMemory(), sanitizer=TraceSanitizer(comp))
+        assert trace.violation is None
+
+
+class TestAgreement:
+    def test_matches_streaming_and_batch_checkers(self):
+        """Same verdict as both post-mortem checkers on 180 traces."""
+        workloads = [
+            racy_counter_computation(4, 3)[0],
+            stencil_computation(6, 3)[0],
+        ]
+        flagged = 0
+        for comp in workloads:
+            for drop in (0.0, 0.5, 1.0):
+                for seed in range(30):
+                    trace = _run(comp, drop, seed)
+                    batch_ok = trace_admits_lc(trace.partial_observer())
+                    stream_v = StreamingLCVerifier.check_trace(trace)
+                    san_v = TraceSanitizer.check_trace(trace)
+                    assert (san_v is None) == batch_ok
+                    assert (stream_v is None) == (san_v is None)
+                    if san_v is not None:
+                        flagged += 1
+                        assert san_v.node == stream_v.node
+                        assert san_v.loc == stream_v.loc
+        assert flagged >= 40
+
+    def test_halting_run_matches_post_mortem_event(self):
+        comp, _ = racy_counter_computation(4, 3)
+        for seed in range(10):
+            full = _run(comp, 0.7, seed)
+            post = TraceSanitizer.check_trace(full)
+            live = _run(comp, 0.7, seed, sanitizer=TraceSanitizer(comp))
+            if post is None:
+                assert live.violation is None
+            else:
+                assert live.violation is not None
+                assert live.violation.node == post.node
+                assert live.violation.event_index == post.event_index
+
+
+class TestViolationShape:
+    def test_latches_first_violation(self):
+        comp, _ = racy_counter_computation(4, 3)
+        san = TraceSanitizer(comp, halt=False)
+        trace = _run(comp, 1.0, 1, sanitizer=san)
+        if trace.violation is None:
+            return  # this seed happened to stay consistent
+        first = trace.violation
+        # Non-halting: execution ran to completion but the violation
+        # stayed latched at the first event.
+        assert san.violation is first
+        assert len(trace.reads) == sum(
+            1 for u in comp.nodes() if comp.op(u).is_read
+        )
+
+    def test_witness_is_contradictory_chain(self):
+        comp, _ = racy_counter_computation(4, 3)
+        for seed in range(20):
+            v = TraceSanitizer.check_trace(_run(comp, 0.8, seed))
+            if v is None:
+                continue
+            assert v.node == v.witness[-1]
+            assert len(v.witness) >= 2
+            assert v.reason
