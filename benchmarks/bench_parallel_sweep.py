@@ -184,6 +184,25 @@ def test_parallel_sweep_speedup(benchmark, sweep_universe, witness_universe):
     _assert_identical(baseline, runs[1]["result"], "engine jobs=1 vs baseline")
     _assert_identical(runs[1]["result"], runs[4]["result"], "jobs=4 vs jobs=1")
 
+    # Uncached engine at 4 workers: sweep_caching(False) must propagate
+    # into the pool workers (carried by each ShardSpec), and the
+    # worker-side cache telemetry must prove the run was truly cold —
+    # zero cache consultations across every shard of every sweep.
+    with sweep_caching(False):
+        clear_sweep_caches()
+        t0 = time.perf_counter()
+        uncached_result, uncached_stats = _engine_battery(
+            sweep_universe, witness_universe, 4
+        )
+        uncached_seconds = time.perf_counter() - t0
+    for stats in uncached_stats:
+        consultations = stats.cache_consultations()
+        assert consultations == 0, (
+            f"{stats.label}: uncached sweep consulted memoization caches "
+            f"{consultations} times inside workers"
+        )
+    _assert_identical(baseline, uncached_result, "uncached jobs=4 vs baseline")
+
     # The timed leg pytest-benchmark records: the engine at 4 workers.
     def timed():
         clear_sweep_caches()
@@ -206,6 +225,11 @@ def test_parallel_sweep_speedup(benchmark, sweep_universe, witness_universe):
                 "sweeps": [s.to_dict() for s in run["stats"]],
             }
             for jobs, run in runs.items()
+        },
+        "uncached_jobs4": {
+            "seconds": round(uncached_seconds, 4),
+            "cache_consultations": 0,
+            "sweeps": [s.to_dict() for s in uncached_stats],
         },
         "results_identical": True,
         "thm23": list(runs[4]["result"]["thm23"]),

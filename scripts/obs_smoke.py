@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""CI smoke check for the observability layer.
+
+Two checks, both exercised by the ``obs-smoke`` CI job:
+
+1. ``python scripts/obs_smoke.py validate TRACE.json`` — the file is a
+   structurally valid trace document (``repro.obs.validate_trace``),
+   contains at least one sweep span with shard children, and the shard
+   telemetry sums to the global sweep counters (the ``--trace`` /
+   ``SweepStats`` consistency contract).
+2. ``python scripts/obs_smoke.py uncached`` — the cache-propagation
+   invariant: a ``sweep_caching(False)`` sweep dispatched to a process
+   pool must report **zero** cache consultations from its workers (the
+   flag travels inside each ``ShardSpec``; before the fix workers
+   silently re-enabled caching, poisoning uncached baselines).
+
+Exit code 0 on success, 1 with a diagnostic on the first failure.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def _iter_spans(spans):
+    stack = list(spans)
+    while stack:
+        sp = stack.pop()
+        yield sp
+        stack.extend(sp.get("children", ()))
+
+
+def check_trace(path: str) -> int:
+    from repro.obs import validate_trace
+
+    with open(path) as f:
+        doc = json.load(f)
+    problems = validate_trace(doc)
+    if problems:
+        for p in problems:
+            print(f"obs-smoke: invalid trace: {p}", file=sys.stderr)
+        return 1
+
+    spans = list(_iter_spans(doc.get("spans", [])))
+    sweeps = [sp for sp in spans if sp["name"].startswith("sweep:")]
+    if not sweeps:
+        print("obs-smoke: trace contains no sweep spans", file=sys.stderr)
+        return 1
+    shards = [
+        child
+        for sweep in sweeps
+        for child in sweep["children"]
+        if child["name"] == "shard"
+    ]
+    if not shards:
+        print("obs-smoke: sweep spans carry no shard children", file=sys.stderr)
+        return 1
+
+    counters = doc["counters"]
+    shard_pairs = sum(sp["attrs"]["pairs"] for sp in shards)
+    if shard_pairs != counters.get("sweep.pairs"):
+        print(
+            f"obs-smoke: shard spans sum to {shard_pairs} pairs but the "
+            f"sweep.pairs counter says {counters.get('sweep.pairs')}",
+            file=sys.stderr,
+        )
+        return 1
+    consultations = sum(
+        info["hits"] + info["misses"]
+        for sp in shards
+        for info in sp["attrs"]["caches"].values()
+    )
+    if consultations != counters.get("sweep.cache.consultations"):
+        print(
+            f"obs-smoke: shard telemetry sums to {consultations} cache "
+            "consultations but the sweep.cache.consultations counter says "
+            f"{counters.get('sweep.cache.consultations')}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"obs-smoke: trace OK — {len(spans)} spans, {len(sweeps)} sweeps, "
+        f"{len(shards)} shards, {shard_pairs} pairs, "
+        f"{consultations} cache consultations"
+    )
+    return 0
+
+
+def check_uncached() -> int:
+    from repro._caching import sweep_caching
+    from repro.models import LC, SC, Universe
+    from repro.runtime.parallel import parallel_inclusion_matrix
+
+    universe = Universe(max_nodes=3, locations=("x",))
+    with sweep_caching(False):
+        _, stats = parallel_inclusion_matrix(
+            (SC, LC), universe, jobs=2, parallel_threshold=0
+        )
+    if not stats.mode.startswith("process-pool"):
+        print(
+            f"obs-smoke: expected a pool sweep, got mode {stats.mode!r}",
+            file=sys.stderr,
+        )
+        return 1
+    flags = {s.cache_enabled for s in stats.shards}
+    consultations = stats.cache_consultations()
+    if flags != {False} or consultations != 0:
+        print(
+            "obs-smoke: sweep_caching(False) leaked — workers reported "
+            f"cache_enabled={flags}, {consultations} consultations",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"obs-smoke: uncached invariant OK — {stats.mode}, "
+        f"{len(stats.shards)} shards, 0 worker cache consultations"
+    )
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) >= 2 and argv[0] == "validate":
+        return check_trace(argv[1])
+    if argv == ["uncached"]:
+        return check_uncached()
+    print(
+        "usage: obs_smoke.py validate TRACE.json | obs_smoke.py uncached",
+        file=sys.stderr,
+    )
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -14,7 +14,9 @@ benchmark suite's bounds (a couple of minutes).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
+from repro import obs
 from repro.models import Universe
 
 __all__ = ["SectionResult", "ReproductionReport", "full_reproduction", "render_report"]
@@ -162,11 +164,19 @@ def full_reproduction(
     else:
         raise ValueError(f"unknown profile {profile!r}")
     report = ReproductionReport(profile=profile)
-    report.sections.append(_sec_figures())
-    report.sections.append(_sec_lattice(sweep, witness, jobs=jobs))
-    report.sections.append(_sec_theorem23(thm23_universe, jobs=jobs))
-    report.sections.append(_sec_backer(runs))
-    report.sections.append(_sec_open_problem(star_nodes))
+    sections: list[tuple[str, Callable[[], SectionResult]]] = [
+        ("figures", _sec_figures),
+        ("lattice", lambda: _sec_lattice(sweep, witness, jobs=jobs)),
+        ("theorem23", lambda: _sec_theorem23(thm23_universe, jobs=jobs)),
+        ("backer", lambda: _sec_backer(runs)),
+        ("open-problem", lambda: _sec_open_problem(star_nodes)),
+    ]
+    for name, section in sections:
+        with obs.span(f"reproduce.{name}", profile=profile) as sp:
+            result = section()
+            if sp is not None:
+                sp.attrs["passed"] = result.passed
+        report.sections.append(result)
     return report
 
 

@@ -37,6 +37,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro import obs
 from repro.errors import ReproError
 
 __all__ = ["main", "build_parser"]
@@ -70,6 +71,25 @@ def _resolve_program(name: str, size: int | None):
     return factory(size if size is not None else default)
 
 
+def _add_obs_args(
+    sp: argparse.ArgumentParser, profile_flag: bool = True
+) -> None:
+    """Attach the observability options shared by every subcommand.
+
+    ``reproduce`` already owns ``--profile`` (quick/full), so it opts out
+    of the boolean profile flag and only gains ``--trace``.
+    """
+    sp.add_argument(
+        "--trace", metavar="FILE", default=None, dest="obs_trace",
+        help="write a structured trace (spans, counters, events) as JSON",
+    )
+    if profile_flag:
+        sp.add_argument(
+            "--profile", action="store_true", dest="obs_profile",
+            help="print a timing/counter profile to stderr when done",
+        )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (exposed for shell-completion tooling)."""
     parser = argparse.ArgumentParser(
@@ -88,8 +108,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "0 = all cores)")
     lat.add_argument("--stats", action="store_true",
                      help="print per-shard sweep timings and cache hit rates")
+    _add_obs_args(lat)
 
-    sub.add_parser("figures", help="verify and print the paper's figures")
+    fig = sub.add_parser("figures", help="verify and print the paper's figures")
+    _add_obs_args(fig)
 
     run = sub.add_parser("run", help="execute a bundled program and verify")
     run.add_argument("--program", choices=sorted(PROGRAMS), default="fib")
@@ -106,9 +128,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--sanitize", action="store_true",
                      help="check each event against LC during execution; "
                           "halt at the first violation with a witness")
+    _add_obs_args(run)
 
     chk = sub.add_parser("check", help="check a JSON document against the models")
     chk.add_argument("path", help="file produced by `run --out` or repro.io.dumps")
+    _add_obs_args(chk)
 
     lint = sub.add_parser(
         "lint",
@@ -126,6 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="auto: SP-bags when series-parallel, else the "
                            "exact closure sweep")
     lint.add_argument("--format", choices=["text", "json"], default="text")
+    _add_obs_args(lint)
 
     inf = sub.add_parser(
         "infer",
@@ -138,6 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
     inf.add_argument("--memory", choices=["backer", "serial"], default="backer")
     inf.add_argument("--drop-reconcile", type=float, default=0.0)
     inf.add_argument("--drop-flush", type=float, default=0.0)
+    _add_obs_args(inf)
 
     conf = sub.add_parser(
         "conformance",
@@ -150,6 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
     conf.add_argument("--drop-flush", type=float, default=0.0)
     conf.add_argument("--runs", type=int, default=10,
                       help="seeds per (workload, procs) cell")
+    _add_obs_args(conf)
 
     rep = sub.add_parser(
         "reproduce",
@@ -159,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--jobs", type=int, default=None,
                      help="sweep worker processes (default: $REPRO_JOBS or 1; "
                           "0 = all cores)")
+    _add_obs_args(rep, profile_flag=False)
     return parser
 
 
@@ -423,6 +451,24 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _obs_finish(trace_path: str | None, profile: bool) -> None:
+    """Export the collected trace/profile and shut the collector down."""
+    from repro.obs import export_json, render_text
+
+    try:
+        if trace_path is not None:
+            with open(trace_path, "w") as f:
+                f.write(export_json())
+                f.write("\n")
+            print(f"trace written to {trace_path}", file=sys.stderr)
+        if profile:
+            print(render_text(), file=sys.stderr)
+    except OSError as exc:
+        print(f"repro: error writing trace: {exc}", file=sys.stderr)
+    finally:
+        obs.disable()
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -436,8 +482,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         "conformance": _cmd_conformance,
         "reproduce": _cmd_reproduce,
     }[args.command]
+    trace_path: str | None = getattr(args, "obs_trace", None)
+    profile: bool = bool(getattr(args, "obs_profile", False))
+    use_obs = trace_path is not None or profile
+    if use_obs:
+        obs.reset()
+        obs.enable()
     try:
-        return handler(args)
+        with obs.span(f"repro.{args.command}"):
+            return handler(args)
     except (ValueError, OSError, ReproError) as exc:
         # Bad runtime configuration (REPRO_JOBS=banana), an unknown
         # program name, a missing/unreadable input file, or a malformed
@@ -446,6 +499,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         # not a traceback.
         print(f"repro {args.command}: error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if use_obs:
+            _obs_finish(trace_path, profile)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 __all__ = [
     "ReproError",
+    "ConfigError",
     "CycleError",
     "InvalidComputationError",
     "InvalidObserverError",
@@ -20,6 +21,15 @@ __all__ = [
 
 class ReproError(Exception):
     """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError, ValueError):
+    """Raised when runtime configuration is malformed.
+
+    Examples: a non-integer ``REPRO_JOBS`` environment variable.  Also a
+    :class:`ValueError` so existing ``except ValueError`` callers (and
+    the CLI's clean one-line-error path) keep working.
+    """
 
 
 class CycleError(ReproError):

@@ -1,0 +1,67 @@
+"""``repro.obs`` — structured tracing, metrics, and cache telemetry.
+
+A dependency-light observability layer for the sweep/executor stack:
+span-based tracing with nested timings, monotonic counters, gauges, and
+structured warning events, exportable as JSON (``--trace FILE``) or a
+text profile (``--profile``).  See :mod:`repro.obs.core` for the model
+and :mod:`repro.obs.export` for the document format.
+
+Typical library use::
+
+    from repro import obs
+
+    with obs.span("my-analysis", nodes=comp.num_nodes):
+        obs.add("my.counter")
+        ...
+
+Everything is a no-op (one boolean check) until :func:`enable` is
+called, so instrumented hot paths cost nothing in normal runs.
+"""
+
+from repro.obs.core import (
+    NULL_SPAN,
+    Observability,
+    Span,
+    add,
+    attach,
+    counters,
+    disable,
+    enable,
+    enabled,
+    gauges,
+    get,
+    now,
+    reset,
+    set_gauge,
+    span,
+    warning,
+)
+from repro.obs.export import (
+    export_json,
+    iter_trace_spans,
+    render_text,
+    validate_trace,
+)
+
+__all__ = [
+    "Span",
+    "Observability",
+    "NULL_SPAN",
+    "enabled",
+    "enable",
+    "disable",
+    "reset",
+    "span",
+    "attach",
+    "add",
+    "set_gauge",
+    "warning",
+    "counters",
+    "gauges",
+    "get",
+    "now",
+    "export_json",
+    "render_text",
+    "validate_trace",
+    "iter_trace_spans",
+]

@@ -1,0 +1,330 @@
+"""The observability substrate: spans, counters, gauges, events.
+
+Everything in this module is dependency-free stdlib Python, sits below
+``runtime``/``verify``/``analysis`` in the import graph, and costs one
+boolean check per call site when disabled — hot loops (the BACKER
+simulator, the executor, the sweep kernels) may call :func:`add` and
+:func:`span` unconditionally.
+
+Model
+-----
+* A :class:`Span` is a named, timed tree node with free-form JSON
+  attributes.  Spans nest: ``with obs.span("sweep"): ...`` opens a span,
+  and any span opened inside it becomes a child.  Subsystems that do
+  their timing elsewhere (e.g. worker processes returning per-shard
+  timings over a pipe) build :class:`Span` trees by hand and graft them
+  into the live trace with :func:`attach`.
+* **Counters** are monotonic named integers (``obs.add("backer.fetches")``),
+  **gauges** are last-write-wins floats.  Both live in a flat global
+  registry so totals survive across spans and can be compared against
+  per-span attributes.
+* **Events** are out-of-band structured records (currently warnings).
+  :func:`warning` always logs through the stdlib ``repro.obs`` logger —
+  even with the collector disabled — so operational problems (a broken
+  process pool, a retried shard) are never silent; when the collector is
+  enabled the event is additionally recorded in the trace.
+
+The module-level collector is what the CLI's ``--trace``/``--profile``
+flags and the library wiring use; tests may construct private
+:class:`Observability` instances.
+
+Thread-safety: the collector is designed for the single-threaded
+orchestration process (workers are separate *processes* whose telemetry
+returns by value); concurrent mutation from threads is not supported.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = [
+    "Span",
+    "Observability",
+    "enabled",
+    "enable",
+    "disable",
+    "reset",
+    "span",
+    "attach",
+    "add",
+    "set_gauge",
+    "warning",
+    "counters",
+    "gauges",
+    "get",
+    "now",
+]
+
+_log = logging.getLogger("repro.obs")
+
+
+@dataclass
+class Span:
+    """One named, timed node of the trace tree.
+
+    ``start`` is seconds since the collector's epoch (``reset`` time);
+    spans reconstructed from worker-process telemetry use ``start=0.0``
+    because worker clocks are not comparable across processes.
+    """
+
+    name: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+    start: float = 0.0
+    duration: float = 0.0
+    children: list["Span"] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (attrs must be JSON-serializable)."""
+        return {
+            "name": self.name,
+            "attrs": self.attrs,
+            "start": self.start,
+            "duration": self.duration,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Span":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=doc["name"],
+            attrs=dict(doc.get("attrs", {})),
+            start=doc.get("start", 0.0),
+            duration=doc.get("duration", 0.0),
+            children=[cls.from_dict(c) for c in doc.get("children", ())],
+        )
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> list["Span"]:
+        """All descendants (including self) with exactly this name."""
+        return [s for s in self.walk() if s.name == name]
+
+
+class _NullSpan:
+    """The shared no-op context manager returned while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Observability:
+    """A span/counter/gauge/event collector (see module docstring)."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop all recorded state and restart the clock epoch."""
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.events: list[dict] = []
+        self._epoch = time.perf_counter()
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def now(self) -> float:
+        """Seconds since the collector's epoch."""
+        return time.perf_counter() - self._epoch
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any):
+        """Context manager timing a span; yields the :class:`Span`.
+
+        Disabled collectors return a shared no-op context manager that
+        yields ``None`` — the only cost is this method call.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return self._live_span(name, attrs)
+
+    @contextmanager
+    def _live_span(self, name: str, attrs: dict) -> Iterator[Span]:
+        sp = Span(name=name, attrs=attrs, start=self.now())
+        parent = self._stack[-1] if self._stack else None
+        (parent.children if parent is not None else self.roots).append(sp)
+        self._stack.append(sp)
+        t0 = time.perf_counter()
+        try:
+            yield sp
+        finally:
+            sp.duration = time.perf_counter() - t0
+            self._stack.pop()
+
+    def attach(self, sp: Span) -> None:
+        """Graft a pre-built span tree under the currently open span.
+
+        Used by code that assembles timing out-of-band — e.g. the sweep
+        engine turning worker-process shard telemetry into spans.  No-op
+        while disabled.
+        """
+        if not self.enabled:
+            return
+        parent = self._stack[-1] if self._stack else None
+        (parent.children if parent is not None else self.roots).append(sp)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def add(self, name: str, delta: int = 1) -> None:
+        """Increment a monotonic counter (no-op while disabled)."""
+        if not self.enabled:
+            return
+        if delta < 0:
+            raise ValueError(f"counter {name!r}: negative delta {delta}")
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    def add_many(self, deltas: dict[str, int]) -> None:
+        """Merge a ``{counter: delta}`` dict (worker telemetry)."""
+        for name, delta in deltas.items():
+            self.add(name, delta)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a last-write-wins gauge (no-op while disabled)."""
+        if not self.enabled:
+            return
+        self.gauges[name] = float(value)
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+
+    def warning(self, message: str, **attrs: Any) -> None:
+        """Log a structured warning; record it in the trace if enabled.
+
+        The stdlib log record fires unconditionally so that operational
+        problems surface even without ``--trace``.
+        """
+        if attrs:
+            detail = ", ".join(f"{k}={v!r}" for k, v in sorted(attrs.items()))
+            _log.warning("%s (%s)", message, detail)
+        else:
+            _log.warning("%s", message)
+        if self.enabled:
+            self.events.append(
+                {
+                    "kind": "warning",
+                    "message": message,
+                    "attrs": attrs,
+                    "t": self.now(),
+                }
+            )
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The whole collector state as a JSON-serializable document."""
+        return {
+            "version": 1,
+            "spans": [s.to_dict() for s in self.roots],
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "events": list(self.events),
+        }
+
+
+# ----------------------------------------------------------------------
+# The module-level collector (what the library wiring and the CLI use)
+# ----------------------------------------------------------------------
+
+_OBS = Observability()
+
+
+def get() -> Observability:
+    """The process-global collector."""
+    return _OBS
+
+
+def enabled() -> bool:
+    """Whether the global collector is recording."""
+    return _OBS.enabled
+
+
+def enable() -> None:
+    """Start recording on the global collector."""
+    _OBS.enable()
+
+
+def disable() -> None:
+    """Stop recording on the global collector (state is retained)."""
+    _OBS.disable()
+
+
+def reset() -> None:
+    """Clear the global collector and restart its clock."""
+    _OBS.reset()
+
+
+def span(name: str, **attrs: Any):
+    """``with obs.span("name", key=val) as sp:`` — time a nested span."""
+    if not _OBS.enabled:  # fast path: one attribute load + bool check
+        return NULL_SPAN
+    return _OBS._live_span(name, attrs)
+
+
+def attach(sp: Span) -> None:
+    """Graft a pre-built span under the current span of the global trace."""
+    _OBS.attach(sp)
+
+
+def add(name: str, delta: int = 1) -> None:
+    """Increment a global counter."""
+    _OBS.add(name, delta)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a global gauge."""
+    _OBS.set_gauge(name, value)
+
+
+def warning(message: str, **attrs: Any) -> None:
+    """Structured warning through the global collector (always logged)."""
+    _OBS.warning(message, **attrs)
+
+
+def counters() -> dict[str, int]:
+    """Snapshot of the global counters."""
+    return dict(_OBS.counters)
+
+
+def gauges() -> dict[str, float]:
+    """Snapshot of the global gauges."""
+    return dict(_OBS.gauges)
+
+
+def now() -> float:
+    """Seconds since the global collector's epoch."""
+    return _OBS.now()

@@ -1,0 +1,147 @@
+"""Trace export, rendering, and shape validation.
+
+The JSON document written by ``repro ... --trace FILE`` is
+:meth:`repro.obs.core.Observability.to_dict`:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "spans":    [{"name", "attrs", "start", "duration", "children"}],
+      "counters": {"sweep.pairs": 4734, ...},
+      "gauges":   {"sweep.wall_seconds": 0.42, ...},
+      "events":   [{"kind": "warning", "message", "attrs", "t"}]
+    }
+
+:func:`validate_trace` checks that shape (CI gates on it);
+:func:`render_text` is the human-readable profile the ``--profile``
+flag prints.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator
+
+from repro.obs.core import Observability, Span
+
+__all__ = [
+    "export_json",
+    "render_text",
+    "validate_trace",
+    "iter_trace_spans",
+]
+
+
+def export_json(obs: Observability | None = None, indent: int | None = 2) -> str:
+    """The collector state as a JSON string (global collector by default)."""
+    from repro.obs import core
+
+    target = obs if obs is not None else core.get()
+    return json.dumps(target.to_dict(), indent=indent, default=repr)
+
+
+def _render_span(sp: Span, depth: int, lines: list[str]) -> None:
+    inline = ", ".join(
+        f"{k}={v}"
+        for k, v in sp.attrs.items()
+        if isinstance(v, (str, int, float, bool))
+    )
+    label = f"{'  ' * depth}{sp.name}" + (f" [{inline}]" if inline else "")
+    lines.append(f"{label:<68} {sp.duration * 1000:>9.2f}ms")
+    for child in sp.children:
+        _render_span(child, depth + 1, lines)
+
+
+def render_text(obs: Observability | None = None) -> str:
+    """Human-readable profile: the span tree, counters, gauges, events."""
+    from repro.obs import core
+
+    target = obs if obs is not None else core.get()
+    lines: list[str] = []
+    if target.roots:
+        lines.append("spans:")
+        for root in target.roots:
+            _render_span(root, 1, lines)
+    if target.counters:
+        lines.append("counters:")
+        for name in sorted(target.counters):
+            lines.append(f"  {name:<50} {target.counters[name]:>12}")
+    if target.gauges:
+        lines.append("gauges:")
+        for name in sorted(target.gauges):
+            lines.append(f"  {name:<50} {target.gauges[name]:>12.4f}")
+    if target.events:
+        lines.append("events:")
+        for ev in target.events:
+            lines.append(f"  [{ev.get('kind', '?')}] {ev.get('message', '')}")
+    return "\n".join(lines) if lines else "(empty trace)"
+
+
+def _validate_span(doc: Any, path: str, problems: list[str]) -> None:
+    if not isinstance(doc, dict):
+        problems.append(f"{path}: span is not an object")
+        return
+    name = doc.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append(f"{path}: missing or empty span name")
+    for key in ("start", "duration"):
+        v = doc.get(key)
+        if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+            problems.append(f"{path}: {key} must be a non-negative number")
+    if not isinstance(doc.get("attrs", {}), dict):
+        problems.append(f"{path}: attrs must be an object")
+    children = doc.get("children", [])
+    if not isinstance(children, list):
+        problems.append(f"{path}: children must be a list")
+        return
+    for i, child in enumerate(children):
+        _validate_span(child, f"{path}.children[{i}]", problems)
+
+
+def validate_trace(doc: Any) -> list[str]:
+    """Structural validation of a trace document; ``[]`` means valid."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["trace document is not a JSON object"]
+    if doc.get("version") != 1:
+        problems.append("missing or unsupported trace version (expected 1)")
+    spans = doc.get("spans")
+    if not isinstance(spans, list):
+        problems.append("'spans' must be a list")
+    else:
+        for i, sp in enumerate(spans):
+            _validate_span(sp, f"spans[{i}]", problems)
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        problems.append("'counters' must be an object")
+    else:
+        for name, value in counters.items():
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                problems.append(
+                    f"counter {name!r} must be a non-negative integer"
+                )
+    gauges = doc.get("gauges")
+    if not isinstance(gauges, dict):
+        problems.append("'gauges' must be an object")
+    else:
+        for name, value in gauges.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"gauge {name!r} must be a number")
+    events = doc.get("events")
+    if not isinstance(events, list):
+        problems.append("'events' must be a list")
+    else:
+        for i, ev in enumerate(events):
+            if not isinstance(ev, dict) or "kind" not in ev:
+                problems.append(f"events[{i}] must be an object with a 'kind'")
+    return problems
+
+
+def iter_trace_spans(doc: dict) -> Iterator[dict]:
+    """Every span dict of a trace document, depth-first."""
+    stack = list(doc.get("spans", ()))
+    while stack:
+        sp = stack.pop()
+        yield sp
+        stack.extend(sp.get("children", ()))

@@ -32,6 +32,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.ops import Location
 from repro.dag.random_dags import as_rng
 from repro.runtime.memory_base import MemorySystem
@@ -113,18 +114,25 @@ class BackerMemory(MemorySystem):
         """Write back every dirty line of ``proc``'s cache."""
         self.stats.reconciles += 1
         cache = self._caches[proc]
+        writebacks = 0
         for loc, (value, dirty) in list(cache.items()):
             if dirty:
                 assert value is not None, "dirty lines always hold a write"
                 self._main[loc] = value
                 cache[loc] = (value, False)
-                self.stats.writebacks += 1
+                writebacks += 1
+        self.stats.writebacks += writebacks
+        if obs.enabled():
+            obs.add("backer.reconciles")
+            obs.add("backer.writebacks", writebacks)
 
     def _flush_all(self, proc: int) -> None:
         """Reconcile then evict ``proc``'s entire cache."""
         self._reconcile_all(proc)
         self.stats.flushes += 1
         self._caches[proc].clear()
+        if obs.enabled():
+            obs.add("backer.flushes")
 
     # ------------------------------------------------------------------
     # MemorySystem interface
@@ -139,8 +147,12 @@ class BackerMemory(MemorySystem):
         cache = self._caches[proc]
         if loc in cache:
             self.stats.cache_hits += 1
+            if obs.enabled():
+                obs.add("backer.cache_hits")
             return cache[loc][0]
         self.stats.fetches += 1
+        if obs.enabled():
+            obs.add("backer.fetches")
         value = self._main.get(loc)
         cache[loc] = (value, False)
         return value
@@ -153,6 +165,8 @@ class BackerMemory(MemorySystem):
             return
         if self._rng.random() < self.drop_flush_probability:
             self.stats.dropped_flushes += 1
+            if obs.enabled():
+                obs.add("backer.dropped_flushes")
             return
         self._flush_all(proc)
 
@@ -160,6 +174,8 @@ class BackerMemory(MemorySystem):
         if cross_succ:
             if self._rng.random() < self.drop_reconcile_probability:
                 self.stats.dropped_reconciles += 1
+                if obs.enabled():
+                    obs.add("backer.dropped_reconciles")
             else:
                 self._reconcile_all(proc)
         elif (

@@ -17,12 +17,20 @@ returned — see :mod:`repro.runtime.trace`.  Passing a *sanitizer*
 against the model's invariants as it happens; the first violation is
 recorded on the trace and, when the sanitizer halts, stops the run at
 the violating event.
+
+Observability: the whole run is an ``execute`` span; with the tracer
+enabled each node additionally gets a ``step`` child span (up to
+:data:`STEP_SPAN_LIMIT` nodes, to bound trace size) and the executor
+maintains ``executor.*`` counters (nodes, reads, writes) plus the
+memory's coherence-message counters (``backer.*``, emitted by
+:class:`repro.runtime.backer.BackerMemory` itself).
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.core.computation import Computation
 from repro.runtime.memory_base import MemorySystem
 from repro.runtime.scheduler import Schedule
@@ -31,7 +39,12 @@ from repro.runtime.trace import ExecutionTrace, ReadEvent
 if TYPE_CHECKING:  # verify imports runtime; keep the cycle static-only
     from repro.verify.sanitizer import TraceSanitizer
 
-__all__ = ["execute"]
+__all__ = ["execute", "STEP_SPAN_LIMIT"]
+
+STEP_SPAN_LIMIT = 512
+"""Per-node ``step`` spans are emitted only for computations up to this
+many nodes; larger runs keep the ``execute`` span and counters so traces
+stay proportionate."""
 
 
 def execute(
@@ -41,6 +54,26 @@ def execute(
 ) -> ExecutionTrace:
     """Run a schedule against a memory system and collect the trace."""
     comp: Computation = schedule.comp
+    with obs.span(
+        "execute",
+        nodes=comp.num_nodes,
+        procs=schedule.num_procs,
+        memory=memory.name,
+        sanitized=sanitizer is not None,
+    ) as sp:
+        trace = _execute_body(schedule, memory, sanitizer, comp)
+        if sp is not None:
+            sp.attrs["reads"] = len(trace.reads)
+            sp.attrs["violation"] = trace.violation is not None
+    return trace
+
+
+def _execute_body(
+    schedule: Schedule,
+    memory: MemorySystem,
+    sanitizer: "TraceSanitizer | None",
+    comp: Computation,
+) -> ExecutionTrace:
     memory.attach(schedule.num_procs)
     trace = ExecutionTrace(comp, schedule, memory.name)
     proc_of = schedule.proc_of
@@ -53,18 +86,29 @@ def execute(
         any(proc_of[u] != proc_of[v] for v in comp.dag.successors(u))
         for u in comp.nodes()
     ]
+    step_spans = obs.enabled() and comp.num_nodes <= STEP_SPAN_LIMIT
 
+    reads = writes = executed = 0
     for u in schedule.execution_order():
+        executed += 1
         p = proc_of[u]
-        memory.node_starting(p, u, cross_pred[u])
         op = comp.op(u)
-        observed: int | None = None
-        if op.is_read:
-            observed = memory.read(p, u, op.loc)
-            trace.reads.append(ReadEvent(u, op.loc, observed))
-        elif op.is_write:
-            memory.write(p, u, op.loc)
-        memory.node_completed(p, u, cross_succ[u])
+        step = (
+            obs.span("step", node=u, op=repr(op), proc=p)
+            if step_spans
+            else obs.NULL_SPAN
+        )
+        with step:
+            memory.node_starting(p, u, cross_pred[u])
+            observed: int | None = None
+            if op.is_read:
+                observed = memory.read(p, u, op.loc)
+                trace.reads.append(ReadEvent(u, op.loc, observed))
+                reads += 1
+            elif op.is_write:
+                memory.write(p, u, op.loc)
+                writes += 1
+            memory.node_completed(p, u, cross_succ[u])
         if sanitizer is not None:
             violation = sanitizer.on_node(
                 u, op, comp.dag.predecessors(u), observed
@@ -73,4 +117,9 @@ def execute(
                 trace.violation = violation
                 if sanitizer.halt:
                     break
+    if obs.enabled():
+        obs.add("executor.runs")
+        obs.add("executor.nodes", executed)
+        obs.add("executor.reads", reads)
+        obs.add("executor.writes", writes)
     return trace

@@ -23,7 +23,24 @@ the shared substrate:
   :mod:`repro.models.constructibility`);
 * :class:`SweepStats` — per-shard timings and cache hit rates, surfaced
   by ``repro lattice --stats`` and the ``BENCH_parallel_sweep.json``
-  benchmark, so speedups are measured rather than asserted.
+  benchmark, so speedups are measured rather than asserted.  Stats are a
+  *view* over the :mod:`repro.obs` span substrate: every sweep builds a
+  ``sweep:<label>`` span with one ``shard`` child per shard (worker
+  timings, per-worker cache hit/miss deltas, the worker's cache-enabled
+  flag), and when the global tracer is enabled the same span object is
+  grafted into the live trace and the sweep counters are accumulated.
+
+Correctness of the *measurements*: :class:`ShardSpec` carries the
+parent's :mod:`repro._caching` flag into the worker (fresh interpreters
+would otherwise re-import ``repro._caching`` with ``ENABLED=True`` and
+silently run an "uncached baseline" cached), and the per-shard cache
+telemetry proves it — an uncached sweep must report zero cache
+consultations in every worker.
+
+Robustness: a crashed worker (``BrokenProcessPool``) no longer kills the
+sweep; the affected shards are logged as a structured
+:func:`repro.obs.warning` and retried once serially through the *same*
+kernel path, so results stay canonical-order identical.
 
 Deterministic merging: shards partition the canonical enumeration order
 (size ascending, then edge mask ascending), workers return per-shard
@@ -40,11 +57,16 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Callable, Sequence
 
+from repro import obs
+from repro._caching import caches_enabled, sweep_caching
+from repro.errors import ConfigError
 from repro.models.universe import Universe
+from repro.obs import Span
 
 __all__ = [
     "ShardSpec",
@@ -85,6 +107,15 @@ class ShardSpec:
     determines the slice, so the spec pickles in a few bytes and each
     worker regenerates its computations locally instead of receiving them
     over a pipe.
+
+    ``cache_enabled`` carries the parent process's
+    :func:`repro._caching.caches_enabled` state into the worker: pool
+    workers may be fresh interpreters whose ``repro._caching`` module
+    re-imports with ``ENABLED=True``, so without this field an
+    "uncached" sweep (``sweep_caching(False)``) would silently run
+    cached inside every worker.  :func:`_instrumented` applies the flag
+    around the kernel body and reports the worker's view back in
+    :class:`ShardMeta`.
     """
 
     max_nodes: int
@@ -93,6 +124,7 @@ class ShardSpec:
     n: int
     mask_lo: int
     mask_hi: int
+    cache_enabled: bool = True
 
     def universe(self) -> Universe:
         """Rebuild the owning universe (cheap; workers call this once)."""
@@ -115,7 +147,14 @@ class ShardSpec:
 
 @dataclass
 class ShardMeta:
-    """Instrumentation for one shard's execution (in its worker process)."""
+    """Instrumentation for one shard's execution (in its worker process).
+
+    ``caches`` holds the worker-local hits/misses *deltas* of every
+    tracked sweep cache across the kernel body; ``cache_enabled`` is the
+    caching flag the worker actually ran under (propagated from the
+    parent via :attr:`ShardSpec.cache_enabled`); ``pid`` identifies the
+    worker process, enabling per-worker telemetry aggregation.
+    """
 
     n: int
     mask_lo: int
@@ -123,6 +162,54 @@ class ShardMeta:
     seconds: float
     pairs: int
     caches: dict[str, dict[str, int]] = field(default_factory=dict)
+    cache_enabled: bool = True
+    pid: int = 0
+
+    @property
+    def consultations(self) -> int:
+        """Total cache consultations (hits + misses) in this shard.
+
+        Zero iff the worker never touched the memoization layer — the
+        telemetry signal that proves an "uncached baseline" really ran
+        uncached inside the worker.
+        """
+        return sum(c["hits"] + c["misses"] for c in self.caches.values())
+
+    def to_span(self) -> Span:
+        """This shard's telemetry as an :mod:`repro.obs` span.
+
+        ``start`` is 0.0: worker clocks are not comparable with the
+        parent's epoch, only durations travel.
+        """
+        return Span(
+            name="shard",
+            attrs={
+                "n": self.n,
+                "mask_lo": self.mask_lo,
+                "mask_hi": self.mask_hi,
+                "pairs": self.pairs,
+                "cache_enabled": self.cache_enabled,
+                "pid": self.pid,
+                "caches": self.caches,
+            },
+            start=0.0,
+            duration=self.seconds,
+        )
+
+    @classmethod
+    def from_span(cls, sp: Span) -> "ShardMeta":
+        """Inverse of :meth:`to_span`."""
+        a = sp.attrs
+        return cls(
+            n=a["n"],
+            mask_lo=a["mask_lo"],
+            mask_hi=a["mask_hi"],
+            seconds=sp.duration,
+            pairs=a["pairs"],
+            caches=a.get("caches", {}),
+            cache_enabled=a.get("cache_enabled", True),
+            pid=a.get("pid", 0),
+        )
 
 
 @dataclass
@@ -135,13 +222,71 @@ class ShardOutcome:
 
 @dataclass
 class SweepStats:
-    """Aggregated instrumentation for one sweep."""
+    """Aggregated instrumentation for one sweep — a view over a span.
 
-    label: str
-    jobs: int
-    mode: str
-    wall_seconds: float = 0.0
-    shards: list[ShardMeta] = field(default_factory=list)
+    The single field is a ``sweep:<label>`` :class:`repro.obs.Span`
+    whose children are the per-shard telemetry spans; every property
+    below derives from it.  :func:`run_shards` grafts the *same* span
+    object into the live trace when the global tracer is enabled, so
+    ``--trace`` output and ``--stats`` tables can never disagree.
+    """
+
+    span: Span
+
+    @classmethod
+    def build(
+        cls,
+        label: str,
+        jobs: int,
+        mode: str,
+        wall_seconds: float,
+        metas: Sequence[ShardMeta],
+        retried_shards: int = 0,
+    ) -> "SweepStats":
+        """Assemble the stats span from worker-returned shard telemetry."""
+        root = Span(
+            name=f"sweep:{label}",
+            attrs={
+                "label": label,
+                "jobs": jobs,
+                "mode": mode,
+                "retried_shards": retried_shards,
+            },
+            start=max(0.0, obs.now() - wall_seconds) if obs.enabled() else 0.0,
+            duration=wall_seconds,
+            children=[m.to_span() for m in metas],
+        )
+        return cls(span=root)
+
+    @property
+    def label(self) -> str:
+        return self.span.attrs["label"]
+
+    @property
+    def jobs(self) -> int:
+        return self.span.attrs["jobs"]
+
+    @property
+    def mode(self) -> str:
+        return self.span.attrs["mode"]
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.span.duration
+
+    @property
+    def retried_shards(self) -> int:
+        """Shards re-run serially after a worker crash (normally 0)."""
+        return self.span.attrs.get("retried_shards", 0)
+
+    @property
+    def shards(self) -> list[ShardMeta]:
+        """Per-shard telemetry, reconstructed from the span substrate."""
+        return [
+            ShardMeta.from_span(c)
+            for c in self.span.children
+            if c.name == "shard"
+        ]
 
     @property
     def pairs(self) -> int:
@@ -158,6 +303,23 @@ class SweepStats:
                 agg["misses"] += counts["misses"]
         return totals
 
+    def cache_consultations(self) -> int:
+        """Total worker cache consultations (hits + misses) in the sweep."""
+        return sum(m.consultations for m in self.shards)
+
+    def by_worker(self) -> dict[int, dict[str, int]]:
+        """Per-worker-process cache deltas: pid → hits/misses/shards."""
+        out: dict[int, dict[str, int]] = {}
+        for meta in self.shards:
+            agg = out.setdefault(
+                meta.pid, {"hits": 0, "misses": 0, "shards": 0}
+            )
+            for counts in meta.caches.values():
+                agg["hits"] += counts["hits"]
+                agg["misses"] += counts["misses"]
+            agg["shards"] += 1
+        return out
+
     def to_dict(self) -> dict:
         """JSON-serializable form (used by the benchmark artifacts)."""
         return {
@@ -166,6 +328,8 @@ class SweepStats:
             "mode": self.mode,
             "wall_seconds": self.wall_seconds,
             "pairs": self.pairs,
+            "retried_shards": self.retried_shards,
+            "cache_consultations": self.cache_consultations(),
             "shards": [
                 {
                     "n": m.n,
@@ -173,6 +337,8 @@ class SweepStats:
                     "mask_hi": m.mask_hi,
                     "seconds": m.seconds,
                     "pairs": m.pairs,
+                    "pid": m.pid,
+                    "cache_enabled": m.cache_enabled,
                 }
                 for m in self.shards
             ],
@@ -185,6 +351,11 @@ class SweepStats:
             f"sweep {self.label!r}: {self.mode}, jobs={self.jobs}, "
             f"{self.pairs} pairs in {self.wall_seconds:.3f}s"
         ]
+        if self.retried_shards:
+            lines.append(
+                f"  {self.retried_shards} shard(s) retried serially after "
+                "a worker crash"
+            )
         for m in self.shards:
             lines.append(
                 f"  shard n={m.n} masks[{m.mask_lo}:{m.mask_hi}) "
@@ -195,6 +366,19 @@ class SweepStats:
             rate = (100.0 * c["hits"] / total) if total else 0.0
             lines.append(
                 f"  cache {name}: {rate:.0f}% hit ({c['hits']}/{total})"
+            )
+        workers = self.by_worker()
+        if len(workers) > 1:
+            for pid in sorted(workers):
+                w = workers[pid]
+                lines.append(
+                    f"  worker pid={pid}: {w['shards']} shards, "
+                    f"{w['hits']} hits / {w['hits'] + w['misses']} lookups"
+                )
+        if not any(m.cache_enabled for m in self.shards) and self.shards:
+            lines.append(
+                f"  caches disabled in workers "
+                f"({self.cache_consultations()} consultations)"
             )
         return "\n".join(lines)
 
@@ -264,7 +448,13 @@ def effective_jobs(jobs: int | None = None) -> int:
         try:
             jobs = int(env)
         except ValueError:
-            raise ValueError(f"REPRO_JOBS must be an integer, got {env!r}")
+            # ConfigError is a ReproError *and* a ValueError, so both the
+            # CLI's clean one-line-error-and-exit-2 path and library
+            # callers catching ValueError handle it; ``from None`` keeps
+            # the int() traceback out of user-facing errors.
+            raise ConfigError(
+                f"REPRO_JOBS must be an integer, got {env!r}"
+            ) from None
     if jobs <= 0:
         return os.cpu_count() or 1
     return jobs
@@ -287,7 +477,11 @@ def make_shards(
     between sparse and dense dag shapes).  The shards exactly partition
     the enumeration space: concatenated in order they reproduce the
     serial sweep.
+
+    Every spec snapshots the current :func:`~repro._caching.caches_enabled`
+    state so pool workers run under the parent's caching configuration.
     """
+    cache_enabled = caches_enabled()
     sizes = range(universe.max_nodes + 1)
     weights = {n: universe.count_computations(n) for n in sizes}
     total = sum(weights.values()) or 1
@@ -310,6 +504,7 @@ def make_shards(
                     n=n,
                     mask_lo=lo,
                     mask_hi=hi,
+                    cache_enabled=cache_enabled,
                 )
             )
             lo = hi
@@ -328,37 +523,103 @@ def run_shards(
     ``jobs <= 1`` (or a single shard) runs in-process — the serial
     fallback — through the *same* kernel code path, which is what makes
     "parallel equals serial" trivially auditable.  Otherwise shards are
-    dispatched one at a time (``chunksize=1``) to a process pool so slow
-    shards don't convoy behind fast ones.
+    submitted one at a time to a process pool so slow shards don't
+    convoy behind fast ones.
+
+    A worker crash (``BrokenProcessPool``) does not kill the sweep: the
+    shards whose results were lost are logged as a structured
+    :func:`repro.obs.warning` and retried once serially through the same
+    kernel, so the merged results stay canonical-order identical to an
+    undisturbed run.
     """
     t0 = time.perf_counter()
+    retried: list[int] = []
     if jobs <= 1 or len(shards) <= 1:
         outcomes = [kernel(s) for s in shards]
         mode = "serial"
     else:
         workers = min(jobs, len(shards))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            outcomes = list(pool.map(kernel, shards, chunksize=1))
+        outcomes, retried = _dispatch_pool(kernel, shards, workers, label)
         mode = f"process-pool({workers})"
-    stats = SweepStats(
+    stats = SweepStats.build(
         label=label,
         jobs=jobs,
         mode=mode,
         wall_seconds=time.perf_counter() - t0,
-        shards=[o.meta for o in outcomes],
+        metas=[o.meta for o in outcomes],
+        retried_shards=len(retried),
     )
+    _record_sweep(stats)
     return [o.payload for o in outcomes], stats
+
+
+def _dispatch_pool(
+    kernel: Callable[[ShardSpec], ShardOutcome],
+    shards: Sequence[ShardSpec],
+    workers: int,
+    label: str,
+) -> tuple[list[ShardOutcome], list[int]]:
+    """Pool dispatch with crash recovery; returns (outcomes, retried idx).
+
+    Futures are collected in submission order, so ``outcomes`` preserves
+    the canonical shard order.  Kernel *exceptions* propagate (they would
+    fail serially too); only abrupt worker death — which poisons the
+    whole pool and surfaces as ``BrokenProcessPool`` on every unfinished
+    future — is converted into a serial retry of the affected shards.
+    """
+    outcomes: list[ShardOutcome | None] = [None] * len(shards)
+    failed: list[int] = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(kernel, shard) for shard in shards]
+        for i, future in enumerate(futures):
+            try:
+                outcomes[i] = future.result()
+            except BrokenProcessPool:
+                failed.append(i)
+    if failed:
+        obs.warning(
+            "process pool broke mid-sweep; retrying shards serially",
+            sweep=label,
+            shards=len(failed),
+            indices=failed[:16],
+        )
+        for i in failed:
+            outcomes[i] = kernel(shards[i])
+    return outcomes, failed  # type: ignore[return-value]
+
+
+def _record_sweep(stats: SweepStats) -> None:
+    """Publish a finished sweep to the global tracer (no-op if disabled)."""
+    if not obs.enabled():
+        return
+    obs.attach(stats.span)
+    totals = stats.cache_totals()
+    obs.add("sweep.count")
+    obs.add("sweep.pairs", stats.pairs)
+    obs.add("sweep.shards", len(stats.shards))
+    obs.add("sweep.shards.retried", stats.retried_shards)
+    obs.add("sweep.cache.hits", sum(c["hits"] for c in totals.values()))
+    obs.add("sweep.cache.misses", sum(c["misses"] for c in totals.values()))
+    obs.add("sweep.cache.consultations", stats.cache_consultations())
 
 
 def _instrumented(
     body: Callable[[ShardSpec], tuple[Any, int]], shard: ShardSpec
 ) -> ShardOutcome:
-    """Run a kernel body and wrap its result with timing + cache deltas."""
-    before = sweep_cache_info()
-    t0 = time.perf_counter()
-    payload, pairs = body(shard)
-    seconds = time.perf_counter() - t0
-    after = sweep_cache_info()
+    """Run a kernel body and wrap its result with timing + cache deltas.
+
+    The body runs under the *shard's* caching flag (scoped, so the
+    serial in-process path restores the caller's state afterwards) —
+    this is the propagation point that makes ``sweep_caching(False)``
+    reach pool workers.  The resulting cache deltas are the worker-side
+    telemetry: an uncached shard must report zero consultations.
+    """
+    with sweep_caching(shard.cache_enabled):
+        before = sweep_cache_info()
+        t0 = time.perf_counter()
+        payload, pairs = body(shard)
+        seconds = time.perf_counter() - t0
+        after = sweep_cache_info()
     caches = {
         name: {
             "hits": after[name]["hits"] - before[name]["hits"],
@@ -373,6 +634,8 @@ def _instrumented(
         seconds=seconds,
         pairs=pairs,
         caches=caches,
+        cache_enabled=shard.cache_enabled,
+        pid=os.getpid(),
     )
     return ShardOutcome(payload=payload, meta=meta)
 
@@ -646,11 +909,12 @@ def parallel_inclusion_matrix(
         jobs=jobs_eff,
         label="inclusion-matrix",
     )
-    included = {(x, y): True for x in names for y in names}
-    for shard_matrix in payloads:
-        for key, ok in shard_matrix.items():
-            if not ok:
-                included[key] = False
+    with obs.span("merge", sweep="inclusion-matrix"):
+        included = {(x, y): True for x in names for y in names}
+        for shard_matrix in payloads:
+            for key, ok in shard_matrix.items():
+                if not ok:
+                    included[key] = False
     return included, stats
 
 
@@ -674,11 +938,12 @@ def parallel_separation_witnesses(
         jobs=jobs_eff,
         label="separation-witnesses",
     )
-    merged: dict[tuple[str, str], Any] = {edge: None for edge in edges}
-    for shard_found in payloads:  # payloads follow canonical shard order
-        for edge in edges:
-            if merged[edge] is None and edge in shard_found:
-                merged[edge] = shard_found[edge]
+    with obs.span("merge", sweep="separation-witnesses"):
+        merged: dict[tuple[str, str], Any] = {edge: None for edge in edges}
+        for shard_found in payloads:  # payloads follow canonical shard order
+            for edge in edges:
+                if merged[edge] is None and edge in shard_found:
+                    merged[edge] = shard_found[edge]
     return merged, stats
 
 
@@ -699,11 +964,12 @@ def parallel_nonconstructibility_witnesses(
         jobs=jobs_eff,
         label="nonconstructibility",
     )
-    merged: dict[str, Any] = {name: None for name in names}
-    for shard_found in payloads:
-        for name in names:
-            if merged[name] is None and name in shard_found:
-                merged[name] = shard_found[name]
+    with obs.span("merge", sweep="nonconstructibility"):
+        merged: dict[str, Any] = {name: None for name in names}
+        for shard_found in payloads:
+            for name in names:
+                if merged[name] is None and name in shard_found:
+                    merged[name] = shard_found[name]
     return merged, stats
 
 
@@ -755,25 +1021,26 @@ def parallel_lattice_battery(
         jobs=jobs_eff,
         label="lattice-battery",
     )
-    result = LatticeBatteryResult(
-        witnesses={edge: None for edge in edges},
-        nonconstructibility={name: None for name in nc_names},
-    )
-    lc_in_nn = nn_minus_lc = stuck = 0
-    for payload in payloads:  # canonical shard order
-        for edge in edges:
-            if result.witnesses[edge] is None:
-                result.witnesses[edge] = payload["witnesses"].get(edge)
-        for name in nc_names:
-            if result.nonconstructibility[name] is None:
-                result.nonconstructibility[name] = payload[
-                    "nonconstructibility"
-                ].get(name)
-        a, b, c = payload["thm23"]
-        lc_in_nn += a
-        nn_minus_lc += b
-        stuck += c
-    result.thm23 = (lc_in_nn, nn_minus_lc, stuck)
+    with obs.span("merge", sweep="lattice-battery"):
+        result = LatticeBatteryResult(
+            witnesses={edge: None for edge in edges},
+            nonconstructibility={name: None for name in nc_names},
+        )
+        lc_in_nn = nn_minus_lc = stuck = 0
+        for payload in payloads:  # canonical shard order
+            for edge in edges:
+                if result.witnesses[edge] is None:
+                    result.witnesses[edge] = payload["witnesses"].get(edge)
+            for name in nc_names:
+                if result.nonconstructibility[name] is None:
+                    result.nonconstructibility[name] = payload[
+                        "nonconstructibility"
+                    ].get(name)
+            a, b, c = payload["thm23"]
+            lc_in_nn += a
+            nn_minus_lc += b
+            stuck += c
+        result.thm23 = (lc_in_nn, nn_minus_lc, stuck)
     return result, stats
 
 
@@ -794,7 +1061,8 @@ def parallel_thm23_counts(
         jobs=jobs_eff,
         label="thm23-counts",
     )
-    lc_in_nn = sum(p[0] for p in payloads)
-    total = sum(p[1] for p in payloads)
-    stuck = sum(p[2] for p in payloads)
+    with obs.span("merge", sweep="thm23-counts"):
+        lc_in_nn = sum(p[0] for p in payloads)
+        total = sum(p[1] for p in payloads)
+        stuck = sum(p[2] for p in payloads)
     return (lc_in_nn, total, stuck), stats

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro import obs
 from repro.core.computation import Computation
 from repro.core.last_writer import last_writer_row
 from repro.core.observer import ObserverFunction, candidate_values
@@ -119,11 +120,17 @@ def trace_admits_lc(partial: PartialObserver) -> bool:
     """True iff some LC observer function completes the trace (polynomial)."""
     comp = partial.comp
     locs = set(partial.locations) | set(comp.locations)
-    return all(
-        _location_admissible(comp, _constraints_with_writes(partial, loc))
-        is not None
-        for loc in locs
-    )
+    with obs.span("verify.lc", nodes=comp.num_nodes, locs=len(locs)) as sp:
+        admitted = all(
+            _location_admissible(comp, _constraints_with_writes(partial, loc))
+            is not None
+            for loc in locs
+        )
+        if sp is not None:
+            sp.attrs["admitted"] = admitted
+    if obs.enabled():
+        obs.add("verify.lc.admitted" if admitted else "verify.lc.rejected")
+    return admitted
 
 
 def _witness_order_for_location(
@@ -216,6 +223,18 @@ def trace_admits_sc(partial: PartialObserver) -> tuple[int, ...] | None:
     :meth:`repro.models.sequential.SequentialConsistency.witness_order`,
     with constraints enforced only at constrained entries.
     """
+    with obs.span("verify.sc", nodes=partial.comp.num_nodes) as sp:
+        witness = _trace_admits_sc_body(partial)
+        if sp is not None:
+            sp.attrs["admitted"] = witness is not None
+    if obs.enabled():
+        obs.add(
+            "verify.sc.admitted" if witness is not None else "verify.sc.rejected"
+        )
+    return witness
+
+
+def _trace_admits_sc_body(partial: PartialObserver) -> tuple[int, ...] | None:
     if not trace_admits_lc(partial):
         return None
     comp = partial.comp

@@ -31,6 +31,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+from repro import obs
 from repro.core.computation import Computation
 from repro.dag.sp import SPNode, sp_decompose
 from repro.verify.races import find_races
@@ -166,14 +167,20 @@ def lint_computation(
                     "use engine='closure'"
                 )
             engine = "closure"
-    if engine == "closure":
-        races = list(find_races(comp))
-    else:
-        engine = "sp-bags"
-        races = spbags_races(comp, sp)
+    with obs.span(
+        "verify.lint", target=target, engine=engine, nodes=comp.num_nodes
+    ) as spn:
+        if engine == "closure":
+            races = list(find_races(comp))
+        else:
+            engine = "sp-bags"
+            races = spbags_races(comp, sp)
 
-    locksets = node_locksets(comp, dict(lock_sections or {}))
-    classified = classify_races(races, locksets)
+        locksets = node_locksets(comp, dict(lock_sections or {}))
+        classified = classify_races(races, locksets)
+        if spn is not None:
+            spn.attrs["engine"] = engine
+            spn.attrs["races"] = len(classified)
 
     label: dict[int, str | None] = {}
     if names:
@@ -198,4 +205,9 @@ def lint_computation(
                 locks_v=tuple(sorted(map(str, c.locks_v))),
             )
         )
+    if obs.enabled():
+        obs.add("lint.runs")
+        for d in report.diagnostics:
+            key = d.classification.replace("-", "_")
+            obs.add(f"lint.{key}")
     return report

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro import obs
 from repro.core.computation import Computation
 from repro.core.ops import Location, Op
 from repro.runtime.trace import ExecutionTrace
@@ -172,6 +173,7 @@ class TraceSanitizer:
             return self.violation
         idx = self.events
         self.events += 1
+        obs.add("sanitizer.events")
 
         anc: dict[Location, set] = {}
         for p in preds:
@@ -198,6 +200,8 @@ class TraceSanitizer:
 
         self._anc[node] = {loc: frozenset(s) for loc, s in anc.items()}
         self._own[node] = own
+        if self.violation is not None:
+            obs.add("sanitizer.violations")
         return self.violation
 
     @property

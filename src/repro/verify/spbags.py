@@ -44,6 +44,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro import obs
 from repro.core.computation import Computation
 from repro.dag.digraph import bit_indices
 from repro.dag.sp import SPNode, sp_decompose
@@ -120,6 +121,17 @@ def spbags_races(
                 "computation's dag is not series-parallel; "
                 "SP-bags needs an SP expression"
             )
+    with obs.span("verify.spbags", nodes=comp.num_nodes) as spn:
+        races = _spbags_walk(comp, sp)
+        if spn is not None:
+            spn.attrs["races"] = len(races)
+    if obs.enabled():
+        obs.add("spbags.runs")
+        obs.add("spbags.races", len(races))
+    return races
+
+
+def _spbags_walk(comp: Computation, sp: SPNode) -> list[Race]:
     ops = comp.ops
     dsu = _DSU()
     leaf_bag: dict[int, int] = {}

@@ -275,3 +275,113 @@ class TestReproduce:
         assert "OVERALL: all artifacts reproduced" in out
         assert out.count("[PASS]") == 5
         assert "[FAIL]" not in out
+
+
+class TestBadConfig:
+    def test_invalid_repro_jobs_is_one_clean_line(self, capsys, monkeypatch):
+        """REPRO_JOBS=lots exits 2 with one stderr line, no traceback."""
+        monkeypatch.setenv("REPRO_JOBS", "lots")
+        rc = main(["lattice", "--sweep-nodes", "2", "--witness-nodes", "2"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        err_lines = [ln for ln in captured.err.splitlines() if ln]
+        assert err_lines == [
+            "repro lattice: error: REPRO_JOBS must be an integer, got 'lots'"
+        ]
+
+    def test_config_error_is_a_value_error(self):
+        from repro.errors import ConfigError, ReproError
+
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(ConfigError, ReproError)
+
+
+class TestObservability:
+    def test_run_trace_writes_valid_json(self, capsys, tmp_path):
+        from repro import obs
+        from repro.obs import validate_trace
+
+        path = tmp_path / "trace.json"
+        rc = main(
+            ["run", "--program", "fib", "--size", "5", "--procs", "2",
+             "--sanitize", "--trace", str(path)]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert f"trace written to {path}" in captured.err
+        assert not obs.enabled()  # collector shut down after the command
+        doc = json.loads(path.read_text())
+        assert validate_trace(doc) == []
+        (root,) = doc["spans"]
+        assert root["name"] == "repro.run"
+        names = {sp["name"] for sp in _walk_spans(doc["spans"])}
+        assert {"execute", "step", "verify.lc", "verify.sc"} <= names
+        c = doc["counters"]
+        assert c["executor.runs"] == 1
+        assert c["executor.reads"] + c["executor.writes"] <= c["executor.nodes"]
+        assert c["sanitizer.events"] == c["executor.nodes"]
+
+    def test_run_profile_prints_to_stderr(self, capsys):
+        rc = main(
+            ["run", "--program", "fib", "--size", "5", "--procs", "2",
+             "--profile"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "counters:" in captured.err
+        assert "executor.nodes" in captured.err
+        assert "counters:" not in captured.out  # stdout stays machine-clean
+
+    def test_reproduce_trace_consistent_with_sweep_stats(self, capsys, tmp_path):
+        from repro.obs import validate_trace
+
+        path = tmp_path / "rep.json"
+        rc = main(
+            ["reproduce", "--profile", "quick", "--jobs", "2",
+             "--trace", str(path)]
+        )
+        capsys.readouterr()
+        assert rc == 0
+        doc = json.loads(path.read_text())
+        assert validate_trace(doc) == []
+        spans = list(_walk_spans(doc["spans"]))
+        section_names = {
+            sp["name"] for sp in spans if sp["name"].startswith("reproduce.")
+        }
+        assert "reproduce.lattice" in section_names
+        assert "reproduce.theorem23" in section_names
+        sweeps = [sp for sp in spans if sp["name"].startswith("sweep:")]
+        assert sweeps, "the lattice/thm23 sections run sharded sweeps"
+        shard_pairs = sum(
+            child["attrs"]["pairs"]
+            for sweep in sweeps
+            for child in sweep["children"]
+            if child["name"] == "shard"
+        )
+        assert shard_pairs == doc["counters"]["sweep.pairs"]
+        consultations = sum(
+            info["hits"] + info["misses"]
+            for sweep in sweeps
+            for child in sweep["children"]
+            if child["name"] == "shard"
+            for info in child["attrs"]["caches"].values()
+        )
+        assert consultations == doc["counters"]["sweep.cache.consultations"]
+
+    def test_lint_trace_flag(self, capsys, tmp_path):
+        path = tmp_path / "lint.json"
+        rc = main(["lint", "racy", "--trace", str(path)])
+        capsys.readouterr()
+        assert rc == 2  # racy program still fails the lint
+        doc = json.loads(path.read_text())
+        names = {sp["name"] for sp in _walk_spans(doc["spans"])}
+        assert "verify.lint" in names
+        assert doc["counters"]["lint.runs"] == 1
+
+
+def _walk_spans(spans):
+    stack = list(spans)
+    while stack:
+        sp = stack.pop()
+        yield sp
+        stack.extend(sp.get("children", ()))

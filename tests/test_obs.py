@@ -1,0 +1,259 @@
+"""The observability substrate: spans, counters, export, validation.
+
+``repro.obs`` promises (a) zero state and a shared no-op context manager
+while disabled, (b) correct span nesting and counter arithmetic while
+enabled, and (c) a JSON document that round-trips and validates.  These
+tests pin all three on private :class:`Observability` instances plus a
+reset-guarded pass over the module-level collector the library wiring
+uses.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    NULL_SPAN,
+    Observability,
+    Span,
+    export_json,
+    iter_trace_spans,
+    render_text,
+    validate_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_collector():
+    """Every test starts and ends with the global collector off + empty."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+# ---------------------------------------------------------------------------
+# Disabled: zero overhead, zero state
+# ---------------------------------------------------------------------------
+
+
+def test_disabled_span_is_the_shared_null_singleton():
+    o = Observability()
+    assert o.span("anything", key=1) is NULL_SPAN
+    assert obs.span("anything") is NULL_SPAN
+    with o.span("x") as sp:
+        assert sp is None
+
+
+def test_disabled_collector_records_nothing():
+    o = Observability()
+    with o.span("a"):
+        o.add("c", 5)
+        o.set_gauge("g", 1.5)
+        o.attach(Span("orphan"))
+    assert o.roots == []
+    assert o.counters == {}
+    assert o.gauges == {}
+    assert o.events == []
+
+
+def test_warning_always_logs_even_when_disabled(caplog):
+    o = Observability()
+    with caplog.at_level(logging.WARNING, logger="repro.obs"):
+        o.warning("pool broke", shards=3)
+    assert "pool broke" in caplog.text
+    assert "shards=3" in caplog.text
+    assert o.events == []  # not recorded while disabled
+
+
+def test_warning_recorded_when_enabled(caplog):
+    o = Observability()
+    o.enable()
+    with caplog.at_level(logging.WARNING, logger="repro.obs"):
+        o.warning("pool broke", shards=3)
+    assert "pool broke" in caplog.text
+    (ev,) = o.events
+    assert ev["kind"] == "warning"
+    assert ev["message"] == "pool broke"
+    assert ev["attrs"] == {"shards": 3}
+
+
+# ---------------------------------------------------------------------------
+# Enabled: nesting, counters, gauges, attach
+# ---------------------------------------------------------------------------
+
+
+def test_span_nesting_builds_the_tree():
+    o = Observability()
+    o.enable()
+    with o.span("outer", label="L") as outer:
+        with o.span("mid") as mid:
+            with o.span("inner"):
+                pass
+        with o.span("mid2"):
+            pass
+    assert [r.name for r in o.roots] == ["outer"]
+    assert outer.attrs == {"label": "L"}
+    assert [c.name for c in outer.children] == ["mid", "mid2"]
+    assert [c.name for c in mid.children] == ["inner"]
+    assert outer.duration >= mid.duration >= 0.0
+    assert outer.start >= 0.0
+
+
+def test_span_duration_set_even_on_exception():
+    o = Observability()
+    o.enable()
+    with pytest.raises(RuntimeError):
+        with o.span("boom") as sp:
+            raise RuntimeError("x")
+    assert sp.duration >= 0.0
+    assert o._stack == []  # stack unwound
+
+
+def test_counter_math():
+    o = Observability()
+    o.enable()
+    o.add("a")
+    o.add("a", 4)
+    o.add("b", 0)
+    o.add_many({"a": 5, "c": 2})
+    assert o.counters == {"a": 10, "b": 0, "c": 2}
+    with pytest.raises(ValueError):
+        o.add("a", -1)
+
+
+def test_gauges_last_write_wins():
+    o = Observability()
+    o.enable()
+    o.set_gauge("g", 1)
+    o.set_gauge("g", 2.5)
+    assert o.gauges == {"g": 2.5}
+
+
+def test_attach_grafts_under_current_span():
+    o = Observability()
+    o.enable()
+    pre_built = Span("shard", attrs={"n": 3}, duration=0.5)
+    with o.span("sweep"):
+        o.attach(pre_built)
+    (root,) = o.roots
+    assert root.children == [pre_built]
+    o.attach(Span("toplevel"))
+    assert [r.name for r in o.roots] == ["sweep", "toplevel"]
+
+
+def test_span_walk_and_find():
+    root = Span("a", children=[Span("b", children=[Span("b")]), Span("c")])
+    assert [s.name for s in root.walk()] == ["a", "b", "b", "c"]
+    assert len(root.find("b")) == 2
+    assert root.find("missing") == []
+
+
+def test_reset_clears_everything():
+    o = Observability()
+    o.enable()
+    with o.span("x"):
+        o.add("c")
+    o.warning("w")
+    o.reset()
+    assert (o.roots, o.counters, o.gauges, o.events) == ([], {}, {}, [])
+    assert o.enabled  # reset clears state, not the switch
+
+
+# ---------------------------------------------------------------------------
+# Export: JSON round-trip, validation, rendering
+# ---------------------------------------------------------------------------
+
+
+def _populated() -> Observability:
+    o = Observability()
+    o.enable()
+    with o.span("outer", label="L"):
+        with o.span("inner", n=3):
+            o.add("hits", 7)
+    o.set_gauge("wall", 0.25)
+    o.warning("note", k=1)
+    return o
+
+
+def test_json_round_trip_and_validation():
+    o = _populated()
+    doc = json.loads(export_json(o))
+    assert validate_trace(doc) == []
+    assert doc["counters"] == {"hits": 7}
+    assert doc["gauges"] == {"wall": 0.25}
+    (root,) = doc["spans"]
+    rebuilt = Span.from_dict(root)
+    assert rebuilt.to_dict() == root
+    names = sorted(sp["name"] for sp in iter_trace_spans(doc))
+    assert names == ["inner", "outer"]
+
+
+def test_validate_trace_rejects_malformed_documents():
+    assert validate_trace([]) != []
+    assert validate_trace({"version": 2}) != []
+    base = json.loads(export_json(_populated()))
+
+    bad = json.loads(json.dumps(base))
+    bad["spans"][0]["duration"] = -1
+    assert any("duration" in p for p in validate_trace(bad))
+
+    bad = json.loads(json.dumps(base))
+    bad["spans"][0]["children"][0]["name"] = ""
+    assert any("name" in p for p in validate_trace(bad))
+
+    bad = json.loads(json.dumps(base))
+    bad["counters"]["hits"] = -3
+    assert any("hits" in p for p in validate_trace(bad))
+
+    bad = json.loads(json.dumps(base))
+    bad["counters"]["flag"] = True  # bools are not counters
+    assert any("flag" in p for p in validate_trace(bad))
+
+    bad = json.loads(json.dumps(base))
+    bad["events"] = [{"message": "no kind"}]
+    assert any("events[0]" in p for p in validate_trace(bad))
+
+
+def test_render_text_shows_spans_counters_events():
+    o = _populated()
+    text = render_text(o)
+    assert "outer" in text and "inner" in text
+    assert "hits" in text and "7" in text
+    assert "wall" in text
+    assert "[warning] note" in text
+    assert render_text(Observability()) == "(empty trace)"
+
+
+# ---------------------------------------------------------------------------
+# The module-level collector
+# ---------------------------------------------------------------------------
+
+
+def test_global_collector_wiring():
+    obs.enable()
+    assert obs.enabled()
+    with obs.span("g", k=1) as sp:
+        obs.add("n", 2)
+        obs.set_gauge("w", 1.0)
+    assert sp.name == "g"
+    assert obs.counters() == {"n": 2}
+    assert obs.gauges() == {"w": 1.0}
+    assert obs.get().roots[0] is sp
+    doc = json.loads(export_json())
+    assert validate_trace(doc) == []
+    obs.disable()
+    assert obs.span("after") is NULL_SPAN
+    obs.add("n", 100)
+    assert obs.counters() == {"n": 2}  # disabled adds are dropped
+
+
+def test_global_now_is_monotonic():
+    t0 = obs.now()
+    t1 = obs.now()
+    assert 0.0 <= t0 <= t1

@@ -11,12 +11,16 @@ demote to the in-process fallback.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import pickle
 
 import pytest
 
+from repro import obs
+from repro._caching import caches_enabled, sweep_caching
 from repro.core.ops import N as NOP, R
+from repro.errors import ConfigError
 from repro.models import (
     LC,
     NN,
@@ -32,11 +36,13 @@ from repro.runtime.parallel import (
     ShardSpec,
     clear_sweep_caches,
     effective_jobs,
+    inclusion_kernel,
     make_shards,
     parallel_inclusion_matrix,
     parallel_nonconstructibility_witnesses,
     parallel_separation_witnesses,
     parallel_thm23_counts,
+    run_shards,
 )
 
 SWEEP = Universe(max_nodes=3, locations=("x",))
@@ -218,3 +224,140 @@ def test_repro_jobs_env_drives_sweeps(monkeypatch):
     assert stats.jobs == 2
     assert stats.mode.startswith("process-pool")
     assert matrix == inclusion_matrix((SC, LC), SWEEP)
+
+
+def test_effective_jobs_garbage_raises_config_error(monkeypatch):
+    """The CLI's clean-exit path relies on the precise exception type."""
+    monkeypatch.setenv("REPRO_JOBS", "lots")
+    with pytest.raises(ConfigError, match="REPRO_JOBS must be an integer"):
+        effective_jobs()
+
+
+# ---------------------------------------------------------------------------
+# Cache-state propagation into workers (the sweep_caching(False) leak fix)
+# ---------------------------------------------------------------------------
+
+
+def test_make_shards_snapshots_caching_flag():
+    """Specs carry the caching state active at planning time."""
+    assert all(s.cache_enabled for s in make_shards(SWEEP, jobs=2))
+    with sweep_caching(False):
+        shards = make_shards(SWEEP, jobs=2)
+    assert shards and all(not s.cache_enabled for s in shards)
+
+
+def test_kernel_obeys_spec_flag_not_ambient_state():
+    """The shard's flag — not the caller's module global — rules the kernel."""
+    assert caches_enabled()  # parent process: caching on
+    clear_sweep_caches()
+    shard = dataclasses.replace(make_shards(SWEEP, jobs=1)[0], cache_enabled=False)
+    outcome = inclusion_kernel(shard, ("SC", "LC"))
+    assert outcome.meta.cache_enabled is False
+    assert outcome.meta.consultations == 0
+    assert caches_enabled()  # scoped: caller's state restored
+
+
+def test_uncached_pool_sweep_reports_zero_worker_consultations():
+    """sweep_caching(False) reaches ProcessPoolExecutor workers.
+
+    Workers are fresh processes whose module state defaults to caching
+    on; only the flag carried by the ShardSpec can turn it off there.
+    The per-worker cache telemetry proves the baseline really ran
+    uncached: zero cache consultations across every shard.
+    """
+    with sweep_caching(False):
+        matrix, stats = parallel_inclusion_matrix(
+            (SC, LC), SWEEP, jobs=2, parallel_threshold=0
+        )
+    assert stats.mode.startswith("process-pool")
+    assert {s.cache_enabled for s in stats.shards} == {False}
+    assert stats.cache_consultations() == 0
+    assert matrix == inclusion_matrix((SC, LC), SWEEP)
+
+
+def test_cached_pool_sweep_reports_consultations():
+    """Control: the same sweep with caching on consults the caches."""
+    _, stats = parallel_inclusion_matrix(
+        (SC, LC), SWEEP, jobs=2, parallel_threshold=0
+    )
+    assert stats.mode.startswith("process-pool")
+    assert {s.cache_enabled for s in stats.shards} == {True}
+    assert stats.cache_consultations() > 0
+
+
+# ---------------------------------------------------------------------------
+# Broken-pool recovery (serial retry of shards lost to worker death)
+# ---------------------------------------------------------------------------
+
+_MAIN_PID = os.getpid()
+
+
+def _crashy_inclusion_kernel(shard):
+    """Dies abruptly in any worker process; behaves normally in-process."""
+    if os.getpid() != _MAIN_PID:
+        os._exit(17)  # hard exit: poisons the pool (BrokenProcessPool)
+    return inclusion_kernel(shard, ("SC", "LC"))
+
+
+def test_broken_pool_retries_shards_serially(caplog):
+    """Worker death degrades to a serial retry with identical results."""
+    import logging
+
+    shards = make_shards(SWEEP, jobs=2)
+    serial_payloads, _ = run_shards(
+        _crashy_inclusion_kernel, shards, jobs=1, label="crash-test"
+    )
+    with caplog.at_level(logging.WARNING, logger="repro.obs"):
+        pool_payloads, stats = run_shards(
+            _crashy_inclusion_kernel, shards, jobs=2, label="crash-test"
+        )
+    assert stats.mode.startswith("process-pool")
+    assert stats.retried_shards >= 1
+    assert pool_payloads == serial_payloads
+    assert "retrying shards serially" in caplog.text
+
+
+def test_healthy_pool_reports_zero_retries():
+    _, stats = run_shards(
+        _crashy_inclusion_kernel,
+        make_shards(SWEEP, jobs=1),
+        jobs=1,
+        label="serial",
+    )
+    assert stats.retried_shards == 0
+    assert stats.mode == "serial"
+
+
+# ---------------------------------------------------------------------------
+# SweepStats as a view over the obs span substrate
+# ---------------------------------------------------------------------------
+
+
+def test_sweep_stats_span_grafted_into_live_trace():
+    """--trace and --stats read the same span object: they cannot disagree."""
+    obs.reset()
+    obs.enable()
+    try:
+        with obs.span("harness"):
+            _, stats = parallel_inclusion_matrix(
+                (SC, LC), SWEEP, jobs=2, parallel_threshold=0
+            )
+        (root,) = obs.get().roots
+        sweep_spans = [c for c in root.children if c.name.startswith("sweep:")]
+        assert stats.span in sweep_spans
+        counts = obs.counters()
+        assert counts["sweep.pairs"] == stats.pairs
+        assert counts["sweep.cache.consultations"] == stats.cache_consultations()
+        totals = stats.cache_totals()
+        assert counts["sweep.cache.hits"] == sum(
+            c["hits"] for c in totals.values()
+        )
+        shard_pairs = sum(
+            sp.attrs["pairs"]
+            for sp in stats.span.children
+            if sp.name == "shard"
+        )
+        assert shard_pairs == stats.pairs
+    finally:
+        obs.disable()
+        obs.reset()
