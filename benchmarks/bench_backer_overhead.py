@@ -106,3 +106,51 @@ def test_protocol_traffic_tracks_cross_edges(benchmark):
     # More processors -> more cross edges on this workload.
     crosses = [c for _, c, _ in rows]
     assert crosses[0] == 0 and crosses[-1] > 0
+
+
+def run(check: bool = True, quick: bool = False) -> dict:
+    """Unified-runner entrypoint (``repro bench``, see registry.py).
+
+    Sweeps processor counts over the fib workload (fib(8) quick,
+    fib(10) full), asserting the work/span laws and the Graham bound at
+    every point, and reports makespan/traffic at the widest machine.
+    """
+    import time
+
+    comp = fib_computation(8 if quick else 10)[0]
+    t1, tinf = work(comp.dag), span(comp.dag)
+    procs_list = (1, 2, 4) if quick else (1, 2, 4, 8, 16)
+
+    rows = []
+    t0 = time.perf_counter()
+    for procs in procs_list:
+        sched = greedy_schedule(comp, procs, rng=procs)
+        mem = BackerMemory()
+        execute(sched, mem)
+        rows.append(
+            (procs, sched.makespan, mem.stats.fetches, mem.stats.reconciles)
+        )
+    sweep_seconds = time.perf_counter() - t0
+
+    if check:
+        prev = None
+        for procs, makespan, _fetches, _reconciles in rows:
+            assert makespan >= max(tinf, -(-t1 // procs))
+            assert makespan <= t1 / procs + tinf
+            if prev is not None:
+                assert makespan <= prev + tinf
+            prev = makespan
+        assert rows[0][3] == 0, "single processor must never reconcile"
+        assert rows[-1][3] > 0, "wide machine must show coherence traffic"
+
+    widest = rows[-1]
+    return {
+        "nodes": comp.num_nodes,
+        "work": t1,
+        "span": tinf,
+        "sweep_seconds": round(sweep_seconds, 6),
+        "widest_procs": widest[0],
+        "widest_makespan": widest[1],
+        "widest_fetches": widest[2],
+        "widest_reconciles": widest[3],
+    }

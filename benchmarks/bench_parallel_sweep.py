@@ -36,6 +36,7 @@ from repro.models import (
     LC,
     NN,
     SeparationWitness,
+    Universe,
     augmentation_closed_at,
     find_nonconstructibility_witness,
     inclusion_matrix,
@@ -265,3 +266,113 @@ def test_parallel_matches_serial_thm23(witness_universe):
     assert counts[1] == counts[2] == counts[4]
     lc_in_nn, nn_minus_lc, stuck = counts[1]
     assert nn_minus_lc > 0 and stuck == nn_minus_lc
+
+
+def run(check: bool = True, quick: bool = False) -> dict:
+    """Unified-runner entrypoint (``repro bench``, see registry.py).
+
+    Quick mode shrinks both universes one node and uses a 2-worker
+    pool; full mode mirrors :func:`test_parallel_sweep_speedup` —
+    baseline, engine at jobs 1 and 4 (min of 3), the uncached pool leg
+    — and refreshes ``BENCH_parallel_sweep.json`` with environment and
+    git-sha metadata.
+    """
+    from repro.obs.ledger import env_metadata, git_sha
+
+    sweep = Universe(max_nodes=2 if quick else 3, locations=("x",))
+    witness = Universe(
+        max_nodes=3 if quick else 4, locations=("x",), include_nop=False
+    )
+    pool_jobs = 2 if quick else 4
+
+    with sweep_caching(False):
+        clear_sweep_caches()
+        t0 = time.perf_counter()
+        baseline = _seed_path_battery(sweep, witness)
+        baseline_seconds = time.perf_counter() - t0
+
+    runs = {}
+    for jobs in (1, pool_jobs):
+        seconds = []
+        result = stats = None
+        for _ in range(1 if quick else 3):
+            clear_sweep_caches()
+            t0 = time.perf_counter()
+            result, stats = _engine_battery(sweep, witness, jobs)
+            seconds.append(time.perf_counter() - t0)
+        runs[jobs] = {
+            "result": result,
+            "stats": stats,
+            "seconds": min(seconds),
+            "runs": seconds,
+        }
+    if check:
+        _assert_identical(baseline, runs[1]["result"], "engine jobs=1 vs baseline")
+        _assert_identical(
+            runs[1]["result"], runs[pool_jobs]["result"],
+            f"jobs={pool_jobs} vs jobs=1",
+        )
+
+    metrics = {
+        "baseline_seconds": round(baseline_seconds, 4),
+        "engine_jobs1_seconds": round(runs[1]["seconds"], 4),
+        "engine_pool_seconds": round(runs[pool_jobs]["seconds"], 4),
+        "pool_jobs": pool_jobs,
+        "speedup_pool_vs_baseline": round(
+            baseline_seconds / runs[pool_jobs]["seconds"], 2
+        ),
+    }
+    if quick:
+        return metrics
+
+    # Full mode: the uncached pool leg (worker-side cache telemetry must
+    # prove a truly cold run) and the JSON artifact refresh.
+    with sweep_caching(False):
+        clear_sweep_caches()
+        t0 = time.perf_counter()
+        uncached_result, uncached_stats = _engine_battery(
+            sweep, witness, pool_jobs
+        )
+        uncached_seconds = time.perf_counter() - t0
+    consultations = sum(s.cache_consultations() for s in uncached_stats)
+    if check:
+        assert consultations == 0, (
+            f"uncached sweep consulted memoization caches {consultations} "
+            "times inside workers"
+        )
+        _assert_identical(baseline, uncached_result, "uncached vs baseline")
+        speedup = baseline_seconds / runs[pool_jobs]["seconds"]
+        assert speedup >= 2.0, (
+            f"engine with {pool_jobs} workers only {speedup:.2f}x vs the "
+            "seed path (needed 2x)"
+        )
+    metrics["uncached_pool_seconds"] = round(uncached_seconds, 4)
+
+    payload = {
+        "benchmark": "parallel_sweep",
+        "git_sha": git_sha(),
+        "env": env_metadata(),
+        "sweep_universe": repr(sweep),
+        "witness_universe": repr(witness),
+        "baseline_seconds": round(baseline_seconds, 4),
+        "engine": {
+            f"jobs{jobs}": {
+                "seconds": round(run_["seconds"], 4),
+                "runs": [round(s, 4) for s in run_["runs"]],
+                "speedup_vs_baseline": round(
+                    baseline_seconds / run_["seconds"], 2
+                ),
+                "sweeps": [s.to_dict() for s in run_["stats"]],
+            }
+            for jobs, run_ in runs.items()
+        },
+        "uncached_jobs4": {
+            "seconds": round(uncached_seconds, 4),
+            "cache_consultations": consultations,
+            "sweeps": [s.to_dict() for s in uncached_stats],
+        },
+        "results_identical": check,
+        "thm23": list(runs[pool_jobs]["result"]["thm23"]),
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    return metrics

@@ -108,3 +108,90 @@ def test_spbags_vs_closure_scaling(benchmark):
         )
         + "\n"
     )
+
+
+QUICK_WORKLOADS = WORKLOADS[:2] + [WORKLOADS[3], WORKLOADS[6]]
+
+
+def run(check: bool = True, quick: bool = False) -> dict:
+    """Unified-runner entrypoint (``repro bench``, see registry.py).
+
+    Quick mode keeps the small fib/matmul/stencil unfoldings (no
+    ≥2,000-node acceptance leg, single timing per engine); full mode is
+    the whole scaling table with the SP-bags acceptance gate, refreshing
+    ``BENCH_races.json`` with environment and git-sha metadata.
+    """
+    from repro.obs.ledger import env_metadata, git_sha
+
+    workloads = QUICK_WORKLOADS if quick else WORKLOADS
+    repeats = 1 if quick else 3
+    rows = []
+    with sweep_caching(False):
+        for program, params, factory in workloads:
+            comp_sp, info = factory()
+            spbags_s = _best_of(
+                lambda: spbags_races(comp_sp, info.sp), repeats=repeats
+            )
+
+            comp_rows, _ = factory()
+            rows_s = _best_of(
+                lambda: list(find_races(comp_rows)), repeats=repeats
+            )
+
+            comp_naive, _ = factory()
+            naive_s = _best_of(
+                lambda: list(find_races_naive(comp_naive)),
+                repeats=1 if quick or comp_naive.num_nodes >= 1000 else 3,
+            )
+
+            if check:
+                locs = {r.loc for r in spbags_races(comp_sp, info.sp)}
+                assert locs == {r.loc for r in find_races(comp_rows)}
+                assert locs == {r.loc for r in find_races_naive(comp_naive)}
+
+            rows.append(
+                {
+                    "program": program,
+                    "params": params,
+                    "nodes": comp_sp.num_nodes,
+                    "spbags_seconds": round(spbags_s, 6),
+                    "closure_rows_seconds": round(rows_s, 6),
+                    "closure_naive_seconds": round(naive_s, 6),
+                    "naive_over_spbags": round(naive_s / spbags_s, 2),
+                }
+            )
+
+    metrics = {
+        "workloads": len(rows),
+        "nodes_total": sum(r["nodes"] for r in rows),
+        "spbags_seconds_total": round(
+            sum(r["spbags_seconds"] for r in rows), 6
+        ),
+        "closure_naive_seconds_total": round(
+            sum(r["closure_naive_seconds"] for r in rows), 6
+        ),
+        "max_naive_over_spbags": max(r["naive_over_spbags"] for r in rows),
+    }
+    if quick:
+        return metrics
+
+    if check:
+        big = [r for r in rows if r["nodes"] >= 2000]
+        assert big, "benchmark must include a ≥2,000-node workload"
+        for r in big:
+            assert r["spbags_seconds"] < 1.0, r
+            assert r["naive_over_spbags"] >= 10.0, r
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "benchmark": "races",
+                "git_sha": git_sha(),
+                "env": env_metadata(),
+                "workloads": rows,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    return metrics

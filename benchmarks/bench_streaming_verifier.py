@@ -59,3 +59,50 @@ def test_fault_localization(benchmark):
         f"{sorted(set(hits))}"
     )
     assert hits
+
+
+def run(check: bool = True, quick: bool = False) -> dict:
+    """Unified-runner entrypoint (``repro bench``, see registry.py).
+
+    Streams a long healthy trace (fib(10) quick / fib(13) full) through
+    the streaming verifier and the batch checker, then localizes faults
+    across a drop-injected campaign (5 seeds quick / 25 full).
+    """
+    import time
+
+    n = 10 if quick else 13
+    comp = fib_computation(n)[0]
+    trace = make_trace(comp, 8, seed=1)
+
+    t0 = time.perf_counter()
+    violation = StreamingLCVerifier.check_trace(trace)
+    stream_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    batch_ok = trace_admits_lc(trace.partial_observer())
+    batch_seconds = time.perf_counter() - t0
+    if check:
+        assert violation is None and batch_ok
+
+    racy = racy_counter_computation(6, 4)[0]
+    seeds = 5 if quick else 25
+    hits = 0
+    t0 = time.perf_counter()
+    for seed in range(seeds):
+        faulty = make_trace(racy, 4, seed=seed, drop=0.9)
+        v = StreamingLCVerifier.check_trace(faulty)
+        if check:
+            assert (v is None) == trace_admits_lc(faulty.partial_observer())
+        if v is not None:
+            hits += 1
+    localize_seconds = time.perf_counter() - t0
+    if check:
+        assert hits > 0, "drop=0.9 campaign produced no violations"
+
+    return {
+        "events": comp.num_nodes,
+        "stream_seconds": round(stream_seconds, 6),
+        "batch_seconds": round(batch_seconds, 6),
+        "localize_seconds": round(localize_seconds, 6),
+        "faults_flagged": hits,
+        "fault_seeds": seeds,
+    }

@@ -1,0 +1,97 @@
+"""Registry of unified benchmark entrypoints for ``repro bench``.
+
+Every ``bench_*.py`` in this directory that participates in the
+performance ledger exposes::
+
+    def run(check: bool = True, quick: bool = False) -> dict
+
+The runner (:func:`repro.cli._cmd_bench`) times whole ``run`` calls
+(warmup + repeats) and stores the returned dict's numeric values as the
+ledger record's ``counters``.  ``check=True`` keeps the reproduction
+assertions on (a benchmark run doubles as a reproduction run, same as
+the pytest-benchmark path); ``quick=True`` shrinks problem sizes for CI
+smoke and must not write artifact files.
+
+The manifest is explicit rather than glob-discovered: importing a bench
+module is not free (some unfold thousand-node computations at import
+time), a broken experiment should not take the whole runner down, and
+the ``order`` field pins a stable ledger ordering.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One ledger benchmark: a stable name bound to a module's ``run``."""
+
+    name: str
+    module: str
+    order: int
+    description: str
+
+
+MANIFEST = (
+    BenchmarkSpec(
+        "parallel-sweep",
+        "bench_parallel_sweep",
+        10,
+        "Figure-1/Theorem-23 battery: seed path vs the sharded engine",
+    ),
+    BenchmarkSpec(
+        "races",
+        "bench_races",
+        20,
+        "race detection scaling: SP-bags vs the closure sweeps",
+    ),
+    BenchmarkSpec(
+        "fig1-lattice",
+        "bench_fig1_lattice",
+        30,
+        "the Figure 1 lattice battery (inclusions, witnesses, Thm 12)",
+    ),
+    BenchmarkSpec(
+        "streaming-verifier",
+        "bench_streaming_verifier",
+        40,
+        "streaming vs batch LC verification on long traces",
+    ),
+    BenchmarkSpec(
+        "backer-overhead",
+        "bench_backer_overhead",
+        50,
+        "BACKER speedup shape and protocol traffic vs processors",
+    ),
+)
+
+
+def select(names: list[str] | None = None) -> list[BenchmarkSpec]:
+    """Manifest entries in ledger order, optionally filtered by name."""
+    specs = sorted(MANIFEST, key=lambda s: s.order)
+    if names is None:
+        return specs
+    known = {s.name for s in specs}
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        raise ValueError(
+            f"unknown benchmark(s) {', '.join(sorted(unknown))} "
+            f"(choose from {', '.join(s.name for s in specs)})"
+        )
+    wanted = set(names)
+    return [s for s in specs if s.name in wanted]
+
+
+def load(spec: BenchmarkSpec) -> Callable[..., dict]:
+    """Import the spec's module and return its ``run`` entrypoint."""
+    mod = importlib.import_module(spec.module)
+    run = getattr(mod, "run", None)
+    if not callable(run):
+        raise ValueError(
+            f"benchmark module {spec.module!r} has no run(check, quick) "
+            "entrypoint"
+        )
+    return run

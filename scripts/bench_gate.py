@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""CI regression gate over the performance ledger.
+
+Reads ``BENCH_LEDGER.jsonl`` (see ``repro bench``) and decides whether
+the newest record of each benchmark regressed against its own history:
+the baseline is the *median* wall-p50 of the last K records (default 5)
+and the noise floor is their MAD — a candidate only fails when it is
+both ``--threshold`` (default 25%) slower than the baseline *and* more
+than 3×MAD outside it, so noisy benchmarks don't flap the gate.
+
+Two shapes:
+
+* ``bench_gate.py LEDGER`` — gate the last record per benchmark in the
+  file against the earlier ones (the local re-run shape);
+* ``bench_gate.py LEDGER --candidates FRESH.jsonl`` — gate every record
+  of a fresh run against the whole committed trajectory (the CI shape).
+
+Exit codes: 0 clean, 1 on a bad invocation or unreadable ledger, 2 on
+at least one regression.  ``--format markdown`` renders the report as a
+GitHub-flavored table (for job summaries); intentional regressions are
+blessed by simply appending the new records to the committed ledger —
+the gate always measures against recent history, not a frozen number
+(see EXPERIMENTS.md, "Tracking the trajectory").
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.obs.ledger import (
+        DEFAULT_THRESHOLD,
+        DEFAULT_WINDOW,
+        gate_ledger,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="bench_gate.py",
+        description="noise-aware perf-regression gate over a benchmark ledger",
+    )
+    parser.add_argument("ledger", help="JSONL ledger file (the history)")
+    parser.add_argument(
+        "--candidates", default=None, metavar="FILE",
+        help="gate this fresh run's records instead of the ledger's last "
+             "record per benchmark",
+    )
+    parser.add_argument(
+        "--window", type=int, default=DEFAULT_WINDOW,
+        help=f"history records per benchmark (default {DEFAULT_WINDOW})",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="relative wall-p50 regression threshold "
+             f"(default {DEFAULT_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "markdown"], default="text",
+        help="report format",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        report = gate_ledger(
+            args.ledger,
+            candidate_path=args.candidates,
+            window=args.window,
+            threshold=args.threshold,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"bench-gate: error: {exc}", file=sys.stderr)
+        return 1
+    print(report.render(markdown=args.format == "markdown"))
+    return 0 if report.ok else 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

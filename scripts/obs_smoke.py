@@ -7,7 +7,14 @@ Two checks, both exercised by the ``obs-smoke`` CI job:
    structurally valid trace document (``repro.obs.validate_trace``),
    contains at least one sweep span with shard children, and the shard
    telemetry sums to the global sweep counters (the ``--trace`` /
-   ``SweepStats`` consistency contract).
+   ``SweepStats`` consistency contract).  Chrome trace-event documents
+   (``--trace-format chrome``) are auto-detected by their
+   ``traceEvents`` key and checked with
+   ``repro.obs.validate_chrome_trace`` (every event carries
+   ph/ts/pid/tid, ts are non-negative and monotone, X events have a
+   duration); ``--min-pids N`` additionally requires the events to span
+   at least N distinct pid tracks (a multi-worker sweep must not
+   collapse onto one row).
 2. ``python scripts/obs_smoke.py uncached`` — the cache-propagation
    invariant: a ``sweep_caching(False)`` sweep dispatched to a process
    pool must report **zero** cache consultations from its workers (the
@@ -31,11 +38,39 @@ def _iter_spans(spans):
         stack.extend(sp.get("children", ()))
 
 
-def check_trace(path: str) -> int:
+def check_chrome_trace(doc: dict, min_pids: int) -> int:
+    from repro.obs import validate_chrome_trace
+
+    problems = validate_chrome_trace(doc)
+    if problems:
+        for p in problems:
+            print(f"obs-smoke: invalid chrome trace: {p}", file=sys.stderr)
+        return 1
+    events = doc["traceEvents"]
+    complete = [ev for ev in events if ev.get("ph") == "X"]
+    pids = {ev["pid"] for ev in complete}
+    if len(pids) < min_pids:
+        print(
+            f"obs-smoke: chrome trace spans only {len(pids)} pid track(s) "
+            f"({sorted(pids)}); expected at least {min_pids} — worker "
+            "spans did not land on their own tracks",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"obs-smoke: chrome trace OK — {len(events)} events, "
+        f"{len(complete)} complete spans across {len(pids)} pid track(s)"
+    )
+    return 0
+
+
+def check_trace(path: str, min_pids: int = 1) -> int:
     from repro.obs import validate_trace
 
     with open(path) as f:
         doc = json.load(f)
+    if "traceEvents" in doc:
+        return check_chrome_trace(doc, min_pids)
     problems = validate_trace(doc)
     if problems:
         for p in problems:
@@ -121,11 +156,19 @@ def check_uncached() -> int:
 
 def main(argv: list[str]) -> int:
     if len(argv) >= 2 and argv[0] == "validate":
-        return check_trace(argv[1])
+        min_pids = 1
+        rest = argv[2:]
+        if rest[:1] == ["--min-pids"] and len(rest) == 2 and rest[1].isdigit():
+            min_pids = int(rest[1])
+        elif rest:
+            print(f"obs-smoke: unknown arguments {rest}", file=sys.stderr)
+            return 2
+        return check_trace(argv[1], min_pids)
     if argv == ["uncached"]:
         return check_uncached()
     print(
-        "usage: obs_smoke.py validate TRACE.json | obs_smoke.py uncached",
+        "usage: obs_smoke.py validate TRACE.json [--min-pids N] | "
+        "obs_smoke.py uncached",
         file=sys.stderr,
     )
     return 2

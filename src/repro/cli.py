@@ -19,6 +19,17 @@ Commands
     computation: SP-bags determinacy races, lockset classification,
     text or JSON diagnostics.  Exits 0 when data-race free, 2 otherwise
     — built for CI.
+``bench``
+    Unified benchmark runner: discover the entrypoints registered in
+    ``benchmarks/registry.py``, run each with warmup + repeats, and
+    append one schema-validated record per benchmark to the JSONL
+    performance ledger (``BENCH_LEDGER.jsonl``).  ``--compare`` gates
+    the run against the ledger's history (exit 2 on a noise-adjusted
+    wall-clock regression) — built for CI.
+
+Every subcommand accepts ``--trace FILE`` (``--trace-format chrome``
+produces a Chrome trace-event file that ui.perfetto.dev renders as
+per-process tracks) and ``--mem`` (tracemalloc attribution on spans).
 
 Examples::
 
@@ -29,6 +40,8 @@ Examples::
     python -m repro check /tmp/bad_trace.json
     python -m repro lint racy --format json
     python -m repro lint /tmp/computation.json --engine closure
+    python -m repro reproduce --jobs 2 --trace out.json --trace-format chrome
+    python -m repro bench --quick --compare
 """
 
 from __future__ import annotations
@@ -41,6 +54,10 @@ from repro import obs
 from repro.errors import ReproError
 
 __all__ = ["main", "build_parser"]
+
+#: ``bench --compare`` is tri-state: absent (no gate), bare flag (gate
+#: against the ``--ledger`` file), or an explicit history file.
+_NO_COMPARE = "\0no-compare"
 
 PROGRAMS = {
     "fib": ("fib_computation", "size", 8),
@@ -82,6 +99,17 @@ def _add_obs_args(
     sp.add_argument(
         "--trace", metavar="FILE", default=None, dest="obs_trace",
         help="write a structured trace (spans, counters, events) as JSON",
+    )
+    sp.add_argument(
+        "--trace-format", choices=["json", "chrome"], default="json",
+        dest="obs_trace_format",
+        help="trace file format: native JSON, or Chrome trace events "
+             "(load the file at ui.perfetto.dev)",
+    )
+    sp.add_argument(
+        "--mem", action="store_true", dest="obs_mem",
+        help="attribute tracemalloc peak/net memory to spans "
+             "(slows execution; implies nothing without --trace/--profile)",
     )
     if profile_flag:
         sp.add_argument(
@@ -187,6 +215,45 @@ def build_parser() -> argparse.ArgumentParser:
                      help="sweep worker processes (default: $REPRO_JOBS or 1; "
                           "0 = all cores)")
     _add_obs_args(rep, profile_flag=False)
+
+    from repro.obs.ledger import DEFAULT_LEDGER, DEFAULT_THRESHOLD, DEFAULT_WINDOW
+
+    ben = sub.add_parser(
+        "bench",
+        help="run the registered benchmarks and append to the perf ledger",
+    )
+    ben.add_argument("--list", action="store_true", dest="list_benchmarks",
+                     help="list registered benchmarks and exit")
+    ben.add_argument("--only", default=None, metavar="NAME[,NAME...]",
+                     help="run only these benchmarks (comma-separated)")
+    ben.add_argument("--quick", action="store_true",
+                     help="reduced problem sizes (CI smoke); quick records "
+                          "are only ever compared against quick records")
+    ben.add_argument("--repeats", type=int, default=3,
+                     help="timed repeats per benchmark (default 3)")
+    ben.add_argument("--warmup", type=int, default=1,
+                     help="untimed warmup runs per benchmark (default 1)")
+    ben.add_argument("--no-check", action="store_true",
+                     help="skip the reproduction assertions inside benchmarks")
+    ben.add_argument("--ledger", default=DEFAULT_LEDGER, metavar="FILE",
+                     help=f"ledger file to append to (default {DEFAULT_LEDGER})")
+    ben.add_argument("--no-append", action="store_true",
+                     help="measure and report without writing the ledger")
+    ben.add_argument("--compare", nargs="?", const=None, default=_NO_COMPARE,
+                     metavar="FILE",
+                     help="gate this run against a ledger's history "
+                          "(default: the --ledger file); exit 2 on regression")
+    ben.add_argument("--window", type=int, default=DEFAULT_WINDOW,
+                     help="history records per benchmark for the baseline "
+                          f"(default {DEFAULT_WINDOW})")
+    ben.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                     help="relative wall-p50 regression threshold "
+                          f"(default {DEFAULT_THRESHOLD})")
+    ben.add_argument("--format", choices=["text", "markdown"], default="text",
+                     help="gate report format")
+    ben.add_argument("--benchmarks-dir", default="benchmarks",
+                     help="directory holding registry.py and bench_*.py "
+                          "(default ./benchmarks)")
     return parser
 
 
@@ -451,14 +518,121 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
-def _obs_finish(trace_path: str | None, profile: bool) -> None:
+def _load_bench_registry(benchmarks_dir: str):
+    """Import ``registry.py`` from the benchmarks directory.
+
+    Loaded by *path* (under a private module name, so an unrelated
+    ``registry`` package on ``sys.path`` can't shadow it); the directory
+    itself still joins ``sys.path`` because the registry resolves its
+    ``bench_*`` modules by plain import.
+    """
+    import importlib.util
+    import os
+
+    bench_dir = os.path.abspath(benchmarks_dir)
+    reg_path = os.path.join(bench_dir, "registry.py")
+    if not os.path.isfile(reg_path):
+        raise ValueError(
+            f"no benchmark registry at {reg_path} "
+            "(run from the repo root or pass --benchmarks-dir)"
+        )
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    spec = importlib.util.spec_from_file_location(
+        "_repro_bench_registry", reg_path
+    )
+    assert spec is not None and spec.loader is not None
+    registry = importlib.util.module_from_spec(spec)
+    sys.modules["_repro_bench_registry"] = registry
+    spec.loader.exec_module(registry)
+    return registry
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs import ledger
+
+    registry = _load_bench_registry(args.benchmarks_dir)
+    only = (
+        [s.strip() for s in args.only.split(",") if s.strip()]
+        if args.only
+        else None
+    )
+    specs = registry.select(only)
+    if args.list_benchmarks:
+        width = max(len(s.name) for s in specs)
+        for spec in specs:
+            print(f"{spec.name:<{width}}  {spec.description}")
+        return 0
+    if args.repeats < 1:
+        raise ValueError(f"--repeats must be >= 1, got {args.repeats}")
+
+    check = not args.no_check
+    records = []
+    for spec in specs:
+        run = registry.load(spec)
+        print(f"bench {spec.name}: warmup x{args.warmup}, "
+              f"repeats x{args.repeats}"
+              f"{' (quick)' if args.quick else ''} ...", file=sys.stderr)
+        for _ in range(args.warmup):
+            run(check=False, quick=args.quick)
+        walls: list[float] = []
+        counters: dict = {}
+        for _ in range(args.repeats):
+            t0 = time.perf_counter()
+            result = run(check=check, quick=args.quick)
+            walls.append(time.perf_counter() - t0)
+            if isinstance(result, dict):
+                counters = result.get("counters", result)
+        rec = ledger.make_record(
+            spec.name,
+            walls,
+            counters=counters,
+            check=check,
+            quick=args.quick,
+            warmup=args.warmup,
+        )
+        records.append(rec)
+        print(f"bench {spec.name}: wall p50 "
+              f"{rec['wall_seconds']['p50']:.4f}s", file=sys.stderr)
+
+    exit_code = 0
+    if args.compare != _NO_COMPARE:
+        import os
+
+        history_path = args.ledger if args.compare is None else args.compare
+        # A missing history is not an error: the first gated run has
+        # nothing to regress against, so every benchmark reads "new".
+        history = (
+            ledger.read_ledger(history_path)
+            if os.path.exists(history_path)
+            else []
+        )
+        report = ledger.compare_records(
+            history, records, window=args.window, threshold=args.threshold
+        )
+        print(report.render(markdown=args.format == "markdown"))
+        if not report.ok:
+            exit_code = 2
+    if not args.no_append:
+        ledger.append_records(args.ledger, records)
+        print(f"{len(records)} record(s) appended to {args.ledger}",
+              file=sys.stderr)
+    return exit_code
+
+
+def _obs_finish(
+    trace_path: str | None, profile: bool, trace_format: str = "json"
+) -> None:
     """Export the collected trace/profile and shut the collector down."""
-    from repro.obs import export_json, render_text
+    from repro.obs import export_chrome, export_json, render_text
 
     try:
         if trace_path is not None:
+            doc = export_chrome() if trace_format == "chrome" else export_json()
             with open(trace_path, "w") as f:
-                f.write(export_json())
+                f.write(doc)
                 f.write("\n")
             print(f"trace written to {trace_path}", file=sys.stderr)
         if profile:
@@ -481,13 +655,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         "infer": _cmd_infer,
         "conformance": _cmd_conformance,
         "reproduce": _cmd_reproduce,
+        "bench": _cmd_bench,
     }[args.command]
     trace_path: str | None = getattr(args, "obs_trace", None)
+    trace_format: str = getattr(args, "obs_trace_format", "json")
     profile: bool = bool(getattr(args, "obs_profile", False))
     use_obs = trace_path is not None or profile
     if use_obs:
         obs.reset()
         obs.enable()
+        if getattr(args, "obs_mem", False):
+            obs.enable_memory()
     try:
         with obs.span(f"repro.{args.command}"):
             return handler(args)
@@ -501,7 +679,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
     finally:
         if use_obs:
-            _obs_finish(trace_path, profile)
+            if getattr(args, "obs_mem", False):
+                obs.disable_memory()
+            _obs_finish(trace_path, profile, trace_format)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,10 +1,14 @@
 """``repro.obs`` — structured tracing, metrics, and cache telemetry.
 
 A dependency-light observability layer for the sweep/executor stack:
-span-based tracing with nested timings, monotonic counters, gauges, and
-structured warning events, exportable as JSON (``--trace FILE``) or a
-text profile (``--profile``).  See :mod:`repro.obs.core` for the model
-and :mod:`repro.obs.export` for the document format.
+span-based tracing with nested timings, monotonic counters, gauges,
+streaming log-bucket histograms, tracemalloc memory spans, and
+structured warning events, exportable as JSON (``--trace FILE``), as a
+Chrome trace-event document Perfetto can load (``--trace-format
+chrome``), or as a text profile (``--profile``).  See
+:mod:`repro.obs.core` for the model, :mod:`repro.obs.export` for the
+document formats, and :mod:`repro.obs.ledger` for the persistent
+benchmark ledger behind ``repro bench``.
 
 Typical library use::
 
@@ -12,39 +16,54 @@ Typical library use::
 
     with obs.span("my-analysis", nodes=comp.num_nodes):
         obs.add("my.counter")
+        obs.observe("my.seconds", dt)
         ...
 
 Everything is a no-op (one boolean check) until :func:`enable` is
-called, so instrumented hot paths cost nothing in normal runs.
+called, so instrumented hot paths cost nothing in normal runs.  Memory
+attribution (:func:`mem_span`) is additionally gated behind
+``REPRO_MEM=1`` / the CLI ``--mem`` flag because tracemalloc costs real
+time.
 """
 
 from repro.obs.core import (
     NULL_SPAN,
+    Histogram,
     Observability,
     Span,
     add,
     attach,
     counters,
     disable,
+    disable_memory,
     enable,
+    enable_memory,
     enabled,
     gauges,
     get,
+    histograms,
+    mem_enabled,
+    mem_span,
+    memory_delta,
     now,
+    observe,
     reset,
     set_gauge,
     span,
     warning,
 )
 from repro.obs.export import (
+    export_chrome,
     export_json,
     iter_trace_spans,
     render_text,
+    validate_chrome_trace,
     validate_trace,
 )
 
 __all__ = [
     "Span",
+    "Histogram",
     "Observability",
     "NULL_SPAN",
     "enabled",
@@ -52,16 +71,25 @@ __all__ = [
     "disable",
     "reset",
     "span",
+    "mem_span",
     "attach",
     "add",
+    "observe",
     "set_gauge",
     "warning",
     "counters",
     "gauges",
+    "histograms",
     "get",
     "now",
+    "mem_enabled",
+    "enable_memory",
+    "disable_memory",
+    "memory_delta",
     "export_json",
+    "export_chrome",
     "render_text",
     "validate_trace",
+    "validate_chrome_trace",
     "iter_trace_spans",
 ]

@@ -18,6 +18,17 @@ Model
   **gauges** are last-write-wins floats.  Both live in a flat global
   registry so totals survive across spans and can be compared against
   per-span attributes.
+* **Histograms** (``obs.observe("sweep.shard_seconds", 0.12)``) are
+  streaming fixed log-bucket distributions: each sample costs one
+  ``math.log`` plus a dict increment, percentiles (p50/p90/p99) read
+  back with bounded relative error (:data:`Histogram.BASE`), and two
+  histograms merge exactly — so per-shard timings recorded in worker
+  processes aggregate losslessly in the parent.
+* **Memory spans** (:func:`mem_span`) are ordinary spans that
+  additionally attribute ``tracemalloc`` peak and net allocations.
+  They are double-gated: off unless the collector is enabled *and*
+  memory profiling was requested (``REPRO_MEM=1`` or the CLI's
+  ``--mem``), because tracemalloc costs real time on hot paths.
 * **Events** are out-of-band structured records (currently warnings).
   :func:`warning` always logs through the stdlib ``repro.obs`` logger —
   even with the collector disabled — so operational problems (a broken
@@ -36,27 +47,38 @@ returns by value); concurrent mutation from threads is not supported.
 from __future__ import annotations
 
 import logging
+import math
+import os
 import time
+import tracemalloc
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 __all__ = [
     "Span",
+    "Histogram",
     "Observability",
     "enabled",
     "enable",
     "disable",
     "reset",
     "span",
+    "mem_span",
     "attach",
     "add",
+    "observe",
     "set_gauge",
     "warning",
     "counters",
     "gauges",
+    "histograms",
     "get",
     "now",
+    "mem_enabled",
+    "enable_memory",
+    "disable_memory",
+    "memory_delta",
 ]
 
 _log = logging.getLogger("repro.obs")
@@ -109,6 +131,181 @@ class Span:
         return [s for s in self.walk() if s.name == name]
 
 
+class Histogram:
+    """A streaming fixed log-bucket histogram of non-negative samples.
+
+    Samples land in geometric buckets ``[BASE**i, BASE**(i+1))``; with
+    ``BASE = 2**(1/8)`` (eight buckets per doubling) any percentile read
+    back from the buckets is within ~4.5% relative error of the exact
+    order statistic.  State is O(occupied buckets), inserts are O(1),
+    and two histograms merge by bucket-wise addition — worker-process
+    telemetry aggregates exactly.
+
+    Exact ``min``/``max``/``sum`` are tracked on the side (so ``p100``
+    is precise and means match), and non-positive samples are counted in
+    a dedicated ``zeros`` slot (durations can quantize to 0.0 on coarse
+    clocks).
+    """
+
+    BASE = 2.0 ** 0.125
+    _LOG_BASE = math.log(BASE)
+
+    __slots__ = ("count", "total", "min", "max", "zeros", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.zeros = 0
+        self.buckets: dict[int, int] = {}
+
+    def record(self, value: float) -> None:
+        """Insert one sample (negative values clamp into the zero slot)."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self.zeros += 1
+            return
+        idx = math.floor(math.log(value) / self._LOG_BASE)
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram into this one (exact on buckets)."""
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        self.zeros += other.zeros
+        for idx, n in other.buckets.items():
+            self.buckets[idx] = self.buckets.get(idx, 0) + n
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0 ≤ q ≤ 100), ~4.5% relative error.
+
+        Uses the nearest-rank definition over the bucketed samples; the
+        returned value is the geometric midpoint of the bucket holding
+        that rank, clamped to the exact observed ``[min, max]``.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile {q!r} outside [0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(self.count * q / 100.0))
+        if rank <= self.zeros:
+            return max(self.min, 0.0) if self.zeros == self.count else 0.0
+        seen = self.zeros
+        for idx in sorted(self.buckets):
+            seen += self.buckets[idx]
+            if rank <= seen:
+                mid = self.BASE ** (idx + 0.5)
+                return min(max(mid, self.min), self.max)
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p90(self) -> float:
+        return self.percentile(90.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON form: summary stats plus sparse ``{index: count}`` buckets."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+            "zeros": self.zeros,
+            "buckets": {str(i): self.buckets[i] for i in sorted(self.buckets)},
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Histogram":
+        """Rebuild from :meth:`to_dict` (summary percentiles recompute)."""
+        h = cls()
+        h.count = int(doc["count"])
+        h.total = float(doc["sum"])
+        if h.count:
+            h.min = float(doc["min"])
+            h.max = float(doc["max"])
+        h.zeros = int(doc.get("zeros", 0))
+        h.buckets = {int(i): int(n) for i, n in doc.get("buckets", {}).items()}
+        return h
+
+
+# ----------------------------------------------------------------------
+# Memory profiling gate (tracemalloc is opt-in: it costs real time)
+# ----------------------------------------------------------------------
+
+_MEM = os.environ.get("REPRO_MEM", "") not in ("", "0")
+
+
+def mem_enabled() -> bool:
+    """Whether memory spans attribute tracemalloc data (``REPRO_MEM``/``--mem``)."""
+    return _MEM
+
+
+def enable_memory() -> None:
+    """Turn on memory attribution and start tracemalloc if needed."""
+    global _MEM
+    _MEM = True
+    if not tracemalloc.is_tracing():
+        tracemalloc.start()
+
+
+def disable_memory() -> None:
+    """Turn off memory attribution (stops tracemalloc if it is running)."""
+    global _MEM
+    _MEM = False
+    if tracemalloc.is_tracing():
+        tracemalloc.stop()
+
+
+@contextmanager
+def memory_delta() -> Iterator[dict[str, int]]:
+    """Measure tracemalloc peak/net allocations across the body.
+
+    Yields a dict that is filled in on exit with ``peak_bytes`` (high-water
+    mark above the entry level — always ≥ ``net_bytes``) and ``net_bytes``
+    (allocations minus frees, may be negative).  Starts tracemalloc on
+    demand when memory profiling is enabled; yields zeros when disabled.
+    Nested measurements each reset the shared peak, so an outer window's
+    peak is the high-water mark *since its last inner window closed*.
+    """
+    out = {"peak_bytes": 0, "net_bytes": 0}
+    if not _MEM:
+        yield out
+        return
+    if not tracemalloc.is_tracing():
+        tracemalloc.start()
+    base, _ = tracemalloc.get_traced_memory()
+    tracemalloc.reset_peak()
+    try:
+        yield out
+    finally:
+        current, peak = tracemalloc.get_traced_memory()
+        out["peak_bytes"] = max(0, peak - base)
+        out["net_bytes"] = current - base
+
+
 class _NullSpan:
     """The shared no-op context manager returned while disabled."""
 
@@ -141,6 +338,7 @@ class Observability:
         self._stack: list[Span] = []
         self.counters: dict[str, int] = {}
         self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
         self.events: list[dict] = []
         self._epoch = time.perf_counter()
 
@@ -216,6 +414,45 @@ class Observability:
             return
         self.gauges[name] = float(value)
 
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into a named histogram (no-op while disabled)."""
+        if not self.enabled:
+            return
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.record(value)
+
+    def merge_histogram(self, name: str, other: Histogram) -> None:
+        """Fold a pre-built histogram (worker telemetry) into a named one."""
+        if not self.enabled:
+            return
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.merge(other)
+
+    def mem_span(self, name: str, **attrs: Any):
+        """A span that additionally attributes tracemalloc peak/net bytes.
+
+        Degrades to a plain span when memory profiling is off, and to
+        the shared no-op when the collector is disabled — the memory
+        accounting is double-gated because tracemalloc is expensive.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        if not _MEM:
+            return self._live_span(name, attrs)
+        return self._mem_live_span(name, attrs)
+
+    @contextmanager
+    def _mem_live_span(self, name: str, attrs: dict) -> Iterator[Span]:
+        with self._live_span(name, attrs) as sp:
+            with memory_delta() as mem:
+                yield sp
+            sp.attrs["mem_peak_bytes"] = mem["peak_bytes"]
+            sp.attrs["mem_net_bytes"] = mem["net_bytes"]
+
     # ------------------------------------------------------------------
     # Events
     # ------------------------------------------------------------------
@@ -252,6 +489,10 @@ class Observability:
             "spans": [s.to_dict() for s in self.roots],
             "counters": {k: self.counters[k] for k in sorted(self.counters)},
             "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                k: self.histograms[k].to_dict()
+                for k in sorted(self.histograms)
+            },
             "events": list(self.events),
         }
 
@@ -300,9 +541,21 @@ def attach(sp: Span) -> None:
     _OBS.attach(sp)
 
 
+def mem_span(name: str, **attrs: Any):
+    """A global span that also attributes tracemalloc peak/net bytes."""
+    if not _OBS.enabled:  # fast path: one attribute load + bool check
+        return NULL_SPAN
+    return _OBS.mem_span(name, **attrs)
+
+
 def add(name: str, delta: int = 1) -> None:
     """Increment a global counter."""
     _OBS.add(name, delta)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a sample into a global histogram."""
+    _OBS.observe(name, value)
 
 
 def set_gauge(name: str, value: float) -> None:
@@ -323,6 +576,11 @@ def counters() -> dict[str, int]:
 def gauges() -> dict[str, float]:
     """Snapshot of the global gauges."""
     return dict(_OBS.gauges)
+
+
+def histograms() -> dict[str, Histogram]:
+    """The global histograms (live objects, keyed by name)."""
+    return dict(_OBS.histograms)
 
 
 def now() -> float:

@@ -10,12 +10,21 @@ The JSON document written by ``repro ... --trace FILE`` is
       "spans":    [{"name", "attrs", "start", "duration", "children"}],
       "counters": {"sweep.pairs": 4734, ...},
       "gauges":   {"sweep.wall_seconds": 0.42, ...},
+      "histograms": {"sweep.shard_seconds": {"count", "sum", "buckets", ...}},
       "events":   [{"kind": "warning", "message", "attrs", "t"}]
     }
 
 :func:`validate_trace` checks that shape (CI gates on it);
 :func:`render_text` is the human-readable profile the ``--profile``
 flag prints.
+
+``--trace-format chrome`` instead writes the Chrome trace-event format
+(:func:`export_chrome`): a ``{"traceEvents": [...]}`` document loadable
+by ``ui.perfetto.dev`` or ``chrome://tracing``.  Spans become complete
+(``"ph": "X"``) events; spans reconstructed from worker-process
+telemetry (they carry a ``pid`` attribute — e.g. the sweep engine's
+``shard`` spans) are assigned to that worker's process track, so a
+multi-worker sweep renders as parallel per-worker timelines.
 """
 
 from __future__ import annotations
@@ -27,10 +36,16 @@ from repro.obs.core import Observability, Span
 
 __all__ = [
     "export_json",
+    "export_chrome",
     "render_text",
     "validate_trace",
+    "validate_chrome_trace",
     "iter_trace_spans",
 ]
+
+MAIN_PID = 1
+"""Synthetic pid of the orchestration process in Chrome exports (worker
+spans use their real OS pid, which never collides with 1)."""
 
 
 def export_json(obs: Observability | None = None, indent: int | None = 2) -> str:
@@ -39,6 +54,139 @@ def export_json(obs: Observability | None = None, indent: int | None = 2) -> str
 
     target = obs if obs is not None else core.get()
     return json.dumps(target.to_dict(), indent=indent, default=repr)
+
+
+def _safe_args(attrs: dict) -> dict:
+    """Attrs restricted to JSON scalars (nested dicts pass through)."""
+    return {
+        k: v
+        for k, v in attrs.items()
+        if isinstance(v, (str, int, float, bool, dict)) or v is None
+    }
+
+
+def _chrome_span_events(
+    sp: Span,
+    ts_us: float,
+    pid: int,
+    tid: int,
+    cursors: dict[int, float],
+    events: list[dict],
+) -> None:
+    """Emit one span (and its subtree) as complete events.
+
+    ``ts_us`` is where this span starts on its track.  Live spans carry
+    their own collector-epoch ``start``; spans reconstructed from worker
+    telemetry (``start == 0.0`` with a ``pid`` attribute) have no
+    cross-process clock, so they are laid head-to-tail on their worker's
+    track via ``cursors`` — durations are real, offsets are schematic.
+    """
+    dur_us = max(sp.duration * 1e6, 1.0)
+    events.append(
+        {
+            "name": sp.name,
+            "cat": "span",
+            "ph": "X",
+            "ts": round(ts_us, 3),
+            "dur": round(dur_us, 3),
+            "pid": pid,
+            "tid": tid,
+            "args": _safe_args(sp.attrs),
+        }
+    )
+    child_cursor = ts_us
+    for child in sp.children:
+        worker_pid = child.attrs.get("pid")
+        if child.start == 0.0 and isinstance(worker_pid, int) and worker_pid:
+            # Worker-reconstructed span: its own process track, shards
+            # laid sequentially from this span's start.
+            start = max(cursors.get(worker_pid, 0.0), ts_us)
+            _chrome_span_events(
+                child, start, worker_pid, 1, cursors, events
+            )
+            cursors[worker_pid] = start + max(child.duration * 1e6, 1.0)
+        elif child.start > 0.0:
+            _chrome_span_events(
+                child, child.start * 1e6, pid, tid, cursors, events
+            )
+        else:
+            # Hand-built span without a worker pid: sequential layout
+            # inside the parent on the parent's track.
+            _chrome_span_events(
+                child, child_cursor, pid, tid, cursors, events
+            )
+            child_cursor += max(child.duration * 1e6, 1.0)
+
+
+def export_chrome(obs: Observability | None = None, indent: int | None = None) -> str:
+    """The collector state in Chrome trace-event format (Perfetto-loadable).
+
+    Every span becomes a complete (``"ph": "X"``) event.  Spans grafted
+    from worker processes render on their own pid track; counters become
+    ``"C"`` samples at the end of the trace; warning events become
+    global instants (``"ph": "i"``).
+    """
+    from repro.obs import core
+
+    target = obs if obs is not None else core.get()
+    events: list[dict] = []
+    cursors: dict[int, float] = {}
+    for root in target.roots:
+        _chrome_span_events(
+            root, root.start * 1e6, MAIN_PID, 1, cursors, events
+        )
+    end_ts = max((e["ts"] + e.get("dur", 0.0) for e in events), default=0.0)
+    for ev in target.events:
+        events.append(
+            {
+                "name": f"{ev.get('kind', 'event')}: {ev.get('message', '')}",
+                "cat": "event",
+                "ph": "i",
+                "s": "g",
+                "ts": round(ev.get("t", 0.0) * 1e6, 3),
+                "pid": MAIN_PID,
+                "tid": 1,
+                "args": _safe_args(ev.get("attrs", {})),
+            }
+        )
+    for name in sorted(target.counters):
+        events.append(
+            {
+                "name": name,
+                "cat": "counter",
+                "ph": "C",
+                "ts": round(end_ts, 3),
+                "pid": MAIN_PID,
+                "tid": 1,
+                "args": {"value": target.counters[name]},
+            }
+        )
+    events.sort(key=lambda e: e["ts"])
+    meta: list[dict] = []
+    for pid in sorted({e["pid"] for e in events} | {MAIN_PID}):
+        label = "repro (parent)" if pid == MAIN_PID else f"worker pid={pid}"
+        meta.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+    doc = {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro.obs",
+            "gauges": dict(target.gauges),
+            "histograms": {
+                k: h.to_dict() for k, h in target.histograms.items()
+            },
+        },
+    }
+    return json.dumps(doc, indent=indent, default=repr)
 
 
 def _render_span(sp: Span, depth: int, lines: list[str]) -> None:
@@ -71,6 +219,14 @@ def render_text(obs: Observability | None = None) -> str:
         lines.append("gauges:")
         for name in sorted(target.gauges):
             lines.append(f"  {name:<50} {target.gauges[name]:>12.4f}")
+    if target.histograms:
+        lines.append("histograms:")
+        for name in sorted(target.histograms):
+            h = target.histograms[name]
+            lines.append(
+                f"  {name:<38} n={h.count:<6} p50={h.p50:.4g} "
+                f"p90={h.p90:.4g} p99={h.p99:.4g} max={h.max:.4g}"
+            )
     if target.events:
         lines.append("events:")
         for ev in target.events:
@@ -128,6 +284,12 @@ def validate_trace(doc: Any) -> list[str]:
         for name, value in gauges.items():
             if not isinstance(value, (int, float)) or isinstance(value, bool):
                 problems.append(f"gauge {name!r} must be a number")
+    histograms = doc.get("histograms", {})
+    if not isinstance(histograms, dict):
+        problems.append("'histograms' must be an object")
+    else:
+        for name, h in histograms.items():
+            problems.extend(_validate_histogram(name, h))
     events = doc.get("events")
     if not isinstance(events, list):
         problems.append("'events' must be a list")
@@ -135,6 +297,100 @@ def validate_trace(doc: Any) -> list[str]:
         for i, ev in enumerate(events):
             if not isinstance(ev, dict) or "kind" not in ev:
                 problems.append(f"events[{i}] must be an object with a 'kind'")
+    return problems
+
+
+def _validate_histogram(name: str, h: Any) -> list[str]:
+    problems: list[str] = []
+    if not isinstance(h, dict):
+        return [f"histogram {name!r} must be an object"]
+    for key in ("count", "zeros"):
+        v = h.get(key)
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            problems.append(
+                f"histogram {name!r}: {key} must be a non-negative integer"
+            )
+    for key in ("sum", "min", "max", "p50", "p90", "p99"):
+        v = h.get(key)
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            problems.append(f"histogram {name!r}: {key} must be a number")
+    buckets = h.get("buckets")
+    if not isinstance(buckets, dict):
+        problems.append(f"histogram {name!r}: buckets must be an object")
+        return problems
+    total = 0
+    for idx, n in buckets.items():
+        if not isinstance(n, int) or isinstance(n, bool) or n <= 0:
+            problems.append(
+                f"histogram {name!r}: bucket {idx!r} count must be a "
+                "positive integer"
+            )
+            continue
+        try:
+            int(idx)
+        except (TypeError, ValueError):
+            problems.append(
+                f"histogram {name!r}: bucket key {idx!r} must be an integer"
+            )
+        total += n
+    if not problems and isinstance(h.get("count"), int):
+        if total + h.get("zeros", 0) != h["count"]:
+            problems.append(
+                f"histogram {name!r}: bucket counts + zeros "
+                f"({total} + {h.get('zeros', 0)}) != count ({h['count']})"
+            )
+    return problems
+
+
+def validate_chrome_trace(doc: Any) -> list[str]:
+    """Structural validation of a Chrome trace-event document.
+
+    Checks the keys every consumer relies on (``ph``/``ts``/``pid``/
+    ``tid`` on all events, ``dur`` on complete events), that timestamps
+    are non-negative and monotonically non-decreasing in file order, and
+    that at least one complete event is present.  ``[]`` means valid.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["chrome trace document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["'traceEvents' must be a list"]
+    last_ts = 0.0
+    complete = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"traceEvents[{i}]: not an object")
+            continue
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                problems.append(f"traceEvents[{i}]: missing {key!r}")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            problems.append(
+                f"traceEvents[{i}]: ts must be a non-negative number"
+            )
+        elif ts < last_ts:
+            problems.append(
+                f"traceEvents[{i}]: ts {ts} goes backwards (prev {last_ts})"
+            )
+        else:
+            last_ts = ts
+        if ev.get("ph") == "X":
+            complete += 1
+            dur = ev.get("dur")
+            if (
+                not isinstance(dur, (int, float))
+                or isinstance(dur, bool)
+                or dur < 0
+            ):
+                problems.append(
+                    f"traceEvents[{i}]: complete event needs non-negative dur"
+                )
+    if not events:
+        problems.append("traceEvents is empty")
+    elif complete == 0:
+        problems.append("no complete ('X') span events in trace")
     return problems
 
 

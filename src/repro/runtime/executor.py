@@ -18,16 +18,19 @@ against the model's invariants as it happens; the first violation is
 recorded on the trace and, when the sanitizer halts, stops the run at
 the violating event.
 
-Observability: the whole run is an ``execute`` span; with the tracer
-enabled each node additionally gets a ``step`` child span (up to
-:data:`STEP_SPAN_LIMIT` nodes, to bound trace size) and the executor
-maintains ``executor.*`` counters (nodes, reads, writes) plus the
-memory's coherence-message counters (``backer.*``, emitted by
-:class:`repro.runtime.backer.BackerMemory` itself).
+Observability: the whole run is an ``execute`` span (a memory span when
+``--mem`` is on, attributing tracemalloc peak/net to the run); with the
+tracer enabled each node additionally gets a ``step`` child span (up to
+:data:`STEP_SPAN_LIMIT` nodes, to bound trace size), every global
+time-step's wall time feeds the ``executor.step_seconds`` histogram,
+and the executor maintains ``executor.*`` counters (nodes, reads,
+writes) plus the memory's coherence-message counters (``backer.*``,
+emitted by :class:`repro.runtime.backer.BackerMemory` itself).
 """
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING
 
 from repro import obs
@@ -54,7 +57,7 @@ def execute(
 ) -> ExecutionTrace:
     """Run a schedule against a memory system and collect the trace."""
     comp: Computation = schedule.comp
-    with obs.span(
+    with obs.mem_span(
         "execute",
         nodes=comp.num_nodes,
         procs=schedule.num_procs,
@@ -86,10 +89,24 @@ def _execute_body(
         any(proc_of[u] != proc_of[v] for v in comp.dag.successors(u))
         for u in comp.nodes()
     ]
-    step_spans = obs.enabled() and comp.num_nodes <= STEP_SPAN_LIMIT
+    tracing = obs.enabled()
+    step_spans = tracing and comp.num_nodes <= STEP_SPAN_LIMIT
+
+    # Step-batch timing: nodes sharing a start step form one global
+    # time-step; each batch's wall time is one ``executor.step_seconds``
+    # sample.  Execution order is sorted by start step, so batches are
+    # contiguous and a boundary check per node suffices.
+    start_of = schedule.start_of
+    batch_step = -1
+    batch_t0 = 0.0
 
     reads = writes = executed = 0
     for u in schedule.execution_order():
+        if tracing and start_of[u] != batch_step:
+            now = time.perf_counter()
+            if batch_step >= 0:
+                obs.observe("executor.step_seconds", now - batch_t0)
+            batch_step, batch_t0 = start_of[u], now
         executed += 1
         p = proc_of[u]
         op = comp.op(u)
@@ -117,7 +134,9 @@ def _execute_body(
                 trace.violation = violation
                 if sanitizer.halt:
                     break
-    if obs.enabled():
+    if tracing:
+        if batch_step >= 0:
+            obs.observe("executor.step_seconds", time.perf_counter() - batch_t0)
         obs.add("executor.runs")
         obs.add("executor.nodes", executed)
         obs.add("executor.reads", reads)

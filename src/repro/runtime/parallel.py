@@ -116,6 +116,15 @@ class ShardSpec:
     cached inside every worker.  :func:`_instrumented` applies the flag
     around the kernel body and reports the worker's view back in
     :class:`ShardMeta`.
+
+    ``obs_enabled`` does the same for the tracer: a worker's
+    :mod:`repro.obs` collector re-imports disabled, so counters emitted
+    inside the kernel (``sweep.kernel.*``, or ``backer.*`` from any
+    nested execution) would land in the worker's dead singleton and
+    vanish.  When the flag is set, :func:`_instrumented` collects the
+    worker's counter *deltas* across the kernel body into
+    :attr:`ShardMeta.counters` and :func:`run_shards` merges them into
+    the parent trace.
     """
 
     max_nodes: int
@@ -125,6 +134,7 @@ class ShardSpec:
     mask_lo: int
     mask_hi: int
     cache_enabled: bool = True
+    obs_enabled: bool = False
 
     def universe(self) -> Universe:
         """Rebuild the owning universe (cheap; workers call this once)."""
@@ -154,6 +164,18 @@ class ShardMeta:
     caching flag the worker actually ran under (propagated from the
     parent via :attr:`ShardSpec.cache_enabled`); ``pid`` identifies the
     worker process, enabling per-worker telemetry aggregation.
+
+    ``counters`` holds the deltas of every :mod:`repro.obs` counter the
+    kernel body incremented, and ``counters_local`` records whether the
+    executing process's collector was already live when the shard ran.
+    That alone does not prove the increments reached the parent —
+    forked pool workers inherit a live collector but increment a doomed
+    copy — so :func:`_record_sweep` merges a shard's deltas whenever it
+    ran in another process (``pid`` mismatch) *or* its collector was
+    only enabled for the shard's duration.  ``mem_peak_bytes`` /
+    ``mem_net_bytes`` are the kernel body's tracemalloc high-water mark
+    and net allocation when ``REPRO_MEM=1`` (inherited by workers
+    through the environment), else 0.
     """
 
     n: int
@@ -164,6 +186,10 @@ class ShardMeta:
     caches: dict[str, dict[str, int]] = field(default_factory=dict)
     cache_enabled: bool = True
     pid: int = 0
+    counters: dict[str, int] = field(default_factory=dict)
+    counters_local: bool = True
+    mem_peak_bytes: int = 0
+    mem_net_bytes: int = 0
 
     @property
     def consultations(self) -> int:
@@ -181,17 +207,23 @@ class ShardMeta:
         ``start`` is 0.0: worker clocks are not comparable with the
         parent's epoch, only durations travel.
         """
+        attrs = {
+            "n": self.n,
+            "mask_lo": self.mask_lo,
+            "mask_hi": self.mask_hi,
+            "pairs": self.pairs,
+            "cache_enabled": self.cache_enabled,
+            "pid": self.pid,
+            "caches": self.caches,
+            "counters": self.counters,
+            "counters_local": self.counters_local,
+        }
+        if self.mem_peak_bytes or self.mem_net_bytes:
+            attrs["mem_peak_bytes"] = self.mem_peak_bytes
+            attrs["mem_net_bytes"] = self.mem_net_bytes
         return Span(
             name="shard",
-            attrs={
-                "n": self.n,
-                "mask_lo": self.mask_lo,
-                "mask_hi": self.mask_hi,
-                "pairs": self.pairs,
-                "cache_enabled": self.cache_enabled,
-                "pid": self.pid,
-                "caches": self.caches,
-            },
+            attrs=attrs,
             start=0.0,
             duration=self.seconds,
         )
@@ -209,6 +241,10 @@ class ShardMeta:
             caches=a.get("caches", {}),
             cache_enabled=a.get("cache_enabled", True),
             pid=a.get("pid", 0),
+            counters=a.get("counters", {}),
+            counters_local=a.get("counters_local", True),
+            mem_peak_bytes=a.get("mem_peak_bytes", 0),
+            mem_net_bytes=a.get("mem_net_bytes", 0),
         )
 
 
@@ -479,9 +515,12 @@ def make_shards(
     serial sweep.
 
     Every spec snapshots the current :func:`~repro._caching.caches_enabled`
-    state so pool workers run under the parent's caching configuration.
+    state so pool workers run under the parent's caching configuration,
+    and the tracer's enabled flag so worker-side counters are collected
+    (and merged back) exactly when the parent is tracing.
     """
     cache_enabled = caches_enabled()
+    obs_enabled = obs.enabled()
     sizes = range(universe.max_nodes + 1)
     weights = {n: universe.count_computations(n) for n in sizes}
     total = sum(weights.values()) or 1
@@ -505,6 +544,7 @@ def make_shards(
                     mask_lo=lo,
                     mask_hi=hi,
                     cache_enabled=cache_enabled,
+                    obs_enabled=obs_enabled,
                 )
             )
             lo = hi
@@ -589,11 +629,29 @@ def _dispatch_pool(
 
 
 def _record_sweep(stats: SweepStats) -> None:
-    """Publish a finished sweep to the global tracer (no-op if disabled)."""
+    """Publish a finished sweep to the global tracer (no-op if disabled).
+
+    Besides grafting the stats span and accumulating the ``sweep.*``
+    counters, this is where worker-side counter deltas rejoin the
+    parent: every shard whose increments landed in a pool worker's
+    (otherwise dead) collector — ``counters_local=False`` — is merged
+    here, so ``--trace`` counter totals are identical between serial
+    and pool runs.  Per-shard wall times feed the
+    ``sweep.shard_seconds`` histogram.
+    """
     if not obs.enabled():
         return
     obs.attach(stats.span)
     totals = stats.cache_totals()
+    parent_pid = os.getpid()
+    for meta in stats.shards:
+        # A shard's increments only reached *this* collector when it ran
+        # in this process with the collector already live.  Forked pool
+        # workers inherit an enabled collector (counters_local=True) but
+        # increment a doomed copy — the pid comparison catches those.
+        if meta.counters and (meta.pid != parent_pid or not meta.counters_local):
+            obs.get().add_many(meta.counters)
+        obs.observe("sweep.shard_seconds", meta.seconds)
     obs.add("sweep.count")
     obs.add("sweep.pairs", stats.pairs)
     obs.add("sweep.shards", len(stats.shards))
@@ -613,13 +671,41 @@ def _instrumented(
     this is the propagation point that makes ``sweep_caching(False)``
     reach pool workers.  The resulting cache deltas are the worker-side
     telemetry: an uncached shard must report zero consultations.
+
+    Counter propagation mirrors the caching flag: when the parent was
+    tracing (``shard.obs_enabled``) but this process's collector is
+    disabled (a pool worker), the collector is enabled for the duration
+    of the body so kernel-side ``obs.add`` calls are captured; the
+    *deltas* across the body travel back in :attr:`ShardMeta.counters`
+    with ``counters_local=False`` so :func:`_record_sweep` can merge
+    them into the parent trace exactly once.  When the collector was
+    already live the increments land in *this process's* collector and
+    are flagged ``counters_local=True`` — that is the parent's own
+    collector for the serial path and crash-retried shards (merging
+    again would double-count), but a doomed copy in a *forked* pool
+    worker, which :func:`_record_sweep` detects by pid mismatch.
     """
+    collector = obs.get()
+    was_enabled = collector.enabled
+    if shard.obs_enabled and not was_enabled:
+        collector.enable()
+    counters_before = dict(collector.counters)
     with sweep_caching(shard.cache_enabled):
         before = sweep_cache_info()
-        t0 = time.perf_counter()
-        payload, pairs = body(shard)
-        seconds = time.perf_counter() - t0
+        with obs.memory_delta() as mem:
+            t0 = time.perf_counter()
+            payload, pairs = body(shard)
+            seconds = time.perf_counter() - t0
         after = sweep_cache_info()
+        obs.add("sweep.kernel.pairs", pairs)
+        obs.add("sweep.kernel.shards")
+    counter_deltas = {
+        name: value - counters_before.get(name, 0)
+        for name, value in collector.counters.items()
+        if value != counters_before.get(name, 0)
+    }
+    if not was_enabled:
+        collector.disable()
     caches = {
         name: {
             "hits": after[name]["hits"] - before[name]["hits"],
@@ -636,6 +722,10 @@ def _instrumented(
         caches=caches,
         cache_enabled=shard.cache_enabled,
         pid=os.getpid(),
+        counters=counter_deltas,
+        counters_local=was_enabled,
+        mem_peak_bytes=mem["peak_bytes"],
+        mem_net_bytes=mem["net_bytes"],
     )
     return ShardOutcome(payload=payload, meta=meta)
 

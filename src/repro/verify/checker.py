@@ -28,6 +28,7 @@ observer function completing it belongs to the model.
 
 from __future__ import annotations
 
+import time
 from typing import Iterator
 
 from repro import obs
@@ -121,6 +122,7 @@ def trace_admits_lc(partial: PartialObserver) -> bool:
     comp = partial.comp
     locs = set(partial.locations) | set(comp.locations)
     with obs.span("verify.lc", nodes=comp.num_nodes, locs=len(locs)) as sp:
+        t0 = time.perf_counter()
         admitted = all(
             _location_admissible(comp, _constraints_with_writes(partial, loc))
             is not None
@@ -130,6 +132,7 @@ def trace_admits_lc(partial: PartialObserver) -> bool:
             sp.attrs["admitted"] = admitted
     if obs.enabled():
         obs.add("verify.lc.admitted" if admitted else "verify.lc.rejected")
+        obs.observe("verify.lc.seconds", time.perf_counter() - t0)
     return admitted
 
 
@@ -224,6 +227,7 @@ def trace_admits_sc(partial: PartialObserver) -> tuple[int, ...] | None:
     with constraints enforced only at constrained entries.
     """
     with obs.span("verify.sc", nodes=partial.comp.num_nodes) as sp:
+        t0 = time.perf_counter()
         witness = _trace_admits_sc_body(partial)
         if sp is not None:
             sp.attrs["admitted"] = witness is not None
@@ -231,6 +235,7 @@ def trace_admits_sc(partial: PartialObserver) -> tuple[int, ...] | None:
         obs.add(
             "verify.sc.admitted" if witness is not None else "verify.sc.rejected"
         )
+        obs.observe("verify.sc.seconds", time.perf_counter() - t0)
     return witness
 
 

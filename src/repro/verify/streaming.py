@@ -26,13 +26,21 @@ bounded by the writes to that location, not the trace length).
 
 Agreement with the batch checker on complete traces is property-tested;
 the bench measures the streaming cost per event on long executions.
+
+Observability: :meth:`StreamingLCVerifier.check_trace` runs under a
+``verify.streaming`` span, maintains ``verify.streaming.admitted`` /
+``.rejected`` verdict counters, and samples its wall time into the
+``verify.streaming.seconds`` histogram — mirroring the batch checker's
+``verify.lc`` telemetry so the two are directly comparable in traces.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro import obs
 from repro.core.ops import Op, Location
 from repro.runtime.trace import ExecutionTrace
 
@@ -184,15 +192,29 @@ class StreamingLCVerifier:
         order = trace.schedule.execution_order()
         new_id = {u: i for i, u in enumerate(order)}
         verifier = cls()
-        for u in order:
-            op = comp.op(u)
-            preds = [new_id[p] for p in comp.dag.predecessors(u)]
-            obs = observed.get(u)
-            # Observed writers always executed before the read (a memory
-            # can only return a value that exists), so their feed ids are
-            # already assigned.
-            obs_feed = None if obs is None else new_id[obs]
-            v = verifier.add_node(op, preds, obs_feed)
-            if v is not None:
-                return StreamingViolation(u, v.loc, v.reason)
-        return None
+        result: StreamingViolation | None = None
+        with obs.span("verify.streaming", nodes=comp.num_nodes) as sp:
+            t0 = time.perf_counter()
+            for u in order:
+                op = comp.op(u)
+                preds = [new_id[p] for p in comp.dag.predecessors(u)]
+                seen = observed.get(u)
+                # Observed writers always executed before the read (a
+                # memory can only return a value that exists), so their
+                # feed ids are already assigned.
+                seen_feed = None if seen is None else new_id[seen]
+                v = verifier.add_node(op, preds, seen_feed)
+                if v is not None:
+                    result = StreamingViolation(u, v.loc, v.reason)
+                    break
+            if sp is not None:
+                sp.attrs["admitted"] = result is None
+                sp.attrs["events"] = verifier.events
+        if obs.enabled():
+            obs.add(
+                "verify.streaming.admitted"
+                if result is None
+                else "verify.streaming.rejected"
+            )
+            obs.observe("verify.streaming.seconds", time.perf_counter() - t0)
+        return result

@@ -385,3 +385,105 @@ def _walk_spans(spans):
         sp = stack.pop()
         yield sp
         stack.extend(sp.get("children", ()))
+
+
+class TestChromeTrace:
+    def test_run_writes_perfetto_loadable_trace(self, capsys, tmp_path):
+        from repro.obs import validate_chrome_trace
+
+        path = tmp_path / "trace_chrome.json"
+        rc = main(
+            ["run", "--program", "fib", "--size", "6",
+             "--trace", str(path), "--trace-format", "chrome"]
+        )
+        capsys.readouterr()
+        assert rc == 0
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == []
+        complete = [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
+        assert any(ev["name"] == "execute" for ev in complete)
+
+    def test_reproduce_pool_trace_has_parallel_worker_tracks(
+        self, capsys, tmp_path
+    ):
+        from repro.obs import validate_chrome_trace
+
+        path = tmp_path / "repro_chrome.json"
+        rc = main(
+            ["reproduce", "--jobs", "2", "--trace", str(path),
+             "--trace-format", "chrome"]
+        )
+        capsys.readouterr()
+        assert rc == 0
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == []
+        pids = {
+            ev["pid"] for ev in doc["traceEvents"] if ev.get("ph") == "X"
+        }
+        assert len(pids) >= 2, (
+            f"pool sweep must fan out over ≥2 pid tracks, got {sorted(pids)}"
+        )
+
+    def test_mem_flag_attributes_bytes_to_execute_span(self, capsys, tmp_path):
+        path = tmp_path / "mem.json"
+        rc = main(
+            ["run", "--program", "fib", "--size", "6",
+             "--trace", str(path), "--mem"]
+        )
+        capsys.readouterr()
+        assert rc == 0
+        doc = json.loads(path.read_text())
+        executes = [
+            sp for sp in _walk_spans(doc["spans"]) if sp["name"] == "execute"
+        ]
+        assert executes
+        for sp in executes:
+            assert sp["attrs"]["mem_peak_bytes"] >= sp["attrs"]["mem_net_bytes"]
+            assert sp["attrs"]["mem_peak_bytes"] > 0
+
+
+class TestBench:
+    def _run(self, capsys, tmp_path, *extra):
+        ledger = tmp_path / "ledger.jsonl"
+        rc = main(
+            ["bench", "--quick", "--repeats", "2", "--warmup", "0",
+             "--only", "fig1-lattice,backer-overhead",
+             "--ledger", str(ledger), *extra]
+        )
+        out = capsys.readouterr().out
+        return rc, ledger, out
+
+    def test_quick_appends_schema_valid_records(self, capsys, tmp_path):
+        from repro.obs.ledger import read_ledger
+
+        rc, ledger, _ = self._run(capsys, tmp_path)
+        assert rc == 0
+        records = read_ledger(str(ledger), strict=True)
+        assert [r["benchmark"] for r in records] == [
+            "fig1-lattice", "backer-overhead",
+        ]
+        for rec in records:
+            assert rec["quick"] is True
+            assert rec["repeats"] == 2
+            assert len(rec["wall_seconds"]["runs"]) == 2
+
+    def test_unchanged_rerun_gates_flat(self, capsys, tmp_path):
+        rc1, ledger, _ = self._run(capsys, tmp_path)
+        assert rc1 == 0
+        rc2, _, out = self._run(capsys, tmp_path, "--compare")
+        assert rc2 == 0
+        assert "0 regression(s)" in out
+
+    def test_list_names_every_registered_benchmark(self, capsys, tmp_path):
+        rc = main(["bench", "--list"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("parallel-sweep", "races", "fig1-lattice",
+                     "streaming-verifier", "backer-overhead"):
+            assert name in out
+
+    def test_unknown_benchmark_is_a_clean_error(self, capsys, tmp_path):
+        rc = main(["bench", "--only", "no-such-bench"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "unknown benchmark" in err

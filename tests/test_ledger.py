@@ -1,0 +1,197 @@
+"""The performance ledger and its regression gate.
+
+``repro.obs.ledger`` promises (a) records that validate against the
+schema and survive a JSONL round-trip byte-for-byte, (b) refusal to
+append anything invalid, and (c) a gate whose verdicts are noise-aware:
+a genuine slowdown regresses, an improvement is celebrated, jitter
+within the history's own MAD never flaps the gate, and quick records
+never contaminate full baselines.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.ledger import (
+    DEFAULT_THRESHOLD,
+    DEFAULT_WINDOW,
+    append_records,
+    compare_records,
+    gate_ledger,
+    make_record,
+    read_ledger,
+    validate_record,
+)
+
+
+def _rec(name="sweep", p50=1.0, jitter=0.0, quick=False, **kw):
+    """A synthetic record whose three runs straddle ``p50 ± jitter``."""
+    runs = [p50 - jitter, p50, p50 + jitter]
+    return make_record(name, runs, quick=quick, **kw)
+
+
+# ---------------------------------------------------------------------------
+# Records: schema, round-trip, refusal
+# ---------------------------------------------------------------------------
+
+
+def test_make_record_is_schema_valid_and_round_trips(tmp_path):
+    rec = _rec(counters={"pairs": 510, "note": "dropped", "ok": True})
+    assert validate_record(rec) == []
+    # Non-numeric counter values are dropped, bools are not numbers.
+    assert rec["counters"] == {"pairs": 510}
+    path = tmp_path / "ledger.jsonl"
+    assert append_records(str(path), [rec]) == 1
+    assert read_ledger(str(path), strict=True) == [rec]
+    # Appending accumulates; order is preserved.
+    rec2 = _rec(p50=2.0)
+    append_records(str(path), [rec2])
+    assert read_ledger(str(path)) == [rec, rec2]
+
+
+def test_make_record_rejects_empty_runs():
+    with pytest.raises(ValueError):
+        make_record("empty", [])
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda r: r.pop("benchmark"),
+        lambda r: r.pop("wall_seconds"),
+        lambda r: r.__setitem__("schema", 99),
+        lambda r: r["wall_seconds"].pop("p50"),
+        lambda r: r["wall_seconds"].__setitem__("p50", "fast"),
+        lambda r: r.__setitem__("counters", ["not", "a", "dict"]),
+        lambda r: r.__setitem__("timestamp", 12345),
+    ],
+)
+def test_validate_record_rejects_mutations(mutate):
+    rec = _rec()
+    mutate(rec)
+    assert validate_record(rec) != []
+
+
+def test_append_refuses_invalid_batch_without_partial_write(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    good, bad = _rec(), _rec()
+    del bad["wall_seconds"]
+    with pytest.raises(ValueError):
+        append_records(str(path), [good, bad])
+    assert not path.exists() or path.read_text() == ""
+
+
+def test_read_ledger_skips_garbage_unless_strict(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    rec = _rec()
+    path.write_text(
+        "not json at all\n"
+        + json.dumps({"schema": 1, "benchmark": "broken"})
+        + "\n"
+        + json.dumps(rec, sort_keys=True)
+        + "\n"
+    )
+    assert read_ledger(str(path)) == [rec]
+    with pytest.raises(ValueError):
+        read_ledger(str(path), strict=True)
+
+
+# ---------------------------------------------------------------------------
+# The gate: verdicts on synthetic histories
+# ---------------------------------------------------------------------------
+
+
+def _history(p50s, name="sweep", jitter=0.0):
+    return [_rec(name, p50=p, jitter=jitter) for p in p50s]
+
+
+def test_gate_flags_a_clear_regression():
+    history = _history([1.0, 1.02, 0.98, 1.01, 0.99])
+    report = compare_records(history, [_rec(p50=2.0)])
+    (delta,) = report.deltas
+    assert delta.verdict == "regressed"
+    assert not report.ok
+    assert delta.baseline_p50 == pytest.approx(1.0, rel=0.05)
+
+
+def test_gate_celebrates_an_improvement():
+    history = _history([1.0, 1.02, 0.98, 1.01, 0.99])
+    report = compare_records(history, [_rec(p50=0.5)])
+    (delta,) = report.deltas
+    assert delta.verdict == "improved"
+    assert report.ok
+
+
+def test_gate_stays_flat_on_an_unchanged_rerun():
+    history = _history([1.0, 1.02, 0.98, 1.01, 0.99])
+    report = compare_records(history, [_rec(p50=1.01)])
+    assert report.deltas[0].verdict == "flat"
+    assert report.ok
+
+
+def test_gate_tolerates_noisy_histories():
+    # Swings of ±40% around 0.8s: the MAD guard keeps a 1.1s sample —
+    # nominally +37% over the median — from tripping the gate.
+    history = _history([0.5, 1.1, 0.6, 1.0, 0.8])
+    report = compare_records(history, [_rec(p50=1.1)])
+    assert report.deltas[0].verdict == "flat"
+    assert report.ok
+
+
+def test_gate_marks_unknown_benchmarks_new():
+    report = compare_records([], [_rec("never-seen", p50=1.0)])
+    (delta,) = report.deltas
+    assert delta.verdict == "new"
+    assert delta.baseline_p50 is None
+    assert report.ok
+
+
+def test_gate_never_compares_quick_against_full():
+    # A full history must not baseline a quick candidate (and vice
+    # versa): quick problem sizes are 10x smaller, every quick run would
+    # read "improved" and every full run "regressed".
+    history = _history([1.0] * 5)
+    report = compare_records(history, [_rec(p50=0.1, quick=True)])
+    assert report.deltas[0].verdict == "new"
+
+
+def test_gate_window_uses_only_recent_history():
+    # Ancient 10s records fell out of the window: only the last 5 count.
+    history = _history([10.0, 10.0, 1.0, 1.0, 1.0, 1.0, 1.0])
+    report = compare_records(history, [_rec(p50=1.05)], window=5)
+    assert report.deltas[0].verdict == "flat"
+
+
+def test_gate_ledger_last_record_shape(tmp_path):
+    # Without a candidate file the newest record per benchmark is the
+    # candidate and the earlier ones are its history.
+    path = tmp_path / "ledger.jsonl"
+    append_records(str(path), _history([1.0, 1.0, 1.0, 1.0]) + [_rec(p50=3.0)])
+    report = gate_ledger(str(path))
+    assert [d.verdict for d in report.deltas] == ["regressed"]
+
+    report = gate_ledger(str(path), threshold=250.0)
+    assert report.ok, "a huge threshold must swallow the regression"
+
+
+def test_gate_ledger_candidate_file_shape(tmp_path):
+    history_path = tmp_path / "ledger.jsonl"
+    fresh_path = tmp_path / "fresh.jsonl"
+    append_records(str(history_path), _history([1.0] * 5))
+    append_records(str(fresh_path), [_rec(p50=0.99)])
+    report = gate_ledger(str(history_path), candidate_path=str(fresh_path))
+    assert [d.verdict for d in report.deltas] == ["flat"]
+
+
+def test_gate_report_renders_both_formats():
+    history = _history([1.0] * 5)
+    report = compare_records(
+        history, [_rec(p50=2.0)], window=DEFAULT_WINDOW,
+        threshold=DEFAULT_THRESHOLD,
+    )
+    text = report.render()
+    md = report.render(markdown=True)
+    assert "regressed" in text and "regression(s)" in text
+    assert md.startswith("| benchmark |") and "regressed" in md

@@ -257,3 +257,191 @@ def test_global_now_is_monotonic():
     t0 = obs.now()
     t1 = obs.now()
     assert 0.0 <= t0 <= t1
+
+
+# ---------------------------------------------------------------------------
+# Histograms: streaming log-bucket percentiles vs a brute-force oracle
+# ---------------------------------------------------------------------------
+
+
+def _oracle_percentile(samples, q):
+    """Nearest-rank percentile (q in [0, 100]) over the exact samples."""
+    import math
+
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@pytest.mark.parametrize(
+    "samples",
+    [
+        [0.001 * (i % 97 + 1) for i in range(1, 500)],
+        [10.0 ** (i % 7 - 3) for i in range(200)],
+        [1e-9, 1.0, 1e9],
+        [42.0],
+    ],
+)
+def test_histogram_percentiles_match_sorted_oracle(samples):
+    from repro.obs import Histogram
+
+    h = Histogram()
+    for s in samples:
+        h.record(s)
+    assert h.count == len(samples)
+    assert h.min == min(samples)
+    assert h.max == max(samples)
+    assert h.total == pytest.approx(sum(samples))
+    # One log-bucket spans a factor of 2**(1/8), so a bucket-midpoint
+    # readback is within ~4.5% relative error of the exact rank value.
+    for q in (50.0, 90.0, 99.0):
+        exact = _oracle_percentile(samples, q)
+        approx = h.percentile(q)
+        assert approx == pytest.approx(exact, rel=Histogram.BASE - 1.0)
+
+
+def test_histogram_zeros_merge_and_round_trip():
+    from repro.obs import Histogram
+
+    a, b = Histogram(), Histogram()
+    for v in (0.0, -1.0, 0.5, 2.0):
+        a.record(v)
+    for v in (4.0, 8.0):
+        b.record(v)
+    a.merge(b)
+    assert a.count == 6 and a.zeros == 2
+    assert a.max == 8.0 and a.min == -1.0
+    back = Histogram.from_dict(a.to_dict())
+    assert back.to_dict() == a.to_dict()
+    assert back.percentile(50.0) == a.percentile(50.0)
+
+
+def test_observe_creates_named_histograms_only_while_enabled():
+    o = Observability()
+    o.observe("h", 1.0)
+    assert o.histograms == {}
+    o.enable()
+    o.observe("h", 1.0)
+    o.observe("h", 2.0)
+    assert o.histograms["h"].count == 2
+    assert "histograms" in o.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# Memory spans: double-gated, peak >= net, no-op when disabled
+# ---------------------------------------------------------------------------
+
+
+def test_mem_span_is_noop_without_collector_and_without_mem():
+    assert obs.mem_span("x") is NULL_SPAN  # collector disabled
+    obs.enable()
+    try:
+        with obs.mem_span("x") as sp:
+            pass
+        # Memory gate off: plain span, no tracemalloc attribution.
+        assert "mem_peak_bytes" not in sp.attrs
+    finally:
+        obs.disable()
+
+
+def test_mem_span_attributes_peak_at_least_net():
+    obs.enable()
+    obs.enable_memory()
+    try:
+        with obs.mem_span("alloc") as sp:
+            block = [bytearray(64 * 1024) for _ in range(8)]
+            del block  # freed before exit: net falls, peak stays
+        assert sp.attrs["mem_peak_bytes"] >= sp.attrs["mem_net_bytes"]
+        assert sp.attrs["mem_peak_bytes"] >= 8 * 64 * 1024
+    finally:
+        obs.disable_memory()
+        obs.disable()
+
+
+def test_memory_delta_yields_zeros_when_disabled():
+    assert not obs.mem_enabled()
+    with obs.memory_delta() as mem:
+        _ = bytearray(1024)
+    assert mem == {"peak_bytes": 0, "net_bytes": 0}
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event export
+# ---------------------------------------------------------------------------
+
+
+def _worker_span(pid, seconds, **attrs):
+    return Span(
+        name="shard",
+        attrs={"pid": pid, **attrs},
+        start=0.0,
+        duration=seconds,
+    )
+
+
+def test_chrome_export_places_workers_on_their_own_tracks():
+    from repro.obs import export_chrome, validate_chrome_trace
+
+    o = Observability()
+    o.enable()
+    with o.span("sweep:test") as sweep:
+        pass
+    sweep.children.extend(
+        [
+            _worker_span(101, 0.25, n=3),
+            _worker_span(102, 0.50, n=3),
+            _worker_span(101, 0.10, n=2),
+        ]
+    )
+    o.add("sweep.pairs", 7)
+    doc = json.loads(export_chrome(o))
+    assert validate_chrome_trace(doc) == []
+    events = doc["traceEvents"]
+    complete = [ev for ev in events if ev["ph"] == "X"]
+    pids = {ev["pid"] for ev in complete}
+    assert {101, 102} <= pids, "worker spans must land on per-pid tracks"
+    # Same-worker spans lay head-to-tail: no overlap on track 101.
+    w101 = sorted(
+        (ev for ev in complete if ev["pid"] == 101), key=lambda e: e["ts"]
+    )
+    assert len(w101) == 2
+    assert w101[0]["ts"] + w101[0]["dur"] <= w101[1]["ts"]
+    # Counters ride along as "C" events, metadata names the processes.
+    assert any(ev["ph"] == "C" for ev in events)
+    assert any(ev["ph"] == "M" for ev in events)
+
+
+def test_chrome_export_timestamps_non_negative_and_monotonic():
+    from repro.obs import export_chrome, validate_chrome_trace
+
+    obs.enable()
+    try:
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        obs.warning("something happened", code=7)
+        doc = json.loads(export_chrome())
+    finally:
+        obs.disable()
+    assert validate_chrome_trace(doc) == []
+    ts = [ev["ts"] for ev in doc["traceEvents"]]
+    assert all(t >= 0 for t in ts)
+    assert ts == sorted(ts)
+
+
+def test_validate_chrome_trace_rejects_malformed_documents():
+    from repro.obs import validate_chrome_trace
+
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({"traceEvents": "nope"}) != []
+    no_dur = {
+        "traceEvents": [{"name": "x", "ph": "X", "ts": 0, "pid": 1, "tid": 1}]
+    }
+    assert any("dur" in p for p in validate_chrome_trace(no_dur))
+    backwards = {
+        "traceEvents": [
+            {"name": "a", "ph": "X", "ts": 10, "dur": 1, "pid": 1, "tid": 1},
+            {"name": "b", "ph": "X", "ts": 5, "dur": 1, "pid": 1, "tid": 1},
+        ]
+    }
+    assert any("backwards" in p for p in validate_chrome_trace(backwards))

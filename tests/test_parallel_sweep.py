@@ -361,3 +361,79 @@ def test_sweep_stats_span_grafted_into_live_trace():
     finally:
         obs.disable()
         obs.reset()
+
+
+def _counter_totals(shards, jobs):
+    """Counter + histogram totals of one run_shards pass under a tracer."""
+    from functools import partial
+
+    obs.reset()
+    obs.enable()
+    try:
+        _, stats = run_shards(
+            partial(inclusion_kernel, names=("SC", "LC")),
+            shards,
+            jobs=jobs,
+            label="parity",
+        )
+        counters = dict(obs.counters())
+        hist = {k: v.to_dict() for k, v in obs.histograms().items()}
+    finally:
+        obs.disable()
+        obs.reset()
+    return counters, hist, stats
+
+
+def test_worker_counters_survive_the_pool():
+    """Counters incremented inside pool workers reach the parent trace.
+
+    Before the fix, ``obs.add`` calls in a ProcessPoolExecutor worker
+    landed in the worker's (forked or spawned) collector copy and died
+    with the process, so ``--trace --jobs 4`` silently under-reported
+    every kernel-side counter.  The shard metas now carry the worker
+    counter deltas home and ``_record_sweep`` merges them exactly once:
+    jobs=1 and jobs=4 runs over the *same* shard list must report
+    identical totals for every non-cache counter.  (Cache hit/miss
+    counters legitimately differ — a warm serial process vs cold
+    workers — so they are excluded.)
+    """
+    obs.enable()  # make_shards snapshots the tracer flag into the specs
+    try:
+        shards = make_shards(SWEEP, jobs=4)
+    finally:
+        obs.disable()
+    assert all(s.obs_enabled for s in shards)
+
+    serial_counters, serial_hist, _ = _counter_totals(shards, jobs=1)
+    pool_counters, pool_hist, stats = _counter_totals(shards, jobs=4)
+    assert stats.mode.startswith("process-pool")
+
+    strip = lambda c: {  # noqa: E731
+        k: v for k, v in c.items() if not k.startswith("sweep.cache.")
+    }
+    assert strip(pool_counters) == strip(serial_counters)
+    # The kernel-side counters are the ones that used to vanish.
+    assert pool_counters["sweep.kernel.shards"] == len(shards)
+    assert pool_counters["sweep.kernel.pairs"] == pool_counters["sweep.pairs"]
+    # Every shard contributed one sample to the wall-time histogram.
+    assert serial_hist["sweep.shard_seconds"]["count"] == len(shards)
+    assert pool_hist["sweep.shard_seconds"]["count"] == len(shards)
+
+
+def test_worker_counters_not_double_counted_on_crash_retry():
+    """A BrokenProcessPool retry re-runs shards in the parent, where the
+    collector is already live — merging those metas again would double
+    count.  The pid check in ``_record_sweep`` must keep totals exact."""
+    obs.enable()
+    try:
+        shards = make_shards(SWEEP, jobs=2)
+        _, stats = run_shards(
+            _crashy_inclusion_kernel, shards, jobs=2, label="crash-parity"
+        )
+        counters = dict(obs.counters())
+    finally:
+        obs.disable()
+        obs.reset()
+    assert stats.retried_shards > 0
+    assert counters["sweep.kernel.shards"] == len(shards)
+    assert counters["sweep.kernel.pairs"] == counters["sweep.pairs"]
