@@ -16,6 +16,11 @@ wall where it does not:
 * **SC search**: the LC prefilter (SC ⊆ LC) short-circuits rejections
   before the exponential search runs.
 * **Linear-extension counting**: downset DP vs. full enumeration.
+
+Legacy pytest-benchmark suite: intentionally *not* registered in
+``registry.py`` (no ``run(check, quick)`` entrypoint), so ``repro
+bench`` and the perf ledger skip it; run it directly with
+``pytest benchmarks/bench_ablation_algorithms.py``.
 """
 
 import pytest

@@ -5,6 +5,11 @@
 each strict edge of the lattice, enumerate *all minimal* separating
 behaviours.  The paper's hand-crafted figures reappear as catalog
 entries, and the counts quantify how rare each anomaly class is.
+
+Legacy pytest-benchmark suite: intentionally *not* registered in
+``registry.py`` (no ``run(check, quick)`` entrypoint), so ``repro
+bench`` and the perf ledger skip it; run it directly with
+``pytest benchmarks/bench_anomaly_catalog.py``.
 """
 
 import pytest

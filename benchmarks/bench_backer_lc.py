@@ -10,6 +10,11 @@ post mortem with the polynomial LC checker; we also confirm that
   gap on "hardware" rather than on paper), and
 * breaking the protocol (fault injection) produces traces the verifier
   rejects — i.e. the checker has power, not just soundness.
+
+Legacy pytest-benchmark suite: intentionally *not* registered in
+``registry.py`` (no ``run(check, quick)`` entrypoint), so ``repro
+bench`` and the perf ledger skip it; run it directly with
+``pytest benchmarks/bench_backer_lc.py``.
 """
 
 import pytest

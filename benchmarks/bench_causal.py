@@ -10,6 +10,11 @@ place in the landscape:
   dag-consistent model (witnesses both ways at ≤ 4 nodes / 2 nodes);
 * constructibility: augmentation-closed (an online memory can always
   observe a κ-maximal write) — so CC, like LC, is implementable exactly.
+
+Legacy pytest-benchmark suite: intentionally *not* registered in
+``registry.py`` (no ``run(check, quick)`` entrypoint), so ``repro
+bench`` and the perf ledger skip it; run it directly with
+``pytest benchmarks/bench_causal.py``.
 """
 
 from repro.lang import LITMUS_TESTS, litmus_outcome_allowed

@@ -93,3 +93,41 @@ def test_closure_large_scale(benchmark):
 
     mask = benchmark.pedantic(closure, rounds=1)
     assert mask  # the root reaches something
+
+
+def run(check: bool = True, quick: bool = False) -> dict:
+    """Unified-runner entrypoint (``repro bench``, see registry.py).
+
+    Times the polynomial checkers (LC membership and post-mortem trace
+    verification) on the larger bundled computations.  Quick mode uses
+    fib(10) only; full mode adds fib(13) and the 16×8 stencil.
+    """
+    import time
+
+    names = ["fib(10)"] if quick else sorted(SIZES)
+    lc_seconds = trace_seconds = 0.0
+    nodes = constraints = 0
+    for name in names:
+        comp = SIZES[name]
+        nodes += comp.num_nodes
+        phi = last_writer_function(comp, comp.dag.topological_order)
+        t0 = time.perf_counter()
+        ok = LC.contains(comp, phi)
+        lc_seconds += time.perf_counter() - t0
+        if check:
+            assert ok, f"{name}: last-writer observer must be in LC"
+        sched = work_stealing_schedule(comp, 8, rng=1)
+        trace = execute(sched, BackerMemory())
+        po = trace.partial_observer()
+        constraints += po.num_constraints()
+        t0 = time.perf_counter()
+        ok = trace_admits_lc(po)
+        trace_seconds += time.perf_counter() - t0
+        if check:
+            assert ok, f"{name}: BACKER trace must verify against LC"
+    return {
+        "lc_membership_seconds": round(lc_seconds, 4),
+        "trace_verify_seconds": round(trace_seconds, 4),
+        "nodes": nodes,
+        "trace_constraints": constraints,
+    }

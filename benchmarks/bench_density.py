@@ -6,6 +6,11 @@ bounded universe.  The counts must order exactly as the lattice does —
 a full quantitative re-verification of every inclusion — and the
 fractions show the price of strength (SC admits a small fraction of the
 behaviours WW allows).
+
+Legacy pytest-benchmark suite: intentionally *not* registered in
+``registry.py`` (no ``run(check, quick)`` entrypoint), so ``repro
+bench`` and the perf ledger skip it; run it directly with
+``pytest benchmarks/bench_density.py``.
 """
 
 from repro.analysis.density import measure_density, render_density

@@ -11,6 +11,11 @@ consequence and its classical fix, with the LC verifier as the judge:
 * granularity sweep: fewer pages ⇒ fewer page transfers but (in clobber
   mode) more corruption; diff mode keeps correctness flat while the
   transfer counts drop — the coarse-granularity bargain made safe.
+
+Legacy pytest-benchmark suite: intentionally *not* registered in
+``registry.py`` (no ``run(check, quick)`` entrypoint), so ``repro
+bench`` and the perf ledger skip it; run it directly with
+``pytest benchmarks/bench_false_sharing.py``.
 """
 
 import pytest

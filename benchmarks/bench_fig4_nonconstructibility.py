@@ -82,3 +82,44 @@ def test_constructible_models_never_stuck(benchmark, sweep_universe):
 
     result = benchmark.pedantic(sweep, rounds=1)
     assert result == {"SC": None, "LC": None, "WW": None}
+
+
+def run(check: bool = True, quick: bool = False) -> dict:
+    """Unified-runner entrypoint (``repro bench``, see registry.py).
+
+    Times the Theorem-12 witness search that rediscovers Figure 4 (NN
+    stuck at ≤ 4 nodes).  Quick mode checks the fixed Figure 4 pair's
+    blocking profile only.
+    """
+    import time
+
+    from repro.models import Universe
+    from repro.runtime.parallel import clear_sweep_caches
+
+    comp, phi = figure4_pair()
+    if check:
+        assert NN.contains(comp, phi)
+        blocked = {
+            repr(o): can_extend_to_augmentation(NN, comp, phi, o)
+            for o in [R("x"), NOP, W("x")]
+        }
+        assert blocked == {"R('x')": False, "N": False, "W('x')": True}, (
+            "Figure 4 blocking profile deviates"
+        )
+    if quick:
+        return {"search_seconds": 0.0, "witness_nodes": comp.num_nodes}
+
+    witness_universe = Universe(
+        max_nodes=4, locations=("x",), include_nop=False
+    )
+    clear_sweep_caches()
+    t0 = time.perf_counter()
+    wit = find_nonconstructibility_witness(NN, witness_universe)
+    seconds = time.perf_counter() - t0
+    if check:
+        assert wit is not None, "NN must be stuck somewhere at n ≤ 4"
+        assert wit.comp.num_nodes <= 4
+    return {
+        "search_seconds": round(seconds, 4),
+        "witness_nodes": wit.comp.num_nodes if wit else 0,
+    }

@@ -12,6 +12,11 @@ measures the refinement:
 
 The "traces until SC eliminated" count is the empirical cost of
 distinguishing SC from LC by observation alone.
+
+Legacy pytest-benchmark suite: intentionally *not* registered in
+``registry.py`` (no ``run(check, quick)`` entrypoint), so ``repro
+bench`` and the perf ledger skip it; run it directly with
+``pytest benchmarks/bench_inference.py``.
 """
 
 from repro.lang import racy_counter_computation, store_buffer_computation

@@ -76,3 +76,29 @@ def test_full_table(benchmark):
             + "".join(f"{'yes' if v else 'no':>6}" for v in row)
         )
     assert result == EXPECTED
+
+
+def run(check: bool = True, quick: bool = False) -> dict:
+    """Unified-runner entrypoint (``repro bench``, see registry.py).
+
+    Times the full litmus table (all tests × all six models).  Quick
+    mode classifies only the first three tests; ``check`` compares every
+    classified row against the expected table.
+    """
+    import time
+
+    tests = LITMUS_TESTS[:3] if quick else LITMUS_TESTS
+    t0 = time.perf_counter()
+    table = {
+        t.name: tuple(litmus_outcome_allowed(t, m) for m in MODELS)
+        for t in tests
+    }
+    seconds = time.perf_counter() - t0
+    if check:
+        for name, row in table.items():
+            assert row == EXPECTED[name], f"litmus row {name} deviates"
+    return {
+        "table_seconds": round(seconds, 4),
+        "tests": len(table),
+        "allowed_outcomes": sum(sum(row) for row in table.values()),
+    }

@@ -12,6 +12,11 @@ bench exercises the implementation in :mod:`repro.locks` end to end:
 * the DRF guarantee (reads of every LockRC behaviour are SC-explainable
   on the witnessing serialization) is swept over all serializations and
   all LC observers of a locked workload.
+
+Legacy pytest-benchmark suite: intentionally *not* registered in
+``registry.py`` (no ``run(check, quick)`` entrypoint), so ``repro
+bench`` and the perf ledger skip it; run it directly with
+``pytest benchmarks/bench_locks_drf.py``.
 """
 
 from repro.core import ObserverFunction, last_writer_function

@@ -13,6 +13,11 @@ the bounded greatest fixpoints and reports what they say:
   final node may keep observing that write.
 * Under this library's (formal-table) reading WN is constructible, so
   ``WN* = WN ⊋ LC`` resolves outright, witnessed by Figure 3's pair.
+
+Legacy pytest-benchmark suite: intentionally *not* registered in
+``registry.py`` (no ``run(check, quick)`` entrypoint), so ``repro
+bench`` and the perf ledger skip it; run it directly with
+``pytest benchmarks/bench_open_problems.py``.
 """
 
 from repro.analysis.open_problems import explore_star_vs_lc, render_star_report

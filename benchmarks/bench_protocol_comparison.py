@@ -19,6 +19,11 @@ schedules and counts coherence messages (lines moved + invalidations):
 
 Both protocols are post-mortem verified on every run: directory traces
 must be SC, BACKER traces must be LC.
+
+Legacy pytest-benchmark suite: intentionally *not* registered in
+``registry.py`` (no ``run(check, quick)`` entrypoint), so ``repro
+bench`` and the perf ledger skip it; run it directly with
+``pytest benchmarks/bench_protocol_comparison.py``.
 """
 
 from repro.lang import fib_computation, racy_counter_computation

@@ -12,6 +12,11 @@ across processor counts and seeds), one verdict.
 * A racy program's reads-from may vary with the schedule, but the LC
   verdict never does — the model is a property of the protocol and the
   computation, not of the placement.
+
+Legacy pytest-benchmark suite: intentionally *not* registered in
+``registry.py`` (no ``run(check, quick)`` entrypoint), so ``repro
+bench`` and the perf ledger skip it; run it directly with
+``pytest benchmarks/bench_schedule_independence.py``.
 """
 
 from repro.lang import racy_counter_computation, tree_sum_computation

@@ -16,6 +16,11 @@ the membership-algorithm cross-checks on each sample:
 A single violated assertion would be a soundness bug; thousands of
 clean samples at sizes 2–3× the exhaustive bound are the statistical
 complement to the bounded proofs.
+
+Legacy pytest-benchmark suite: intentionally *not* registered in
+``registry.py`` (no ``run(check, quick)`` entrypoint), so ``repro
+bench`` and the perf ledger skip it; run it directly with
+``pytest benchmarks/bench_statistical_sweep.py``.
 """
 
 import random

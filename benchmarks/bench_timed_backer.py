@@ -17,6 +17,11 @@ The reproduced shapes:
   evaluate BACKER on coarse-grained applications and why protocol
   traffic terms (``m·C·T∞``) appear in the [BFJ+96a] bounds.
 * ``T_1`` is independent of ``m`` (a lone processor never communicates).
+
+Legacy pytest-benchmark suite: intentionally *not* registered in
+``registry.py`` (no ``run(check, quick)`` entrypoint), so ``repro
+bench`` and the perf ledger skip it; run it directly with
+``pytest benchmarks/bench_timed_backer.py``.
 """
 
 import pytest

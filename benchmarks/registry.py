@@ -66,6 +66,42 @@ MANIFEST = (
         50,
         "BACKER speedup shape and protocol traffic vs processors",
     ),
+    BenchmarkSpec(
+        "thm23-lc-equals-nn-star",
+        "bench_thm23_lc_equals_nn_star",
+        60,
+        "Theorem 23: LC ⊆ NN sweep + one-step pruning of NN \\ LC",
+    ),
+    BenchmarkSpec(
+        "thm19-sc-lc-constructible",
+        "bench_thm19_sc_lc_constructible",
+        70,
+        "Theorem 19: completeness/monotonicity/constructibility of SC, LC",
+    ),
+    BenchmarkSpec(
+        "fig2-fig3-witnesses",
+        "bench_fig2_fig3_witnesses",
+        80,
+        "Figures 2–3: separating-witness searches between dag models",
+    ),
+    BenchmarkSpec(
+        "fig4-nonconstructibility",
+        "bench_fig4_nonconstructibility",
+        90,
+        "Figure 4: the Theorem-12 search that finds NN stuck",
+    ),
+    BenchmarkSpec(
+        "litmus",
+        "bench_litmus",
+        100,
+        "litmus-outcome table: the model zoo on classical litmus shapes",
+    ),
+    BenchmarkSpec(
+        "checkers-scaling",
+        "bench_checkers_scaling",
+        110,
+        "polynomial checkers (LC membership, trace verify) at scale",
+    ),
 )
 
 

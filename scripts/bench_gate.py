@@ -6,7 +6,8 @@ the newest record of each benchmark regressed against its own history:
 the baseline is the *median* wall-p50 of the last K records (default 5)
 and the noise floor is their MAD — a candidate only fails when it is
 both ``--threshold`` (default 25%) slower than the baseline *and* more
-than 3×MAD outside it, so noisy benchmarks don't flap the gate.
+than ``max(3 × MAD, 5 ms)`` outside it, so neither noisy benchmarks nor
+millisecond-scale quick benchmarks flap the gate.
 
 Two shapes:
 

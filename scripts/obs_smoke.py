@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """CI smoke check for the observability layer.
 
-Two checks, both exercised by the ``obs-smoke`` CI job:
+Four checks, all exercised by the ``obs-smoke`` CI job:
 
 1. ``python scripts/obs_smoke.py validate TRACE.json`` — the file is a
    structurally valid trace document (``repro.obs.validate_trace``),
@@ -20,6 +20,17 @@ Two checks, both exercised by the ``obs-smoke`` CI job:
    pool must report **zero** cache consultations from its workers (the
    flag travels inside each ``ShardSpec``; before the fix workers
    silently re-enabled caching, poisoning uncached baselines).
+3. ``python scripts/obs_smoke.py replay JOURNAL.jsonl [--expect-aborted]``
+   — the crash-recovery contract: ``repro.obs.replay_journal`` must turn
+   the journal (including one torn mid-record by ``kill -9``) into a
+   trace that passes ``validate_trace`` *and* ``validate_chrome_trace``;
+   with ``--expect-aborted`` the journal must additionally be a torn one
+   (non-clean shutdown, at least one span recovered as ``aborted``).
+4. ``python scripts/obs_smoke.py prom METRICS.txt`` — the Prometheus
+   exposition shape: at least one ``# TYPE`` line, every ``# TYPE`` is
+   counter/gauge/histogram, every sample line parses with a finite
+   non-negative value, and histogram ``_bucket`` series are cumulative
+   (monotone non-decreasing in ``le``, capped by ``+Inf``).
 
 Exit code 0 on success, 1 with a diagnostic on the first failure.
 """
@@ -154,6 +165,128 @@ def check_uncached() -> int:
     return 0
 
 
+def check_replay(path: str, expect_aborted: bool) -> int:
+    from repro.obs import (
+        replay_journal,
+        validate_chrome_trace,
+        validate_trace,
+    )
+    from repro.obs.export import export_chrome
+
+    replay = replay_journal(path)
+    problems = validate_trace(replay.to_trace_dict())
+    if problems:
+        for p in problems:
+            print(f"obs-smoke: replayed trace invalid: {p}", file=sys.stderr)
+        return 1
+    chrome = json.loads(export_chrome(replay.obs))
+    problems = validate_chrome_trace(chrome)
+    if problems:
+        for p in problems:
+            print(
+                f"obs-smoke: replayed chrome trace invalid: {p}",
+                file=sys.stderr,
+            )
+        return 1
+    if expect_aborted:
+        if replay.clean:
+            print(
+                "obs-smoke: journal closed cleanly but a torn (kill -9) "
+                "journal was expected — the crash did not land mid-sweep",
+                file=sys.stderr,
+            )
+            return 1
+        if not replay.aborted:
+            print(
+                "obs-smoke: torn journal recovered but no span was marked "
+                "aborted — the crash left no dangling work?",
+                file=sys.stderr,
+            )
+            return 1
+    shutdown = "clean" if replay.clean else "torn"
+    print(
+        f"obs-smoke: replay OK — {replay.records} records ({shutdown} "
+        f"shutdown), {replay.dropped} dropped line(s), "
+        f"{len(replay.aborted)} span(s) recovered as aborted "
+        f"{replay.aborted}"
+    )
+    return 0
+
+
+def check_prom(path: str) -> int:
+    with open(path) as f:
+        text = f.read()
+    types: dict[str, str] = {}
+    buckets: dict[str, list[tuple[float, float]]] = {}
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram"
+            ):
+                print(
+                    f"obs-smoke: bad TYPE line {lineno}: {line!r}",
+                    file=sys.stderr,
+                )
+                return 1
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        try:
+            name_part, value_part = line.rsplit(" ", 1)
+            value = float(value_part)
+        except ValueError:
+            print(
+                f"obs-smoke: unparsable sample line {lineno}: {line!r}",
+                file=sys.stderr,
+            )
+            return 1
+        if value != value or value < 0:
+            print(
+                f"obs-smoke: negative/NaN sample on line {lineno}: {line!r}",
+                file=sys.stderr,
+            )
+            return 1
+        samples += 1
+        if "_bucket{le=" in name_part:
+            metric, le_part = name_part.split("_bucket{le=", 1)
+            le_text = le_part.rstrip("}").strip('"')
+            le = float("inf") if le_text == "+Inf" else float(le_text)
+            buckets.setdefault(metric, []).append((le, value))
+    if not types:
+        print("obs-smoke: no # TYPE lines in exposition", file=sys.stderr)
+        return 1
+    if not samples:
+        print("obs-smoke: no sample lines in exposition", file=sys.stderr)
+        return 1
+    for metric, series in buckets.items():
+        ordered = sorted(series, key=lambda pair: pair[0])
+        counts = [count for _, count in ordered]
+        if counts != sorted(counts):
+            print(
+                f"obs-smoke: histogram {metric} buckets are not cumulative: "
+                f"{ordered}",
+                file=sys.stderr,
+            )
+            return 1
+        if ordered[-1][0] != float("inf"):
+            print(
+                f"obs-smoke: histogram {metric} is missing its +Inf bucket",
+                file=sys.stderr,
+            )
+            return 1
+    print(
+        f"obs-smoke: prometheus exposition OK — {len(types)} metrics "
+        f"({sum(1 for t in types.values() if t == 'histogram')} histograms), "
+        f"{samples} samples, all buckets cumulative"
+    )
+    return 0
+
+
 def main(argv: list[str]) -> int:
     if len(argv) >= 2 and argv[0] == "validate":
         min_pids = 1
@@ -166,9 +299,19 @@ def main(argv: list[str]) -> int:
         return check_trace(argv[1], min_pids)
     if argv == ["uncached"]:
         return check_uncached()
+    if len(argv) >= 2 and argv[0] == "replay":
+        rest = argv[2:]
+        if rest not in ([], ["--expect-aborted"]):
+            print(f"obs-smoke: unknown arguments {rest}", file=sys.stderr)
+            return 2
+        return check_replay(argv[1], expect_aborted=bool(rest))
+    if len(argv) == 2 and argv[0] == "prom":
+        return check_prom(argv[1])
     print(
         "usage: obs_smoke.py validate TRACE.json [--min-pids N] | "
-        "obs_smoke.py uncached",
+        "obs_smoke.py uncached | "
+        "obs_smoke.py replay JOURNAL.jsonl [--expect-aborted] | "
+        "obs_smoke.py prom METRICS.txt",
         file=sys.stderr,
     )
     return 2

@@ -26,10 +26,20 @@ Commands
     performance ledger (``BENCH_LEDGER.jsonl``).  ``--compare`` gates
     the run against the ledger's history (exit 2 on a noise-adjusted
     wall-clock regression) — built for CI.
+``obs``
+    Post-hoc telemetry tooling: ``obs replay`` reconstructs a valid
+    trace from a crash-safe ``--journal`` spool (even one torn by
+    ``kill -9``, dangling spans closed as aborted), ``obs export``
+    re-renders a trace or journal as Prometheus text, JSON, Chrome
+    trace-events, or a human profile.
 
 Every subcommand accepts ``--trace FILE`` (``--trace-format chrome``
 produces a Chrome trace-event file that ui.perfetto.dev renders as
 per-process tracks) and ``--mem`` (tracemalloc attribution on spans).
+The same commands take the live telemetry flags: ``--journal FILE``
+(crash-safe JSONL event spool), ``--live`` (per-worker TTY status
+board), and ``--metrics-port PORT`` (Prometheus endpoint for the
+duration of the command).
 
 Examples::
 
@@ -42,6 +52,9 @@ Examples::
     python -m repro lint /tmp/computation.json --engine closure
     python -m repro reproduce --jobs 2 --trace out.json --trace-format chrome
     python -m repro bench --quick --compare
+    python -m repro reproduce --jobs 4 --journal sweep.jsonl --live
+    python -m repro obs replay sweep.jsonl --format json --out recovered.json
+    python -m repro obs export sweep.jsonl --format prom
 """
 
 from __future__ import annotations
@@ -110,6 +123,22 @@ def _add_obs_args(
         "--mem", action="store_true", dest="obs_mem",
         help="attribute tracemalloc peak/net memory to spans "
              "(slows execution; implies nothing without --trace/--profile)",
+    )
+    sp.add_argument(
+        "--journal", metavar="FILE", default=None, dest="obs_journal",
+        help="spool every observability event to FILE as it happens "
+             "(crash-safe JSONL; recover with `repro obs replay FILE`)",
+    )
+    sp.add_argument(
+        "--live", action="store_true", dest="obs_live",
+        help="render a live per-worker status board on stderr "
+             "(auto-disabled when stderr is not a TTY)",
+    )
+    sp.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        dest="obs_metrics_port",
+        help="serve Prometheus metrics at http://127.0.0.1:PORT/metrics "
+             "for the duration of the command (0 = ephemeral port)",
     )
     if profile_flag:
         sp.add_argument(
@@ -254,6 +283,33 @@ def build_parser() -> argparse.ArgumentParser:
     ben.add_argument("--benchmarks-dir", default="benchmarks",
                      help="directory holding registry.py and bench_*.py "
                           "(default ./benchmarks)")
+    _add_obs_args(ben)
+
+    obs_p = sub.add_parser(
+        "obs",
+        help="offline observability tooling: re-render traces, "
+             "replay crash journals",
+    )
+    obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
+    exp = obs_sub.add_parser(
+        "export",
+        help="re-render a trace JSON or event journal in another format",
+    )
+    exp.add_argument("path", help="a --trace JSON file or a --journal spool")
+    exp.add_argument("--format", choices=["prom", "json", "chrome", "text"],
+                     default="prom",
+                     help="output format (default: Prometheus text)")
+    exp.add_argument("--out", default=None, metavar="FILE",
+                     help="write here instead of stdout")
+    rep_j = obs_sub.add_parser(
+        "replay",
+        help="reconstruct a trace from an event journal "
+             "(tolerates a journal torn by kill -9)",
+    )
+    rep_j.add_argument("journal", help="JSONL file written by --journal")
+    rep_j.add_argument("--format", choices=["json", "chrome"], default="json")
+    rep_j.add_argument("--out", default=None, metavar="FILE",
+                       help="write here instead of stdout")
     return parser
 
 
@@ -622,6 +678,73 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _load_trace_or_journal(path: str):
+    """Load a trace JSON *or* an event journal as an ``Observability``.
+
+    A journal is JSONL whose first record is a ``{"kind": ...}`` object;
+    anything else is treated as an ``export_json`` trace document."""
+    import json
+
+    from repro.obs.journal import observability_from_trace, replay_journal
+
+    with open(path) as f:
+        head = f.readline()
+    try:
+        first = json.loads(head)
+    except json.JSONDecodeError:
+        first = None
+    if isinstance(first, dict) and "kind" in first:
+        return replay_journal(path).obs
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path!r} is neither a trace document nor a journal")
+    return observability_from_trace(doc)
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import export_chrome, export_json, render_text
+    from repro.obs.journal import replay_journal
+    from repro.obs.metrics import render_prometheus
+
+    if args.obs_command == "replay":
+        replay = replay_journal(args.journal)
+        out = (
+            export_chrome(replay.obs)
+            if args.format == "chrome"
+            else export_json(replay.obs)
+        ) + "\n"
+        aborted = (
+            f", {len(replay.aborted)} span(s) closed as aborted "
+            f"({', '.join(sorted(set(replay.aborted)))})"
+            if replay.aborted
+            else ""
+        )
+        print(
+            f"replayed {replay.records} record(s) from {args.journal} "
+            f"({'clean shutdown' if replay.clean else 'torn journal'}, "
+            f"{replay.dropped} dropped line(s){aborted})",
+            file=sys.stderr,
+        )
+    else:  # export
+        target = _load_trace_or_journal(args.path)
+        if args.format == "prom":
+            out = render_prometheus(target)
+        elif args.format == "json":
+            out = export_json(target) + "\n"
+        elif args.format == "chrome":
+            out = export_chrome(target) + "\n"
+        else:
+            out = render_text(target) + "\n"
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(out)
+        print(f"written to {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(out)
+    return 0
+
+
 def _obs_finish(
     trace_path: str | None, profile: bool, trace_format: str = "json"
 ) -> None:
@@ -656,16 +779,49 @@ def main(argv: Sequence[str] | None = None) -> int:
         "conformance": _cmd_conformance,
         "reproduce": _cmd_reproduce,
         "bench": _cmd_bench,
+        "obs": _cmd_obs,
     }[args.command]
     trace_path: str | None = getattr(args, "obs_trace", None)
     trace_format: str = getattr(args, "obs_trace_format", "json")
     profile: bool = bool(getattr(args, "obs_profile", False))
-    use_obs = trace_path is not None or profile
+    journal_path: str | None = getattr(args, "obs_journal", None)
+    live: bool = bool(getattr(args, "obs_live", False))
+    metrics_port: int | None = getattr(args, "obs_metrics_port", None)
+    use_obs = (
+        trace_path is not None
+        or profile
+        or journal_path is not None
+        or live
+        or metrics_port is not None
+    )
+    journal = board = monitor = server = None
     if use_obs:
         obs.reset()
         obs.enable()
         if getattr(args, "obs_mem", False):
             obs.enable_memory()
+        if journal_path is not None:
+            from repro.obs.core import set_journal
+            from repro.obs.journal import Journal
+
+            journal = Journal(journal_path)
+            set_journal(journal)
+        if live:
+            from repro.obs.live import LiveBoard
+
+            board = LiveBoard()
+        if journal is not None or board is not None:
+            from repro.runtime.parallel import SweepMonitor, set_sweep_monitor
+
+            monitor = SweepMonitor(
+                listeners=[x for x in (journal, board) if x is not None]
+            )
+            set_sweep_monitor(monitor)
+        if metrics_port is not None:
+            from repro.obs.metrics import MetricsServer
+
+            server = MetricsServer(metrics_port).start()
+            print(f"serving metrics at {server.url}", file=sys.stderr)
     try:
         with obs.span(f"repro.{args.command}"):
             return handler(args)
@@ -679,9 +835,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
     finally:
         if use_obs:
+            if monitor is not None:
+                from repro.runtime.parallel import set_sweep_monitor
+
+                set_sweep_monitor(None)
+            if board is not None:
+                board.finish()
+            if server is not None:
+                server.stop()
             if getattr(args, "obs_mem", False):
                 obs.disable_memory()
             _obs_finish(trace_path, profile, trace_format)
+            if journal is not None:
+                from repro.obs.core import set_journal
+
+                journal.close()
+                set_journal(None)
 
 
 if __name__ == "__main__":  # pragma: no cover

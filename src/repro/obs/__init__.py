@@ -41,6 +41,7 @@ from repro.obs.core import (
     enabled,
     gauges,
     get,
+    get_journal,
     histograms,
     mem_enabled,
     mem_span,
@@ -49,6 +50,7 @@ from repro.obs.core import (
     observe,
     reset,
     set_gauge,
+    set_journal,
     span,
     warning,
 )
@@ -60,6 +62,14 @@ from repro.obs.export import (
     validate_chrome_trace,
     validate_trace,
 )
+from repro.obs.journal import (
+    Journal,
+    Replay,
+    observability_from_trace,
+    replay_journal,
+)
+from repro.obs.live import LiveBoard
+from repro.obs.metrics import MetricsServer, render_prometheus
 
 __all__ = [
     "Span",
@@ -92,4 +102,13 @@ __all__ = [
     "validate_trace",
     "validate_chrome_trace",
     "iter_trace_spans",
+    "Journal",
+    "Replay",
+    "replay_journal",
+    "observability_from_trace",
+    "set_journal",
+    "get_journal",
+    "LiveBoard",
+    "MetricsServer",
+    "render_prometheus",
 ]

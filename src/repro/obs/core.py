@@ -79,6 +79,8 @@ __all__ = [
     "enable_memory",
     "disable_memory",
     "memory_delta",
+    "set_journal",
+    "get_journal",
 ]
 
 _log = logging.getLogger("repro.obs")
@@ -326,6 +328,14 @@ class Observability:
 
     def __init__(self) -> None:
         self.enabled = False
+        #: Optional crash-safe event spool (duck-typed to avoid a module
+        #: cycle; see :class:`repro.obs.journal.Journal`).  When set,
+        #: every span open/close, counter/gauge/histogram mutation and
+        #: warning is appended to it as it happens, so a hard kill
+        #: leaves a replayable record.  Survives :meth:`reset` — the
+        #: CLI resets the collector *before* attaching the journal, and
+        #: a reset mid-run must not silently detach the spool.
+        self.journal: Any | None = None
         self.reset()
 
     # ------------------------------------------------------------------
@@ -372,12 +382,21 @@ class Observability:
         parent = self._stack[-1] if self._stack else None
         (parent.children if parent is not None else self.roots).append(sp)
         self._stack.append(sp)
+        if self.journal is not None:
+            self.journal.record("span_open", name=name, attrs=attrs)
         t0 = time.perf_counter()
         try:
             yield sp
         finally:
             sp.duration = time.perf_counter() - t0
             self._stack.pop()
+            if self.journal is not None:
+                self.journal.record(
+                    "span_close",
+                    name=name,
+                    duration=round(sp.duration, 6),
+                    attrs=sp.attrs,
+                )
 
     def attach(self, sp: Span) -> None:
         """Graft a pre-built span tree under the currently open span.
@@ -390,6 +409,8 @@ class Observability:
             return
         parent = self._stack[-1] if self._stack else None
         (parent.children if parent is not None else self.roots).append(sp)
+        if self.journal is not None:
+            self.journal.record("attach", span=sp.to_dict())
 
     # ------------------------------------------------------------------
     # Metrics
@@ -402,6 +423,8 @@ class Observability:
         if delta < 0:
             raise ValueError(f"counter {name!r}: negative delta {delta}")
         self.counters[name] = self.counters.get(name, 0) + delta
+        if self.journal is not None:
+            self.journal.record("counter", name=name, delta=delta)
 
     def add_many(self, deltas: dict[str, int]) -> None:
         """Merge a ``{counter: delta}`` dict (worker telemetry)."""
@@ -413,6 +436,8 @@ class Observability:
         if not self.enabled:
             return
         self.gauges[name] = float(value)
+        if self.journal is not None:
+            self.journal.record("gauge", name=name, value=float(value))
 
     def observe(self, name: str, value: float) -> None:
         """Record one sample into a named histogram (no-op while disabled)."""
@@ -422,6 +447,8 @@ class Observability:
         if hist is None:
             hist = self.histograms[name] = Histogram()
         hist.record(value)
+        if self.journal is not None:
+            self.journal.record("observe", name=name, value=float(value))
 
     def merge_histogram(self, name: str, other: Histogram) -> None:
         """Fold a pre-built histogram (worker telemetry) into a named one."""
@@ -431,6 +458,8 @@ class Observability:
         if hist is None:
             hist = self.histograms[name] = Histogram()
         hist.merge(other)
+        if self.journal is not None:
+            self.journal.record("histogram", name=name, data=other.to_dict())
 
     def mem_span(self, name: str, **attrs: Any):
         """A span that additionally attributes tracemalloc peak/net bytes.
@@ -477,6 +506,8 @@ class Observability:
                     "t": self.now(),
                 }
             )
+            if self.journal is not None:
+                self.journal.record("warning", message=message, attrs=attrs)
 
     # ------------------------------------------------------------------
     # Export
@@ -586,3 +617,18 @@ def histograms() -> dict[str, Histogram]:
 def now() -> float:
     """Seconds since the global collector's epoch."""
     return _OBS.now()
+
+
+def set_journal(journal: Any | None) -> None:
+    """Attach an event journal to the global collector (``None`` detaches).
+
+    The journal (see :class:`repro.obs.journal.Journal`) receives every
+    subsequent span/counter/gauge/histogram/warning event; it is NOT
+    closed by this call — lifecycle stays with the owner.
+    """
+    _OBS.journal = journal
+
+
+def get_journal() -> Any | None:
+    """The global collector's attached journal, if any."""
+    return _OBS.journal

@@ -1,0 +1,330 @@
+"""The crash-safe event journal: live telemetry that survives ``kill -9``.
+
+``--trace FILE`` serializes the collector *at exit* — a sweep killed at
+minute 50 of 60 leaves nothing.  The journal is the online counterpart:
+an append-as-you-go JSONL spool that records every observability event
+(span open/close, attached worker span trees, counter increments, gauge
+writes, histogram samples, warnings, worker heartbeats) the moment it
+happens, with batched ``fsync`` so a hard kill loses at most the last
+unsynced batch — and :func:`replay_journal` reconstructs a valid trace
+document (the same shape ``export_json`` writes, loadable by
+``export_chrome``) from whatever made it to disk.
+
+Record format: one JSON object per line, ``{"kind": ..., "t": ...,
+**fields}``, where ``t`` is seconds since the journal's own monotonic
+epoch (the journal is self-consistent even though it cannot share an
+epoch with a previous process).  The first record is ``journal_open``
+(schema version, pid, wall-clock timestamp); a clean shutdown appends
+``journal_close``.  A journal whose final line is torn mid-write (the
+``kill -9`` case) replays fine: the torn tail is dropped, and any spans
+still open at end-of-journal are closed with their last-known duration
+and an ``aborted: true`` attribute — so the recovered trace passes
+``validate_trace`` and renders in Perfetto with the crash point visible.
+
+Durability model: records are buffered and the file is ``fsync``ed
+every :data:`Journal.SYNC_EVERY` records or :data:`Journal.SYNC_SECONDS`
+seconds, whichever comes first; warnings and lifecycle records sync
+immediately (operational problems must not be lost to the batch).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.core import Histogram, Observability, Span
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "Journal",
+    "Replay",
+    "replay_journal",
+    "observability_from_trace",
+]
+
+JOURNAL_VERSION = 1
+
+
+class Journal:
+    """An append-as-you-go JSONL event spool with batched fsync.
+
+    Attach one to the collector (``obs.get().journal = Journal(path)``,
+    or let the CLI's ``--journal FILE`` do it) and every span, counter,
+    gauge, histogram sample and warning is spooled as it happens.  The
+    journal also quacks as a sweep-monitor listener (`on_heartbeat` /
+    ``on_shard_done``), so worker heartbeats land in the same stream.
+    """
+
+    SYNC_EVERY = 64
+    """Records between forced fsyncs (batching amortizes the syscall)."""
+
+    SYNC_SECONDS = 0.25
+    """Maximum age of an unsynced record."""
+
+    #: Kinds that bypass batching: losing these to a crash would defeat
+    #: the journal's purpose (lifecycle markers, operational warnings).
+    SYNC_KINDS = frozenset({"journal_open", "journal_close", "warning"})
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        # Line-buffered: every record reaches the OS as soon as it is
+        # written, so a forked pool worker never inherits half-written
+        # journal bytes to duplicate at interpreter exit (fsync stays
+        # batched — the buffering policy governs *durability*, not
+        # *who owns the bytes*).
+        self._f: io.TextIOWrapper | None = open(path, "w", buffering=1)
+        self._pid = os.getpid()
+        self._epoch = time.perf_counter()
+        self._unsynced = 0
+        self._last_sync = self._epoch
+        self.records_written = 0
+        self.record(
+            "journal_open",
+            version=JOURNAL_VERSION,
+            pid=os.getpid(),
+            wall_time=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        )
+
+    @property
+    def closed(self) -> bool:
+        return self._f is None
+
+    def now(self) -> float:
+        """Seconds since this journal's epoch."""
+        return time.perf_counter() - self._epoch
+
+    def record(self, kind: str, **fields: Any) -> None:
+        """Append one event; flush/fsync per the batching policy.
+
+        Only the process that opened the journal may write: a *forked*
+        pool worker inherits the attached journal (same file offset!),
+        and concurrent writers would interleave records from unrelated
+        span stacks.  Worker-side telemetry travels home through
+        :class:`ShardMeta` and the heartbeat queue instead, so dropping
+        a foreign-pid record loses nothing.
+        """
+        if self._f is None or os.getpid() != self._pid:
+            return
+        doc = {"kind": kind, "t": round(self.now(), 6)}
+        doc.update(fields)
+        self._f.write(json.dumps(doc, default=repr) + "\n")
+        self.records_written += 1
+        self._unsynced += 1
+        now = time.perf_counter()
+        if (
+            kind in self.SYNC_KINDS
+            or self._unsynced >= self.SYNC_EVERY
+            or now - self._last_sync >= self.SYNC_SECONDS
+        ):
+            self.sync()
+
+    def sync(self) -> None:
+        """Flush buffered records to the OS and fsync the file."""
+        if self._f is None:
+            return
+        self._f.flush()
+        try:
+            os.fsync(self._f.fileno())
+        except OSError:  # e.g. the path is a pipe; flushed is the best we get
+            pass
+        self._unsynced = 0
+        self._last_sync = time.perf_counter()
+
+    def close(self) -> None:
+        """Write the ``journal_close`` marker and release the file."""
+        if self._f is None:
+            return
+        self.record("journal_close")
+        f, self._f = self._f, None
+        f.close()
+
+    # ------------------------------------------------------------------
+    # Sweep-monitor listener protocol (see repro.runtime.parallel)
+    # ------------------------------------------------------------------
+
+    def on_sweep_start(self, label: str, shards: int, jobs: int) -> None:
+        self.record("sweep_start", label=label, shards=shards, jobs=jobs)
+
+    def on_heartbeat(self, hb: dict) -> None:
+        self.record("heartbeat", **hb)
+
+    def on_shard_done(self, meta: dict) -> None:
+        self.record("shard_done", **meta)
+
+    def on_sweep_done(self, label: str, wall_seconds: float) -> None:
+        self.record(
+            "sweep_done", label=label, wall_seconds=round(wall_seconds, 6)
+        )
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Replay:
+    """The result of replaying a journal: a collector plus provenance.
+
+    ``obs`` holds the reconstructed spans/counters/gauges/histograms/
+    events, ready for ``export_json(replay.obs)`` or
+    ``export_chrome(replay.obs)``.  ``aborted`` names every span that was
+    still open at end-of-journal (each is closed in the trace with
+    ``attrs["aborted"] = true``); ``dropped`` counts undecodable lines
+    (a torn final record after ``kill -9`` is the expected case);
+    ``clean`` is True iff the journal ends with ``journal_close``.
+    """
+
+    obs: Observability
+    records: int = 0
+    dropped: int = 0
+    aborted: list[str] = field(default_factory=list)
+    clean: bool = False
+
+    def to_trace_dict(self) -> dict:
+        """The reconstructed trace document (``validate_trace`` shape)."""
+        return self.obs.to_dict()
+
+
+def _close_span(sp: Span, open_t: float, t: float, attrs: dict | None) -> None:
+    if attrs:
+        sp.attrs.update(attrs)
+    sp.duration = max(0.0, t - open_t)
+
+
+def replay_journal(path: str) -> Replay:
+    """Reconstruct a trace from a journal, tolerating a torn tail.
+
+    Span open/close records follow stack discipline (the collector is
+    single-threaded), so the tree rebuilds from a stack; ``attach``
+    records graft worker-built span trees under the currently open span
+    exactly as the live collector did.  Counter/gauge/observe records
+    replay into the collector's registries, warnings and heartbeats into
+    its event list.  Any line that does not parse as JSON is dropped —
+    only a crash can produce one, and only as the final line; dangling
+    spans are closed at the last event time with ``aborted: true``.
+    """
+    obs = Observability()
+    # Recording straight into a private collector: enabled so the
+    # mutation helpers work, but never installed globally.
+    obs.enable()
+    stack: list[tuple[Span, float]] = []  # (span, open time)
+    replay = Replay(obs=obs)
+    last_t = 0.0
+    with open(path, "rb") as f:
+        raw = f.read()
+    for line in raw.splitlines():
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line.decode("utf-8", errors="strict"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            replay.dropped += 1
+            continue
+        if not isinstance(rec, dict) or not isinstance(rec.get("kind"), str):
+            replay.dropped += 1
+            continue
+        replay.records += 1
+        kind = rec["kind"]
+        t = rec.get("t", last_t)
+        if isinstance(t, (int, float)) and not isinstance(t, bool):
+            last_t = max(last_t, float(t))
+        if kind == "span_open":
+            sp = Span(
+                name=str(rec.get("name", "?")),
+                attrs=dict(rec.get("attrs", {})),
+                start=float(t),
+            )
+            parent = stack[-1][0] if stack else None
+            (parent.children if parent is not None else obs.roots).append(sp)
+            stack.append((sp, float(t)))
+        elif kind == "span_close":
+            if stack:
+                sp, open_t = stack.pop()
+                _close_span(sp, open_t, last_t, rec.get("attrs"))
+                dur = rec.get("duration")
+                if isinstance(dur, (int, float)) and not isinstance(dur, bool):
+                    sp.duration = max(0.0, float(dur))
+        elif kind == "attach":
+            doc = rec.get("span")
+            if isinstance(doc, dict):
+                try:
+                    sp = Span.from_dict(doc)
+                except (KeyError, TypeError):
+                    replay.dropped += 1
+                    continue
+                parent = stack[-1][0] if stack else None
+                target = parent.children if parent is not None else obs.roots
+                target.append(sp)
+        elif kind == "counter":
+            name, delta = rec.get("name"), rec.get("delta", 1)
+            if isinstance(name, str) and isinstance(delta, int) and delta >= 0:
+                obs.add(name, delta)
+        elif kind == "gauge":
+            name, value = rec.get("name"), rec.get("value")
+            if isinstance(name, str) and isinstance(value, (int, float)):
+                obs.set_gauge(name, value)
+        elif kind == "observe":
+            name, value = rec.get("name"), rec.get("value")
+            if isinstance(name, str) and isinstance(value, (int, float)):
+                obs.observe(name, value)
+        elif kind == "histogram":
+            # A pre-aggregated histogram (worker telemetry merged late).
+            name, doc = rec.get("name"), rec.get("data")
+            if isinstance(name, str) and isinstance(doc, dict):
+                try:
+                    obs.merge_histogram(name, Histogram.from_dict(doc))
+                except (KeyError, TypeError, ValueError):
+                    replay.dropped += 1
+        elif kind == "warning":
+            obs.events.append(
+                {
+                    "kind": "warning",
+                    "message": rec.get("message", ""),
+                    "attrs": rec.get("attrs", {}),
+                    "t": t,
+                }
+            )
+        elif kind == "journal_close":
+            replay.clean = True
+        elif kind == "journal_open":
+            replay.clean = False
+        else:
+            # heartbeat / sweep_start / shard_done / sweep_done / future
+            # kinds: structured events, preserved verbatim.
+            ev = dict(rec)
+            ev.setdefault("t", t)
+            obs.events.append(ev)
+    # Anything still open when the journal ends was killed mid-span.
+    while stack:
+        sp, open_t = stack.pop()
+        _close_span(sp, open_t, last_t, {"aborted": True})
+        replay.aborted.append(sp.name)
+    obs.disable()
+    return replay
+
+
+def observability_from_trace(doc: dict) -> Observability:
+    """Rebuild a collector from an ``export_json`` trace document.
+
+    The inverse of :meth:`Observability.to_dict` — lets offline tooling
+    (``repro obs export``) re-render an already-exported trace in
+    another format (Prometheus text, Chrome events, text profile).
+    """
+    obs = Observability()
+    obs.enable()
+    for sp in doc.get("spans", ()):
+        obs.roots.append(Span.from_dict(sp))
+    for name, value in doc.get("counters", {}).items():
+        obs.add(name, int(value))
+    for name, value in doc.get("gauges", {}).items():
+        obs.set_gauge(name, float(value))
+    for name, h in doc.get("histograms", {}).items():
+        obs.merge_histogram(name, Histogram.from_dict(h))
+    obs.events.extend(doc.get("events", ()))
+    obs.disable()
+    return obs

@@ -13,8 +13,10 @@ CI verdict: a candidate record is compared against the median of the
 last K records of the same benchmark, with the median absolute
 deviation (MAD) of that history as the noise floor.  A wall-clock
 regression must clear *both* the relative threshold (default 25%) and
-``3 × MAD`` — so a noisy benchmark whose history wobbles by 30% does
-not flap the gate, while a tight benchmark that doubles fails loudly.
+``max(3 × MAD, 5 ms)`` of absolute wall clock — so neither a noisy
+benchmark whose history wobbles by 30% nor a millisecond-scale quick
+benchmark riding a scheduler preemption can flap the gate, while a
+tight benchmark that doubles fails loudly.
 
 Everything here is dependency-free stdlib; records are one JSON object
 per line so the ledger diffs, merges, and greps like a log file.
@@ -35,6 +37,8 @@ from typing import Any, Iterable, Sequence
 __all__ = [
     "SCHEMA_VERSION",
     "DEFAULT_LEDGER",
+    "NOISE_FLOOR_SECONDS",
+    "available_cpus",
     "env_metadata",
     "git_sha",
     "peak_rss_kb",
@@ -56,6 +60,14 @@ DEFAULT_WINDOW = 5
 
 DEFAULT_THRESHOLD = 0.25
 """Relative wall-clock regression that fails the gate (25%)."""
+
+NOISE_FLOOR_SECONDS = 0.005
+"""Absolute wall-clock slack below which a delta is never a verdict.
+
+Sub-millisecond quick benchmarks can swing 25% on a single scheduler
+preemption; a 3 ms excursion on an 11 ms benchmark is timer noise, not
+a regression.  A candidate must beat the baseline by *both* the
+relative threshold and this many seconds before the gate moves."""
 
 
 # ----------------------------------------------------------------------
@@ -79,14 +91,36 @@ def git_sha(default: str = "unknown") -> str:
     return sha if out.returncode == 0 and sha else default
 
 
+def available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the machine's logical CPUs, which
+    misattributes pool speedups when the process is pinned to a subset
+    (containers, cgroup quotas, ``taskset``) — the classic symptom is a
+    ledger full of ``env.cpus: 1`` on a 64-core host, or the reverse.
+    The scheduling affinity mask is authoritative where it exists.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # e.g. macOS has no sched_getaffinity
+        return os.cpu_count() or 1
+
+
 def env_metadata() -> dict[str, Any]:
-    """The environment block stamped into every ledger record."""
+    """The environment block stamped into every ledger record.
+
+    ``cpus`` is the *usable* CPU count (scheduling affinity — what pool
+    speedups should be judged against); ``cpus_logical`` records the
+    machine's logical CPU count alongside it so a pinned run is visible
+    as such in the ledger.
+    """
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
         "machine": platform.machine(),
-        "cpus": os.cpu_count() or 1,
+        "cpus": available_cpus(),
+        "cpus_logical": os.cpu_count() or 1,
     }
 
 
@@ -189,6 +223,15 @@ def validate_record(rec: Any) -> list[str]:
         cpus = env.get("cpus")
         if not isinstance(cpus, int) or isinstance(cpus, bool) or cpus < 1:
             problems.append("'env.cpus' must be a positive integer")
+        # Optional (absent from schema-v1 records written before the
+        # affinity fix); validated only when present.
+        logical = env.get("cpus_logical")
+        if logical is not None and (
+            not isinstance(logical, int)
+            or isinstance(logical, bool)
+            or logical < 1
+        ):
+            problems.append("'env.cpus_logical' must be a positive integer")
     for key in ("quick", "check"):
         if not isinstance(rec.get(key), bool):
             problems.append(f"{key!r} must be a boolean")
@@ -380,7 +423,8 @@ def compare_records(
     noise floor is the MAD of those records.  Verdicts:
 
     * ``regressed`` — candidate exceeds baseline by more than the
-      relative ``threshold`` *and* by more than ``3 × MAD``;
+      relative ``threshold`` *and* by more than ``3 × MAD`` *and* by
+      more than :data:`NOISE_FLOOR_SECONDS` of absolute wall clock;
     * ``improved`` — symmetric in the other direction;
     * ``flat`` — inside the envelope;
     * ``new`` — no history to compare against.
@@ -409,7 +453,7 @@ def compare_records(
         p50s = [_wall_p50(r) for r in prior]
         base = statistics.median(p50s)
         mad = statistics.median([abs(x - base) for x in p50s])
-        slack = 3.0 * mad
+        slack = max(3.0 * mad, NOISE_FLOOR_SECONDS)
         if cand_p50 > base * (1.0 + threshold) and cand_p50 > base + slack:
             verdict = "regressed"
         elif cand_p50 < base * (1.0 - threshold) and cand_p50 < base - slack:

@@ -1,0 +1,186 @@
+"""The live TTY status board: per-worker sweep progress, in place.
+
+``--live`` on ``reproduce``/``run``/``bench``/``lattice`` renders one
+row per worker process — current shard, pairs processed, throughput,
+cache-hit ratio — plus a header with shard completion and an ETA
+derived from the median wall time of completed shards.  Rendering is
+plain ANSI (cursor-up + erase-line; no dependencies) on *stderr*, so a
+piped stdout stays clean, and the board auto-disables when the stream
+is not a TTY (``--live`` in CI degrades to nothing rather than
+escape-code soup).
+
+The board is a sweep-monitor listener (see
+:class:`repro.runtime.parallel.SweepMonitor`): it consumes the same
+heartbeat/shard-done stream the journal spools, and keeps no state the
+stream didn't carry — killing the process mid-render loses nothing.
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+import time
+from typing import Any, Callable, TextIO
+
+__all__ = ["LiveBoard", "format_eta"]
+
+
+def format_eta(seconds: float) -> str:
+    """``mm:ss`` (or ``h:mm:ss`` past the hour) for a duration estimate."""
+    seconds = max(0, int(round(seconds)))
+    h, rem = divmod(seconds, 3600)
+    m, s = divmod(rem, 60)
+    return f"{h}:{m:02d}:{s:02d}" if h else f"{m:02d}:{s:02d}"
+
+
+class LiveBoard:
+    """An in-place ANSI progress board fed by sweep heartbeats.
+
+    ``force`` overrides the TTY autodetection (tests render into a
+    ``StringIO``); ``clock`` is injectable for deterministic redraw
+    gating.  All listener methods are cheap no-ops when disabled.
+    """
+
+    def __init__(
+        self,
+        stream: TextIO | None = None,
+        min_redraw_seconds: float = 0.1,
+        force: bool | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_redraw_seconds = min_redraw_seconds
+        self._clock = clock
+        isatty = getattr(self.stream, "isatty", lambda: False)
+        self.enabled = force if force is not None else bool(isatty())
+        self._lines_drawn = 0
+        self._last_draw = -1.0e9
+        # Sweep-level state
+        self.label = ""
+        self.jobs = 0
+        self.total_shards = 0
+        self.done_shards = 0
+        self.shard_seconds: list[float] = []
+        self._sweep_t0 = 0.0
+        # pid → row state (insertion order = display order)
+        self.workers: dict[int, dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------
+    # Sweep-monitor listener protocol
+    # ------------------------------------------------------------------
+
+    def on_sweep_start(self, label: str, shards: int, jobs: int) -> None:
+        if not self.enabled:
+            return
+        self.label = label
+        self.total_shards = shards
+        self.jobs = jobs
+        self.done_shards = 0
+        self.shard_seconds = []
+        self.workers = {}
+        self._sweep_t0 = self._clock()
+        self._draw(flush=True)
+
+    def on_heartbeat(self, hb: dict) -> None:
+        if not self.enabled:
+            return
+        pid = hb.get("pid", 0)
+        hits = hb.get("cache_hits", 0)
+        misses = hb.get("cache_misses", 0)
+        lookups = hits + misses
+        elapsed = hb.get("elapsed", 0.0)
+        pairs = hb.get("pairs_done", 0)
+        self.workers[pid] = {
+            "shard": f"n={hb.get('n', '?')} "
+            f"masks[{hb.get('mask_lo', '?')}:{hb.get('mask_hi', '?')})",
+            "pairs": pairs,
+            "rate": pairs / elapsed if elapsed > 0 else 0.0,
+            "hit_ratio": hits / lookups if lookups else None,
+        }
+        self._draw()
+
+    def on_shard_done(self, meta: dict) -> None:
+        if not self.enabled:
+            return
+        self.done_shards += 1
+        self.shard_seconds.append(float(meta.get("seconds", 0.0)))
+        pid = meta.get("pid", 0)
+        row = self.workers.get(pid)
+        if row is not None:
+            row["shard"] = "(idle)"
+        self._draw()
+
+    def on_sweep_done(self, label: str, wall_seconds: float) -> None:
+        if not self.enabled:
+            return
+        self._erase()
+        self.stream.write(
+            f"sweep {label}: {self.done_shards}/{self.total_shards} shards "
+            f"in {wall_seconds:.2f}s\n"
+        )
+        self.stream.flush()
+        self._lines_drawn = 0
+        self.workers = {}
+
+    def finish(self) -> None:
+        """Clear the board (end of run; leaves prior summaries intact)."""
+        if not self.enabled:
+            return
+        self._erase()
+        self.stream.flush()
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def eta_seconds(self) -> float | None:
+        """Median-of-completed-shards ETA for the current sweep."""
+        remaining = self.total_shards - self.done_shards
+        if remaining <= 0 or not self.shard_seconds:
+            return None
+        median = statistics.median(self.shard_seconds)
+        lanes = max(1, min(self.jobs, remaining))
+        return remaining * median / lanes
+
+    def render(self) -> list[str]:
+        """The board's current lines (no ANSI; used by tests too)."""
+        eta = self.eta_seconds()
+        header = (
+            f"sweep {self.label or '?'}  "
+            f"{self.done_shards}/{self.total_shards} shards  "
+            f"jobs={self.jobs}"
+        )
+        if eta is not None:
+            header += f"  ETA {format_eta(eta)}"
+        lines = [header]
+        for pid in sorted(self.workers):
+            row = self.workers[pid]
+            hit = (
+                f"cache {row['hit_ratio'] * 100:3.0f}%"
+                if row["hit_ratio"] is not None
+                else "cache   —"
+            )
+            lines.append(
+                f"  pid {pid:<8} {row['shard']:<24} "
+                f"{row['pairs']:>8} pairs  {row['rate']:>8.0f}/s  {hit}"
+            )
+        return lines
+
+    def _erase(self) -> None:
+        if self._lines_drawn:
+            # Up N lines, then erase from cursor to end of screen.
+            self.stream.write(f"\x1b[{self._lines_drawn}A\x1b[J")
+            self._lines_drawn = 0
+
+    def _draw(self, flush: bool = True) -> None:
+        now = self._clock()
+        if now - self._last_draw < self.min_redraw_seconds:
+            return
+        self._last_draw = now
+        lines = self.render()
+        self._erase()
+        for line in lines:
+            self.stream.write("\x1b[2K" + line + "\n")
+        self._lines_drawn = len(lines)
+        if flush:
+            self.stream.flush()

@@ -1,0 +1,182 @@
+"""Prometheus text-format exposition of the collector's metrics.
+
+Two consumers:
+
+* **one-shot** — ``repro obs export FILE --format prom`` renders a
+  journal or trace file's counters/gauges/histograms as Prometheus
+  text (version 0.0.4), for piping into pushgateways or diffing runs;
+* **live** — ``--metrics-port N`` on any subcommand starts a
+  :class:`MetricsServer` (stdlib ``http.server`` on a daemon thread)
+  whose ``/metrics`` endpoint renders the *global* collector on every
+  scrape, so external scrapers can watch a multi-hour sweep's counters
+  climb in real time.
+
+Mapping: ``repro.obs`` counters become Prometheus counters, gauges
+become gauges, and the streaming log-bucket histograms become native
+Prometheus histograms — each sparse ``BASE**i`` bucket contributes a
+cumulative ``_bucket{le="BASE**(i+1)"}`` sample (the zero-slot counts
+under every bound), plus exact ``_sum`` and ``_count``.  Metric names
+are sanitized to ``repro_<name>`` with non-alphanumerics folded to
+``_`` (``sweep.cache.hits`` → ``repro_sweep_cache_hits``).
+
+Thread-safety: a scrape reads the collector's dicts while the
+orchestration thread mutates them.  CPython dict reads are atomic
+enough for monitoring (a scrape may observe a counter mid-batch but
+never a corrupt value); the collector stays single-writer.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.obs.core import Histogram, Observability
+
+__all__ = [
+    "prom_name",
+    "render_prometheus",
+    "MetricsServer",
+]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def prom_name(name: str, prefix: str = "repro") -> str:
+    """A ``repro.obs`` metric name as a valid Prometheus metric name."""
+    cleaned = _NAME_RE.sub("_", name).strip("_")
+    full = f"{prefix}_{cleaned}" if prefix else cleaned
+    if full and full[0].isdigit():
+        full = "_" + full
+    return full
+
+
+def _fmt(value: float) -> str:
+    """A float in Prometheus exposition syntax (no exponent surprises)."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _histogram_lines(name: str, hist: Histogram) -> list[str]:
+    lines = [f"# TYPE {name} histogram"]
+    cumulative = hist.zeros
+    for idx in sorted(hist.buckets):
+        cumulative += hist.buckets[idx]
+        le = Histogram.BASE ** (idx + 1)
+        lines.append(f'{name}_bucket{{le="{_fmt(le)}"}} {cumulative}')
+    lines.append(f'{name}_bucket{{le="+Inf"}} {hist.count}')
+    lines.append(f"{name}_sum {_fmt(hist.total)}")
+    lines.append(f"{name}_count {hist.count}")
+    return lines
+
+
+def render_prometheus(obs: Observability | None = None) -> str:
+    """The collector's metrics in Prometheus text format (0.0.4).
+
+    Renders the global collector when ``obs`` is ``None``.  Output is
+    sorted by metric name, ends with a newline, and is valid even for an
+    empty collector (zero metric families).
+    """
+    from repro.obs import core
+
+    target = obs if obs is not None else core.get()
+    lines: list[str] = []
+    for name in sorted(target.counters):
+        metric = prom_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {target.counters[name]}")
+    for name in sorted(target.gauges):
+        metric = prom_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(target.gauges[name])}")
+    for name in sorted(target.histograms):
+        lines.extend(_histogram_lines(prom_name(name), target.histograms[name]))
+    return "\n".join(lines) + "\n" if lines else "\n"
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """Serves ``/metrics`` from the server's bound collector."""
+
+    server: "_MetricsHTTPServer"
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler API)
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_error(404, "only /metrics is served")
+            return
+        body = render_prometheus(self.server.obs_target).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", PROM_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Scrapes are routine; keep them off stderr."""
+
+
+class _MetricsHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    obs_target: Observability | None = None
+
+
+class MetricsServer:
+    """A background ``/metrics`` endpoint over a collector.
+
+    ``port=0`` binds an ephemeral port (the bound port is available as
+    :attr:`port` after :meth:`start` — tests and parallel CI jobs use
+    this).  ``obs=None`` serves the *global* collector, re-rendered per
+    scrape.  The serving thread is a daemon: a hard kill of the main
+    process never hangs on it.
+    """
+
+    def __init__(
+        self,
+        port: int,
+        host: str = "127.0.0.1",
+        obs: Observability | None = None,
+    ) -> None:
+        self._requested = (host, port)
+        self._obs = obs
+        self._httpd: _MetricsHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (0 until :meth:`start`)."""
+        return self._httpd.server_address[1] if self._httpd else 0
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._requested[0]}:{self.port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        """Bind and start serving in a daemon thread; returns self."""
+        httpd = _MetricsHTTPServer(self._requested, _MetricsHandler)
+        httpd.obs_target = self._obs
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            name="repro-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the endpoint down and join the serving thread."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None

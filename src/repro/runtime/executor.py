@@ -106,6 +106,9 @@ def _execute_body(
             now = time.perf_counter()
             if batch_step >= 0:
                 obs.observe("executor.step_seconds", now - batch_t0)
+            # Live progress for journal/metrics scrapers: how deep into
+            # the schedule this execution currently is.
+            obs.set_gauge("executor.nodes_done", executed)
             batch_step, batch_t0 = start_of[u], now
         executed += 1
         p = proc_of[u]

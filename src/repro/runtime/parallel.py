@@ -54,9 +54,11 @@ count; ``0`` means one worker per CPU, ``1`` forces the serial path.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import queue as queue_mod
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from functools import partial
@@ -73,6 +75,10 @@ __all__ = [
     "ShardMeta",
     "ShardOutcome",
     "SweepStats",
+    "SweepMonitor",
+    "set_sweep_monitor",
+    "get_sweep_monitor",
+    "heartbeat_interval",
     "effective_jobs",
     "make_shards",
     "run_shards",
@@ -92,6 +98,109 @@ pool costs more than the sweep itself."""
 
 MODEL_NAMES = ("SC", "LC", "CC", "NN", "NW", "WN", "WW")
 """Names resolvable by the sweep kernels (the shipped model zoo)."""
+
+
+# ----------------------------------------------------------------------
+# Worker heartbeat channel
+# ----------------------------------------------------------------------
+
+HEARTBEAT_PAIRS = 32
+"""Pairs between clock checks inside the enumeration loop.  The check
+itself is one modulo + comparison; the actual heartbeat (a cache-info
+scan and a queue put) only fires when the interval has elapsed."""
+
+_HB: dict[str, Any] | None = None
+"""This process's heartbeat channel, or ``None`` (the default: no
+monitoring, zero overhead — :meth:`ShardSpec.iter_pairs` returns the raw
+iterator untouched).  In a pool worker :func:`_init_pool_worker` points
+it at the parent's queue; in the parent, :func:`run_shards` points it at
+the active monitor so the serial path and crash retries heartbeat too."""
+
+
+def heartbeat_interval(default: float = 1.0) -> float:
+    """Seconds between worker heartbeats (``REPRO_HEARTBEAT_SECS``)."""
+    env = os.environ.get("REPRO_HEARTBEAT_SECS")
+    if env:
+        try:
+            value = float(env)
+            if value > 0:
+                return value
+        except ValueError:
+            pass
+    return default
+
+
+def _init_pool_worker(hb_queue: Any, interval: float) -> None:
+    """Pool-worker initializer: route this worker's heartbeats to the
+    parent's queue.  Passed via ``ProcessPoolExecutor(initializer=...)``
+    so it works under both fork and spawn start methods."""
+    global _HB
+    _HB = {"queue": hb_queue, "monitor": None, "interval": interval}
+
+
+def _cache_totals_now() -> tuple[int, int]:
+    info = sweep_cache_info()
+    return (
+        sum(c["hits"] for c in info.values()),
+        sum(c["misses"] for c in info.values()),
+    )
+
+
+def _send_heartbeat(
+    shard: "ShardSpec",
+    pairs_done: int,
+    elapsed: float,
+    cache_base: tuple[int, int],
+) -> None:
+    """Emit one heartbeat over whichever channel this process has."""
+    hb_state = _HB
+    if hb_state is None:
+        return
+    hits, misses = _cache_totals_now()
+    hb = {
+        "pid": os.getpid(),
+        "n": shard.n,
+        "mask_lo": shard.mask_lo,
+        "mask_hi": shard.mask_hi,
+        "pairs_done": pairs_done,
+        "elapsed": round(elapsed, 6),
+        "cache_hits": max(0, hits - cache_base[0]),
+        "cache_misses": max(0, misses - cache_base[1]),
+    }
+    hb_queue = hb_state.get("queue")
+    if hb_queue is not None:
+        try:
+            hb_queue.put_nowait(hb)
+        except Exception:
+            # A full or torn-down queue must never fail the kernel; the
+            # watchdog treats the missing beat as a (recoverable) stall.
+            pass
+    else:
+        monitor = hb_state.get("monitor")
+        if monitor is not None:
+            monitor.on_worker_heartbeat(hb)
+
+
+def _heartbeat_iter(shard: "ShardSpec", inner: Any) -> Any:
+    """Wrap a shard's pair iterator with interval-limited heartbeats.
+
+    A beat is sent at pair 0 (so even sub-interval shards announce
+    themselves deterministically) and then at most once per heartbeat
+    interval, checked every :data:`HEARTBEAT_PAIRS` pairs."""
+    interval = _HB["interval"] if _HB else 1.0
+    t0 = time.perf_counter()
+    cache_base = _cache_totals_now()
+    _send_heartbeat(shard, 0, 0.0, cache_base)
+    next_beat = t0 + interval
+    pairs = 0
+    for item in inner:
+        yield item
+        pairs += 1
+        if pairs % HEARTBEAT_PAIRS == 0:
+            now = time.perf_counter()
+            if now >= next_beat:
+                _send_heartbeat(shard, pairs, now - t0, cache_base)
+                next_beat = now + interval
 
 
 # ----------------------------------------------------------------------
@@ -146,8 +255,16 @@ class ShardSpec:
 
     def iter_pairs(self):
         """The (computation, observer) pairs of this shard, in canonical
-        order (edge mask ascending, then labelling, then observer)."""
-        return self.universe().pairs(self.n, (self.mask_lo, self.mask_hi))
+        order (edge mask ascending, then labelling, then observer).
+
+        When this process has a heartbeat channel (a monitored sweep —
+        pool worker or parent-serial), the iterator is wrapped to emit
+        interval-limited progress heartbeats; otherwise it is returned
+        untouched, so unmonitored sweeps pay nothing."""
+        inner = self.universe().pairs(self.n, (self.mask_lo, self.mask_hi))
+        if _HB is None:
+            return inner
+        return _heartbeat_iter(self, inner)
 
     @property
     def num_masks(self) -> int:
@@ -200,6 +317,18 @@ class ShardMeta:
         uncached inside the worker.
         """
         return sum(c["hits"] + c["misses"] for c in self.caches.values())
+
+    def as_event(self) -> dict:
+        """A compact JSON-safe summary for monitor listeners (the journal's
+        ``shard_done`` record, the live board's completion feed)."""
+        return {
+            "n": self.n,
+            "mask_lo": self.mask_lo,
+            "mask_hi": self.mask_hi,
+            "seconds": round(self.seconds, 6),
+            "pairs": self.pairs,
+            "pid": self.pid,
+        }
 
     def to_span(self) -> Span:
         """This shard's telemetry as an :mod:`repro.obs` span.
@@ -466,6 +595,137 @@ def clear_sweep_caches() -> None:
 
 
 # ----------------------------------------------------------------------
+# Sweep monitoring (heartbeat drain + stall watchdog)
+# ----------------------------------------------------------------------
+
+
+class SweepMonitor:
+    """Parent-side consumer of the worker heartbeat stream.
+
+    Install one with :func:`set_sweep_monitor` (the CLI does this for
+    ``--journal`` / ``--live``) and every subsequent :func:`run_shards`
+    call drains worker heartbeats into the monitor's *listeners* — any
+    objects quacking some subset of ``on_sweep_start(label, shards,
+    jobs)`` / ``on_heartbeat(hb)`` / ``on_shard_done(meta)`` /
+    ``on_sweep_done(label, wall_seconds)`` (the :class:`repro.obs.Journal`
+    and :class:`repro.obs.LiveBoard` both do).  A listener exception is
+    swallowed: a broken status board must never fail a sweep.
+
+    The monitor doubles as the **stall watchdog**: a worker that has
+    heartbeat at least once and then misses ``stall_intervals``
+    consecutive intervals triggers a structured :func:`repro.obs.warning`
+    (once per stall — a worker that resumes and stalls again re-warns)
+    and the optional ``on_stall(pid, last_hb)`` hook, the attachment
+    point for shard re-dispatch policies.  ``clock`` is injectable so
+    tests drive the watchdog deterministically.
+    """
+
+    def __init__(
+        self,
+        listeners: Sequence[Any] = (),
+        stall_intervals: int = 5,
+        interval: float | None = None,
+        on_stall: Callable[[int, dict], None] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.listeners = list(listeners)
+        self.interval = heartbeat_interval() if interval is None else interval
+        self.stall_intervals = stall_intervals
+        self.on_stall = on_stall
+        self._clock = clock
+        self.heartbeats = 0
+        self.stall_warnings = 0
+        self._label = ""
+        self._last_seen: dict[int, tuple[float, dict]] = {}
+        self._stalled: set[int] = set()
+
+    def _dispatch(self, method: str, *args: Any) -> None:
+        for listener in self.listeners:
+            fn = getattr(listener, method, None)
+            if fn is None:
+                continue
+            try:
+                fn(*args)
+            except Exception:
+                pass
+
+    def on_sweep_start(self, label: str, shards: int, jobs: int) -> None:
+        self._label = label
+        self._last_seen = {}
+        self._stalled = set()
+        self._dispatch("on_sweep_start", label, shards, jobs)
+
+    def on_worker_heartbeat(self, hb: dict) -> None:
+        """One heartbeat arrived (from the queue drain, or directly from
+        the in-process serial path)."""
+        self.heartbeats += 1
+        pid = hb.get("pid", 0)
+        self._last_seen[pid] = (self._clock(), hb)
+        self._stalled.discard(pid)
+        self._dispatch("on_heartbeat", hb)
+
+    def on_shard_done(self, meta: ShardMeta) -> None:
+        self._last_seen.pop(meta.pid, None)
+        self._stalled.discard(meta.pid)
+        self._dispatch("on_shard_done", meta.as_event())
+
+    def on_sweep_done(self, label: str, wall_seconds: float) -> None:
+        self._last_seen = {}
+        self._stalled = set()
+        self._dispatch("on_sweep_done", label, wall_seconds)
+
+    def check_stalls(self) -> list[int]:
+        """Warn about workers silent for ``stall_intervals`` intervals.
+
+        Returns the pids newly flagged this call.  Called periodically by
+        the monitored dispatch loop; idempotent between state changes."""
+        now = self._clock()
+        cutoff = self.interval * self.stall_intervals
+        flagged: list[int] = []
+        for pid, (seen_at, hb) in self._last_seen.items():
+            if pid in self._stalled or now - seen_at < cutoff:
+                continue
+            self._stalled.add(pid)
+            self.stall_warnings += 1
+            flagged.append(pid)
+            obs.warning(
+                "worker heartbeat stalled",
+                sweep=self._label,
+                pid=pid,
+                n=hb.get("n"),
+                mask_lo=hb.get("mask_lo"),
+                mask_hi=hb.get("mask_hi"),
+                pairs_done=hb.get("pairs_done"),
+                silent_seconds=round(now - seen_at, 3),
+                missed_intervals=self.stall_intervals,
+            )
+            if self.on_stall is not None:
+                try:
+                    self.on_stall(pid, hb)
+                except Exception:
+                    pass
+        return flagged
+
+
+_MONITOR: SweepMonitor | None = None
+
+
+def set_sweep_monitor(monitor: SweepMonitor | None) -> None:
+    """Install the process-wide sweep monitor (``None`` uninstalls).
+
+    While installed, every :func:`run_shards` call streams heartbeats and
+    shard completions through it; without one, sweeps run exactly as
+    before (no queue, no wrapper, no overhead)."""
+    global _MONITOR
+    _MONITOR = monitor
+
+
+def get_sweep_monitor() -> SweepMonitor | None:
+    """The currently installed sweep monitor, if any."""
+    return _MONITOR
+
+
+# ----------------------------------------------------------------------
 # Planning and dispatch
 # ----------------------------------------------------------------------
 
@@ -571,21 +831,59 @@ def run_shards(
     :func:`repro.obs.warning` and retried once serially through the same
     kernel, so the merged results stay canonical-order identical to an
     undisturbed run.
+
+    When a :class:`SweepMonitor` is installed (see
+    :func:`set_sweep_monitor`), pool workers additionally stream
+    heartbeats back over a queue and the dispatch loop drains them into
+    the monitor between future completions; the serial path (and crash
+    retries) heartbeat directly through the monitor.  With no monitor
+    installed this function is byte-for-byte the old dispatch.
     """
+    monitor = _MONITOR
     t0 = time.perf_counter()
     retried: list[int] = []
-    if jobs <= 1 or len(shards) <= 1:
-        outcomes = [kernel(s) for s in shards]
-        mode = "serial"
-    else:
-        workers = min(jobs, len(shards))
-        outcomes, retried = _dispatch_pool(kernel, shards, workers, label)
-        mode = f"process-pool({workers})"
+    if monitor is not None:
+        monitor.on_sweep_start(label, len(shards), max(1, jobs))
+        # Route this process's own kernel executions (serial fallback,
+        # crash retries) straight into the monitor.
+        global _HB
+        hb_prev = _HB
+        _HB = {
+            "queue": None,
+            "monitor": monitor,
+            "interval": monitor.interval,
+        }
+    try:
+        if jobs <= 1 or len(shards) <= 1:
+            outcomes = []
+            for s in shards:
+                outcome = kernel(s)
+                if monitor is not None:
+                    monitor.on_shard_done(outcome.meta)
+                outcomes.append(outcome)
+            mode = "serial"
+        else:
+            workers = min(jobs, len(shards))
+            if monitor is not None:
+                outcomes, retried = _dispatch_pool_monitored(
+                    kernel, shards, workers, label, monitor
+                )
+            else:
+                outcomes, retried = _dispatch_pool(
+                    kernel, shards, workers, label
+                )
+            mode = f"process-pool({workers})"
+    finally:
+        if monitor is not None:
+            _HB = hb_prev
+    wall = time.perf_counter() - t0
+    if monitor is not None:
+        monitor.on_sweep_done(label, wall)
     stats = SweepStats.build(
         label=label,
         jobs=jobs,
         mode=mode,
-        wall_seconds=time.perf_counter() - t0,
+        wall_seconds=wall,
         metas=[o.meta for o in outcomes],
         retried_shards=len(retried),
     )
@@ -625,6 +923,87 @@ def _dispatch_pool(
         )
         for i in failed:
             outcomes[i] = kernel(shards[i])
+    return outcomes, failed  # type: ignore[return-value]
+
+
+def _drain_heartbeats(hb_queue: Any, monitor: SweepMonitor) -> None:
+    """Feed every queued worker heartbeat to the monitor (non-blocking)."""
+    while True:
+        try:
+            hb = hb_queue.get_nowait()
+        except queue_mod.Empty:
+            return
+        except (OSError, ValueError, EOFError):
+            # Queue torn down mid-drain (worker death); nothing to read.
+            return
+        if isinstance(hb, dict):
+            monitor.on_worker_heartbeat(hb)
+
+
+def _dispatch_pool_monitored(
+    kernel: Callable[[ShardSpec], ShardOutcome],
+    shards: Sequence[ShardSpec],
+    workers: int,
+    label: str,
+    monitor: SweepMonitor,
+) -> tuple[list[ShardOutcome], list[int]]:
+    """Pool dispatch with a live heartbeat channel and stall watchdog.
+
+    Same contract as :func:`_dispatch_pool` — canonical-order outcomes,
+    crash recovery via serial retry — but workers are initialized with a
+    ``multiprocessing`` queue (the ``initializer``/``initargs`` channel
+    works under both fork and spawn), and the parent alternates between
+    waiting on futures and draining heartbeats into the monitor, running
+    the stall check each cycle.  If the queue cannot be created the
+    sweep falls back to the unmonitored dispatch rather than failing.
+    """
+    try:
+        ctx = multiprocessing.get_context()
+        hb_queue = ctx.Queue()
+    except (OSError, ValueError):
+        return _dispatch_pool(kernel, shards, workers, label)
+    outcomes: list[ShardOutcome | None] = [None] * len(shards)
+    failed: list[int] = []
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_pool_worker,
+            initargs=(hb_queue, monitor.interval),
+        ) as pool:
+            futures = {pool.submit(kernel, s): i for i, s in enumerate(shards)}
+            pending = set(futures)
+            while pending:
+                done, pending = wait(
+                    pending,
+                    timeout=monitor.interval / 2,
+                    return_when=FIRST_COMPLETED,
+                )
+                _drain_heartbeats(hb_queue, monitor)
+                monitor.check_stalls()
+                for future in done:
+                    i = futures[future]
+                    try:
+                        outcomes[i] = future.result()
+                        monitor.on_shard_done(outcomes[i].meta)
+                    except BrokenProcessPool:
+                        failed.append(i)
+        _drain_heartbeats(hb_queue, monitor)
+    finally:
+        hb_queue.close()
+        # The feeder thread may still hold unjoined items from a dying
+        # worker; never let interpreter shutdown block on it.
+        hb_queue.cancel_join_thread()
+    if failed:
+        failed.sort()  # completion order is arbitrary; retries are not
+        obs.warning(
+            "process pool broke mid-sweep; retrying shards serially",
+            sweep=label,
+            shards=len(failed),
+            indices=failed[:16],
+        )
+        for i in failed:
+            outcomes[i] = kernel(shards[i])
+            monitor.on_shard_done(outcomes[i].meta)
     return outcomes, failed  # type: ignore[return-value]
 
 

@@ -487,3 +487,134 @@ class TestBench:
         err = capsys.readouterr().err
         assert rc == 2
         assert "unknown benchmark" in err
+
+
+class TestLiveTelemetryFlags:
+    def test_flags_parse_on_all_entry_commands(self):
+        for cmd in ("run", "reproduce", "bench"):
+            args = build_parser().parse_args(
+                [cmd, "--journal", "j.jsonl", "--live", "--metrics-port", "0"]
+            )
+            assert args.obs_journal == "j.jsonl"
+            assert args.obs_live is True
+            assert args.obs_metrics_port == 0
+
+    def test_flags_default_off(self):
+        args = build_parser().parse_args(["run"])
+        assert args.obs_journal is None
+        assert args.obs_live is False
+        assert args.obs_metrics_port is None
+
+    def test_obs_subcommand_parses(self):
+        args = build_parser().parse_args(
+            ["obs", "export", "t.json", "--format", "prom"]
+        )
+        assert args.obs_command == "export"
+        assert args.path == "t.json"
+        args = build_parser().parse_args(
+            ["obs", "replay", "j.jsonl", "--format", "chrome", "--out", "o"]
+        )
+        assert args.obs_command == "replay"
+        assert args.journal == "j.jsonl"
+
+    def test_run_with_journal_spools_replayable_records(
+        self, capsys, tmp_path
+    ):
+        from repro import obs
+        from repro.obs import replay_journal, validate_trace
+
+        path = tmp_path / "run.jsonl"
+        rc = main(
+            ["run", "--program", "fib", "--size", "5", "--procs", "2",
+             "--journal", str(path)]
+        )
+        capsys.readouterr()
+        assert rc == 0
+        assert not obs.enabled()
+        replay = replay_journal(str(path))
+        assert replay.clean  # journal_close written on orderly shutdown
+        assert replay.aborted == []
+        assert validate_trace(replay.to_trace_dict()) == []
+        names = {sp["name"] for sp in _walk_spans(
+            replay.to_trace_dict()["spans"]
+        )}
+        assert "repro.run" in names
+        assert "execute" in names
+
+    def test_obs_replay_recovers_a_torn_journal(self, capsys, tmp_path):
+        from repro.obs import validate_trace
+
+        path = tmp_path / "torn.jsonl"
+        rc = main(
+            ["run", "--program", "fib", "--size", "5", "--journal", str(path)]
+        )
+        capsys.readouterr()
+        assert rc == 0
+        # Tear off the orderly shutdown plus half of the previous record,
+        # as a kill -9 mid-write would.
+        lines = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(b"".join(lines[:-2]) + lines[-2][: 10])
+        out_path = tmp_path / "recovered.json"
+        rc = main(
+            ["obs", "replay", str(path), "--format", "json",
+             "--out", str(out_path)]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "torn journal" in captured.err
+        doc = json.loads(out_path.read_text())
+        assert validate_trace(doc) == []
+
+    def test_obs_export_prometheus_from_trace_file(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        rc = main(
+            ["run", "--program", "fib", "--size", "5", "--trace", str(trace)]
+        )
+        capsys.readouterr()
+        assert rc == 0
+        rc = main(["obs", "export", str(trace), "--format", "prom"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "# TYPE repro_executor_nodes counter" in captured.out
+        assert "repro_executor_runs 1" in captured.out
+
+    def test_obs_export_reads_journals_too(self, capsys, tmp_path):
+        path = tmp_path / "j.jsonl"
+        rc = main(
+            ["run", "--program", "fib", "--size", "5", "--journal", str(path)]
+        )
+        capsys.readouterr()
+        assert rc == 0
+        rc = main(["obs", "export", str(path), "--format", "text"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "executor.nodes" in captured.out
+
+    def test_metrics_port_zero_serves_during_run(self, capsys):
+        import re
+        import urllib.request
+
+        # Scraping after the command returns is impossible, so assert the
+        # startup banner (with the ephemeral port resolved) and that the
+        # server came down with the command.
+        rc = main(
+            ["run", "--program", "fib", "--size", "5", "--metrics-port", "0"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        m = re.search(
+            r"serving metrics at (http://127\.0\.0\.1:\d+/metrics)",
+            captured.err,
+        )
+        assert m, captured.err
+        # The ephemeral port is released once the command finishes.
+        with pytest.raises(Exception):
+            urllib.request.urlopen(m.group(1), timeout=0.5)
+
+    def test_obs_export_rejects_garbage_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2, 3]")
+        rc = main(["obs", "export", str(bad)])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "error" in captured.err

@@ -1,0 +1,249 @@
+"""The crash-safe event journal: spool, replay, and torn-tail recovery."""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs import validate_chrome_trace, validate_trace
+from repro.obs.core import Observability, set_journal
+from repro.obs.export import export_chrome, export_json
+from repro.obs.journal import (
+    JOURNAL_VERSION,
+    Journal,
+    observability_from_trace,
+    replay_journal,
+)
+
+
+@pytest.fixture
+def clean_obs():
+    """A reset global collector, restored (disabled, detached) after."""
+    obs.reset()
+    yield obs.get()
+    set_journal(None)
+    obs.reset()
+    obs.disable()
+
+
+def write_sample_journal(path, close=True):
+    """Drive the global collector with a journal attached; return the
+    counters the replay must reproduce."""
+    journal = Journal(path)
+    set_journal(journal)
+    obs.enable()
+    with obs.span("outer", kind="test"):
+        obs.add("work.items", 3)
+        with obs.span("inner"):
+            obs.observe("work.seconds", 0.25)
+            obs.set_gauge("work.depth", 2.0)
+        obs.warning("something odd", code=7)
+    obs.disable()
+    if close:
+        journal.close()
+    else:
+        journal.sync()
+    set_journal(None)
+    return {"work.items": 3}
+
+
+class TestJournal:
+    def test_first_record_is_journal_open(self, tmp_path, clean_obs):
+        path = str(tmp_path / "j.jsonl")
+        Journal(path).close()
+        lines = open(path).read().splitlines()
+        first = json.loads(lines[0])
+        assert first["kind"] == "journal_open"
+        assert first["version"] == JOURNAL_VERSION
+        assert first["pid"] == os.getpid()
+        assert json.loads(lines[-1])["kind"] == "journal_close"
+
+    def test_records_spool_as_they_happen(self, tmp_path, clean_obs):
+        path = str(tmp_path / "j.jsonl")
+        journal = Journal(path)
+        set_journal(journal)
+        obs.enable()
+        with obs.span("alpha"):
+            obs.add("c.x")
+        journal.sync()
+        kinds = [json.loads(ln)["kind"] for ln in open(path)]
+        assert "span_open" in kinds
+        assert "span_close" in kinds
+        assert "counter" in kinds
+
+    def test_foreign_pid_records_dropped(self, tmp_path, clean_obs):
+        path = str(tmp_path / "j.jsonl")
+        journal = Journal(path)
+        before = journal.records_written
+        journal._pid = os.getpid() + 1  # simulate a forked worker
+        journal.record("counter", name="c.y", delta=1)
+        assert journal.records_written == before
+        journal._pid = os.getpid()
+        journal.close()
+
+    def test_record_after_close_is_noop(self, tmp_path, clean_obs):
+        path = str(tmp_path / "j.jsonl")
+        journal = Journal(path)
+        journal.close()
+        journal.record("counter", name="c.z", delta=1)  # must not raise
+        assert journal.closed
+
+
+class TestReplay:
+    def test_clean_journal_roundtrip(self, tmp_path, clean_obs):
+        path = str(tmp_path / "j.jsonl")
+        counters = write_sample_journal(path, close=True)
+        replay = replay_journal(path)
+        assert replay.clean
+        assert replay.dropped == 0
+        assert replay.aborted == []
+        assert replay.obs.counters["work.items"] == counters["work.items"]
+        names = [sp.name for sp in replay.obs.roots]
+        assert names == ["outer"]
+        assert [c.name for c in replay.obs.roots[0].children] == ["inner"]
+        assert replay.obs.gauges["work.depth"] == 2.0
+        assert replay.obs.histograms["work.seconds"].count == 1
+        warnings = [
+            e for e in replay.obs.events if e.get("kind") == "warning"
+        ]
+        assert warnings and warnings[0]["message"] == "something odd"
+        assert validate_trace(replay.to_trace_dict()) == []
+        doc = json.loads(export_chrome(replay.obs))
+        assert validate_chrome_trace(doc) == []
+
+    def test_span_attrs_from_close_record(self, tmp_path, clean_obs):
+        """Attrs mutated during the span body (the executor pattern)
+        travel on the span_close record."""
+        path = str(tmp_path / "j.jsonl")
+        journal = Journal(path)
+        set_journal(journal)
+        obs.enable()
+        with obs.span("mutated") as sp:
+            sp.attrs["reads"] = 17
+        obs.disable()
+        journal.close()
+        replay = replay_journal(path)
+        assert replay.obs.roots[0].attrs["reads"] == 17
+
+    def test_unclosed_journal_marks_spans_aborted(self, tmp_path, clean_obs):
+        path = str(tmp_path / "j.jsonl")
+        journal = Journal(path)
+        set_journal(journal)
+        obs.enable()
+        ctx = obs.span("never-closed", phase="doomed")
+        ctx.__enter__()
+        obs.add("c.w")
+        journal.sync()
+        # Simulate kill -9: drop the handle without span close / journal
+        # close ever being written.
+        journal._f = None
+        obs.disable()
+        replay = replay_journal(path)
+        assert not replay.clean
+        assert replay.aborted == ["never-closed"]
+        sp = replay.obs.roots[0]
+        assert sp.attrs["aborted"] is True
+        assert sp.attrs["phase"] == "doomed"
+        assert validate_trace(replay.to_trace_dict()) == []
+
+    def test_heartbeat_and_sweep_records_become_events(
+        self, tmp_path, clean_obs
+    ):
+        path = str(tmp_path / "j.jsonl")
+        journal = Journal(path)
+        journal.on_sweep_start("lab", 4, 2)
+        journal.on_heartbeat({"pid": 1234, "pairs_done": 10})
+        journal.on_shard_done({"n": 3, "pairs": 99, "pid": 1234})
+        journal.on_sweep_done("lab", 1.5)
+        journal.close()
+        replay = replay_journal(path)
+        kinds = [e.get("kind") for e in replay.obs.events]
+        assert kinds == ["sweep_start", "heartbeat", "shard_done", "sweep_done"]
+        hb = replay.obs.events[1]
+        assert hb["pid"] == 1234 and hb["pairs_done"] == 10
+
+    def test_garbage_lines_dropped(self, tmp_path, clean_obs):
+        path = str(tmp_path / "j.jsonl")
+        write_sample_journal(path, close=True)
+        with open(path, "a") as f:
+            f.write("not json at all\n")
+            f.write('{"no-kind": true}\n')
+        replay = replay_journal(path)
+        assert replay.dropped == 2
+        assert validate_trace(replay.to_trace_dict()) == []
+
+
+class TestTornTailProperty:
+    """The satellite property test: truncate the journal at *every* byte
+    offset inside the final record; replay must always yield a valid
+    trace, with dangling spans marked aborted."""
+
+    def test_every_truncation_of_last_record_replays_valid(
+        self, tmp_path, clean_obs
+    ):
+        path = str(tmp_path / "j.jsonl")
+        write_sample_journal(path, close=False)  # no journal_close marker
+        raw = open(path, "rb").read()
+        assert raw.endswith(b"\n")
+        body = raw[:-1]
+        last_start = body.rfind(b"\n") + 1
+        assert last_start > 0
+        # Cutting anywhere from "last record entirely gone" to "last
+        # record complete but unterminated".
+        for cut in range(last_start, len(raw)):
+            torn = str(tmp_path / f"torn_{cut}.jsonl")
+            with open(torn, "wb") as f:
+                f.write(raw[:cut])
+            replay = replay_journal(torn)
+            assert not replay.clean, f"cut at byte {cut}"
+            errors = validate_trace(replay.to_trace_dict())
+            assert errors == [], f"cut at byte {cut}: {errors}"
+            # Every dangling span carries the aborted marker, and every
+            # span in the tree is either cleanly closed or aborted.
+            aborted_names = set(replay.aborted)
+            stack = list(replay.obs.roots)
+            seen_aborted = set()
+            while stack:
+                sp = stack.pop()
+                stack.extend(sp.children)
+                if sp.attrs.get("aborted"):
+                    seen_aborted.add(sp.name)
+            assert seen_aborted == aborted_names, f"cut at byte {cut}"
+            os.unlink(torn)
+
+    def test_truncation_mid_span_close_aborts_the_span(
+        self, tmp_path, clean_obs
+    ):
+        path = str(tmp_path / "j.jsonl")
+        write_sample_journal(path, close=False)
+        lines = open(path, "rb").read().splitlines(keepends=True)
+        # Keep everything up to (and including) inner's span_open, then
+        # tear the file in the middle of the following record.
+        kinds = [json.loads(ln)["kind"] for ln in lines]
+        open_idx = [i for i, k in enumerate(kinds) if k == "span_open"]
+        assert len(open_idx) == 2
+        keep = b"".join(lines[: open_idx[1] + 1])
+        torn = str(tmp_path / "torn.jsonl")
+        with open(torn, "wb") as f:
+            f.write(keep + lines[open_idx[1] + 1][: 5])
+        replay = replay_journal(torn)
+        assert sorted(replay.aborted) == ["inner", "outer"]
+        assert replay.dropped == 1
+        outer = replay.obs.roots[0]
+        assert outer.attrs["aborted"] is True
+        assert outer.children[0].attrs["aborted"] is True
+        assert validate_trace(replay.to_trace_dict()) == []
+
+
+class TestObservabilityFromTrace:
+    def test_trace_document_roundtrip(self, tmp_path, clean_obs):
+        path = str(tmp_path / "j.jsonl")
+        write_sample_journal(path, close=True)
+        replay = replay_journal(path)
+        doc = json.loads(export_json(replay.obs))
+        rebuilt = observability_from_trace(doc)
+        assert isinstance(rebuilt, Observability)
+        assert rebuilt.counters == replay.obs.counters
+        assert rebuilt.gauges == replay.obs.gauges
+        assert json.loads(export_json(rebuilt)) == doc

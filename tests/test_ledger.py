@@ -195,3 +195,59 @@ def test_gate_report_renders_both_formats():
     md = report.render(markdown=True)
     assert "regressed" in text and "regression(s)" in text
     assert md.startswith("| benchmark |") and "regressed" in md
+
+
+# ---------------------------------------------------------------------------
+# Environment fingerprint: affinity-aware CPU count
+# ---------------------------------------------------------------------------
+
+
+def test_available_cpus_prefers_scheduler_affinity():
+    import os
+
+    from repro.obs.ledger import available_cpus
+
+    got = available_cpus()
+    assert got >= 1
+    if hasattr(os, "sched_getaffinity"):
+        assert got == len(os.sched_getaffinity(0))
+
+
+def test_env_metadata_records_both_cpu_counts():
+    import os
+
+    from repro.obs.ledger import env_metadata
+
+    env = env_metadata()
+    assert env["cpus"] >= 1
+    assert env["cpus_logical"] == (os.cpu_count() or 1)
+    # Affinity can only shrink the visible set, never grow it.
+    assert env["cpus"] <= env["cpus_logical"]
+
+
+def test_validate_accepts_records_without_cpus_logical():
+    """Schema-v1 records written before the affinity fix stay valid."""
+    rec = _rec()
+    del rec["env"]["cpus_logical"]
+    assert validate_record(rec) == []
+
+
+def test_validate_rejects_bad_cpus_logical():
+    rec = _rec()
+    rec["env"]["cpus_logical"] = "many"
+    assert any("cpus_logical" in e for e in validate_record(rec))
+    rec["env"]["cpus_logical"] = 0
+    assert any("cpus_logical" in e for e in validate_record(rec))
+
+
+def test_gate_absolute_noise_floor_shields_tiny_benchmarks():
+    """A 25%+ swing that is only milliseconds of wall clock is noise,
+    not a regression — and symmetrically not an improvement."""
+    history = _history([0.008, 0.008, 0.008, 0.008, 0.008])
+    (up,) = compare_records(history, [_rec(p50=0.012)]).deltas
+    assert up.verdict == "flat"
+    (down,) = compare_records(history, [_rec(p50=0.004)]).deltas
+    assert down.verdict == "flat"
+    # Past the floor the relative threshold bites again.
+    (real,) = compare_records(history, [_rec(p50=0.020)]).deltas
+    assert real.verdict == "regressed"

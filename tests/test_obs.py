@@ -445,3 +445,221 @@ def test_validate_chrome_trace_rejects_malformed_documents():
         ]
     }
     assert any("backwards" in p for p in validate_chrome_trace(backwards))
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition
+# ----------------------------------------------------------------------
+
+
+def test_prom_name_sanitization():
+    from repro.obs.metrics import prom_name
+
+    assert prom_name("sweep.cache.hits") == "repro_sweep_cache_hits"
+    assert prom_name("a-b c!d") == "repro_a_b_c_d"
+    assert prom_name("9lives", prefix="") == "_9lives"
+
+
+def test_render_prometheus_counters_gauges_histograms():
+    from repro.obs.metrics import render_prometheus
+
+    collector = Observability()
+    collector.enable()
+    collector.add("sweep.pairs", 42)
+    collector.set_gauge("executor.nodes_done", 7.0)
+    for v in (0.5, 1.5, 1.5, 8.0):
+        collector.observe("step.seconds", v)
+    text = render_prometheus(collector)
+    lines = text.splitlines()
+    assert "# TYPE repro_sweep_pairs counter" in lines
+    assert "repro_sweep_pairs 42" in lines
+    assert "# TYPE repro_executor_nodes_done gauge" in lines
+    assert "repro_executor_nodes_done 7" in lines
+    assert "# TYPE repro_step_seconds histogram" in lines
+    assert "repro_step_seconds_count 4" in lines
+    assert any(ln.startswith("repro_step_seconds_sum ") for ln in lines)
+    assert 'repro_step_seconds_bucket{le="+Inf"} 4' in lines
+    assert text.endswith("\n")
+
+
+def test_prometheus_histogram_buckets_are_cumulative_monotone():
+    import re
+
+    from repro.obs.metrics import render_prometheus
+
+    collector = Observability()
+    collector.enable()
+    for v in (0.0, 0.0, 0.25, 1.0, 3.0, 3.0, 100.0):
+        collector.observe("h.x", v)
+    text = render_prometheus(collector)
+    pat = re.compile(r'repro_h_x_bucket\{le="([^"]+)"\} (\d+)')
+    buckets = [(le, int(c)) for le, c in pat.findall(text)]
+    counts = [c for _, c in buckets]
+    assert counts == sorted(counts), "bucket counts must be cumulative"
+    assert buckets[0][1] >= 2, "zeros count under the smallest bound"
+    assert buckets[-1] == ("+Inf", 7)
+    bounds = [float(le) for le, _ in buckets[:-1]]
+    assert bounds == sorted(bounds), "bucket bounds must ascend"
+
+
+def test_render_prometheus_empty_collector_is_valid():
+    from repro.obs.metrics import render_prometheus
+
+    assert render_prometheus(Observability()) == "\n"
+
+
+def test_metrics_server_serves_collector_over_http():
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.metrics import PROM_CONTENT_TYPE, MetricsServer
+
+    collector = Observability()
+    collector.enable()
+    collector.add("served.count", 3)
+    server = MetricsServer(0, obs=collector).start()
+    try:
+        assert server.port > 0
+        with urllib.request.urlopen(server.url, timeout=5) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"] == PROM_CONTENT_TYPE
+            body = resp.read().decode()
+        assert "repro_served_count 3" in body
+        # Live view: a later increment shows up on the next scrape.
+        collector.add("served.count", 2)
+        with urllib.request.urlopen(server.url, timeout=5) as resp:
+            assert "repro_served_count 5" in resp.read().decode()
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(
+                server.url.replace("/metrics", "/nope"), timeout=5
+            )
+        assert exc_info.value.code == 404
+    finally:
+        server.stop()
+    assert server.port == 0  # stopped servers report unbound
+
+
+# ----------------------------------------------------------------------
+# Live TTY status board
+# ----------------------------------------------------------------------
+
+
+def _fake_clock(start=0.0):
+    state = {"t": start}
+
+    def clock():
+        return state["t"]
+
+    clock.advance = lambda dt: state.__setitem__("t", state["t"] + dt)
+    return clock
+
+
+def test_live_board_auto_disabled_off_tty():
+    import io as io_mod
+
+    from repro.obs.live import LiveBoard
+
+    stream = io_mod.StringIO()  # isatty() is False
+    board = LiveBoard(stream=stream)
+    assert not board.enabled
+    board.on_sweep_start("lab", 4, 2)
+    board.on_heartbeat({"pid": 1, "pairs_done": 5})
+    board.on_sweep_done("lab", 1.0)
+    board.finish()
+    assert stream.getvalue() == ""
+
+
+def test_live_board_renders_worker_rows_and_eta():
+    import io as io_mod
+
+    from repro.obs.live import LiveBoard, format_eta
+
+    clock = _fake_clock()
+    stream = io_mod.StringIO()
+    board = LiveBoard(
+        stream=stream, force=True, min_redraw_seconds=0.0, clock=clock
+    )
+    board.on_sweep_start("lattice", 4, 2)
+    clock.advance(1.0)
+    board.on_heartbeat(
+        {
+            "pid": 11,
+            "n": 4,
+            "mask_lo": 0,
+            "mask_hi": 32,
+            "pairs_done": 500,
+            "elapsed": 2.0,
+            "cache_hits": 75,
+            "cache_misses": 25,
+        }
+    )
+    clock.advance(1.0)
+    board.on_shard_done({"pid": 11, "seconds": 3.0, "n": 4, "pairs": 900})
+    lines = board.render()
+    assert "sweep lattice" in lines[0]
+    assert "1/4 shards" in lines[0]
+    # 3 remaining shards at a 3.0s median over min(jobs=2, 3) lanes.
+    assert board.eta_seconds() == pytest.approx(3 * 3.0 / 2)
+    assert f"ETA {format_eta(4.5)}" in lines[0]
+    assert any("pid 11" in ln and "(idle)" in ln for ln in lines)
+    board.on_sweep_done("lattice", 9.0)
+    out = stream.getvalue()
+    assert "sweep lattice: 1/4 shards in 9.00s" in out
+
+
+def test_live_board_heartbeat_row_shows_rate_and_hit_ratio():
+    import io as io_mod
+
+    from repro.obs.live import LiveBoard
+
+    board = LiveBoard(
+        stream=io_mod.StringIO(),
+        force=True,
+        min_redraw_seconds=0.0,
+        clock=_fake_clock(),
+    )
+    board.on_sweep_start("s", 1, 1)
+    board.on_heartbeat(
+        {
+            "pid": 7,
+            "n": 3,
+            "mask_lo": 0,
+            "mask_hi": 8,
+            "pairs_done": 100,
+            "elapsed": 4.0,
+            "cache_hits": 9,
+            "cache_misses": 1,
+        }
+    )
+    row = board.workers[7]
+    assert row["rate"] == pytest.approx(25.0)
+    assert row["hit_ratio"] == pytest.approx(0.9)
+    (line,) = [ln for ln in board.render() if "pid 7" in ln]
+    assert "25/s" in line and "cache  90%" in line
+
+
+def test_live_board_redraw_rate_limited():
+    import io as io_mod
+
+    from repro.obs.live import LiveBoard
+
+    clock = _fake_clock()
+    stream = io_mod.StringIO()
+    board = LiveBoard(
+        stream=stream, force=True, min_redraw_seconds=10.0, clock=clock
+    )
+    board.on_sweep_start("s", 2, 1)
+    first = stream.getvalue()
+    board.on_heartbeat({"pid": 1, "pairs_done": 1})
+    assert stream.getvalue() == first, "redraw inside the window suppressed"
+    clock.advance(11.0)
+    board.on_heartbeat({"pid": 1, "pairs_done": 2})
+    assert len(stream.getvalue()) > len(first)
+
+
+def test_format_eta():
+    from repro.obs.live import format_eta
+
+    assert format_eta(0) == "00:00"
+    assert format_eta(61) == "01:01"
+    assert format_eta(3723) == "1:02:03"

@@ -437,3 +437,200 @@ def test_worker_counters_not_double_counted_on_crash_retry():
     assert stats.retried_shards > 0
     assert counters["sweep.kernel.shards"] == len(shards)
     assert counters["sweep.kernel.pairs"] == counters["sweep.pairs"]
+
+
+# ----------------------------------------------------------------------
+# Heartbeats and the sweep monitor
+# ----------------------------------------------------------------------
+
+
+class _RecordingListener:
+    def __init__(self):
+        self.events = []
+
+    def on_sweep_start(self, label, shards, jobs):
+        self.events.append(("start", label, shards, jobs))
+
+    def on_heartbeat(self, hb):
+        self.events.append(("hb", hb))
+
+    def on_shard_done(self, meta):
+        self.events.append(("done", meta))
+
+    def on_sweep_done(self, label, wall_seconds):
+        self.events.append(("sweep_done", label))
+
+
+@pytest.fixture
+def monitored():
+    from repro.runtime.parallel import SweepMonitor, set_sweep_monitor
+
+    listener = _RecordingListener()
+    monitor = SweepMonitor(listeners=[listener], interval=0.01)
+    set_sweep_monitor(monitor)
+    yield monitor, listener
+    set_sweep_monitor(None)
+
+
+class TestSweepMonitor:
+    def test_serial_monitored_sweep_streams_events(self, monitored):
+        from repro.runtime.parallel import parallel_thm23_counts
+
+        monitor, listener = monitored
+        universe = Universe(max_nodes=3, locations=("x",))
+        clear_sweep_caches()
+        counts, stats = parallel_thm23_counts(
+            universe, probes=(R("x"), NOP), jobs=1
+        )
+        kinds = [e[0] for e in listener.events]
+        assert kinds[0] == "start"
+        assert kinds[-1] == "sweep_done"
+        assert kinds.count("done") == len(stats.shards)
+        assert monitor.heartbeats > 0
+        # Every shard announces itself at pair 0, from this process.
+        first_beats = [
+            e[1] for e in listener.events if e[0] == "hb"
+        ]
+        assert all(hb["pid"] == os.getpid() for hb in first_beats)
+        assert any(hb["pairs_done"] == 0 for hb in first_beats)
+
+    def test_pool_monitored_sweep_matches_unmonitored(self, monitored):
+        from repro.runtime.parallel import (
+            parallel_thm23_counts,
+            set_sweep_monitor,
+        )
+
+        monitor, listener = monitored
+        universe = Universe(max_nodes=3, locations=("x",))
+        clear_sweep_caches()
+        counts, stats = parallel_thm23_counts(
+            universe, probes=(R("x"), NOP), jobs=2, parallel_threshold=0
+        )
+        assert stats.mode.startswith("process-pool")
+        assert monitor.heartbeats > 0
+        dones = [e[1] for e in listener.events if e[0] == "done"]
+        assert len(dones) == len(stats.shards)
+        assert all(
+            {"n", "mask_lo", "mask_hi", "seconds", "pairs", "pid"} <= set(d)
+            for d in dones
+        )
+        set_sweep_monitor(None)
+        clear_sweep_caches()
+        plain, _ = parallel_thm23_counts(
+            universe, probes=(R("x"), NOP), jobs=2, parallel_threshold=0
+        )
+        assert counts == plain
+
+    def test_no_monitor_means_no_heartbeat_channel(self):
+        from repro.runtime import parallel as par
+
+        assert par.get_sweep_monitor() is None
+        spec = ShardSpec(
+            max_nodes=2, locations=("x",), include_nop=True,
+            n=2, mask_lo=0, mask_hi=2,
+        )
+        assert par._HB is None
+        # iter_pairs hands back the raw enumeration, not the heartbeat
+        # wrapper (zero overhead on the unmonitored hot path).
+        pairs = list(spec.iter_pairs())
+        assert pairs == list(
+            spec.universe().pairs(2, (0, 2))
+        )
+
+    def test_listener_exceptions_are_swallowed(self):
+        from repro.runtime.parallel import SweepMonitor
+
+        class Broken:
+            def on_heartbeat(self, hb):
+                raise RuntimeError("board fell over")
+
+        monitor = SweepMonitor(listeners=[Broken()], interval=0.01)
+        monitor.on_worker_heartbeat({"pid": 1, "pairs_done": 1})
+        assert monitor.heartbeats == 1
+
+
+class TestStallWatchdog:
+    def _clock(self, start=0.0):
+        state = {"t": start}
+
+        def clock():
+            return state["t"]
+
+        clock.advance = lambda dt: state.__setitem__("t", state["t"] + dt)
+        return clock
+
+    def test_silent_worker_is_flagged_once(self):
+        from repro.runtime.parallel import SweepMonitor
+
+        clock = self._clock()
+        stalls = []
+        monitor = SweepMonitor(
+            interval=1.0,
+            stall_intervals=3,
+            on_stall=lambda pid, hb: stalls.append((pid, hb)),
+            clock=clock,
+        )
+        obs.reset()
+        obs.enable()
+        try:
+            monitor.on_sweep_start("lab", 4, 2)
+            monitor.on_worker_heartbeat({"pid": 42, "n": 4, "pairs_done": 10})
+            clock.advance(2.9)
+            assert monitor.check_stalls() == []
+            clock.advance(0.2)  # now 3.1 intervals silent
+            assert monitor.check_stalls() == [42]
+            assert monitor.check_stalls() == []  # warn once per stall
+            assert stalls and stalls[0][0] == 42
+            warnings = [
+                e for e in obs.get().events if e.get("kind") == "warning"
+            ]
+            assert len(warnings) == 1
+            assert warnings[0]["message"] == "worker heartbeat stalled"
+            assert warnings[0]["attrs"]["pid"] == 42
+            assert warnings[0]["attrs"]["sweep"] == "lab"
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_resumed_worker_can_stall_again(self):
+        from repro.runtime.parallel import SweepMonitor
+
+        clock = self._clock()
+        monitor = SweepMonitor(interval=1.0, stall_intervals=2, clock=clock)
+        monitor.on_sweep_start("lab", 2, 1)
+        monitor.on_worker_heartbeat({"pid": 7, "pairs_done": 1})
+        clock.advance(2.5)
+        assert monitor.check_stalls() == [7]
+        monitor.on_worker_heartbeat({"pid": 7, "pairs_done": 2})  # resumes
+        assert monitor.check_stalls() == []
+        clock.advance(2.5)
+        assert monitor.check_stalls() == [7]
+        assert monitor.stall_warnings == 2
+
+    def test_completed_shard_clears_the_watch(self):
+        from repro.runtime.parallel import ShardMeta, SweepMonitor
+
+        clock = self._clock()
+        monitor = SweepMonitor(interval=1.0, stall_intervals=2, clock=clock)
+        monitor.on_sweep_start("lab", 1, 1)
+        monitor.on_worker_heartbeat({"pid": 9, "pairs_done": 5})
+        meta = ShardMeta(
+            n=3, mask_lo=0, mask_hi=8, seconds=0.5, pairs=64, pid=9
+        )
+        monitor.on_shard_done(meta)
+        clock.advance(10.0)
+        assert monitor.check_stalls() == []
+
+
+class TestHeartbeatInterval:
+    def test_default_and_env_override(self, monkeypatch):
+        from repro.runtime.parallel import heartbeat_interval
+
+        monkeypatch.delenv("REPRO_HEARTBEAT_SECS", raising=False)
+        assert heartbeat_interval() == 1.0
+        monkeypatch.setenv("REPRO_HEARTBEAT_SECS", "0.25")
+        assert heartbeat_interval() == 0.25
+        monkeypatch.setenv("REPRO_HEARTBEAT_SECS", "banana")
+        assert heartbeat_interval() == 1.0
+        monkeypatch.setenv("REPRO_HEARTBEAT_SECS", "-3")
+        assert heartbeat_interval() == 1.0
