@@ -185,22 +185,19 @@ class Dag:
         return self._topo
 
     def _closure(self) -> tuple[list[int], list[int]]:
-        """Compute (and cache) strict descendant/ancestor bitsets."""
+        """Compute (and cache) strict descendant/ancestor bitsets.
+
+        Delegates to the selected kernel backend
+        (:mod:`repro.kernels`); results are backend-independent python
+        int rows, so cached dags compare equal no matter which backend
+        filled them in.
+        """
         if self._desc is None:
-            desc = [0] * self._n
-            for u in reversed(self._topo):
-                d = self._succ[u]
-                for v in bit_indices(self._succ[u]):
-                    d |= desc[v]
-                desc[u] = d
-            anc = [0] * self._n
-            for u in self._topo:
-                a = self._pred[u]
-                for v in bit_indices(self._pred[u]):
-                    a |= anc[v]
-                anc[u] = a
-            self._desc = desc
-            self._anc = anc
+            from repro import kernels
+
+            self._desc, self._anc = kernels.closure(
+                self._n, self._succ, self._pred, self._topo
+            )
         assert self._anc is not None
         return self._desc, self._anc
 

@@ -1,0 +1,277 @@
+"""Pluggable bitset kernel backends (``REPRO_KERNEL``).
+
+The hot loops of this library — transitive closure, the race sweep's
+row-wise reachability arithmetic, the inclusion fold, and the quotient
+acyclicity check behind LC membership — all reduce to dense bit-matrix
+work.  This package provides two interchangeable implementations:
+
+* :mod:`repro.kernels.pybits` — pure-python integers as bitsets.  Always
+  available, always the **oracle**: the property suite pins the numpy
+  backend sequence-equal to it, and every dispatch falls back to it when
+  numpy is missing.
+* :mod:`repro.kernels.npbits` — numpy packed-bit kernels (``uint64``
+  words, 64 nodes per word) that batch whole node levels per call
+  instead of looping per node.  Same results, bit for bit.
+
+Selection is environment-driven so CI can pin either side of the parity
+matrix:
+
+``REPRO_KERNEL=python``
+    Force the pure-python oracle everywhere.
+``REPRO_KERNEL=numpy``
+    Force numpy kernels at every size (import error if numpy is
+    missing) — the parity CI leg.
+``REPRO_KERNEL=auto`` (or unset)
+    Use numpy where measurement says it wins, python ints elsewhere.
+    The gates are empirical (see ``EXPERIMENTS.md``): python big-int
+    AND/OR already runs word-parallel in C, so numpy only pays once a
+    problem is big *and* batches well.  Closure goes to numpy when the
+    dag has at least :data:`NUMPY_MIN_NODES` nodes and average degree
+    :data:`NUMPY_MIN_AVG_DEGREE` (dense dags — stencils, blocked
+    traces — are where level-batched gathers beat per-edge big-int
+    ORs); the inclusion fold always vectorizes (it accumulates in
+    numpy-land with no per-row conversion); the race sweep and the
+    block-quotient check stay on python ints, whose measured cost is
+    below the int↔array conversion overhead at every realistic size.
+
+Backends are *value-transparent*: every dispatch returns plain python
+objects (int bitsets, lists, tuples) in the exact order the oracle
+produces, so callers never see numpy types and cached results compare
+equal across backends.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import ConfigError
+from repro.obs.core import add as _obs_add
+
+__all__ = [
+    "backend_name",
+    "closure",
+    "inclusion_fold",
+    "kernel_info",
+    "numpy_available",
+    "NUMPY_MIN_NODES",
+    "quotient_is_acyclic",
+    "race_pairs",
+    "use_kernel",
+]
+
+_ENV_VAR = "REPRO_KERNEL"
+_ENV_MIN_NODES = "REPRO_KERNEL_MIN_NODES"
+_MODES = ("auto", "python", "numpy")
+
+#: Below this node count, ``auto`` keeps python-int kernels: a python
+#: big-int OR is one C call that already runs word-parallel, and the
+#: measured closure crossover (EXPERIMENTS.md, "Kernel backends") does
+#: not arrive until dags span many machine words — dense n=512 is still
+#: 0.8×, dense n=1024 ≈ break-even, n=2048 reaches 1.5×.  Overridable
+#: for tests via ``REPRO_KERNEL_MIN_NODES``.
+NUMPY_MIN_NODES = 1024
+
+#: ``auto`` sends closure to numpy only when the dag's average degree
+#: also reaches this bound.  Sparse deep dags (fork-join chains) favour
+#: the python oracle — the level-batched numpy pass moves each edge row
+#: twice (gather + reduce) and pads levels to their max degree, which
+#: only amortizes on dense dags (measured: n=1024 at avg degree 25 is
+#: 0.7×, at 77 it breaks even, at 150+ numpy wins).
+NUMPY_MIN_AVG_DEGREE = 64
+
+_forced: str | None = None  # use_kernel() override, wins over the env
+
+
+def _numpy_module():
+    """The numpy module, or ``None`` when not importable (cached)."""
+    global _NP_CACHE
+    if _NP_CACHE is _UNSET:
+        try:
+            import numpy  # noqa: PLC0415 - optional backend probe
+
+            _NP_CACHE = numpy
+        except ImportError:
+            _NP_CACHE = None
+    return _NP_CACHE
+
+
+_UNSET = object()
+_NP_CACHE: object = _UNSET
+
+
+def numpy_available() -> bool:
+    """True iff the numpy backend can be used in this process."""
+    return _numpy_module() is not None
+
+
+def _mode() -> str:
+    """The requested backend mode, validated."""
+    if _forced is not None:
+        return _forced
+    raw = os.environ.get(_ENV_VAR, "auto").strip().lower() or "auto"
+    if raw not in _MODES:
+        raise ConfigError(
+            f"{_ENV_VAR} must be one of {'/'.join(_MODES)}, got {raw!r}"
+        ) from None
+    return raw
+
+
+def _min_nodes() -> int:
+    raw = os.environ.get(_ENV_MIN_NODES)
+    if raw is None:
+        return NUMPY_MIN_NODES
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{_ENV_MIN_NODES} must be an integer, got {raw!r}"
+        ) from None
+
+
+def backend_name(n: int | None = None) -> str:
+    """The backend a dispatch would pick: ``"python"`` or ``"numpy"``.
+
+    ``n`` is the problem size in nodes; ``None`` asks for the *sweep*
+    backend (what folds and benchmarks report), which ignores the size
+    threshold.
+    """
+    mode = _mode()
+    if mode == "python":
+        return "python"
+    if mode == "numpy":
+        if not numpy_available():
+            raise ConfigError(
+                f"{_ENV_VAR}=numpy but numpy is not importable"
+            ) from None
+        return "numpy"
+    # auto
+    if not numpy_available():
+        return "python"
+    if n is not None and n < _min_nodes():
+        return "python"
+    return "numpy"
+
+
+def kernel_info() -> dict[str, str | None]:
+    """Backend fingerprint for ledger records and sweep stats."""
+    np = _numpy_module()
+    return {
+        "kernel": backend_name(),
+        "numpy": getattr(np, "__version__", None) if np is not None else None,
+    }
+
+
+@contextmanager
+def use_kernel(name: str | None) -> Iterator[None]:
+    """Force a backend for the duration of the context (tests, benches).
+
+    ``None`` restores environment-driven selection.
+    """
+    global _forced
+    if name is not None and name not in _MODES:
+        raise ConfigError(
+            f"use_kernel: expected one of {'/'.join(_MODES)} or None, got {name!r}"
+        ) from None
+    prev = _forced
+    _forced = name
+    try:
+        yield
+    finally:
+        _forced = prev
+
+
+def _numpy_impl():
+    from repro.kernels import npbits
+
+    return npbits
+
+
+def _python_impl():
+    from repro.kernels import pybits
+
+    return pybits
+
+
+def _impl(n: int | None = None):
+    """The backend module for a problem of ``n`` nodes."""
+    if backend_name(n) == "numpy":
+        return _numpy_impl()
+    return _python_impl()
+
+
+# ----------------------------------------------------------------------
+# Dispatch surface.  Signatures (and result orders) are defined by the
+# pure-python oracle in :mod:`repro.kernels.pybits`.  ``auto`` gating
+# is per-function because the backends win in different regimes — see
+# the module docstring and EXPERIMENTS.md.
+# ----------------------------------------------------------------------
+
+
+def closure(
+    n: int, succ: Sequence[int], pred: Sequence[int], topo: Sequence[int]
+) -> tuple[list[int], list[int]]:
+    """Strict descendant/ancestor bitset rows of a dag.
+
+    See :func:`repro.kernels.pybits.closure` for the contract.  In
+    ``auto`` mode the numpy pass is used only for dags that are both
+    large and dense (the degree scan below is ~1% of closure cost and
+    only runs once the node bound already passed).
+    """
+    mode = _mode()
+    use_numpy = False
+    if mode == "numpy":
+        backend_name(None)  # raises ConfigError when numpy is missing
+        use_numpy = True
+    elif mode == "auto" and numpy_available() and n >= _min_nodes():
+        num_edges = sum(s.bit_count() for s in succ)
+        use_numpy = num_edges >= NUMPY_MIN_AVG_DEGREE * n
+    impl = _numpy_impl() if use_numpy else _python_impl()
+    _obs_add(f"kernel.closure.{impl.NAME}", 1)
+    return impl.closure(n, succ, pred, topo)
+
+
+def race_pairs(
+    n: int,
+    desc: Sequence[int],
+    anc: Sequence[int],
+    loc_masks: Sequence[tuple[int, int]],
+) -> list[tuple[int, int, int]]:
+    """Racing ``(loc_index, writer, partner)`` triples, oracle order.
+
+    See :func:`repro.kernels.pybits.race_pairs` for the contract.
+    ``auto`` always keeps the python oracle — packing per-writer rows
+    across the int↔array boundary costs more than the sweep itself at
+    every measured size — so only ``REPRO_KERNEL=numpy`` exercises the
+    broadcast path (the parity CI leg does).
+    """
+    if _mode() == "numpy":
+        backend_name(None)  # raises ConfigError when numpy is missing
+        impl = _numpy_impl()
+    else:
+        impl = _python_impl()
+    _obs_add(f"kernel.races.{impl.NAME}", 1)
+    return impl.race_pairs(n, desc, anc, loc_masks)
+
+
+def inclusion_fold(
+    num_models: int, verdict_rows: Iterable[tuple[bool, ...]]
+) -> list[int]:
+    """Fold member verdicts into a "violation" bitset matrix.
+
+    See :func:`repro.kernels.pybits.inclusion_fold` for the contract.
+    """
+    impl = _impl(None)
+    return impl.inclusion_fold(num_models, verdict_rows)
+
+
+def quotient_is_acyclic(
+    num_blocks: int, bsrcs: Sequence[int], bdsts: Sequence[int]
+) -> bool:
+    """Kahn acyclicity of a block-quotient edge list.
+
+    See :func:`repro.kernels.pybits.quotient_is_acyclic` for the
+    contract.  Dispatch is by block count (quotients are usually tiny).
+    """
+    return _impl(num_blocks).quotient_is_acyclic(num_blocks, bsrcs, bdsts)

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro import kernels
 from repro.core.computation import Computation
 from repro.core.ops import Location
 from repro.dag.digraph import bit_indices
@@ -67,22 +68,23 @@ def _quotient(
 def quotient_is_acyclic(
     comp: Computation, block_of: Sequence[int | None]
 ) -> bool:
-    """True iff the block quotient graph is acyclic."""
-    adj, ids = _quotient(comp, block_of)
-    indeg: dict[int | None, int] = {b: 0 for b in ids}
-    for b, outs in adj.items():
-        for c in outs:
-            indeg[c] += 1
-    frontier = [b for b in ids if indeg[b] == 0]
-    seen = 0
-    while frontier:
-        b = frontier.pop()
-        seen += 1
-        for c in adj[b]:
-            indeg[c] -= 1
-            if indeg[c] == 0:
-                frontier.append(c)
-    return seen == len(ids)
+    """True iff the block quotient graph is acyclic.
+
+    The Kahn sweep itself is a kernel
+    (:func:`repro.kernels.quotient_is_acyclic`), fed the crossing edges
+    with blocks renumbered densely (``⊥`` included like any other
+    block — only reachability structure matters for acyclicity).
+    """
+    ids = sorted(set(block_of), key=lambda b: (b is None, b))
+    index = {b: i for i, b in enumerate(ids)}
+    bsrcs: list[int] = []
+    bdsts: list[int] = []
+    for u, v in comp.dag.edges:
+        bu, bv = block_of[u], block_of[v]
+        if bu != bv:
+            bsrcs.append(index[bu])
+            bdsts.append(index[bv])
+    return kernels.quotient_is_acyclic(len(ids), bsrcs, bdsts)
 
 
 def location_blocks_admissible(

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro import kernels
 from repro.core.computation import Computation
 from repro.core.observer import ObserverFunction
 from repro.models.base import MemoryModel
@@ -96,18 +97,21 @@ def inclusion_matrix(
         )
         return included
     names = [m.name for m in models]
-    included: dict[tuple[str, str], bool] = {
-        (x, y): True for x in names for y in names
+    # The fold over per-pair verdicts is a kernel: `bad[i]` has bit `j`
+    # set iff some pair was in models[i] but not models[j], refuting
+    # the inclusion i ⊆ j.
+    bad = kernels.inclusion_fold(
+        len(models),
+        (
+            tuple(m.contains(comp, phi) for m in models)
+            for comp, phi in universe.pairs()
+        ),
+    )
+    return {
+        (x, y): not (bad[i] >> j) & 1
+        for i, x in enumerate(names)
+        for j, y in enumerate(names)
     }
-    for comp, phi in universe.pairs():
-        verdicts = [m.contains(comp, phi) for m in models]
-        for i, x in enumerate(names):
-            if not verdicts[i]:
-                continue
-            for j, y in enumerate(names):
-                if not verdicts[j]:
-                    included[(x, y)] = False
-    return included
 
 
 def is_complete_on(

@@ -60,15 +60,16 @@ import queue as queue_mod
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import partial
 from typing import Any, Callable, Sequence
 
-from repro import obs
+from repro import kernels, obs
 from repro._caching import caches_enabled, sweep_caching
 from repro.errors import ConfigError
 from repro.models.universe import Universe
 from repro.obs import Span
+from repro.runtime.shm import ShmSlice, share_universe, shm_mode
 
 __all__ = [
     "ShardSpec",
@@ -234,6 +235,14 @@ class ShardSpec:
     worker's counter *deltas* across the kernel body into
     :attr:`ShardMeta.counters` and :func:`run_shards` merges them into
     the parent trace.
+
+    ``shm`` (set by :func:`run_shards` when the dispatcher shared the
+    universe) points the worker at its row range of the packed
+    enumeration in a :mod:`multiprocessing.shared_memory` block —
+    :meth:`iter_pairs` then *decodes* pairs from the read-only mapping
+    instead of regenerating them, falling back to regeneration (with a
+    structured warning and an ``shm.fallback`` counter) if the block
+    cannot be attached.
     """
 
     max_nodes: int
@@ -244,6 +253,7 @@ class ShardSpec:
     mask_hi: int
     cache_enabled: bool = True
     obs_enabled: bool = False
+    shm: ShmSlice | None = None
 
     def universe(self) -> Universe:
         """Rebuild the owning universe (cheap; workers call this once)."""
@@ -257,11 +267,34 @@ class ShardSpec:
         """The (computation, observer) pairs of this shard, in canonical
         order (edge mask ascending, then labelling, then observer).
 
+        With an :attr:`shm` slice attached, pairs are decoded from the
+        dispatcher's shared-memory block (one read-only mapping per
+        process) rather than regenerated; any attach failure degrades
+        to regeneration so a vanished segment can slow a sweep but
+        never break it.
+
         When this process has a heartbeat channel (a monitored sweep —
         pool worker or parent-serial), the iterator is wrapped to emit
         interval-limited progress heartbeats; otherwise it is returned
         untouched, so unmonitored sweeps pay nothing."""
-        inner = self.universe().pairs(self.n, (self.mask_lo, self.mask_hi))
+        inner = None
+        if self.shm is not None:
+            from repro.runtime import shm as _shm
+
+            try:
+                inner = _shm.shard_pairs(self)
+            except Exception as exc:
+                obs.warning(
+                    "shared universe unavailable; regenerating shard",
+                    shm=self.shm.name,
+                    n=self.n,
+                    mask_lo=self.mask_lo,
+                    mask_hi=self.mask_hi,
+                    error=repr(exc),
+                )
+                obs.add("shm.fallback")
+        if inner is None:
+            inner = self.universe().pairs(self.n, (self.mask_lo, self.mask_hi))
         if _HB is None:
             return inner
         return _heartbeat_iter(self, inner)
@@ -407,6 +440,8 @@ class SweepStats:
         wall_seconds: float,
         metas: Sequence[ShardMeta],
         retried_shards: int = 0,
+        backend: str = "python",
+        shm_used: bool = False,
     ) -> "SweepStats":
         """Assemble the stats span from worker-returned shard telemetry."""
         root = Span(
@@ -416,6 +451,8 @@ class SweepStats:
                 "jobs": jobs,
                 "mode": mode,
                 "retried_shards": retried_shards,
+                "backend": backend,
+                "shm": shm_used,
             },
             start=max(0.0, obs.now() - wall_seconds) if obs.enabled() else 0.0,
             duration=wall_seconds,
@@ -443,6 +480,16 @@ class SweepStats:
     def retried_shards(self) -> int:
         """Shards re-run serially after a worker crash (normally 0)."""
         return self.span.attrs.get("retried_shards", 0)
+
+    @property
+    def backend(self) -> str:
+        """The kernel backend the sweep resolved to (``REPRO_KERNEL``)."""
+        return self.span.attrs.get("backend", "python")
+
+    @property
+    def shm_used(self) -> bool:
+        """Whether workers decoded pairs from a shared-memory universe."""
+        return self.span.attrs.get("shm", False)
 
     @property
     def shards(self) -> list[ShardMeta]:
@@ -491,6 +538,8 @@ class SweepStats:
             "label": self.label,
             "jobs": self.jobs,
             "mode": self.mode,
+            "backend": self.backend,
+            "shm": self.shm_used,
             "wall_seconds": self.wall_seconds,
             "pairs": self.pairs,
             "retried_shards": self.retried_shards,
@@ -514,6 +563,7 @@ class SweepStats:
         """Human-readable table for ``--stats``."""
         lines = [
             f"sweep {self.label!r}: {self.mode}, jobs={self.jobs}, "
+            f"kernel={self.backend}, shm={'on' if self.shm_used else 'off'}, "
             f"{self.pairs} pairs in {self.wall_seconds:.3f}s"
         ]
         if self.retried_shards:
@@ -838,10 +888,34 @@ def run_shards(
     the monitor between future completions; the serial path (and crash
     retries) heartbeat directly through the monitor.  With no monitor
     installed this function is byte-for-byte the old dispatch.
+
+    For pool dispatch (``REPRO_SHM=auto``, the default, or always with
+    ``REPRO_SHM=1``) the enumeration is packed **once** here into a
+    shared-memory block that every worker maps read-only and decodes
+    (:mod:`repro.runtime.shm`); the segment's lifetime is exactly this
+    call — the ``finally`` below unlinks it on success, worker-crash
+    retry, and ``KeyboardInterrupt`` alike.  Packing failures degrade
+    to per-worker regeneration, never to a failed sweep.
     """
     monitor = _MONITOR
     t0 = time.perf_counter()
     retried: list[int] = []
+    shards = list(shards)
+    pool_dispatch = jobs > 1 and len(shards) > 1
+    shm_wanted = shm_mode()
+    shm_handle = None
+    if shards and (shm_wanted == "1" or (shm_wanted == "auto" and pool_dispatch)):
+        try:
+            shm_handle, slices = share_universe(shards)
+        except Exception as exc:
+            obs.warning(
+                "universe packing failed; workers will regenerate",
+                sweep=label,
+                error=repr(exc),
+            )
+            obs.add("shm.fallback")
+        else:
+            shards = [replace(s, shm=sl) for s, sl in zip(shards, slices)]
     if monitor is not None:
         monitor.on_sweep_start(label, len(shards), max(1, jobs))
         # Route this process's own kernel executions (serial fallback,
@@ -854,7 +928,7 @@ def run_shards(
             "interval": monitor.interval,
         }
     try:
-        if jobs <= 1 or len(shards) <= 1:
+        if not pool_dispatch:
             outcomes = []
             for s in shards:
                 outcome = kernel(s)
@@ -876,6 +950,12 @@ def run_shards(
     finally:
         if monitor is not None:
             _HB = hb_prev
+        # Guaranteed unlink: covers clean exit, kernel exceptions, the
+        # crash-retry path (retries run inside the dispatch above), and
+        # KeyboardInterrupt.  Workers that already mapped the block keep
+        # their pages until they exit.
+        if shm_handle is not None:
+            shm_handle.close()
     wall = time.perf_counter() - t0
     if monitor is not None:
         monitor.on_sweep_done(label, wall)
@@ -886,6 +966,8 @@ def run_shards(
         wall_seconds=wall,
         metas=[o.meta for o in outcomes],
         retried_shards=len(retried),
+        backend=kernels.backend_name(),
+        shm_used=shm_handle is not None,
     )
     _record_sweep(stats)
     return [o.payload for o in outcomes], stats
@@ -1129,26 +1211,33 @@ def _model_names(models: Sequence) -> tuple[str, ...]:
 
 
 def inclusion_kernel(shard: ShardSpec, names: tuple[str, ...]) -> ShardOutcome:
-    """Per-shard inclusion matrix over ``names`` (merged by AND)."""
+    """Per-shard inclusion refutations over ``names`` (merged by OR).
+
+    The payload is the backend fold's "violation" bitset list
+    (:func:`repro.kernels.inclusion_fold`): bit ``j`` of ``bad[i]`` is
+    set iff some pair of this shard is in ``names[i]`` but not
+    ``names[j]``.  Shards merge by elementwise OR and
+    :func:`parallel_inclusion_matrix` negates into the familiar
+    inclusion dict at the end — the same conjunction-over-a-partition
+    merge as before, one bit per cell instead of one dict entry.
+    """
     from repro.models.base import cached_membership
 
     models = _resolve_models(names)
 
-    def body(shard: ShardSpec) -> tuple[dict, int]:
-        included = {(x, y): True for x in names for y in names}
+    def body(shard: ShardSpec) -> tuple[list[int], int]:
         pairs = 0
-        for comp, phi in shard.iter_pairs():
-            pairs += 1
-            verdicts = {
-                n: cached_membership(m, comp, phi) for n, m in models.items()
-            }
-            for x in names:
-                if not verdicts[x]:
-                    continue
-                for y in names:
-                    if not verdicts[y]:
-                        included[(x, y)] = False
-        return included, pairs
+
+        def verdict_rows():
+            nonlocal pairs
+            for comp, phi in shard.iter_pairs():
+                pairs += 1
+                yield tuple(
+                    cached_membership(m, comp, phi) for m in models.values()
+                )
+
+        bad = kernels.inclusion_fold(len(names), verdict_rows())
+        return bad, pairs
 
     return _instrumented(body, shard)
 
@@ -1379,11 +1468,15 @@ def parallel_inclusion_matrix(
         label="inclusion-matrix",
     )
     with obs.span("merge", sweep="inclusion-matrix"):
-        included = {(x, y): True for x in names for y in names}
-        for shard_matrix in payloads:
-            for key, ok in shard_matrix.items():
-                if not ok:
-                    included[key] = False
+        bad = [0] * len(names)
+        for shard_bad in payloads:
+            for i, mask in enumerate(shard_bad):
+                bad[i] |= mask
+        included = {
+            (x, y): not (bad[i] >> j) & 1
+            for i, x in enumerate(names)
+            for j, y in enumerate(names)
+        }
     return included, stats
 
 

@@ -1,0 +1,361 @@
+"""Zero-copy shared enumeration universes (``REPRO_SHM``).
+
+A pool sweep's unit of work is a :class:`~repro.runtime.parallel.ShardSpec`
+— a few integers from which every worker *regenerates* its slice of the
+enumeration space.  Regeneration is pure compute: ``ordered_dags`` builds
+and cycle-checks a :class:`~repro.dag.digraph.Dag` per edge mask, and
+``ObserverFunction.enumerate_all`` re-derives every observer row from
+Definition 2's candidate sets (which needs the transitive closure).  This
+module moves that work to the dispatcher: the parent enumerates the
+universe **once**, packs it into a compact byte encoding inside one
+``multiprocessing.shared_memory`` block, and workers attach the block
+read-only (the kernel maps the same physical pages into every worker —
+zero copies, no pickling, no pipes) and *decode* their rows back into
+``(Computation, ObserverFunction)`` pairs in canonical order.
+
+Encoding (all offsets derived from ``rows``/``max_nodes``/``locations``,
+no per-block header):
+
+* ``keys``  — ``rows × 8`` bytes, little-endian ``u64`` per pair:
+  ``(n << 32) | edge_mask``.  Sizes and masks of this library's bounded
+  universes are tiny (``n ≤ 8``, ``mask < 2^28``), which the packer
+  checks.
+* ``ops``   — ``rows × max_nodes`` bytes: per node, the index of its op
+  in the universe alphabet; ``0xFF`` pads unused node slots.
+* ``phi``   — ``rows × |locations| × max_nodes`` bytes: the observed
+  writer node id per (location, node), ``0xFF`` for ``⊥`` (and padding).
+
+Decoding reconstructs the dag from the edge mask (the
+``combinations(range(n), 2)`` bit convention of
+:func:`repro.dag.enumerate.ordered_dags`), shares the
+``Computation`` across consecutive rows with equal key+ops, and builds
+observers with ``validate=False`` — every encoded row came from a valid
+observer function, so Definition 2 holds by construction.  Decoded pairs
+compare equal to regenerated ones, which the suite pins.
+
+Lifecycle: the dispatcher (:func:`repro.runtime.parallel.run_shards`)
+owns the segment — created right before dispatch, unlinked in a
+``finally`` that also covers crash-retried shards and
+``KeyboardInterrupt``.  The name stays registered with the
+``multiprocessing`` resource tracker until that unlink, so even a
+SIGKILLed parent leaves no segment behind (the tracker sweeps it at
+tree shutdown).  Workers attach lazily on first decode and cache the
+mapping per process; a failed attach falls back to regeneration with a
+structured warning and an ``shm.fallback`` counter — sweeps degrade,
+never break.
+
+``REPRO_SHM=auto`` (default) shares the universe only for pool
+dispatch; ``1`` forces sharing even on the serial path (the lifecycle
+tests use this); ``0`` disables it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from itertools import combinations
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
+
+from repro import obs
+from repro.core.computation import Computation
+from repro.core.observer import ObserverFunction
+from repro.dag.digraph import Dag
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.parallel import ShardSpec
+
+__all__ = [
+    "ShmSlice",
+    "SharedUniverse",
+    "shm_mode",
+    "share_universe",
+    "shard_pairs",
+]
+
+_ENV_VAR = "REPRO_SHM"
+_MODES = ("auto", "0", "1")
+
+_BOT = 0xFF
+"""Byte encoding of ``⊥`` in observer rows (and of unused pad slots)."""
+
+MAX_ENCODABLE_NODES = 8
+"""Node ids and alphabet indexes must fit a byte and masks a ``u32``;
+``C(8, 2) = 28`` candidate edges is the binding constraint.  Bounded
+universes are ``n ≤ 5`` in practice, so the packer refusing larger
+sizes (falling back to regeneration) costs nothing real."""
+
+
+def shm_mode() -> str:
+    """The requested sharing mode: ``"auto"``, ``"0"`` or ``"1"``."""
+    raw = os.environ.get(_ENV_VAR, "auto").strip().lower() or "auto"
+    if raw in ("off", "false", "no"):
+        raw = "0"
+    elif raw in ("on", "true", "yes"):
+        raw = "1"
+    if raw not in _MODES:
+        raise ConfigError(
+            f"{_ENV_VAR} must be one of {'/'.join(_MODES)}, got {raw!r}"
+        ) from None
+    return raw
+
+
+@dataclass(frozen=True)
+class ShmSlice:
+    """A shard's read-only view into a shared universe block.
+
+    ``name`` is the OS-level segment name; ``rows`` the block's total
+    pair count (it fixes the section offsets); ``[start, stop)`` the
+    row range holding this shard's pairs in canonical order.  Everything
+    else a decoder needs (node bound, locations, alphabet) already
+    travels on the :class:`~repro.runtime.parallel.ShardSpec`.
+    """
+
+    name: str
+    rows: int
+    start: int
+    stop: int
+
+
+class SharedUniverse:
+    """The dispatcher's owning handle on one packed universe segment."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, rows: int) -> None:
+        self._shm: shared_memory.SharedMemory | None = shm
+        self.name = shm.name
+        self.rows = rows
+        self.nbytes = shm.size
+
+    def close(self) -> None:
+        """Close and unlink the segment (idempotent).
+
+        Workers that already mapped the block keep their view until
+        process exit — unlink only removes the name, exactly the
+        semantics the crash-retry path needs.
+        """
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        _drop_attached(self.name)
+        try:
+            shm.close()
+        finally:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SharedUniverse":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Packing (dispatcher side)
+# ----------------------------------------------------------------------
+
+
+def _edge_mask(dag: Dag, pair_bit: dict[tuple[int, int], int]) -> int:
+    mask = 0
+    for edge in dag.edges:
+        mask |= 1 << pair_bit[edge]
+    return mask
+
+
+def share_universe(
+    shards: Sequence["ShardSpec"],
+) -> tuple[SharedUniverse, list[ShmSlice]]:
+    """Enumerate the shards' pairs once and pack them into shared memory.
+
+    Returns the owning handle plus one :class:`ShmSlice` per input
+    shard (in order).  Shards must agree on their universe parameters
+    (they always do — :func:`~repro.runtime.parallel.make_shards`
+    partitions one universe).  Raises on anything unpackable; the
+    caller treats any failure as "regenerate in workers".
+    """
+    if not shards:
+        raise ValueError("share_universe: no shards")
+    first = shards[0]
+    params = (first.max_nodes, first.locations, first.include_nop)
+    if any(
+        (s.max_nodes, s.locations, s.include_nop) != params for s in shards
+    ):
+        raise ValueError("share_universe: shards span different universes")
+    if first.max_nodes > MAX_ENCODABLE_NODES:
+        raise ValueError(
+            f"share_universe: max_nodes {first.max_nodes} exceeds the "
+            f"byte-packed bound {MAX_ENCODABLE_NODES}"
+        )
+    universe = first.universe()
+    locs = universe.locations
+    alphabet = universe.alphabet
+    if len(alphabet) >= _BOT:
+        raise ValueError("share_universe: alphabet too large to byte-encode")
+    alpha_index = {op: i for i, op in enumerate(alphabet)}
+    m = first.max_nodes
+    width = len(locs) * m
+
+    keys = bytearray()
+    ops_buf = bytearray()
+    phi_buf = bytearray()
+    ranges: list[tuple[int, int]] = []
+    rows = 0
+    for spec in shards:
+        start = rows
+        pair_bit = {
+            e: i for i, e in enumerate(combinations(range(spec.n), 2))
+        }
+        last_comp: Computation | None = None
+        key_b = b""
+        ops_b = b""
+        for comp, phi in universe.pairs(spec.n, (spec.mask_lo, spec.mask_hi)):
+            if comp is not last_comp:
+                key = (spec.n << 32) | _edge_mask(comp.dag, pair_bit)
+                key_b = key.to_bytes(8, "little")
+                ops_b = bytes(
+                    alpha_index[comp.op(u)] for u in range(spec.n)
+                ) + b"\xff" * (m - spec.n)
+                last_comp = comp
+            keys += key_b
+            ops_buf += ops_b
+            row_start = len(phi_buf)
+            for loc in locs:
+                row = phi.row(loc)
+                phi_buf += bytes(
+                    _BOT if v is None else v for v in row
+                ) + b"\xff" * (m - spec.n)
+            assert len(phi_buf) - row_start == width
+            rows += 1
+        ranges.append((start, rows))
+
+    total = len(keys) + len(ops_buf) + len(phi_buf)
+    shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+    try:
+        buf = shm.buf
+        buf[: len(keys)] = keys
+        off = len(keys)
+        buf[off : off + len(ops_buf)] = ops_buf
+        off += len(ops_buf)
+        buf[off : off + len(phi_buf)] = phi_buf
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    handle = SharedUniverse(shm, rows)
+    obs.add("shm.created")
+    obs.add("shm.bytes", handle.nbytes)
+    obs.add("shm.pairs", rows)
+    return handle, [
+        ShmSlice(name=shm.name, rows=rows, start=a, stop=b)
+        for a, b in ranges
+    ]
+
+
+# ----------------------------------------------------------------------
+# Attaching + decoding (worker side)
+# ----------------------------------------------------------------------
+
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+"""Per-process attach cache: pool workers decode many shards from the
+same block; mapping once per process keeps attach cost off the per-shard
+path.  The dispatcher purges its own entry on unlink."""
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    shm = _ATTACHED.get(name)
+    if shm is None:
+        # Attaching re-registers the name with the resource tracker.
+        # Workers are always children of the dispatcher, so there is
+        # one tracker daemon with one name *set*: the re-registration
+        # dedups, the dispatcher's ``unlink()`` unregisters exactly
+        # once, and unregistering here instead would strip the
+        # creator's entry and make that unlink KeyError inside the
+        # tracker.  (The tracker still sweeps the segment if the whole
+        # tree dies before the dispatcher's ``finally`` runs.)
+        shm = shared_memory.SharedMemory(name=name)
+        _ATTACHED[name] = shm
+    return shm
+
+
+def _drop_attached(name: str) -> None:
+    shm = _ATTACHED.pop(name, None)
+    if shm is not None:
+        try:
+            shm.close()
+        except Exception:  # pragma: no cover - best effort
+            pass
+
+
+def shard_pairs(
+    spec: "ShardSpec",
+) -> Iterator[tuple[Computation, ObserverFunction]]:
+    """Decode a shard's pairs from its shared universe block.
+
+    The attach happens *eagerly* so that a vanished or corrupt segment
+    raises here, where :meth:`ShardSpec.iter_pairs` can still fall back
+    to regeneration; only then is the lazy decode generator returned.
+    """
+    ref = spec.shm
+    assert ref is not None
+    shm = _attach(ref.name)
+    universe = spec.universe()
+    m = spec.max_nodes
+    width = len(universe.locations) * m
+    need = ref.rows * (8 + m + width)
+    if shm.size < need:
+        raise ValueError(
+            f"shared universe {ref.name!r} truncated: "
+            f"{shm.size} bytes < {need} expected"
+        )
+    obs.add("shm.attach")
+    return _decode(shm, ref, universe.locations, universe.alphabet, m)
+
+
+def _decode(
+    shm: shared_memory.SharedMemory,
+    ref: ShmSlice,
+    locs: tuple[Any, ...],
+    alphabet: tuple[Any, ...],
+    m: int,
+) -> Iterator[tuple[Computation, ObserverFunction]]:
+    buf = shm.buf
+    ops_off = 8 * ref.rows
+    phi_off = ops_off + ref.rows * m
+    width = len(locs) * m
+    last_key = -1
+    last_ops = b""
+    dag: Dag | None = None
+    comp: Computation | None = None
+    pairs: list[tuple[int, int]] = []
+    for r in range(ref.start, ref.stop):
+        key = int.from_bytes(buf[8 * r : 8 * r + 8], "little")
+        n = key >> 32
+        o = ops_off + r * m
+        ops_b = bytes(buf[o : o + n])
+        if key != last_key or ops_b != last_ops or comp is None:
+            if key != last_key or dag is None:
+                mask = key & 0xFFFFFFFF
+                pairs = list(combinations(range(n), 2))
+                dag = Dag(
+                    n,
+                    (
+                        pairs[i]
+                        for i in range(len(pairs))
+                        if mask & (1 << i)
+                    ),
+                )
+                last_key = key
+            comp = Computation(dag, tuple(alphabet[b] for b in ops_b))
+            last_ops = ops_b
+        mapping = {}
+        base = phi_off + r * width
+        for li, loc in enumerate(locs):
+            row = bytes(buf[base + li * m : base + li * m + n])
+            if row.strip(b"\xff"):
+                mapping[loc] = tuple(
+                    None if b == _BOT else b for b in row
+                )
+        yield comp, ObserverFunction(comp, mapping, validate=False)

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Iterator
 
-from repro import _caching
+from repro import _caching, kernels
 from repro.core.computation import Computation
 from repro.core.ops import Location
 from repro.dag.digraph import bit_indices
@@ -90,33 +90,27 @@ def _find_races_impl(comp: Computation) -> tuple[Race, ...]:
         access_mask[loc] = access_mask.get(loc, 0) | bit
         if op.is_write:
             write_mask[loc] = write_mask.get(loc, 0) | bit
+    # The per-writer mask sweep is a kernel: the backend receives one
+    # (access, write) mask pair per location plus the closure rows and
+    # returns the racing triples in the historical order (a write-write
+    # pair is emitted from its smaller id only — the backend drops the
+    # write partners below each writer, which dedupes without a
+    # seen-set).
+    locs = [loc for loc in comp.locations if write_mask.get(loc, 0)]
+    loc_masks = [(access_mask[loc], write_mask[loc]) for loc in locs]
+    desc, anc = dag._closure()
     races: list[Race] = []
-    for loc in comp.locations:
-        wmask = write_mask.get(loc, 0)
-        if not wmask:
-            continue
-        amask = access_mask[loc]
-        for w in bit_indices(wmask):
-            bit = 1 << w
-            incomparable = amask & ~(
-                dag.ancestors_mask(w) | dag.descendants_mask(w) | bit
+    for li, w, other in kernels.race_pairs(comp.num_nodes, desc, anc, loc_masks):
+        pair = (w, other) if w < other else (other, w)
+        wmask = loc_masks[li][1]
+        races.append(
+            Race(
+                locs[li],
+                pair[0],
+                pair[1],
+                "write-write" if (wmask >> other) & 1 else "read-write",
             )
-            # A write-write pair is emitted only from its smaller id;
-            # dropping the write partners below w dedupes without a
-            # seen-set while preserving the historical output order.
-            partners = incomparable & ~(wmask & (bit - 1))
-            for other in bit_indices(partners):
-                pair = (w, other) if w < other else (other, w)
-                races.append(
-                    Race(
-                        loc,
-                        pair[0],
-                        pair[1],
-                        "write-write"
-                        if (wmask >> other) & 1
-                        else "read-write",
-                    )
-                )
+        )
     return tuple(races)
 
 

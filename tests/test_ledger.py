@@ -157,6 +157,47 @@ def test_gate_never_compares_quick_against_full():
     assert report.deltas[0].verdict == "new"
 
 
+def test_gate_never_compares_across_kernel_backends():
+    # A wall-clock baseline recorded under one bitset backend says
+    # nothing about the other (forced numpy is a measured ~4x slowdown
+    # on the sweep battery): history with a different env.kernel must
+    # be invisible, exactly like the quick/full and cpu-affinity splits.
+    history = _history([1.0] * 5)
+    for rec in history:
+        rec["env"]["kernel"] = "python"
+    cand = _rec(p50=4.0)
+    cand["env"]["kernel"] = "numpy"
+    report = compare_records(history, [cand])
+    assert report.deltas[0].verdict == "new"
+    assert report.ok
+    # Same backend: the 4x blowup is caught again.
+    cand["env"]["kernel"] = "python"
+    assert compare_records(history, [cand]).deltas[0].verdict == "regressed"
+
+
+def test_gate_treats_legacy_records_as_python_kernel():
+    # Records written before the kernel fingerprint existed all ran the
+    # pure-python backend; they baseline python candidates, not numpy.
+    history = _history([1.0] * 5)
+    for rec in history:
+        rec["env"].pop("kernel", None)
+        rec["env"].pop("numpy", None)
+    assert validate_record(history[0]) == []
+    cand = _rec(p50=1.01)
+    cand["env"]["kernel"] = "python"
+    assert compare_records(history, [cand]).deltas[0].verdict == "flat"
+    cand["env"]["kernel"] = "numpy"
+    assert compare_records(history, [cand]).deltas[0].verdict == "new"
+
+
+def test_validate_rejects_blank_kernel():
+    rec = _rec()
+    rec["env"]["kernel"] = ""
+    assert any("kernel" in e for e in validate_record(rec))
+    rec["env"]["kernel"] = 7
+    assert any("kernel" in e for e in validate_record(rec))
+
+
 def test_gate_window_uses_only_recent_history():
     # Ancient 10s records fell out of the window: only the last 5 count.
     history = _history([10.0, 10.0, 1.0, 1.0, 1.0, 1.0, 1.0])

@@ -1,0 +1,238 @@
+"""Shared-memory universe: decode parity and segment lifecycle.
+
+Two contracts.  **Parity**: pairs decoded from a packed block are equal
+(values *and* canonical order) to regenerated ones, so sharing the
+universe can never change a sweep's result.  **Lifecycle**: the
+dispatcher alone owns the segment and unlinks it no matter how the
+sweep ends — success, worker crash + serial retry, or
+``KeyboardInterrupt`` — while a vanished or corrupt segment degrades a
+worker to regeneration instead of failing the shard.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import glob
+import os
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro import obs
+from repro.models import SC, Universe
+from repro.runtime import shm as shm_mod
+from repro.runtime.parallel import (
+    inclusion_kernel,
+    make_shards,
+    parallel_inclusion_matrix,
+    run_shards,
+)
+from repro.runtime.shm import ShmSlice, SharedUniverse, share_universe, shm_mode
+
+UNIVERSE = Universe(max_nodes=3, locations=("x",), include_nop=True)
+
+_MAIN_PID = os.getpid()
+
+
+def _segments() -> set[str]:
+    """The visible POSIX shared-memory segment names (Linux)."""
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+def _attached_specs(shards):
+    handle, slices = share_universe(shards)
+    return handle, [
+        dataclasses.replace(s, shm=sl) for s, sl in zip(shards, slices)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Decode parity
+# ---------------------------------------------------------------------------
+
+
+def test_decoded_pairs_equal_regenerated():
+    shards = make_shards(UNIVERSE, jobs=2)
+    handle, specs = _attached_specs(shards)
+    try:
+        for plain, shared in zip(shards, specs):
+            regenerated = list(
+                plain.universe().pairs(plain.n, (plain.mask_lo, plain.mask_hi))
+            )
+            decoded = list(shm_mod.shard_pairs(shared))
+            assert len(decoded) == len(regenerated)
+            for (c_dec, p_dec), (c_ref, p_ref) in zip(decoded, regenerated):
+                assert c_dec == c_ref
+                assert p_dec == p_ref
+                assert hash(p_dec) == hash(p_ref)
+    finally:
+        handle.close()
+
+
+def test_decoded_pairs_two_locations():
+    universe = Universe(max_nodes=2, locations=("x", "y"), include_nop=False)
+    shards = make_shards(universe, jobs=1)
+    handle, specs = _attached_specs(shards)
+    try:
+        for plain, shared in zip(shards, specs):
+            regenerated = list(
+                plain.universe().pairs(plain.n, (plain.mask_lo, plain.mask_hi))
+            )
+            assert list(shm_mod.shard_pairs(shared)) == regenerated
+    finally:
+        handle.close()
+
+
+def test_sweep_results_identical_with_and_without_shm(monkeypatch):
+    monkeypatch.setenv("REPRO_SHM", "1")
+    with_shm, stats_on = parallel_inclusion_matrix([SC], UNIVERSE, jobs=1)
+    assert stats_on.shm_used
+    monkeypatch.setenv("REPRO_SHM", "0")
+    without, stats_off = parallel_inclusion_matrix([SC], UNIVERSE, jobs=1)
+    assert not stats_off.shm_used
+    assert with_shm == without
+
+
+def test_shm_mode_validation(monkeypatch):
+    from repro.errors import ConfigError
+
+    for raw, want in (("auto", "auto"), ("on", "1"), ("off", "0"), ("", "auto")):
+        monkeypatch.setenv("REPRO_SHM", raw)
+        assert shm_mode() == want
+    monkeypatch.setenv("REPRO_SHM", "sideways")
+    with pytest.raises(ConfigError):
+        shm_mode()
+
+
+def test_share_universe_rejects_mixed_universes():
+    a = make_shards(UNIVERSE, jobs=1)
+    b = make_shards(Universe(max_nodes=2, locations=("y",)), jobs=1)
+    with pytest.raises(ValueError):
+        share_universe(a + b)
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle: guaranteed unlink
+# ---------------------------------------------------------------------------
+
+
+def test_unlink_on_success():
+    handle, _specs = _attached_specs(make_shards(UNIVERSE, jobs=1))
+    name = handle.name
+    handle.close()
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)
+    handle.close()  # idempotent
+
+
+def test_run_shards_leaves_no_segment(monkeypatch):
+    monkeypatch.setenv("REPRO_SHM", "1")
+    before = _segments()
+    _, stats = run_shards(
+        lambda s: inclusion_kernel(s, ("SC",)),
+        make_shards(UNIVERSE, jobs=1),
+        jobs=1,
+        label="shm-clean",
+    )
+    assert stats.shm_used
+    assert _segments() <= before
+
+
+def test_unlink_survives_keyboard_interrupt(monkeypatch):
+    monkeypatch.setenv("REPRO_SHM", "1")
+    before = _segments()
+
+    def interrupted_kernel(shard):
+        raise KeyboardInterrupt
+
+    with pytest.raises(KeyboardInterrupt):
+        run_shards(
+            interrupted_kernel,
+            make_shards(UNIVERSE, jobs=1),
+            jobs=1,
+            label="shm-interrupt",
+        )
+    assert _segments() <= before
+
+
+def test_unlink_survives_worker_crash_retry(monkeypatch, caplog):
+    """A BrokenProcessPool retry still ends with the segment unlinked,
+    and the retried shards (decoding in the parent, after their worker
+    died) produce the same payloads as a serial run."""
+    import logging
+
+    monkeypatch.setenv("REPRO_SHM", "1")
+    shards = make_shards(UNIVERSE, jobs=2)
+    serial_payloads, _ = run_shards(
+        _crashy_kernel, shards, jobs=1, label="shm-crash"
+    )
+    before = _segments()
+    with caplog.at_level(logging.WARNING, logger="repro.obs"):
+        pool_payloads, stats = run_shards(
+            _crashy_kernel, shards, jobs=2, label="shm-crash"
+        )
+    assert stats.retried_shards >= 1
+    assert stats.shm_used
+    assert pool_payloads == serial_payloads
+    assert _segments() <= before
+
+
+def _crashy_kernel(shard):
+    """Dies abruptly in any worker; behaves normally in the parent."""
+    if os.getpid() != _MAIN_PID:
+        os._exit(17)
+    return inclusion_kernel(shard, ("SC",))
+
+
+# ---------------------------------------------------------------------------
+# Degraded modes: fallback to regeneration
+# ---------------------------------------------------------------------------
+
+
+def test_vanished_segment_falls_back_to_regeneration():
+    shards = make_shards(UNIVERSE, jobs=1)
+    handle, specs = _attached_specs(shards)
+    handle.close()  # unlink before any decode: every attach must fail
+    spec = specs[0]
+    regenerated = list(
+        spec.universe().pairs(spec.n, (spec.mask_lo, spec.mask_hi))
+    )
+    obs.enable()
+    try:
+        assert list(spec.iter_pairs()) == regenerated
+        counters = dict(obs.counters())
+    finally:
+        obs.disable()
+        obs.reset()
+    assert counters.get("shm.fallback", 0) >= 1
+
+
+def test_truncated_segment_is_rejected_eagerly():
+    seg = shared_memory.SharedMemory(create=True, size=8)
+    try:
+        handle = SharedUniverse(seg, rows=0)
+        spec = make_shards(UNIVERSE, jobs=1)[0]
+        lying = dataclasses.replace(
+            spec, shm=ShmSlice(name=seg.name, rows=10**6, start=0, stop=1)
+        )
+        with pytest.raises(ValueError):
+            shm_mod.shard_pairs(lying)
+        # And the public path degrades instead of raising.
+        assert list(lying.iter_pairs()) == list(
+            spec.universe().pairs(spec.n, (spec.mask_lo, spec.mask_hi))
+        )
+    finally:
+        handle.close()
+
+
+def test_packing_failure_degrades_to_regeneration(monkeypatch):
+    """If the universe cannot be packed, the sweep still runs (shm off)."""
+    monkeypatch.setenv("REPRO_SHM", "1")
+    monkeypatch.setattr(shm_mod, "MAX_ENCODABLE_NODES", -1)
+    monkeypatch.setattr(
+        "repro.runtime.parallel.share_universe",
+        shm_mod.share_universe,
+    )
+    included, stats = parallel_inclusion_matrix([SC], UNIVERSE, jobs=1)
+    assert not stats.shm_used
+    assert included[("SC", "SC")]
