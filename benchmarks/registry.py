@@ -102,6 +102,12 @@ MANIFEST = (
         110,
         "polynomial checkers (LC membership, trace verify) at scale",
     ),
+    BenchmarkSpec(
+        "lint-throughput",
+        "bench_lint_throughput",
+        120,
+        "findings/s of the multi-rule lint engine over a program corpus",
+    ),
 )
 
 

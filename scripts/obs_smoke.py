@@ -31,6 +31,12 @@ Four checks, all exercised by the ``obs-smoke`` CI job:
    counter/gauge/histogram, every sample line parses with a finite
    non-negative value, and histogram ``_bucket`` series are cumulative
    (monotone non-decreasing in ``le``, capped by ``+Inf``).
+5. ``python scripts/obs_smoke.py sarif REPORT.sarif [--min-results N]``
+   — the ``repro lint --format sarif`` artifact is structurally valid
+   SARIF 2.1.0 (``repro.analysis.validate_sarif``), its driver is
+   ``repro-lint``, every result carries a ``reproLint/v1``
+   fingerprint, and (with ``--min-results``) the run reported at
+   least N results.
 
 Exit code 0 on success, 1 with a diagnostic on the first failure.
 """
@@ -287,6 +293,54 @@ def check_prom(path: str) -> int:
     return 0
 
 
+def check_sarif(path: str, min_results: int = 0) -> int:
+    from repro.analysis import validate_sarif
+
+    with open(path) as f:
+        doc = json.load(f)
+    try:
+        validate_sarif(doc)
+    except ValueError as exc:
+        print(f"obs-smoke: {exc}", file=sys.stderr)
+        return 1
+    run = doc["runs"][0]
+    driver = run["tool"]["driver"]
+    if driver["name"] != "repro-lint":
+        print(
+            f"obs-smoke: sarif driver is {driver['name']!r}, "
+            "expected 'repro-lint'",
+            file=sys.stderr,
+        )
+        return 1
+    results = run["results"]
+    missing_fp = [
+        i
+        for i, res in enumerate(results)
+        if "reproLint/v1" not in res.get("partialFingerprints", {})
+    ]
+    if missing_fp:
+        print(
+            f"obs-smoke: sarif results {missing_fp} carry no "
+            "reproLint/v1 fingerprint — baseline matching would break",
+            file=sys.stderr,
+        )
+        return 1
+    if len(results) < min_results:
+        print(
+            f"obs-smoke: sarif run has {len(results)} result(s), "
+            f"expected at least {min_results}",
+            file=sys.stderr,
+        )
+        return 1
+    suppressed = sum(1 for res in results if res.get("suppressions"))
+    print(
+        f"obs-smoke: sarif OK — {len(driver['rules'])} rules, "
+        f"{len(results)} results ({suppressed} suppressed), "
+        "all fingerprinted"
+    )
+    return 0
+
+
 def main(argv: list[str]) -> int:
     if len(argv) >= 2 and argv[0] == "validate":
         min_pids = 1
@@ -307,11 +361,25 @@ def main(argv: list[str]) -> int:
         return check_replay(argv[1], expect_aborted=bool(rest))
     if len(argv) == 2 and argv[0] == "prom":
         return check_prom(argv[1])
+    if len(argv) >= 2 and argv[0] == "sarif":
+        min_results = 0
+        rest = argv[2:]
+        if (
+            rest[:1] == ["--min-results"]
+            and len(rest) == 2
+            and rest[1].isdigit()
+        ):
+            min_results = int(rest[1])
+        elif rest:
+            print(f"obs-smoke: unknown arguments {rest}", file=sys.stderr)
+            return 2
+        return check_sarif(argv[1], min_results)
     print(
         "usage: obs_smoke.py validate TRACE.json [--min-pids N] | "
         "obs_smoke.py uncached | "
         "obs_smoke.py replay JOURNAL.jsonl [--expect-aborted] | "
-        "obs_smoke.py prom METRICS.txt",
+        "obs_smoke.py prom METRICS.txt | "
+        "obs_smoke.py sarif REPORT.sarif [--min-results N]",
         file=sys.stderr,
     )
     return 2

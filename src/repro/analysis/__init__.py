@@ -1,4 +1,15 @@
-"""Analysis: empirical regeneration of the paper's Figure 1 lattice."""
+"""Analysis: the Figure 1 lattice machinery and the static-analysis engine.
+
+Two families live here: the empirical regeneration of the paper's
+Figure 1 lattice (PR 1), and the multi-rule static-analysis framework
+behind ``repro lint`` — the rule registry (:mod:`repro.analysis.registry`),
+the built-in rules (:mod:`repro.analysis.race_rules`, backed by
+:mod:`repro.analysis.fasttrack`, :mod:`repro.analysis.deadlock`,
+:mod:`repro.analysis.portability`), SARIF export
+(:mod:`repro.analysis.sarif`) and baseline suppression
+(:mod:`repro.analysis.baseline`).  Importing this package registers the
+built-in rules.
+"""
 
 from repro.analysis.lattice import (
     KNOWN_DEVIATIONS,
@@ -36,6 +47,34 @@ from repro.analysis.reproduce import (
     full_reproduction,
     render_report,
 )
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    finding_fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.deadlock import LockCycle, LockEdge, lock_cycles, lock_graph
+from repro.analysis.fasttrack import (
+    chain_decomposition,
+    fasttrack_races,
+    fasttrack_trace_races,
+)
+from repro.analysis.portability import (
+    PortabilityVerdict,
+    check_portability,
+)
+from repro.analysis.registry import (
+    AnalysisContext,
+    AnalysisReport,
+    Finding,
+    Rule,
+    all_rules,
+    get_rule,
+    register_rule,
+    run_analysis,
+    select_rules,
+)
 from repro.analysis.report import (
     render_computation,
     render_dot,
@@ -43,6 +82,10 @@ from repro.analysis.report import (
     render_lattice_result,
     render_pair,
 )
+from repro.analysis.sarif import sarif_document, validate_sarif
+
+# Importing the rules module populates the registry as a side effect.
+import repro.analysis.race_rules  # noqa: E402,F401
 
 __all__ = [
     "PAPER_MODELS",
@@ -74,4 +117,29 @@ __all__ = [
     "render_report",
     "ReproductionReport",
     "SectionResult",
+    "AnalysisContext",
+    "AnalysisReport",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register_rule",
+    "run_analysis",
+    "select_rules",
+    "chain_decomposition",
+    "fasttrack_races",
+    "fasttrack_trace_races",
+    "LockCycle",
+    "LockEdge",
+    "lock_cycles",
+    "lock_graph",
+    "PortabilityVerdict",
+    "check_portability",
+    "sarif_document",
+    "validate_sarif",
+    "DEFAULT_BASELINE",
+    "apply_baseline",
+    "finding_fingerprint",
+    "load_baseline",
+    "write_baseline",
 ]

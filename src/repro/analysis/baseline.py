@@ -1,0 +1,115 @@
+"""Baseline files: suppress known findings, fail only on new ones.
+
+Adopting a linter on a codebase with existing findings needs a ratchet:
+record today's findings once, then fail CI only when a *new* one
+appears.  The record is ``.repro-lint-baseline.json`` — a map from
+stable *fingerprints* to a human-readable sketch of the suppressed
+finding.
+
+A fingerprint (:func:`finding_fingerprint`) hashes the finding's
+*identity*: target, rule id, rule-specific kind, location, and the
+source paths of the involved nodes (falling back to node ids only when
+no paths are known).  Hashing paths rather than node ids keeps the
+fingerprint stable when a program is re-unfolded and node numbering
+shifts; messages are deliberately excluded so wording changes do not
+invalidate a baseline.
+
+Workflow (also wired into CI)::
+
+    repro lint racy --write-baseline          # seed
+    repro lint racy --baseline .repro-lint-baseline.json   # exit 0
+    # ...a new race appears...
+    repro lint racy --baseline .repro-lint-baseline.json   # exit 2,
+    #   reporting only the new finding as unsuppressed
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:
+    from repro.analysis.registry import AnalysisReport, Finding
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "finding_fingerprint",
+    "write_baseline",
+    "load_baseline",
+    "apply_baseline",
+]
+
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+_VERSION = 1
+
+
+def finding_fingerprint(target: str, finding: "Finding") -> str:
+    """A 16-hex-digit stable fingerprint of one finding's identity."""
+    payload = json.dumps(
+        [target, list(map(str, finding.identity()))],
+        sort_keys=True,
+        ensure_ascii=False,
+    )
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def write_baseline(
+    path: str, reports: Sequence["AnalysisReport"]
+) -> dict:
+    """Record every current finding as accepted; returns the document."""
+    entries: dict[str, dict] = {}
+    for report in reports:
+        for f in report.findings:
+            fp = finding_fingerprint(report.target, f)
+            entries[fp] = {
+                "target": report.target,
+                "rule": f.rule,
+                "severity": f.severity,
+                "kind": f.kind,
+                "loc": f.loc,
+                "message": f.message,
+            }
+    doc = {
+        "version": _VERSION,
+        "tool": "repro-lint",
+        "findings": dict(sorted(entries.items())),
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc
+
+
+def load_baseline(path: str) -> set[str]:
+    """The accepted fingerprints recorded in a baseline file."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or "findings" not in doc:
+        raise ValueError(
+            f"{path!r} is not a repro-lint baseline "
+            "(missing 'findings' map)"
+        )
+    version = doc.get("version")
+    if version != _VERSION:
+        raise ValueError(
+            f"unsupported baseline version {version!r} in {path!r} "
+            f"(this tool writes version {_VERSION})"
+        )
+    findings = doc["findings"]
+    if not isinstance(findings, dict):
+        raise ValueError(f"{path!r}: 'findings' must be an object")
+    return set(findings)
+
+
+def apply_baseline(
+    reports: Sequence["AnalysisReport"], accepted: set[str]
+) -> int:
+    """Mark baseline-accepted findings suppressed; returns the count."""
+    suppressed = 0
+    for report in reports:
+        for f in report.findings:
+            if finding_fingerprint(report.target, f) in accepted:
+                f.suppressed = True
+                suppressed += 1
+    return suppressed

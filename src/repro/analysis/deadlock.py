@@ -1,0 +1,183 @@
+"""Lock-order analysis: deadlock cycles in the lock-acquisition graph.
+
+The dag cannot deadlock — it is acyclic and lock sections are recorded,
+not contended.  But :mod:`repro.locks` serializes each lock's critical
+sections at *execution* time, and nested sections acquired in opposite
+orders on dag-incomparable branches are exactly the classic ABBA hang
+once a real lock implementation runs the program.  This is a static
+property of :attr:`repro.lang.cilk.UnfoldInfo.lock_sections`, so we
+lint for it.
+
+Construction (the standard lock-order graph, e.g. Havelund's Java
+PathFinder analysis, restricted to the recorded dag):
+
+* edge ``L1 → L2`` whenever some acquire ``a2`` of an ``L2`` section
+  happens *inside* an ``L1`` section ``(a1, r1)`` — i.e.
+  ``a1 ⪯ a2 ⪯ r1`` in the dag.  Each edge keeps its witnessing
+  ``(outer section, inner acquire)`` pairs.
+* a cycle in this graph is a lock-order inversion.  It is a *potential
+  deadlock* (severity ``error``) only if some choice of one witness
+  per edge is pairwise dag-incomparable — the nested sections can
+  genuinely overlap in an execution.  A cycle whose witnesses are all
+  serialized by the dag (one branch finishes before the next starts)
+  cannot hang; it is reported as a ``note`` so the inverted order can
+  still be cleaned up before someone parallelizes the branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Mapping, Sequence
+
+from repro.core.computation import Computation
+
+__all__ = ["LockEdge", "lock_graph", "lock_cycles", "LockCycle"]
+
+#: Witness-combination budget per cycle: lock graphs here are tiny, but
+#: a pathological program could record many sections per edge.
+_MAX_COMBOS = 4096
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    """``outer → inner`` nesting with every witnessing section pair.
+
+    Each witness is ``(acquire_outer, release_outer, acquire_inner)``
+    — node ids of the outer section's bracket and the nested acquire.
+    """
+
+    outer: str
+    inner: str
+    witnesses: tuple[tuple[int, int, int], ...]
+
+
+@dataclass(frozen=True)
+class LockCycle:
+    """One lock-order cycle, plus whether it can actually deadlock.
+
+    ``locks`` lists the cycle in order (first lock repeated at the end
+    conceptually, not literally).  ``concurrent`` is True when some
+    witness selection is pairwise dag-incomparable; ``witness`` is that
+    selection (or the lexicographically first one for serialized
+    cycles), one ``(acquire_outer, release_outer, acquire_inner)``
+    triple per edge.
+    """
+
+    locks: tuple[str, ...]
+    concurrent: bool
+    witness: tuple[tuple[int, int, int], ...]
+
+
+def lock_graph(
+    comp: Computation,
+    lock_sections: Mapping[object, Sequence[tuple[int, int]]],
+) -> list[LockEdge]:
+    """Build the lock-order graph from recorded sections.
+
+    Locks are identified by ``str(lock)`` (they are lock *names* in the
+    Cilk frontend); edges come out sorted for determinism.
+    """
+    sections = {
+        str(lock): sorted(tuple(s) for s in secs)
+        for lock, secs in lock_sections.items()
+    }
+    precedes_eq = comp.dag.precedes_eq
+    edges: dict[tuple[str, str], list[tuple[int, int, int]]] = {}
+    for outer, outer_secs in sections.items():
+        for inner, inner_secs in sections.items():
+            if inner == outer:
+                continue
+            for (a1, r1), (a2, _r2) in product(outer_secs, inner_secs):
+                if precedes_eq(a1, a2) and precedes_eq(a2, r1):
+                    edges.setdefault((outer, inner), []).append(
+                        (a1, r1, a2)
+                    )
+    return [
+        LockEdge(outer, inner, tuple(ws))
+        for (outer, inner), ws in sorted(edges.items())
+    ]
+
+
+def _sections_concurrent(
+    comp: Computation, ws: Sequence[tuple[int, int, int]]
+) -> bool:
+    """True iff the witnesses' outer sections pairwise overlap.
+
+    Two sections ``(a, r)`` and ``(a', r')`` are serialized by the dag
+    iff one's release precedes the other's acquire; any other
+    configuration lets an execution hold both simultaneously.
+    """
+    precedes = comp.dag.precedes
+    for i in range(len(ws)):
+        a1, r1, _ = ws[i]
+        for j in range(i + 1, len(ws)):
+            a2, r2, _ = ws[j]
+            if precedes(r1, a2) or precedes(r2, a1):
+                return False
+    return True
+
+
+def lock_cycles(
+    comp: Computation,
+    lock_sections: Mapping[object, Sequence[tuple[int, int]]],
+) -> list[LockCycle]:
+    """Every elementary cycle of the lock graph, classified.
+
+    Cycles are found by DFS from each lock in sorted order; a cycle is
+    emitted only from its lexicographically-smallest lock so each shows
+    up once.  Per cycle the witness selections (one section pair per
+    edge, capped at a fixed combination budget) are searched for a
+    pairwise-concurrent choice; finding one marks the cycle
+    ``concurrent`` — a genuine potential deadlock.
+    """
+    graph = lock_graph(comp, lock_sections)
+    adj: dict[str, dict[str, LockEdge]] = {}
+    for e in graph:
+        adj.setdefault(e.outer, {})[e.inner] = e
+    cycles: list[LockCycle] = []
+
+    def dfs(start: str, node: str, path: list[str]) -> None:
+        for nxt in sorted(adj.get(node, {})):
+            if nxt == start:
+                _classify(path[:])
+            elif nxt not in path and nxt > start:
+                # Only visit locks above the start so each cycle is
+                # enumerated exactly once, from its smallest lock.
+                path.append(nxt)
+                dfs(start, nxt, path)
+                path.pop()
+
+    def _classify(locks: list[str]) -> None:
+        edge_list = [
+            adj[locks[i]][locks[(i + 1) % len(locks)]]
+            for i in range(len(locks))
+        ]
+        pools: list[Sequence[tuple[int, int, int]]] = [
+            e.witnesses for e in edge_list
+        ]
+        combos = 1
+        for p in pools:
+            combos *= len(p)
+        best: tuple[tuple[int, int, int], ...] | None = None
+        budget = _MAX_COMBOS
+        for choice in product(*pools):
+            budget -= 1
+            if _sections_concurrent(comp, choice):
+                best = tuple(choice)
+                break
+            if budget <= 0:
+                break
+        cycles.append(
+            LockCycle(
+                locks=tuple(locks),
+                concurrent=best is not None,
+                witness=best
+                if best is not None
+                else tuple(p[0] for p in pools),
+            )
+        )
+
+    for start in sorted(adj):
+        dfs(start, start, [start])
+    return cycles

@@ -1,0 +1,215 @@
+"""FastTrack-style epoch/vector-clock race detection on computations.
+
+Flanagan & Freund's FastTrack [PLDI 2009] observes that the full
+vector-clock race check of Mellor-Crummey's algorithm is almost always
+overkill: reads and writes are overwhelmingly *ordered*, so one *epoch*
+— a ``(thread, clock)`` pair naming the last access — replaces a whole
+clock vector until real concurrency shows up.  This module transplants
+that design onto computation dags:
+
+* **Threads** become the chains of a greedy *chain decomposition* of
+  the dag into happens-before paths (:func:`chain_decomposition`).  A
+  schedule's processor ids would be wrong here — two dag-incomparable
+  nodes may run on the same processor, and same-processor execution
+  order is *not* happens-before in a computation-centric world.  Each
+  chain is totally ordered by dag precedence, which is exactly the
+  property epochs need.
+* **Vector clocks** index by chain: ``VC_u[c]`` is the clock of the
+  last chain-``c`` node that precedes-or-equals ``u``, computed as the
+  pointwise join of the predecessors' clocks bumped at ``u``'s own
+  chain.  Because a chain is totally ordered, the epoch test
+  ``(c, t) ⊑ VC_v  ⇔  VC_v[c] >= t`` is equivalent to dag precedence
+  ``u ⪯ v`` — the closure is never materialized.
+* **Per-location state** is verbatim FastTrack: a write epoch ``W_x``,
+  a read epoch that inflates to a read map on concurrent reads, and
+  the same-epoch fast paths.
+
+Guarantee (Theorem 2 of the paper, unchanged by the transplant): every
+reported pair is a genuine determinacy race, and the *first* race on
+each location in processing order is always caught — so the racy
+*location set* matches the exact closure sweep
+(:func:`repro.verify.races.find_races`) and SP-bags exactly, which the
+suite property-tests on exhaustive SP universes.  Unlike SP-bags it
+needs no series-parallel structure, and unlike the closure sweep it is
+one pass with no reachability rows — which is what lets rule
+``RACE002`` cross-check detectors and run over recorded execution
+traces (:func:`fasttrack_trace_races`) at sanitizer-like cost.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro import obs
+from repro.core.computation import Computation
+from repro.verify.races import Race
+
+__all__ = [
+    "chain_decomposition",
+    "fasttrack_races",
+    "fasttrack_trace_races",
+]
+
+
+def chain_decomposition(
+    comp: Computation, order: Sequence[int] | None = None
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Greedily partition the dag into happens-before chains.
+
+    Returns ``(chain_of, clock_of)`` indexed by node id: the chain each
+    node joined and its 1-based position on it.  Walking ``order`` (any
+    topological order; default the dag's), a node extends the chain of
+    the first predecessor that is still its chain's tail, else it
+    starts a fresh chain — the classic greedy path cover.  Chain count
+    is at most the dag's width plus merge slack; only the epoch
+    *soundness* (each chain totally ordered by ⪯) matters, not
+    minimality.
+    """
+    if order is None:
+        order = comp.dag.topological_order
+    n = comp.num_nodes
+    chain_of = [0] * n
+    clock_of = [0] * n
+    tail: list[int] = []  # chain id -> current tail node
+    for u in order:
+        joined = False
+        for p in comp.dag.predecessors(u):
+            c = chain_of[p]
+            if tail[c] == p:
+                chain_of[u] = c
+                clock_of[u] = clock_of[p] + 1
+                tail[c] = u
+                joined = True
+                break
+        if not joined:
+            chain_of[u] = len(tail)
+            clock_of[u] = 1
+            tail.append(u)
+    return tuple(chain_of), tuple(clock_of)
+
+
+def fasttrack_races(
+    comp: Computation, order: Sequence[int] | None = None
+) -> list[Race]:
+    """Run the FastTrack sweep over ``comp`` in ``order``.
+
+    ``order`` must be a topological order of the dag (defaults to the
+    dag's own; pass a schedule's execution order to analyze a recorded
+    run).  Races come out normalized like :func:`find_races`'s
+    (``u < v``, same kinds), in detection order, deduplicated; per racy
+    location at least the first race in ``order`` is reported.
+    """
+    if order is None:
+        order = comp.dag.topological_order
+    with obs.span("analysis.fasttrack", nodes=comp.num_nodes) as spn:
+        races = _fasttrack_sweep(comp, order)
+        if spn is not None:
+            spn.attrs["races"] = len(races)
+    if obs.enabled():
+        obs.add("fasttrack.runs")
+        obs.add("fasttrack.races", len(races))
+    return races
+
+
+def _fasttrack_sweep(
+    comp: Computation, order: Sequence[int]
+) -> list[Race]:
+    chain_of, clock_of = chain_decomposition(comp, order)
+    ops = comp.ops
+    preds = comp.dag.predecessors
+
+    # VC per processed node: dict chain -> clock (sparse; most nodes
+    # touch few chains).  Epoch (c, t) ⊑ VC_u  ⇔  VC_u.get(c, 0) >= t.
+    vcs: dict[int, dict[int, int]] = {}
+    # Per location the FastTrack shadow state: the last-write epoch,
+    # and the read side in exactly one of two modes — a single epoch
+    # (the common, totally-ordered case) or, once genuinely concurrent
+    # reads appear, a read map chain -> (clock, node).
+    write_epoch: dict[object, tuple[int, int, int]] = {}  # (chain, clk, node)
+    read_epoch: dict[object, tuple[int, int, int]] = {}
+    read_map: dict[object, dict[int, tuple[int, int]]] = {}
+
+    races: list[Race] = []
+    seen: set[tuple[object, int, int]] = set()
+
+    def report(loc: object, a: int, b: int) -> None:
+        u, v = (a, b) if a < b else (b, a)
+        key = (loc, u, v)
+        if key in seen:
+            return
+        seen.add(key)
+        kind = (
+            "write-write"
+            if ops[u].is_write and ops[v].is_write
+            else "read-write"
+        )
+        races.append(Race(loc, u, v, kind))
+
+    for u in order:
+        vc: dict[int, int] = {}
+        for p in preds(u):
+            for c, t in vcs[p].items():
+                if vc.get(c, 0) < t:
+                    vc[c] = t
+        cu = chain_of[u]
+        vc[cu] = clock_of[u]
+        vcs[u] = vc
+
+        op = ops[u]
+        loc = op.loc
+        if loc is None:
+            continue
+        if op.is_write:
+            w = write_epoch.get(loc)
+            if w is not None and vc.get(w[0], 0) < w[1]:
+                report(loc, w[2], u)
+            if loc in read_epoch:
+                r = read_epoch[loc]
+                if vc.get(r[0], 0) < r[1]:
+                    report(loc, r[2], u)
+            elif loc in read_map:
+                for c, (t, node) in read_map[loc].items():
+                    if vc.get(c, 0) < t:
+                        report(loc, node, u)
+            # Adopt this write's epoch; earlier reads are now either
+            # ordered before it or already reported — clear them.
+            write_epoch[loc] = (cu, clock_of[u], u)
+            read_epoch.pop(loc, None)
+            read_map.pop(loc, None)
+        else:
+            w = write_epoch.get(loc)
+            if w is not None and vc.get(w[0], 0) < w[1]:
+                report(loc, w[2], u)
+            mine = (cu, clock_of[u], u)
+            if loc in read_map:
+                # A same-chain entry is always older on this chain,
+                # hence ordered before ``u`` — overwriting is safe.
+                read_map[loc][cu] = (clock_of[u], u)
+            elif loc in read_epoch:
+                r = read_epoch[loc]
+                if vc.get(r[0], 0) >= r[1]:
+                    read_epoch[loc] = mine  # ordered: stay an epoch
+                else:
+                    # Genuinely concurrent reads: inflate to a map.
+                    del read_epoch[loc]
+                    read_map[loc] = {
+                        r[0]: (r[1], r[2]),
+                        cu: (clock_of[u], u),
+                    }
+            else:
+                read_epoch[loc] = mine  # first read: epoch fast path
+    return races
+
+
+def fasttrack_trace_races(trace) -> list[Race]:
+    """FastTrack over a recorded execution, in its execution order.
+
+    Races are dag properties, so the *racy locations* equal
+    :func:`fasttrack_races` on the trace's computation; the reported
+    pairs are the ones FastTrack witnesses in the order the run
+    actually interleaved — the view a dynamic detector would have had
+    inside that execution.
+    """
+    return fasttrack_races(
+        trace.comp, trace.schedule.execution_order()
+    )

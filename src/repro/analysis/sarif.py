@@ -1,0 +1,176 @@
+"""SARIF 2.1.0 export for analysis reports.
+
+SARIF (Static Analysis Results Interchange Format, OASIS) is the
+lingua franca CI systems ingest — GitHub code scanning, VS Code SARIF
+viewers, etc.  ``repro lint --format sarif`` renders one *run* with the
+registered rules as ``tool.driver.rules`` and one *result* per finding:
+severity maps onto SARIF ``level``, node paths become logical
+locations, file targets physical ones, and the baseline fingerprint is
+carried in ``partialFingerprints`` so external tooling can do its own
+result matching.  Baseline-suppressed findings are exported with a
+``suppressions`` entry rather than dropped — SARIF's way of saying
+"known, accepted".
+
+:func:`validate_sarif` is the shape check CI runs over the artifact
+(``scripts/obs_smoke.py sarif``): structural 2.1.0 requirements only —
+the full JSON schema needs a validator dependency this repo
+deliberately does not take.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:
+    from repro.analysis.registry import AnalysisReport, Rule
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "sarif_document", "validate_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+    "master/Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = ("error", "warning", "note", "none")
+
+
+def _rule_descriptor(rule: "Rule") -> dict:
+    return {
+        "id": rule.id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.doc},
+        "defaultConfiguration": {"level": rule.severity},
+        "properties": {"engines": list(rule.engines)},
+    }
+
+
+def sarif_document(
+    reports: Sequence["AnalysisReport"],
+    rules: Iterable["Rule"],
+    fingerprints: dict[int, str] | None = None,
+) -> dict:
+    """Render analysis reports as one SARIF 2.1.0 document (one run).
+
+    ``fingerprints`` optionally maps ``id(finding)`` to its baseline
+    fingerprint (the CLI computes them anyway for baseline matching;
+    passing them here keeps the two in lockstep).
+    """
+    from repro import __version__
+
+    rule_list = sorted(rules, key=lambda r: r.id)
+    index_of = {r.id: i for i, r in enumerate(rule_list)}
+    results = []
+    for report in reports:
+        for f in report.findings:
+            result: dict = {
+                "ruleId": f.rule,
+                "level": f.severity if f.severity in _LEVELS else "none",
+                "message": {"text": f.message},
+                "locations": [_location(report.target, f)],
+            }
+            if f.rule in index_of:
+                result["ruleIndex"] = index_of[f.rule]
+            fp = (fingerprints or {}).get(id(f))
+            if fp is not None:
+                result["partialFingerprints"] = {"reproLint/v1": fp}
+            if f.suppressed:
+                result["suppressions"] = [{"kind": "external"}]
+            results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "version": __version__,
+                        "informationUri": (
+                            "https://dl.acm.org/doi/10.1145/277651.277662"
+                        ),
+                        "rules": [
+                            _rule_descriptor(r) for r in rule_list
+                        ],
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+
+
+def _location(target: str, finding) -> dict:
+    loc: dict = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": target}
+        }
+    }
+    logical = [
+        {"fullyQualifiedName": p} for p in finding.paths if p
+    ]
+    if not logical and finding.nodes:
+        logical = [
+            {"fullyQualifiedName": f"node/{u}"} for u in finding.nodes
+        ]
+    if logical:
+        loc["logicalLocations"] = logical
+    return loc
+
+
+def validate_sarif(doc: object) -> None:
+    """Structurally validate a SARIF 2.1.0 document; raise ``ValueError``.
+
+    Checks the invariants consumers rely on: version pin, at least one
+    run with a named driver, unique rule ids, every result referencing
+    a declared rule with a recognized level, a non-empty message, and
+    ``ruleIndex`` (when present) pointing at the right descriptor.
+    """
+
+    def fail(msg: str) -> None:
+        raise ValueError(f"invalid SARIF: {msg}")
+
+    if not isinstance(doc, dict):
+        fail(f"document must be an object, got {type(doc).__name__}")
+    if doc.get("version") != SARIF_VERSION:
+        fail(f"version must be {SARIF_VERSION!r}, got {doc.get('version')!r}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail("runs must be a non-empty array")
+    for ri, run in enumerate(runs):
+        if not isinstance(run, dict):
+            fail(f"runs[{ri}] must be an object")
+        driver = run.get("tool", {}).get("driver")
+        if not isinstance(driver, dict) or not driver.get("name"):
+            fail(f"runs[{ri}].tool.driver.name is required")
+        rules = driver.get("rules", [])
+        if not isinstance(rules, list):
+            fail(f"runs[{ri}] driver.rules must be an array")
+        ids = [r.get("id") for r in rules]
+        if len(set(ids)) != len(ids):
+            fail(f"runs[{ri}] has duplicate rule ids")
+        known = set(ids)
+        results = run.get("results")
+        if not isinstance(results, list):
+            fail(f"runs[{ri}].results must be an array")
+        for i, res in enumerate(results):
+            where = f"runs[{ri}].results[{i}]"
+            if not isinstance(res, dict):
+                fail(f"{where} must be an object")
+            rid = res.get("ruleId")
+            if not rid or rid not in known:
+                fail(f"{where}.ruleId {rid!r} not among driver.rules")
+            if res.get("level") not in _LEVELS:
+                fail(f"{where}.level {res.get('level')!r} invalid")
+            text = res.get("message", {}).get("text")
+            if not isinstance(text, str) or not text:
+                fail(f"{where}.message.text must be a non-empty string")
+            if "ruleIndex" in res:
+                idx = res["ruleIndex"]
+                if (
+                    not isinstance(idx, int)
+                    or not 0 <= idx < len(ids)
+                    or ids[idx] != rid
+                ):
+                    fail(f"{where}.ruleIndex does not match ruleId")

@@ -80,6 +80,7 @@ PROGRAMS = {
     "tree-sum": ("tree_sum_computation", "n_leaves", 8),
     "racy": ("racy_counter_computation", "n_tasks", 4),
     "locked-counter": ("locked_counter_computation", "n_tasks", 4),
+    "deadlock": ("deadlock_computation", None, None),
     "store-buffer": ("store_buffer_computation", None, None),
     "iriw": ("iriw_computation", None, None),
 }
@@ -193,20 +194,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="static race analysis of a program or serialized computation",
+        help="multi-rule static analysis of programs or serialized "
+             "computations (races, deadlocks, model portability)",
     )
     lint.add_argument(
-        "target",
-        help="bundled program name (see `run --program`) or a path to a "
-             "JSON document containing a computation or trace",
+        "targets", nargs="*", metavar="TARGET",
+        help="bundled program name (see `run --program`), a path to a "
+             "JSON document containing a computation or trace, or a "
+             "directory scanned recursively for *.json documents; "
+             "several targets aggregate into one exit code",
     )
     lint.add_argument("--size", type=int, default=None,
                       help="program size parameter (bundled programs only)")
     lint.add_argument("--engine", choices=["auto", "sp-bags", "closure"],
                       default="auto",
-                      help="auto: SP-bags when series-parallel, else the "
-                           "exact closure sweep")
-    lint.add_argument("--format", choices=["text", "json"], default="text")
+                      help="race-pass engine — auto: SP-bags when "
+                           "series-parallel, else the exact closure sweep")
+    lint.add_argument("--format", choices=["text", "json", "sarif"],
+                      default="text",
+                      help="text (default), the PR 2-compatible JSON "
+                           "report, or SARIF 2.1.0")
+    lint.add_argument("--select", default=None, metavar="RULES",
+                      help="comma-separated rule ids or prefixes to run "
+                           "(e.g. RACE001 or RACE,DL); default: all")
+    lint.add_argument("--ignore", default=None, metavar="RULES",
+                      help="comma-separated rule ids or prefixes to skip")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="suppress findings fingerprinted in FILE; "
+                           "only new findings affect the exit code")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="record every current finding as accepted to "
+                           "the baseline file (--baseline or "
+                           ".repro-lint-baseline.json) and exit 0")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the registered rules and exit")
     _add_obs_args(lint)
 
     inf = sub.add_parser(
@@ -445,56 +466,186 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 1
 
 
-def _cmd_lint(args: argparse.Namespace) -> int:
+def _expand_lint_targets(targets: Sequence[str]) -> list[str]:
+    """Resolve CLI lint targets: program names, files, directories.
+
+    Directories are scanned recursively for ``*.json`` documents
+    (baseline files are skipped — they are lint *state*, not input).
+    """
     import os
 
-    from repro.verify.lint import lint_computation
+    from repro.analysis import DEFAULT_BASELINE
 
-    if args.target in PROGRAMS:
-        comp, info = _resolve_program(args.target, args.size)
-        report = lint_computation(
+    expanded: list[str] = []
+    for target in targets:
+        if target in PROGRAMS:
+            expanded.append(target)
+        elif os.path.isdir(target):
+            hits = sorted(
+                os.path.join(root, fn)
+                for root, _dirs, files in os.walk(target)
+                for fn in files
+                if fn.endswith(".json")
+                and fn != os.path.basename(DEFAULT_BASELINE)
+            )
+            if not hits:
+                raise ValueError(
+                    f"directory {target!r} contains no *.json documents"
+                )
+            expanded.extend(hits)
+        elif os.path.exists(target):
+            expanded.append(target)
+        else:
+            raise ValueError(
+                f"{target!r} is neither a bundled program "
+                f"({', '.join(sorted(PROGRAMS))}) nor an existing file "
+                f"or directory"
+            )
+    return expanded
+
+
+def _lint_context(
+    target: str,
+    size: int | None,
+    engine: str,
+    explicit: frozenset,
+):
+    """Build one :class:`~repro.analysis.AnalysisContext` per target."""
+    from repro.analysis import AnalysisContext
+
+    if target in PROGRAMS:
+        comp, info = _resolve_program(target, size)
+        return AnalysisContext(
             comp,
-            target=args.target,
-            engine=args.engine,
+            target=target,
+            engine=engine,
             sp=info.sp,
             lock_sections=info.lock_sections,
             node_paths=info.node_paths,
             names=info.names,
+            explicit=explicit,
         )
-    else:
-        from repro.core.computation import Computation
-        from repro.io import loads
-        from repro.runtime import ExecutionTrace
 
-        if not os.path.exists(args.target):
+    from repro.core.computation import Computation
+    from repro.io import loads
+    from repro.runtime import ExecutionTrace
+
+    with open(target) as f:
+        obj = loads(f.read())
+    trace = None
+    if isinstance(obj, ExecutionTrace):
+        trace = obj
+        comp = obj.comp
+    elif isinstance(obj, Computation):
+        comp = obj
+    else:
+        comp = getattr(obj, "comp", None) or getattr(
+            obj, "computation", None
+        )
+        if not isinstance(comp, Computation):
             raise ValueError(
-                f"{args.target!r} is neither a bundled program "
-                f"({', '.join(sorted(PROGRAMS))}) nor an existing file"
+                f"document {target!r} carries no computation "
+                f"(got {type(obj).__name__})"
             )
-        with open(args.target) as f:
-            obj = loads(f.read())
-        if isinstance(obj, ExecutionTrace):
-            comp = obj.comp
-        elif isinstance(obj, Computation):
-            comp = obj
-        else:
-            comp = getattr(obj, "comp", None) or getattr(
-                obj, "computation", None
-            )
-            if not isinstance(comp, Computation):
-                raise ValueError(
-                    f"document {args.target!r} carries no computation "
-                    f"(got {type(obj).__name__})"
+    return AnalysisContext(
+        comp, target=target, engine=engine, trace=trace, explicit=explicit
+    )
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import (
+        DEFAULT_BASELINE,
+        all_rules,
+        apply_baseline,
+        finding_fingerprint,
+        load_baseline,
+        run_analysis,
+        sarif_document,
+        select_rules,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        for rule in all_rules():
+            flags = [
+                flag
+                for flag, on in (
+                    ("trace-only", rule.trace_only),
+                    ("opt-in", rule.opt_in),
                 )
-        report = lint_computation(
-            comp, target=args.target, engine=args.engine
+                if on
+            ]
+            suffix = f" [{', '.join(flags)}]" if flags else ""
+            engines = ", ".join(rule.engines) or "-"
+            print(
+                f"{rule.id:<8}  {rule.severity:<7}  {engines:<28}  "
+                f"{rule.doc}{suffix}"
+            )
+        return 0
+
+    if not args.targets:
+        raise ValueError(
+            "no lint targets given (bundled program name, JSON file, "
+            "or directory); see also --list-rules"
         )
 
-    if args.format == "json":
-        print(report.to_json())
+    rules = select_rules(args.select, args.ignore)
+    # Rules named in --select count as explicitly requested: opt-in
+    # rules run only for users who asked for them.
+    explicit = (
+        frozenset(r.id for r in rules) if args.select else frozenset()
+    )
+
+    reports = [
+        run_analysis(
+            _lint_context(target, args.size, args.engine, explicit),
+            rules,
+        )
+        for target in _expand_lint_targets(args.targets)
+    ]
+
+    if args.write_baseline:
+        path = args.baseline or DEFAULT_BASELINE
+        doc = write_baseline(path, reports)
+        apply_baseline(reports, set(doc["findings"]))
+        print(
+            f"baseline: recorded {len(doc['findings'])} finding(s) "
+            f"to {path}",
+            file=sys.stderr,
+        )
+    elif args.baseline:
+        accepted = load_baseline(args.baseline)
+        n = apply_baseline(reports, accepted)
+        print(
+            f"baseline: suppressed {n} finding(s) via {args.baseline}",
+            file=sys.stderr,
+        )
+
+    if args.format == "sarif":
+        fingerprints = {
+            id(f): finding_fingerprint(rep.target, f)
+            for rep in reports
+            for f in rep.findings
+        }
+        doc = sarif_document(reports, rules, fingerprints=fingerprints)
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    elif args.format == "json":
+        if len(reports) == 1:
+            print(reports[0].to_json())
+        else:
+            aggregate = {
+                "clean": all(r.clean for r in reports),
+                "targets": len(reports),
+                "errors": sum(len(r.errors) for r in reports),
+                "reports": [r.to_dict() for r in reports],
+            }
+            print(json.dumps(aggregate, indent=2, sort_keys=True))
     else:
-        print(report.render_text())
-    return 0 if report.clean else 2
+        for rep in reports:
+            print(rep.render_text())
+    return 0 if all(r.clean for r in reports) else 2
 
 
 def _make_memory(args: argparse.Namespace, seed: int):

@@ -15,6 +15,7 @@ from repro.lang.processor_centric import (
     litmus_outcome_allowed,
 )
 from repro.lang.programs import (
+    deadlock_computation,
     fib_computation,
     locked_counter_computation,
     iriw_computation,
@@ -37,6 +38,7 @@ __all__ = [
     "tree_sum_computation",
     "racy_counter_computation",
     "locked_counter_computation",
+    "deadlock_computation",
     "store_buffer_computation",
     "iriw_computation",
     "from_processor_streams",

@@ -26,6 +26,7 @@ from repro.core.computation import Computation
 from repro.lang.cilk import CilkContext, UnfoldInfo, unfold
 
 __all__ = [
+    "deadlock_computation",
     "fib_computation",
     "locked_counter_computation",
     "matmul_computation",
@@ -257,6 +258,38 @@ def locked_counter_computation(
         ctx.write("ctr")  # initialize
         for _ in range(n_tasks):
             ctx.spawn(task)
+        ctx.sync()
+        ctx.read("ctr")
+
+    return unfold(main)
+
+
+def deadlock_computation(
+    inverted: bool = True,
+) -> tuple[Computation, UnfoldInfo]:
+    """The classic ABBA lock-order inversion as a fork/join program.
+
+    Two concurrent workers update a shared counter under *two* nested
+    locks.  With ``inverted=True`` (default) one worker acquires
+    ``A`` then ``B`` while the other acquires ``B`` then ``A`` — the
+    counter races are all lock-mediated (both sides hold both locks),
+    but the acquisition orders form a cycle between dag-incomparable
+    sections: the textbook potential deadlock the ``DL001`` lint rule
+    exists to catch.  ``inverted=False`` makes both workers acquire
+    ``A`` then ``B``, the cycle disappears, and the program is clean —
+    a matched negative fixture of identical shape.
+    """
+
+    def worker(ctx: CilkContext, first: str, second: str) -> None:
+        with ctx.lock(first):
+            with ctx.lock(second):
+                ctx.read("ctr")
+                ctx.write("ctr")
+
+    def main(ctx: CilkContext) -> None:
+        ctx.write("ctr")  # initialize
+        ctx.spawn(worker, "A", "B")
+        ctx.spawn(worker, *(("B", "A") if inverted else ("A", "B")))
         ctx.sync()
         ctx.read("ctr")
 

@@ -33,7 +33,6 @@ from repro.verify.causal_trace import (
     StreamingCCVerifier,
     trace_admits_cc,
 )
-from repro.verify.lint import Diagnostic, LintReport, lint_computation
 from repro.verify.races import (
     Race,
     find_races,
@@ -49,6 +48,25 @@ from repro.verify.spbags import (
     spbags_races,
 )
 from repro.verify.streaming import StreamingLCVerifier, StreamingViolation
+
+#: The race-lint engine moved to :mod:`repro.analysis.race_rules` (rule
+#: ``RACE001``); these names are re-exported lazily so that importing
+#: any ``repro.verify`` submodule — which runs this package __init__ —
+#: does not drag the whole analysis framework in (and, symmetrically,
+#: the analysis modules can import ``repro.verify.races``/``spbags``
+#: without closing an import cycle).
+_LINT_EXPORTS = ("Diagnostic", "LintReport", "lint_computation")
+
+
+def __getattr__(name: str):
+    if name in _LINT_EXPORTS:
+        from repro.verify import lint
+
+        return getattr(lint, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
 
 __all__ = [
     "trace_admits_lc",

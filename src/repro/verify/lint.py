@@ -1,213 +1,30 @@
-"""Race lint: structured diagnostics over a computation's analyzers.
+"""Race lint — compatibility shim.
 
-This is the engine behind ``repro lint`` — it runs the race analyzers
-(:mod:`repro.verify.spbags` by default, the exact closure sweep on
-demand) over one computation, classifies each race by the locks held on
-both sides, and packages the result as :class:`Diagnostic` records that
-render as one-line text or JSON for CI consumption.
+The single-engine lint of PR 2 grew into the multi-rule static-analysis
+framework of :mod:`repro.analysis`; the race engine itself now lives in
+:mod:`repro.analysis.race_rules` (registered there as rule ``RACE001``).
+This module re-exports the historical public names so existing imports
+(``from repro.verify.lint import lint_computation``, and the
+``repro.verify`` package exports) keep working unchanged.
 
-Classification (see :class:`repro.verify.spbags.ClassifiedRace`):
-
-* ``data-race`` — the sides share no lock; no serialization of
-  critical sections orders them.  These fail the lint.
-* ``lock-mediated`` — a common lock covers both sides; once
-  :mod:`repro.locks` serializes the sections the pair is ordered, so it
-  is reported for information but does not fail the lint (the bare dag
-  races only because the dag does not encode mutual exclusion).
-
-Engines:
-
-* ``"sp-bags"`` — near-linear, needs a series-parallel computation
-  (recorded SP expression or :func:`~repro.dag.sp.sp_decompose`);
-  reports at least one race per racy location.
-* ``"closure"`` — the exact sweep, every racing pair, any dag.
-* ``"auto"`` (default) — SP-bags when the computation is SP, closure
-  otherwise.
+The re-export is lazy (PEP 562): the analysis modules import
+``repro.verify.races`` / ``repro.verify.spbags``, which runs the
+``repro.verify`` package __init__ — an eager import back into
+:mod:`repro.analysis` here would close that loop mid-initialization.
 """
 
 from __future__ import annotations
 
-import json
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Any
 
-from repro import obs
-from repro.core.computation import Computation
-from repro.dag.sp import SPNode, sp_decompose
-from repro.verify.races import find_races
-from repro.verify.spbags import (
-    classify_races,
-    node_locksets,
-    spbags_races,
-)
-
-__all__ = ["Diagnostic", "LintReport", "lint_computation"]
-
-ENGINES = ("auto", "sp-bags", "closure")
+__all__ = ["Diagnostic", "LintReport", "lint_computation", "ENGINES"]
 
 
-@dataclass(frozen=True)
-class Diagnostic:
-    """One racing pair, fully annotated for reporting."""
+def __getattr__(name: str) -> Any:
+    if name in __all__:
+        from repro.analysis import race_rules
 
-    loc: str
-    kind: str  # "write-write" | "read-write"
-    classification: str  # "data-race" | "lock-mediated"
-    u: int
-    v: int
-    u_path: str | None
-    v_path: str | None
-    locks_u: tuple[str, ...]
-    locks_v: tuple[str, ...]
-
-    def to_dict(self) -> dict:
-        return {
-            "loc": self.loc,
-            "kind": self.kind,
-            "classification": self.classification,
-            "u": {"node": self.u, "path": self.u_path},
-            "v": {"node": self.v, "path": self.v_path},
-            "locks_u": list(self.locks_u),
-            "locks_v": list(self.locks_v),
-        }
-
-    def render(self) -> str:
-        def side(node: int, path: str | None) -> str:
-            return f"{path} (node {node})" if path else f"node {node}"
-
-        locks = ""
-        if self.locks_u or self.locks_v:
-            locks = (
-                f"  locks {{{', '.join(self.locks_u)}}}"
-                f" vs {{{', '.join(self.locks_v)}}}"
-            )
-        return (
-            f"{self.classification} {self.kind} at {self.loc}: "
-            f"{side(self.u, self.u_path)} ∥ {side(self.v, self.v_path)}"
-            f"{locks}"
-        )
-
-
-@dataclass
-class LintReport:
-    """Everything ``repro lint`` knows about one computation."""
-
-    target: str
-    engine: str
-    num_nodes: int
-    diagnostics: list[Diagnostic] = field(default_factory=list)
-
-    @property
-    def data_races(self) -> list[Diagnostic]:
-        return [
-            d for d in self.diagnostics if d.classification == "data-race"
-        ]
-
-    @property
-    def clean(self) -> bool:
-        """True iff no *data* race was found (lock-mediated pairs pass)."""
-        return not self.data_races
-
-    def to_dict(self) -> dict:
-        return {
-            "target": self.target,
-            "engine": self.engine,
-            "nodes": self.num_nodes,
-            "clean": self.clean,
-            "races": len(self.diagnostics),
-            "data_races": len(self.data_races),
-            "diagnostics": [d.to_dict() for d in self.diagnostics],
-        }
-
-    def to_json(self) -> str:
-        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
-
-    def render_text(self) -> str:
-        head = (
-            f"{self.target}: {self.num_nodes} nodes, engine={self.engine}"
-        )
-        if not self.diagnostics:
-            return f"{head}: clean — no races"
-        lines = [
-            f"{head}: {len(self.diagnostics)} race(s), "
-            f"{len(self.data_races)} data race(s)"
-        ]
-        lines += [f"  {d.render()}" for d in self.diagnostics]
-        return "\n".join(lines)
-
-
-def lint_computation(
-    comp: Computation,
-    *,
-    target: str = "<computation>",
-    engine: str = "auto",
-    sp: SPNode | None = None,
-    lock_sections: Mapping[object, list[tuple[int, int]]] | None = None,
-    node_paths: Sequence[str] | None = None,
-    names: Mapping[str, int] | None = None,
-) -> LintReport:
-    """Run the race analyzers over one computation.
-
-    ``sp``, ``lock_sections``, ``node_paths`` and ``names`` are the
-    matching :class:`~repro.lang.cilk.UnfoldInfo` fields when the
-    computation came from ``unfold``; all optional (paths fall back to
-    node names, locks to the empty set, the SP expression to
-    :func:`sp_decompose`).
-    """
-    if engine not in ENGINES:
-        raise ValueError(
-            f"unknown lint engine {engine!r} (choose from {ENGINES})"
-        )
-    if engine in ("auto", "sp-bags") and sp is None:
-        sp = sp_decompose(comp.dag)
-        if sp is None:
-            if engine == "sp-bags":
-                raise ValueError(
-                    "computation is not series-parallel; "
-                    "use engine='closure'"
-                )
-            engine = "closure"
-    with obs.span(
-        "verify.lint", target=target, engine=engine, nodes=comp.num_nodes
-    ) as spn:
-        if engine == "closure":
-            races = list(find_races(comp))
-        else:
-            engine = "sp-bags"
-            races = spbags_races(comp, sp)
-
-        locksets = node_locksets(comp, dict(lock_sections or {}))
-        classified = classify_races(races, locksets)
-        if spn is not None:
-            spn.attrs["engine"] = engine
-            spn.attrs["races"] = len(classified)
-
-    label: dict[int, str | None] = {}
-    if names:
-        for name, u in names.items():
-            label[u] = name
-    if node_paths:
-        for u, path in enumerate(node_paths):
-            label.setdefault(u, path)
-
-    report = LintReport(target, engine, comp.num_nodes)
-    for c in classified:
-        report.diagnostics.append(
-            Diagnostic(
-                loc=repr(c.race.loc),
-                kind=c.race.kind,
-                classification=c.classification,
-                u=c.race.u,
-                v=c.race.v,
-                u_path=label.get(c.race.u),
-                v_path=label.get(c.race.v),
-                locks_u=tuple(sorted(map(str, c.locks_u))),
-                locks_v=tuple(sorted(map(str, c.locks_v))),
-            )
-        )
-    if obs.enabled():
-        obs.add("lint.runs")
-        for d in report.diagnostics:
-            key = d.classification.replace("-", "_")
-            obs.add(f"lint.{key}")
-    return report
+        return getattr(race_rules, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -65,14 +65,30 @@ class TraceSanitizer:
     executor to stop at the first violation; either way the sanitizer
     latches the first violation and keeps returning it.
 
+    ``keep_going`` (which forces ``halt`` off) keeps checking *every*
+    event after the first violation: each violating event contributes
+    one :class:`SanitizerViolation` (with its own minimal witness) to
+    :attr:`violations`, and the contradictory quotient edge is *not*
+    inserted — the established serialization stays intact, so one stale
+    read does not cascade into spurious findings on unrelated events.
+    :attr:`violation` still latches the first violation either way.
+
     Use via ``execute(schedule, memory, sanitizer=TraceSanitizer(comp))``
-    or standalone with :meth:`check_trace` on a completed trace.
+    or standalone with :meth:`check_trace` /
+    :meth:`collect_violations` on a completed trace.
     """
 
-    def __init__(self, comp: Computation, halt: bool = True) -> None:
+    def __init__(
+        self,
+        comp: Computation,
+        halt: bool = True,
+        keep_going: bool = False,
+    ) -> None:
         self.comp = comp
-        self.halt = halt
+        self.keep_going = keep_going
+        self.halt = halt and not keep_going
         self.violation: SanitizerViolation | None = None
+        self.violations: list[SanitizerViolation] = []
         self.events = 0
         #: per location: quotient edges ``a -> {b: origin node id}``.
         self._adj: dict[Location, dict[object, dict[object, int]]] = {}
@@ -169,7 +185,7 @@ class TraceSanitizer:
         ``observed`` is the writer id the memory returned for a read
         (``None`` for ⊥; ignored for writes and no-ops).
         """
-        if self.violation is not None:
+        if self.violation is not None and not self.keep_going:
             return self.violation
         idx = self.events
         self.events += 1
@@ -188,19 +204,26 @@ class TraceSanitizer:
         elif op.is_read:
             own[op.loc] = _BOT if observed is None else observed
 
+        event_violation: SanitizerViolation | None = None
         for loc, b in own.items():
             for a in anc.get(loc, ()):
                 v = self._insert(node, idx, loc, a, b, observed)
                 if v is not None:
-                    self.violation = v
+                    event_violation = v
                     break
-            if self.violation is not None:
+            if event_violation is not None:
+                # The contradictory edge was not inserted: the
+                # established serialization stays authoritative, so
+                # later events are judged against it, not the glitch.
                 break
             self._adj.setdefault(loc, {}).setdefault(b, {})
 
         self._anc[node] = {loc: frozenset(s) for loc, s in anc.items()}
         self._own[node] = own
-        if self.violation is not None:
+        if event_violation is not None:
+            self.violations.append(event_violation)
+            if self.violation is None:
+                self.violation = event_violation
             obs.add("sanitizer.violations")
         return self.violation
 
@@ -231,3 +254,26 @@ class TraceSanitizer:
             if v is not None:
                 return v
         return None
+
+    @classmethod
+    def collect_violations(
+        cls, trace: ExecutionTrace
+    ) -> list[SanitizerViolation]:
+        """Replay a completed trace, collecting *every* violation.
+
+        A ``keep_going`` sanitizer over the recorded events: one
+        violation (with its minimal witness) per violating event, in
+        event order — the bulk-reporting mode ``repro lint`` uses on
+        trace targets.
+        """
+        comp = trace.comp
+        observed = {e.node: e.observed for e in trace.reads}
+        san = cls(comp, keep_going=True)
+        for u in trace.schedule.execution_order():
+            san.on_node(
+                u,
+                comp.op(u),
+                comp.dag.predecessors(u),
+                observed.get(u),
+            )
+        return san.violations

@@ -618,3 +618,165 @@ class TestLiveTelemetryFlags:
         captured = capsys.readouterr()
         assert rc == 2
         assert "error" in captured.err
+
+
+class TestLintMultiRule:
+    """The analysis-framework face of ``repro lint``: multiple targets,
+    rule selection, SARIF, baselines, and the new rule fixtures."""
+
+    def test_multi_target_aggregates_exit_code(self, capsys):
+        assert main(["lint", "tree-sum", "fib", "locked-counter"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("clean — no races") == 2  # locked has notes
+        assert main(["lint", "tree-sum", "racy"]) == 2
+        out = capsys.readouterr().out
+        assert "tree-sum:" in out and "racy:" in out
+
+    def test_deadlock_program(self, capsys):
+        rc = main(["lint", "deadlock"])
+        out = capsys.readouterr().out
+        assert rc == 2
+        assert "[DL001 error]" in out
+        assert "lock-order cycle A → B → A" in out
+
+    def test_select_and_ignore(self, capsys):
+        assert main(["lint", "deadlock", "--ignore", "DL001"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "deadlock", "--select", "RACE"]) == 0
+        out = capsys.readouterr().out
+        assert "DL001" not in out
+        rc = main(["lint", "deadlock", "--select", "NOPE"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "unknown rule" in err
+
+    def test_list_rules(self, capsys):
+        rc = main(["lint", "--list-rules"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for rule in ("RACE001", "RACE002", "DL001", "PORT001", "LC001"):
+            assert rule in out
+        assert "trace-only" in out
+
+    def test_no_targets_is_clean_error(self, capsys):
+        rc = main(["lint"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "no lint targets" in err
+
+    def test_portability_warning_on_store_buffer(self, capsys):
+        main(["lint", "store-buffer"])
+        out = capsys.readouterr().out
+        assert "[PORT001 warning]" in out
+        assert "not SC-portable" in out
+
+    def test_sarif_output_is_valid(self, capsys):
+        from repro.analysis import validate_sarif
+
+        rc = main(["lint", "racy", "deadlock", "--format", "sarif"])
+        out = capsys.readouterr().out
+        assert rc == 2
+        doc = json.loads(out)
+        validate_sarif(doc)
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        uris = {
+            res["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+            for res in run["results"]
+        }
+        assert uris == {"racy", "deadlock"}
+        assert all(
+            res["partialFingerprints"]["reproLint/v1"]
+            for res in run["results"]
+        )
+
+    def test_baseline_roundtrip_e2e(self, capsys, tmp_path):
+        baseline = str(tmp_path / "baseline.json")
+        # Seed: everything current is accepted, exit drops to 0.
+        rc = main(
+            ["lint", "racy", "deadlock", "--write-baseline",
+             "--baseline", baseline]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        # Re-lint against the baseline: still 0.
+        rc = main(["lint", "racy", "deadlock", "--baseline", baseline])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "baseline-suppressed" in captured.out
+        # A grown program introduces findings the baseline has never
+        # seen: exit 2 again, old findings still marked suppressed.
+        rc = main(
+            ["lint", "racy", "--size", "6", "--baseline", baseline]
+        )
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "(baseline)" in captured.out
+        suppressed = captured.out.count("(baseline)")
+        total = captured.out.count("[RACE001")
+        assert 0 < suppressed < total
+
+    def test_baseline_suppressions_reach_sarif(self, capsys, tmp_path):
+        baseline = str(tmp_path / "baseline.json")
+        main(["lint", "racy", "--write-baseline", "--baseline", baseline])
+        capsys.readouterr()
+        main(
+            ["lint", "racy", "--size", "6", "--baseline", baseline,
+             "--format", "sarif"]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        results = doc["runs"][0]["results"]
+        assert any(res.get("suppressions") for res in results)
+        assert any(not res.get("suppressions") for res in results)
+
+    def test_corrupt_baseline_is_clean_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"version": 99, "findings": {}}))
+        rc = main(["lint", "racy", "--baseline", str(bad)])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "repro lint: error:" in err
+        assert "Traceback" not in err
+
+    def test_directory_target(self, capsys, tmp_path):
+        sub = tmp_path / "nested"
+        sub.mkdir()
+        main(["run", "--program", "tree-sum", "--out",
+              str(tmp_path / "clean.json")])
+        main(["run", "--program", "racy", "--out",
+              str(sub / "racy.json")])
+        capsys.readouterr()
+        rc = main(["lint", str(tmp_path), "--format", "json"])
+        out = capsys.readouterr().out
+        assert rc == 2
+        data = json.loads(out)
+        assert data["targets"] == 2
+        assert data["clean"] is False
+        # Trace documents get the trace-only LC001 pass as well.
+        for report in data["reports"]:
+            assert "LC001" in report["rules"]
+
+    def test_empty_directory_is_clean_error(self, capsys, tmp_path):
+        rc = main(["lint", str(tmp_path)])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "contains no *.json" in err
+
+    def test_trace_target_runs_lc001(self, capsys, tmp_path):
+        path = tmp_path / "faulty.json"
+        main(["run", "--program", "racy", "--procs", "4",
+              "--drop-reconcile", "1.0", "--drop-flush", "1.0",
+              "--seed", "0", "--out", str(path)])
+        capsys.readouterr()
+        rc = main(["lint", str(path), "--select", "LC001",
+                   "--format", "json"])
+        out = capsys.readouterr().out
+        data = json.loads(out)
+        if data["findings"]:
+            assert rc == 2
+            assert all(
+                f["rule"] == "LC001" and f["kind"] == "lc-violation"
+                for f in data["findings"]
+            )
+        else:  # this seed stayed consistent: clean lint
+            assert rc == 0

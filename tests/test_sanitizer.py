@@ -146,3 +146,57 @@ class TestViolationShape:
             assert v.node == v.witness[-1]
             assert len(v.witness) >= 2
             assert v.reason
+
+
+class TestKeepGoing:
+    """``keep_going`` mode: every violating event reported, each with
+    its own minimal witness, first one matching the halting verdict."""
+
+    def test_collects_all_violations(self):
+        comp, _ = racy_counter_computation(4, 3)
+        total = 0
+        for seed in range(20):
+            trace = _run(comp, 1.0, seed)
+            violations = TraceSanitizer.collect_violations(trace)
+            first = TraceSanitizer.check_trace(trace)
+            if first is None:
+                assert violations == []
+                continue
+            total += len(violations)
+            assert violations[0].node == first.node
+            assert violations[0].loc == first.loc
+            assert violations[0].event_index == first.event_index
+            # One violation per event, in event order, each witnessed.
+            indices = [v.event_index for v in violations]
+            assert indices == sorted(indices)
+            assert len(set(indices)) == len(indices)
+            for v in violations:
+                assert v.witness[-1] == v.node
+                assert all(0 <= w < comp.num_nodes for w in v.witness)
+                assert v.reason
+        assert total >= 20, "total fault injection must violate repeatedly"
+
+    def test_keep_going_forces_halt_off(self):
+        comp, _ = racy_counter_computation(2, 2)
+        san = TraceSanitizer(comp, keep_going=True)
+        assert san.halt is False
+        assert TraceSanitizer(comp).halt is True
+        assert TraceSanitizer(comp, halt=False).halt is False
+
+    def test_keep_going_live_matches_replay(self):
+        comp, _ = racy_counter_computation(4, 3)
+        for seed in range(10):
+            san = TraceSanitizer(comp, keep_going=True)
+            trace = _run(comp, 1.0, seed, sanitizer=san)
+            replayed = TraceSanitizer.collect_violations(trace)
+            assert [
+                (v.node, v.loc, v.event_index) for v in san.violations
+            ] == [
+                (v.node, v.loc, v.event_index) for v in replayed
+            ]
+
+    def test_clean_trace_collects_nothing(self):
+        comp, _ = racy_counter_computation(4, 2)
+        for seed in range(5):
+            trace = _run(comp, 0.0, seed)
+            assert TraceSanitizer.collect_violations(trace) == []
