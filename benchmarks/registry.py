@@ -108,6 +108,12 @@ MANIFEST = (
         120,
         "findings/s of the multi-rule lint engine over a program corpus",
     ),
+    BenchmarkSpec(
+        "serve-throughput",
+        "bench_serve_throughput",
+        130,
+        "items/s and dedupe rate of the batch trace-checking service",
+    ),
 )
 
 

@@ -306,6 +306,49 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default ./benchmarks)")
     _add_obs_args(ben)
 
+    srv = sub.add_parser(
+        "serve",
+        help="long-running batch trace-checking service "
+             "(JSONL over HTTP, or offline with --input)",
+    )
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default 127.0.0.1)")
+    srv.add_argument("--port", type=int, default=8533,
+                     help="listen port (default 8533; 0 = ephemeral, "
+                          "announced on stderr)")
+    srv.add_argument("--jobs", type=int, default=None,
+                     help="checker worker processes (default: $REPRO_JOBS "
+                          "or 1; 0 = all cores)")
+    srv.add_argument("--checks", default="lc,sc,streaming",
+                     metavar="CHECK[,CHECK...]",
+                     help="default model checks per item: lc, sc, streaming "
+                          "(per-request envelopes may override)")
+    srv.add_argument("--sanitize", action="store_true",
+                     help="also replay trace items through the LC sanitizer "
+                          "(per-event violations with witnesses)")
+    srv.add_argument("--select", default=None, metavar="RULE[,RULE...]",
+                     help="also run these repro.analysis rules per item "
+                          "(e.g. RACE001,DL001)")
+    srv.add_argument("--sc-node-limit", type=int, default=12,
+                     help="skip the (exponential) SC check above this many "
+                          "nodes; verdict reads null (default 12)")
+    srv.add_argument("--cache-size", type=int, default=4096,
+                     help="verdict LRU capacity, deduped by canonical "
+                          "fingerprint (0 disables; default 4096)")
+    srv.add_argument("--clear-caches-every", type=int, default=0,
+                     metavar="N",
+                     help="clear the sweep memoization caches every N "
+                          "batches (0 = never)")
+    srv.add_argument("--input", default=None, metavar="FILE",
+                     help="offline mode: check this JSONL batch file and "
+                          "exit instead of serving HTTP")
+    srv.add_argument("--output", default="-", metavar="FILE",
+                     help="offline mode verdict file (default stdout)")
+    srv.add_argument("--replay-ledger", default=None, metavar="JOURNAL",
+                     help="print the completed-work ledger recovered from "
+                          "a --journal spool (survives kill -9) and exit")
+    _add_obs_args(srv)
+
     obs_p = sub.add_parser(
         "obs",
         help="offline observability tooling: re-render traces, "
@@ -917,6 +960,56 @@ def _obs_finish(
         obs.disable()
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the batch trace-checking service.
+
+    Three modes: ``--replay-ledger`` prints the completed-work ledger
+    recovered from a crash journal; ``--input`` checks one JSONL batch
+    offline; otherwise the asyncio HTTP front-end serves until
+    SIGTERM/SIGINT and drains in-flight work before exiting.  The
+    shared observability flags do the heavy telemetry lifting:
+    ``--journal`` makes batches crash-replayable, ``--metrics-port``
+    exposes the serve counters/histograms to Prometheus scrapers.
+    """
+    import asyncio
+    import json
+
+    from repro.serve import (
+        CheckOptions,
+        TraceCheckService,
+        replay_serve_ledger,
+        run_batch_file,
+        serve_http,
+    )
+
+    if args.replay_ledger is not None:
+        ledger = replay_serve_ledger(args.replay_ledger)
+        print(json.dumps(ledger, indent=2))
+        return 0 if ledger["clean"] or ledger["pending"] == 0 else 1
+
+    options = CheckOptions(
+        checks=tuple(
+            c.strip() for c in args.checks.split(",") if c.strip()
+        ),
+        sanitize=args.sanitize,
+        rules=tuple(
+            r.strip() for r in (args.select or "").split(",") if r.strip()
+        ),
+        sc_node_limit=args.sc_node_limit,
+    )
+    service = TraceCheckService(
+        options=options,
+        jobs=args.jobs,
+        cache_size=args.cache_size,
+        clear_caches_every=args.clear_caches_every,
+    )
+    with service:
+        if args.input is not None:
+            return run_batch_file(service, args.input, args.output)
+        asyncio.run(serve_http(service, args.host, args.port))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -931,6 +1024,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "reproduce": _cmd_reproduce,
         "bench": _cmd_bench,
         "obs": _cmd_obs,
+        "serve": _cmd_serve,
     }[args.command]
     trace_path: str | None = getattr(args, "obs_trace", None)
     trace_format: str = getattr(args, "obs_trace_format", "json")

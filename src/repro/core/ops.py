@@ -17,6 +17,8 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Hashable, Iterable
 
+from repro import _caching
+
 __all__ = ["Op", "R", "W", "N", "Location", "locations_of", "merged_locations"]
 
 Location = Hashable
@@ -101,7 +103,6 @@ def locations_of(ops: Iterable[Op]) -> list[Location]:
     return sorted(locs, key=repr)
 
 
-@lru_cache(maxsize=1 << 12)
 def merged_locations(
     a: tuple[Location, ...], b: tuple[Location, ...]
 ) -> tuple[Location, ...]:
@@ -110,7 +111,21 @@ def merged_locations(
     Membership predicates merge ``comp.locations`` with ``phi.locations``
     on every query; universes draw both from a handful of distinct
     tuples, so the merge is worth caching across the whole sweep.
+    Consults :data:`repro._caching.ENABLED` like the other sweep caches,
+    so uncached baselines report zero consultations and long-running
+    processes can reset it via ``clear_sweep_caches()``.
     """
+    if _caching.ENABLED:
+        return _merged_locations_cached(a, b)
+    return _merged_locations_impl(a, b)
+
+
+def _merged_locations_impl(
+    a: tuple[Location, ...], b: tuple[Location, ...]
+) -> tuple[Location, ...]:
     if a == b:
         return a
     return tuple(sorted(set(a) | set(b), key=repr))
+
+
+_merged_locations_cached = lru_cache(maxsize=1 << 12)(_merged_locations_impl)

@@ -124,17 +124,29 @@ class _MetricsHandler(BaseHTTPRequestHandler):
 
 class _MetricsHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
+    # Rebinding a fixed port right after a previous cycle's close must
+    # not raise EADDRINUSE while the old socket lingers in TIME_WAIT —
+    # serve tests and parallel CI jobs start/stop endpoints repeatedly
+    # in one process.  (HTTPServer sets this too; pinned here so the
+    # lifecycle guarantee does not hinge on stdlib defaults.)
+    allow_reuse_address = True
     obs_target: Observability | None = None
 
 
 class MetricsServer:
     """A background ``/metrics`` endpoint over a collector.
 
-    ``port=0`` binds an ephemeral port (the bound port is available as
-    :attr:`port` after :meth:`start` — tests and parallel CI jobs use
-    this).  ``obs=None`` serves the *global* collector, re-rendered per
-    scrape.  The serving thread is a daemon: a hard kill of the main
-    process never hangs on it.
+    ``port=0`` binds an ephemeral port; after :meth:`start`, :attr:`port`
+    and :attr:`url` report the *actual* bound port (and keep reporting it
+    after :meth:`stop`, so "where was it serving" survives the lifecycle
+    — tests and parallel CI jobs depend on both).  ``obs=None`` serves
+    the *global* collector, re-rendered per scrape.  The serving thread
+    is a daemon: a hard kill of the main process never hangs on it.
+
+    The start/stop cycle is re-entrant: ``start`` on a running server is
+    a no-op (the first endpoint keeps serving — it does not leak a
+    second socket/thread), and ``start`` after ``stop`` binds afresh
+    (re-resolving port 0 to a new ephemeral port).
     """
 
     def __init__(
@@ -147,21 +159,37 @@ class MetricsServer:
         self._obs = obs
         self._httpd: _MetricsHTTPServer | None = None
         self._thread: threading.Thread | None = None
+        self._bound_port = port
+
+    @property
+    def running(self) -> bool:
+        """True while the endpoint is serving."""
+        return self._httpd is not None
 
     @property
     def port(self) -> int:
-        """The bound port (0 until :meth:`start`)."""
-        return self._httpd.server_address[1] if self._httpd else 0
+        """The actual bound port (the last bound one after ``stop``;
+        the requested port — possibly 0 — before the first ``start``)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._bound_port
 
     @property
     def url(self) -> str:
         return f"http://{self._requested[0]}:{self.port}/metrics"
 
     def start(self) -> "MetricsServer":
-        """Bind and start serving in a daemon thread; returns self."""
+        """Bind and start serving in a daemon thread; returns self.
+
+        Idempotent: a second ``start`` on a running server returns self
+        without binding another socket.
+        """
+        if self._httpd is not None:
+            return self
         httpd = _MetricsHTTPServer(self._requested, _MetricsHandler)
         httpd.obs_target = self._obs
         self._httpd = httpd
+        self._bound_port = httpd.server_address[1]
         self._thread = threading.Thread(
             target=httpd.serve_forever,
             name="repro-metrics",
@@ -171,7 +199,12 @@ class MetricsServer:
         return self
 
     def stop(self) -> None:
-        """Shut the endpoint down and join the serving thread."""
+        """Shut the endpoint down and join the serving thread.
+
+        Idempotent; the bound port stays readable afterwards, and a
+        later ``start`` binds a fresh socket (so start/stop cycles in
+        one process never trip over a half-closed predecessor).
+        """
         if self._httpd is None:
             return
         self._httpd.shutdown()
@@ -180,3 +213,9 @@ class MetricsServer:
             self._thread.join(timeout=5.0)
         self._httpd = None
         self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

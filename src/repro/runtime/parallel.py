@@ -84,6 +84,7 @@ __all__ = [
     "make_shards",
     "run_shards",
     "clear_sweep_caches",
+    "publish_cache_gauges",
     "sweep_cache_info",
     "parallel_inclusion_matrix",
     "parallel_separation_witnesses",
@@ -606,20 +607,31 @@ class SweepStats:
 def _tracked_caches() -> dict[str, Any]:
     from repro.core.computation import _augmented
     from repro.core.last_writer import _last_writer_row_cached
+    from repro.core.ops import _merged_locations_cached
     from repro.dag.enumerate import _canonical_form_cached
     from repro.dag.toposort import _cached_topological_sorts
     from repro.models.base import _membership
     from repro.models.constructibility import _extension_pairs
     from repro.models.location_consistency import _lc_row_set
     from repro.models.sequential import _sc_row_sets
+    from repro.verify.races import _find_races_cached
 
+    # Every ``lru_cache`` memoization in the library must appear here:
+    # this registry is what ``clear_sweep_caches`` (the long-running
+    # server's between-batches hook) and the cache-size gauges see, so
+    # an untracked cache is an unbounded-in-practice leak across a
+    # server's lifetime even when its entry *count* is capped (keys
+    # pin whole computations).  ``find_races`` and ``merged_locations``
+    # were exactly that until the serve work audited them in.
     return {
         "augment": _augmented,
         "canonical_form": _canonical_form_cached,
         "extension_pairs": _extension_pairs,
+        "find_races": _find_races_cached,
         "last_writer_row": _last_writer_row_cached,
         "lc_row_set": _lc_row_set,
         "membership": _membership,
+        "merged_locations": _merged_locations_cached,
         "sc_row_sets": _sc_row_sets,
         "topological_sorts": _cached_topological_sorts,
     }
@@ -639,9 +651,33 @@ def sweep_cache_info() -> dict[str, dict[str, int]]:
 
 
 def clear_sweep_caches() -> None:
-    """Reset every memoized sweep hot path (benchmark baselines use this)."""
+    """Reset every memoized sweep hot path.
+
+    Benchmark baselines use this to measure cold; the trace-checking
+    service (:mod:`repro.serve`) calls it between batches so a
+    long-running process cannot accumulate pinned computations across
+    its lifetime — the one-shot CLI never lived long enough to care.
+    """
     for fn in _tracked_caches().values():
         fn.cache_clear()
+
+
+def publish_cache_gauges() -> None:
+    """Export every tracked cache's entry count as an obs gauge.
+
+    One ``cache.<name>.entries`` gauge per memoized helper plus a
+    ``cache.entries`` total — the telemetry a long-running server (and
+    its Prometheus scrapers) watches to see the memoization layer's
+    footprint instead of discovering it from RSS.  No-op while the
+    collector is disabled.
+    """
+    if not obs.enabled():
+        return
+    total = 0
+    for name, info in sweep_cache_info().items():
+        obs.set_gauge(f"cache.{name}.entries", info["currsize"])
+        total += info["currsize"]
+    obs.set_gauge("cache.entries", total)
 
 
 # ----------------------------------------------------------------------

@@ -49,13 +49,48 @@ __all__ = ["StreamingViolation", "StreamingLCVerifier"]
 _BOT = ("⊥",)  # per-location bottom-block sentinel (distinct from node ids)
 
 
+def _blk(b: int | None) -> str:
+    return "⊥" if b is None else f"write {b}"
+
+
+def _render_reason(blocks: tuple[int | None, ...]) -> str:
+    a, b = blocks
+    if b is None:
+        return (
+            f"a node observing ⊥ follows a node in the block of {_blk(a)}"
+        )
+    return (
+        f"write-serialization cycle between the blocks of "
+        f"{_blk(a)} and {_blk(b)}"
+    )
+
+
 @dataclass(frozen=True)
 class StreamingViolation:
-    """The first event at which LC became unsatisfiable."""
+    """The first event at which LC became unsatisfiable.
+
+    ``blocks`` carries the violating quotient edge structurally: the
+    block ids are *writer node ids* (``None`` is the ⊥ block), in the
+    same id space as :attr:`node`.  Inside the event interface those are
+    feed-order ids; :meth:`StreamingLCVerifier.check_trace` translates
+    both ``node`` and ``blocks`` back to the trace's node ids and
+    re-renders ``reason`` from the translated blocks, so witnesses
+    handed to service clients name real trace nodes — never internal
+    feed-order ids.
+    """
 
     node: int
     loc: Location
     reason: str
+    blocks: tuple[int | None, ...] = ()
+
+    def translated(self, node: int, mapping) -> "StreamingViolation":
+        """This violation with ids mapped through ``mapping`` (a sequence
+        or callable over block/node ids); ⊥ blocks stay ⊥."""
+        remap = mapping if callable(mapping) else mapping.__getitem__
+        blocks = tuple(None if b is None else remap(b) for b in self.blocks)
+        reason = _render_reason(blocks) if blocks else self.reason
+        return StreamingViolation(node, self.loc, reason, blocks)
 
 
 class StreamingLCVerifier:
@@ -100,15 +135,19 @@ class StreamingLCVerifier:
         if a == b:
             return None
         if b == _BOT:
+            # ``a`` is a write block: an edge ⊥ → ⊥ is a == b above, and
+            # the source of a quotient edge is a constrained ancestor.
+            blocks = (None if a == _BOT else a, None)
             return StreamingViolation(
-                node, loc,
-                "a node observing ⊥ follows a node that observed a write",
+                node, loc, _render_reason(blocks), blocks
             )
         adj = self._adj.setdefault(loc, {})
         if b in adj and self._reaches(loc, b, a):
+            # Neither end is ⊥ here: edges into ⊥ are rejected above, so
+            # ⊥ has no in-edges and can never close a cycle.
+            blocks = (a, b)
             return StreamingViolation(
-                node, loc,
-                f"write-serialization cycle between blocks {a!r} and {b!r}",
+                node, loc, _render_reason(blocks), blocks
             )
         adj.setdefault(a, set()).add(b)
         adj.setdefault(b, set())
@@ -205,7 +244,11 @@ class StreamingLCVerifier:
                 seen_feed = None if seen is None else new_id[seen]
                 v = verifier.add_node(op, preds, seen_feed)
                 if v is not None:
-                    result = StreamingViolation(u, v.loc, v.reason)
+                    # Translate the whole witness — the node *and* the
+                    # violating blocks (feed-order ids) — back to trace
+                    # node ids; ``translated`` re-renders the reason so
+                    # no internal id survives into the message.
+                    result = v.translated(u, order)
                     break
             if sp is not None:
                 sp.attrs["admitted"] = result is None

@@ -536,7 +536,54 @@ def test_metrics_server_serves_collector_over_http():
         assert exc_info.value.code == 404
     finally:
         server.stop()
-    assert server.port == 0  # stopped servers report unbound
+    # The bound port (and so ``url``) stays readable after stop — a
+    # stopped server still answers "where was it serving?".
+    assert server.port > 0
+    assert not server.running
+
+
+def test_metrics_server_lifecycle_is_reentrant():
+    import urllib.request
+
+    from repro.obs.metrics import MetricsServer
+
+    collector = Observability()
+    collector.enable()
+    collector.add("cycles", 1)
+    server = MetricsServer(0, obs=collector)
+    assert server.port == 0  # requested, not yet bound
+    # Repeated start/stop cycles in one process must neither raise
+    # EADDRINUSE nor leak endpoints; each start re-resolves port 0.
+    ports = []
+    for _ in range(3):
+        server.start()
+        assert server.running
+        ports.append(server.port)
+        assert server.port > 0
+        # Double-start is a no-op on the live endpoint (same port).
+        assert server.start() is server
+        assert server.port == ports[-1]
+        with urllib.request.urlopen(server.url, timeout=5) as resp:
+            assert "repro_cycles 1" in resp.read().decode()
+        server.stop()
+        server.stop()  # idempotent
+        assert not server.running
+        assert server.port == ports[-1]  # last bound port survives stop
+
+
+def test_metrics_server_context_manager():
+    import urllib.request
+
+    from repro.obs.metrics import MetricsServer
+
+    collector = Observability()
+    collector.enable()
+    collector.add("scoped", 7)
+    with MetricsServer(0, obs=collector) as server:
+        assert server.running
+        with urllib.request.urlopen(server.url, timeout=5) as resp:
+            assert "repro_scoped 7" in resp.read().decode()
+    assert not server.running
 
 
 # ----------------------------------------------------------------------

@@ -640,3 +640,72 @@ class TestHeartbeatInterval:
         assert heartbeat_interval() == 1.0
         monkeypatch.setenv("REPRO_HEARTBEAT_SECS", "-3")
         assert heartbeat_interval() == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Cache audit: every memoized helper is tracked, clearable, and gauged
+# ---------------------------------------------------------------------------
+
+
+def test_find_races_and_merged_locations_are_tracked():
+    """Regression: these two memoized helpers were invisible to the
+    sweep-cache registry, so a long-running server could neither reset
+    nor observe them between batches."""
+    from repro.core.ops import merged_locations
+    from repro.runtime.parallel import sweep_cache_info
+    from repro.lang import racy_counter_computation
+    from repro.verify import find_races
+
+    clear_sweep_caches()
+    info = sweep_cache_info()
+    assert info["find_races"]["currsize"] == 0
+    assert info["merged_locations"]["currsize"] == 0
+
+    comp = racy_counter_computation(2, 2)[0]
+    list(find_races(comp))
+    merged_locations(("x",), ("y",))
+    info = sweep_cache_info()
+    assert info["find_races"]["currsize"] == 1
+    assert info["merged_locations"]["currsize"] == 1
+
+    clear_sweep_caches()
+    info = sweep_cache_info()
+    assert info["find_races"]["currsize"] == 0
+    assert info["merged_locations"]["currsize"] == 0
+
+
+def test_merged_locations_respects_cache_switch():
+    from repro import _caching
+    from repro.core.ops import merged_locations
+    from repro.runtime.parallel import sweep_cache_info
+
+    clear_sweep_caches()
+    with _caching.sweep_caching(False):
+        assert merged_locations(("a",), ("b",)) == ("a", "b")
+    assert sweep_cache_info()["merged_locations"]["currsize"] == 0
+    assert merged_locations(("a",), ("b",)) == ("a", "b")
+    assert sweep_cache_info()["merged_locations"]["currsize"] == 1
+    clear_sweep_caches()
+
+
+def test_publish_cache_gauges_exports_sizes():
+    from repro.core.ops import merged_locations
+    from repro.runtime.parallel import publish_cache_gauges, sweep_cache_info
+
+    clear_sweep_caches()
+    obs.reset()
+    publish_cache_gauges()  # collector disabled: no-op
+    assert "cache.entries" not in obs.gauges()
+
+    obs.enable()
+    try:
+        merged_locations(("p",), ("q",))
+        publish_cache_gauges()
+        gauges = obs.gauges()
+        assert gauges["cache.merged_locations.entries"] == 1
+        assert gauges["cache.entries"] >= 1
+        for name in sweep_cache_info():
+            assert f"cache.{name}.entries" in gauges
+    finally:
+        obs.reset()
+        clear_sweep_caches()

@@ -140,3 +140,65 @@ class TestTraceAgreement:
             sched = work_stealing_schedule(comp, 2, rng=seed)
             trace = execute(sched, SerialMemory())
             assert StreamingLCVerifier.check_trace(trace) is None
+
+
+class TestWitnessIds:
+    """Witnesses handed to clients must name trace node ids, never the
+    verifier's internal feed-order ids (regression: the reason string
+    used to embed feed-order block ids even though ``node`` was
+    translated)."""
+
+    def _violating_trace(self):
+        # Execution order ≠ node ids: node 2 runs first, then 0, then 1.
+        # Node 1 reads x observing node 2's write while node 0's write
+        # sits between them in the dag — a serialization cycle between
+        # the blocks of writes 0 and 2.
+        from repro.core import Computation
+        from repro.dag import Dag
+        from repro.runtime import ExecutionTrace, ReadEvent
+        from repro.runtime.scheduler import Schedule
+
+        comp = Computation(
+            Dag(3, [(2, 0), (0, 1)]), (W("x"), R("x"), W("x"))
+        )
+        sched = Schedule(comp, (0, 0, 0), (1, 2, 0), 1)
+        assert sched.execution_order() == [2, 0, 1]
+        return ExecutionTrace(
+            comp, sched, "hand-built", [ReadEvent(1, "x", 2)]
+        )
+
+    def test_cycle_witness_blocks_are_trace_node_ids(self):
+        violation = StreamingLCVerifier.check_trace(self._violating_trace())
+        assert violation is not None
+        assert violation.node == 1  # the read, in trace ids
+        # Structured block ids are writer *trace* ids (feed-order ids
+        # would have been 1 and 0 here).
+        assert violation.blocks == (0, 2)
+        assert "write 0" in violation.reason
+        assert "write 2" in violation.reason
+        assert "1" not in violation.reason.replace(
+            "write 0", ""
+        ).replace("write 2", "")
+
+    def test_bottom_witness_carries_none_block(self):
+        v = StreamingLCVerifier()
+        v.add_node(W("x"), [])
+        violation = v.add_node(R("x"), [0], observed=None)
+        assert violation is not None
+        assert violation.blocks == (0, None)
+        translated = violation.translated(9, {0: 7}.__getitem__)
+        assert translated.node == 9
+        assert translated.blocks == (7, None)
+        assert "write 7" in translated.reason
+        assert "⊥" in translated.reason
+
+    def test_translated_rerenders_reason(self):
+        v = StreamingLCVerifier()
+        v.add_node(W("x"), [])
+        v.add_node(W("x"), [0])
+        violation = v.add_node(R("x"), [1], observed=0)
+        assert violation is not None
+        assert violation.blocks == (1, 0)
+        moved = violation.translated(30, [10, 20, 30])
+        assert moved.blocks == (20, 10)
+        assert "write 20" in moved.reason and "write 10" in moved.reason
