@@ -114,6 +114,12 @@ MANIFEST = (
         130,
         "items/s and dedupe rate of the batch trace-checking service",
     ),
+    BenchmarkSpec(
+        "profiler-overhead",
+        "bench_profiler_overhead",
+        140,
+        "wall-clock cost of the SIGPROF sampler on the serve workload",
+    ),
 )
 
 

@@ -37,6 +37,19 @@ Four checks, all exercised by the ``obs-smoke`` CI job:
    ``repro-lint``, every result carries a ``reproLint/v1``
    fingerprint, and (with ``--min-results``) the run reported at
    least N results.
+6. ``python scripts/obs_smoke.py flow CHROME.json [--min-pids N]
+   [--trace-id HEX]`` — the cross-process trace-stitching contract:
+   the Chrome export of a traced serve/sweep run must contain spans
+   annotated with ``trace_id``/``span_id``, every cross-pid
+   parent link must come with a matching flow-arrow pair (``ph: "s"``
+   on the parent's track, ``ph: "f"`` on the child's, shared id), the
+   linked spans must cover at least N distinct pids, and (with
+   ``--trace-id``) the spans must carry exactly that trace id — one
+   ``traceparent``-stamped request stitches into one tree.
+7. ``python scripts/obs_smoke.py speedscope PROFILE.json`` — the
+   ``--profile-sample`` artifact is a structurally valid speedscope
+   document (``repro.obs.profile.validate_speedscope``) with at least
+   one profile containing at least one sample.
 
 Exit code 0 on success, 1 with a diagnostic on the first failure.
 """
@@ -341,6 +354,137 @@ def check_sarif(path: str, min_results: int = 0) -> int:
     return 0
 
 
+def check_flow(path: str, min_pids: int, trace_id: str | None) -> int:
+    from repro.obs import validate_chrome_trace
+
+    with open(path) as f:
+        doc = json.load(f)
+    problems = validate_chrome_trace(doc)
+    if problems:
+        for p in problems:
+            print(f"obs-smoke: invalid chrome trace: {p}", file=sys.stderr)
+        return 1
+    events = doc["traceEvents"]
+    spans = [ev for ev in events if ev.get("ph") == "X"]
+    traced = [
+        ev for ev in spans if ev.get("args", {}).get("trace_id")
+    ]
+    if not traced:
+        print(
+            "obs-smoke: chrome trace has no trace_id-annotated spans — "
+            "trace-context propagation did not reach the exporter",
+            file=sys.stderr,
+        )
+        return 1
+    if trace_id is not None:
+        foreign = {
+            ev["args"]["trace_id"]
+            for ev in traced
+            if ev["args"]["trace_id"] != trace_id
+        }
+        mine = [
+            ev for ev in traced if ev["args"]["trace_id"] == trace_id
+        ]
+        if not mine:
+            print(
+                f"obs-smoke: no span carries trace_id {trace_id} "
+                f"(saw {sorted(foreign)})",
+                file=sys.stderr,
+            )
+            return 1
+        traced = mine
+    by_span = {
+        ev["args"]["span_id"]: ev
+        for ev in traced
+        if ev.get("args", {}).get("span_id")
+    }
+    # Cross-pid parent links that must each be stitched by a flow pair.
+    cross = []
+    for ev in traced:
+        parent_sid = ev.get("args", {}).get("parent_span_id")
+        src = by_span.get(parent_sid) if parent_sid else None
+        if src is not None and src["pid"] != ev["pid"]:
+            cross.append((src, ev))
+    if not cross:
+        print(
+            "obs-smoke: no cross-pid parent links among traced spans — "
+            "the request never crossed the pool fork boundary",
+            file=sys.stderr,
+        )
+        return 1
+    starts = {
+        (ev["pid"], ev["tid"], ev.get("id"))
+        for ev in events
+        if ev.get("ph") == "s"
+    }
+    finishes = {
+        (ev["pid"], ev["tid"], ev.get("id"))
+        for ev in events
+        if ev.get("ph") == "f"
+    }
+    flow_ids_start = {fid for _, _, fid in starts}
+    flow_ids_finish = {fid for _, _, fid in finishes}
+    if flow_ids_start != flow_ids_finish:
+        print(
+            "obs-smoke: unpaired flow events — starts "
+            f"{sorted(flow_ids_start)} vs finishes {sorted(flow_ids_finish)}",
+            file=sys.stderr,
+        )
+        return 1
+    if len(flow_ids_start) < len(cross):
+        print(
+            f"obs-smoke: {len(cross)} cross-pid parent link(s) but only "
+            f"{len(flow_ids_start)} flow pair(s) — arrows are missing",
+            file=sys.stderr,
+        )
+        return 1
+    linked_pids = {ev["pid"] for src, ev in cross} | {
+        src["pid"] for src, ev in cross
+    }
+    if len(linked_pids) < min_pids:
+        print(
+            f"obs-smoke: stitched trace covers only {len(linked_pids)} "
+            f"pid(s) ({sorted(linked_pids)}); expected at least {min_pids}",
+            file=sys.stderr,
+        )
+        return 1
+    tids = {ev["args"]["trace_id"] for ev in traced}
+    print(
+        f"obs-smoke: flow OK — {len(traced)} traced spans "
+        f"(trace ids {sorted(tids)}), {len(cross)} cross-pid link(s) "
+        f"stitched by {len(flow_ids_start)} flow pair(s) across "
+        f"{len(linked_pids)} pid(s)"
+    )
+    return 0
+
+
+def check_speedscope(path: str) -> int:
+    from repro.obs.profile import validate_speedscope_file
+
+    problems = validate_speedscope_file(path)
+    if problems:
+        for p in problems:
+            print(f"obs-smoke: invalid speedscope: {p}", file=sys.stderr)
+        return 1
+    with open(path) as f:
+        doc = json.load(f)
+    profiles = doc.get("profiles", [])
+    samples = sum(len(p.get("samples", [])) for p in profiles)
+    if samples == 0:
+        print(
+            "obs-smoke: speedscope document has zero samples — the "
+            "SIGPROF sampler never fired",
+            file=sys.stderr,
+        )
+        return 1
+    frames = len(doc.get("shared", {}).get("frames", []))
+    print(
+        f"obs-smoke: speedscope OK — {len(profiles)} profile(s), "
+        f"{samples} sample(s), {frames} distinct frame(s)"
+    )
+    return 0
+
+
 def main(argv: list[str]) -> int:
     if len(argv) >= 2 and argv[0] == "validate":
         min_pids = 1
@@ -361,6 +505,23 @@ def main(argv: list[str]) -> int:
         return check_replay(argv[1], expect_aborted=bool(rest))
     if len(argv) == 2 and argv[0] == "prom":
         return check_prom(argv[1])
+    if len(argv) >= 2 and argv[0] == "flow":
+        min_pids = 2
+        trace_id: str | None = None
+        rest = argv[2:]
+        while rest:
+            if rest[:1] == ["--min-pids"] and len(rest) >= 2 and rest[1].isdigit():
+                min_pids = int(rest[1])
+                rest = rest[2:]
+            elif rest[:1] == ["--trace-id"] and len(rest) >= 2:
+                trace_id = rest[1]
+                rest = rest[2:]
+            else:
+                print(f"obs-smoke: unknown arguments {rest}", file=sys.stderr)
+                return 2
+        return check_flow(argv[1], min_pids, trace_id)
+    if len(argv) == 2 and argv[0] == "speedscope":
+        return check_speedscope(argv[1])
     if len(argv) >= 2 and argv[0] == "sarif":
         min_results = 0
         rest = argv[2:]
@@ -379,7 +540,9 @@ def main(argv: list[str]) -> int:
         "obs_smoke.py uncached | "
         "obs_smoke.py replay JOURNAL.jsonl [--expect-aborted] | "
         "obs_smoke.py prom METRICS.txt | "
-        "obs_smoke.py sarif REPORT.sarif [--min-results N]",
+        "obs_smoke.py sarif REPORT.sarif [--min-results N] | "
+        "obs_smoke.py flow CHROME.json [--min-pids N] [--trace-id HEX] | "
+        "obs_smoke.py speedscope PROFILE.json",
         file=sys.stderr,
     )
     return 2

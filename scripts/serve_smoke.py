@@ -9,11 +9,15 @@ Four subcommands, all exercised by the ``serve-smoke`` CI job:
    serialization cycles under rotating relabellings.  The corpus
    repeats shapes heavily on purpose — the dedupe layer is part of
    what the job gates.
-2. ``python scripts/serve_smoke.py verify VERDICTS.jsonl --items N``
-   — every verdict line is ``ok``, indices cover 0..N-1 exactly once,
-   the admitted/rejected split matches the generator's parity rule,
-   every rejection carries a witness with structured block ids, and
-   the dedupe hit count collapses the corpus to its canonical classes.
+2. ``python scripts/serve_smoke.py verify VERDICTS.jsonl --items N
+   [--trace-id HEX]`` — every verdict line is ``ok``, indices cover
+   0..N-1 exactly once, the admitted/rejected split matches the
+   generator's parity rule, every rejection carries a witness with
+   structured block ids, and the dedupe hit count collapses the corpus
+   to its canonical classes.  With ``--trace-id``, every verdict must
+   additionally echo that ``trace_id`` plus a distinct per-item
+   ``request_id`` — the end-to-end propagation contract for a batch
+   posted with a ``traceparent`` header.
 3. ``python scripts/serve_smoke.py metrics METRICS.txt --items N`` —
    the live Prometheus exposition carries the serve counters
    (``repro_serve_items`` == N, verdict counters sum to N, dedupe hits
@@ -86,7 +90,9 @@ def gen_batch(count: int, out_path: str) -> int:
     return 0
 
 
-def check_verdicts(path: str, items: int) -> int:
+def check_verdicts(
+    path: str, items: int, trace_id: str | None = None
+) -> int:
     with open(path, encoding="utf-8") as f:
         verdicts = [json.loads(line) for line in f if line.strip()]
     if len(verdicts) != items:
@@ -129,6 +135,25 @@ def check_verdicts(path: str, items: int) -> int:
                     file=sys.stderr,
                 )
                 return 1
+    if trace_id is not None:
+        wrong = [
+            v["index"] for v in verdicts if v.get("trace_id") != trace_id
+        ]
+        if wrong:
+            print(
+                f"serve-smoke: item(s) {wrong[:5]} do not echo trace_id "
+                f"{trace_id}",
+                file=sys.stderr,
+            )
+            return 1
+        request_ids = [v.get("request_id") for v in verdicts]
+        if len(set(request_ids)) != items or not all(request_ids):
+            print(
+                "serve-smoke: request_ids are missing or not distinct "
+                f"({len(set(request_ids))} distinct of {items})",
+                file=sys.stderr,
+            )
+            return 1
     cached = sum(1 for v in verdicts if v.get("cached"))
     if cached < items - UNIQUE_CLASSES:
         print(
@@ -286,6 +311,14 @@ def main(argv: list[str]) -> int:
         check = check_verdicts if argv[0] == "verify" else check_metrics
         return check(argv[1], int(argv[3]))
     if (
+        len(argv) == 6
+        and argv[0] == "verify"
+        and argv[2] == "--items"
+        and argv[3].isdigit()
+        and argv[4] == "--trace-id"
+    ):
+        return check_verdicts(argv[1], int(argv[3]), trace_id=argv[5])
+    if (
         len(argv) >= 4
         and argv[0] == "ledger"
         and argv[2] == "--items"
@@ -295,7 +328,7 @@ def main(argv: list[str]) -> int:
         return check_ledger(argv[1], int(argv[3]), bool(argv[4:]))
     print(
         "usage: serve_smoke.py gen N BATCH.jsonl | "
-        "serve_smoke.py verify VERDICTS.jsonl --items N | "
+        "serve_smoke.py verify VERDICTS.jsonl --items N [--trace-id HEX] | "
         "serve_smoke.py metrics METRICS.txt --items N | "
         "serve_smoke.py ledger LEDGER.json --items N [--expect-torn]",
         file=sys.stderr,

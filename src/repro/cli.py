@@ -60,8 +60,9 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro import obs
 from repro.errors import ReproError
@@ -140,6 +141,26 @@ def _add_obs_args(
         dest="obs_metrics_port",
         help="serve Prometheus metrics at http://127.0.0.1:PORT/metrics "
              "for the duration of the command (0 = ephemeral port)",
+    )
+    sp.add_argument(
+        "--profile-sample", nargs="?", const=97, type=int, default=None,
+        metavar="HZ", dest="obs_profile_sample",
+        help="sample stacks at HZ (default 97) with a SIGPROF interval "
+             "timer — pool workers included — and write a collapsed-"
+             "stack flamegraph plus speedscope JSON on exit",
+    )
+    sp.add_argument(
+        "--profile-out", metavar="PREFIX", default="repro-profile",
+        dest="obs_profile_out",
+        help="output prefix for --profile-sample "
+             "(writes PREFIX.folded and PREFIX.speedscope.json)",
+    )
+    sp.add_argument(
+        "--trace-sample-rate", type=float, default=1.0, metavar="RATE",
+        dest="obs_trace_sample_rate",
+        help="head-sampling probability for generated trace contexts "
+             "(requests with their own traceparent keep the caller's "
+             "decision; ids are minted either way)",
     )
     if profile_flag:
         sp.add_argument(
@@ -960,6 +981,63 @@ def _obs_finish(
         obs.disable()
 
 
+def _start_sampling_profiler(hz: int) -> tuple[Any, str]:
+    """Arm the SIGPROF sampler and publish the worker spill spec.
+
+    Returns ``(profiler, spill_dir)``.  The spec travels to pool
+    workers through the pool initializer (the same channel as the
+    heartbeat queue); each worker spills folded stacks into
+    ``spill_dir`` periodically, because forked children skip ``atexit``
+    and can never be relied on to flush at shutdown.
+    """
+    import tempfile
+
+    from repro.obs import profile as obs_profile
+
+    spill_dir = tempfile.mkdtemp(prefix="repro-prof-")
+    obs_profile.set_worker_spec({"hz": hz, "dir": spill_dir})
+    profiler = obs_profile.SamplingProfiler(hz=hz)
+    profiler.start()
+    return profiler, spill_dir
+
+
+def _finish_sampling_profiler(
+    profiler: Any, spill_dir: str, out_prefix: str, hz: int
+) -> None:
+    """Stop sampling, merge worker spills, export both formats."""
+    import json as json_mod
+    import shutil
+
+    from repro.obs import profile as obs_profile
+
+    try:
+        profiler.stop()
+        profiles = {os.getpid(): profiler.folded()}
+        for pid, table in obs_profile.merge_folded_dir(spill_dir).items():
+            profiles.setdefault(pid, table)
+        profiles = {pid: t for pid, t in profiles.items() if t}
+        folded_path = f"{out_prefix}.folded"
+        speedscope_path = f"{out_prefix}.speedscope.json"
+        merged = obs_profile.merge_folded(profiles.values())
+        with open(folded_path, "w") as f:
+            f.write(obs_profile.render_collapsed(merged))
+        doc = obs_profile.export_speedscope(profiles, hz)
+        with open(speedscope_path, "w") as f:
+            json_mod.dump(doc, f)
+            f.write("\n")
+        total = sum(merged.values())
+        print(
+            f"profile: {total} sample(s) across {len(profiles)} "
+            f"process(es) at {hz} Hz -> {folded_path}, {speedscope_path}",
+            file=sys.stderr,
+        )
+    except OSError as exc:
+        print(f"repro: error writing profile: {exc}", file=sys.stderr)
+    finally:
+        obs_profile.set_worker_spec(None)
+        shutil.rmtree(spill_dir, ignore_errors=True)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """``repro serve``: the batch trace-checking service.
 
@@ -1002,6 +1080,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache_size=args.cache_size,
         clear_caches_every=args.clear_caches_every,
+        trace_sample_rate=getattr(args, "obs_trace_sample_rate", 1.0),
     )
     with service:
         if args.input is not None:
@@ -1039,6 +1118,30 @@ def main(argv: Sequence[str] | None = None) -> int:
         or live
         or metrics_port is not None
     )
+    # An inherited traceparent (REPRO_TRACEPARENT, the env analog of
+    # the HTTP header) roots this whole invocation in the caller's
+    # distributed trace; spans, journals and serve batches inherit it.
+    env_traceparent = os.environ.get("REPRO_TRACEPARENT")
+    if env_traceparent:
+        from repro.obs import context as trace_context
+
+        trace_context.set_current(
+            trace_context.mint(
+                env_traceparent,
+                getattr(args, "obs_trace_sample_rate", 1.0),
+            )
+        )
+    profiler_state: tuple[Any, str] | None = None
+    profile_hz: int | None = getattr(args, "obs_profile_sample", None)
+    if profile_hz is not None:
+        if profile_hz <= 0:
+            print(
+                f"repro: error: --profile-sample must be positive, "
+                f"got {profile_hz}",
+                file=sys.stderr,
+            )
+            return 2
+        profiler_state = _start_sampling_profiler(profile_hz)
     journal = board = monitor = server = None
     if use_obs:
         obs.reset()
@@ -1079,6 +1182,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"repro {args.command}: error: {exc}", file=sys.stderr)
         return 2
     finally:
+        if profiler_state is not None:
+            profiler, spill_dir = profiler_state
+            _finish_sampling_profiler(
+                profiler,
+                spill_dir,
+                getattr(args, "obs_profile_out", "repro-profile"),
+                profile_hz if profile_hz is not None else 97,
+            )
         if use_obs:
             if monitor is not None:
                 from repro.runtime.parallel import set_sweep_monitor

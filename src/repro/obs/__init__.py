@@ -26,11 +26,14 @@ attribution (:func:`mem_span`) is additionally gated behind
 time.
 """
 
+from repro.obs import context, profile
+from repro.obs.context import TraceContext, parse_traceparent
 from repro.obs.core import (
     NULL_SPAN,
     Histogram,
     Observability,
     Span,
+    WarningLimiter,
     add,
     attach,
     counters,
@@ -70,12 +73,20 @@ from repro.obs.journal import (
 )
 from repro.obs.live import LiveBoard
 from repro.obs.metrics import MetricsServer, render_prometheus
+from repro.obs.profile import SamplingProfiler, validate_speedscope
 
 __all__ = [
     "Span",
     "Histogram",
     "Observability",
+    "WarningLimiter",
     "NULL_SPAN",
+    "context",
+    "TraceContext",
+    "parse_traceparent",
+    "profile",
+    "SamplingProfiler",
+    "validate_speedscope",
     "enabled",
     "enable",
     "disable",

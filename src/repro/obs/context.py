@@ -1,0 +1,196 @@
+"""Propagated trace context: request-scoped ids across process boundaries.
+
+The unit of interest in a long-running service is a *request*, not a
+process: one ``POST /check`` item travels HTTP accept → dedupe →
+pool-worker checking → verdict streaming, and every telemetry artifact
+it touches (spans, heartbeats, journal records, NDJSON verdicts,
+histogram exemplars) should carry the same correlation ids.  This
+module is the id plumbing — W3C Trace Context shaped, stdlib-only, and
+below :mod:`repro.obs.core` in the import graph:
+
+* :class:`TraceContext` — an immutable ``(trace_id, span_id, sampled,
+  parent_span_id)`` tuple.  ``trace_id`` names the whole request tree
+  (32 hex chars), ``span_id`` the current operation (16 hex chars);
+  :meth:`TraceContext.child` mints a fresh span id whose
+  ``parent_span_id`` is the parent's span id, which is how the tree
+  links rebuild after crossing a fork boundary.
+* :func:`parse_traceparent` / :meth:`TraceContext.to_traceparent` —
+  the ``00-<trace_id>-<span_id>-<flags>`` wire form (the
+  ``traceparent`` HTTP header, the ``"trace"`` JSONL envelope field).
+* :func:`mint` — accept an inbound traceparent, else generate a fresh
+  context, applying **head sampling**: the sampled bit is decided once
+  per request, and every downstream hot path pays exactly one boolean
+  check (``ctx.sampled``) when the request was not sampled.
+* :func:`current` / :func:`activate` — the ambient context, held in a
+  :class:`contextvars.ContextVar` so the serve front-end's executor
+  threads and the CLI's main thread each see their own.
+
+Pool workers receive a context as a plain tuple (``as_tuple`` /
+``from_tuple``) through picklable channels — :class:`ShardSpec` fields
+and ``check_document`` arguments — and re-activate it on their side;
+nothing here assumes a shared address space.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import random
+import re
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "TraceContext",
+    "parse_traceparent",
+    "mint",
+    "current",
+    "activate",
+    "set_current",
+]
+
+_TRACEPARENT_RE = re.compile(
+    r"^([0-9a-f]{2})-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$"
+)
+
+_ZERO_TRACE = "0" * 32
+_ZERO_SPAN = "0" * 16
+
+
+def _new_trace_id() -> str:
+    return os.urandom(16).hex()
+
+
+def _new_span_id() -> str:
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request's correlation ids (W3C Trace Context shaped).
+
+    ``span_id`` may be empty for a *generated* root context: the request
+    has a trace id but no caller span, so the first span opened under it
+    records no ``parent_span_id`` (it is the root of the tree).
+    """
+
+    trace_id: str
+    span_id: str = ""
+    sampled: bool = True
+    parent_span_id: str = ""
+
+    def child(self) -> "TraceContext":
+        """A fresh span id under this context (same trace, same sampling)."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=_new_span_id(),
+            sampled=self.sampled,
+            parent_span_id=self.span_id,
+        )
+
+    def to_traceparent(self) -> str:
+        """The ``traceparent`` wire form of this context."""
+        span = self.span_id or _new_span_id()
+        return f"00-{self.trace_id}-{span}-{'01' if self.sampled else '00'}"
+
+    def as_tuple(self) -> tuple[str, str, bool, str]:
+        """A picklable form for fork-boundary channels (``initargs``,
+        :class:`~repro.runtime.parallel.ShardSpec` fields, pool-task
+        arguments)."""
+        return (self.trace_id, self.span_id, self.sampled, self.parent_span_id)
+
+    @classmethod
+    def from_tuple(cls, data: tuple) -> "TraceContext":
+        """Inverse of :meth:`as_tuple` (tolerates the 3-field form)."""
+        parent = str(data[3]) if len(data) > 3 else ""
+        return cls(
+            trace_id=str(data[0]),
+            span_id=str(data[1]),
+            sampled=bool(data[2]),
+            parent_span_id=parent,
+        )
+
+
+def parse_traceparent(header: str | None) -> TraceContext | None:
+    """Parse a ``traceparent`` header; ``None`` on anything malformed.
+
+    Accepts the version-00 format ``00-<32 hex>-<16 hex>-<2 hex>``;
+    all-zero trace or span ids and the reserved version ``ff`` are
+    rejected per the W3C spec.  The returned context's ``span_id`` is
+    the *caller's* span — the first local span opened under it becomes
+    that caller's child.
+    """
+    if not header or not isinstance(header, str):
+        return None
+    m = _TRACEPARENT_RE.match(header.strip().lower())
+    if m is None:
+        return None
+    version, trace_id, span_id, flags = m.groups()
+    if version == "ff" or trace_id == _ZERO_TRACE or span_id == _ZERO_SPAN:
+        return None
+    return TraceContext(
+        trace_id=trace_id,
+        span_id=span_id,
+        sampled=bool(int(flags, 16) & 0x01),
+    )
+
+
+def mint(
+    traceparent: str | None = None,
+    sample_rate: float = 1.0,
+    _rand=random.random,
+) -> TraceContext:
+    """A context for one inbound request.
+
+    A parseable ``traceparent`` wins outright — trace id, caller span
+    id and the caller's sampling decision are all honored, so a sampled
+    upstream always gets a stitched trace back.  Otherwise a fresh
+    trace id is generated and the head-sampling decision is drawn once
+    from ``sample_rate`` (1.0 = always sampled, 0.0 = never); the ids
+    exist either way, only the recording work is gated.
+    """
+    ctx = parse_traceparent(traceparent)
+    if ctx is not None:
+        return ctx
+    if sample_rate >= 1.0:
+        sampled = True
+    elif sample_rate <= 0.0:
+        sampled = False
+    else:
+        sampled = _rand() < sample_rate
+    return TraceContext(trace_id=_new_trace_id(), sampled=sampled)
+
+
+# ----------------------------------------------------------------------
+# The ambient context
+# ----------------------------------------------------------------------
+
+_CURRENT: contextvars.ContextVar[TraceContext | None] = contextvars.ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current() -> TraceContext | None:
+    """The active trace context of this thread/task, if any."""
+    return _CURRENT.get()
+
+
+def set_current(ctx: TraceContext | None) -> None:
+    """Install a context without scoping (pool workers: the context
+    lives for the whole task, there is no enclosing frame to restore)."""
+    _CURRENT.set(ctx)
+
+
+@contextmanager
+def activate(ctx: TraceContext | None) -> Iterator[TraceContext | None]:
+    """Scope a context: ``current()`` returns ``ctx`` inside the body.
+
+    ``activate(None)`` deliberately *clears* the ambient context for
+    the body — the tool for code that must not inherit a request's ids.
+    """
+    token = _CURRENT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT.reset(token)

@@ -53,11 +53,14 @@ import time
 import tracemalloc
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
+
+from repro.obs import context as _trace_context
 
 __all__ = [
     "Span",
     "Histogram",
+    "WarningLimiter",
     "Observability",
     "enabled",
     "enable",
@@ -152,7 +155,7 @@ class Histogram:
     BASE = 2.0 ** 0.125
     _LOG_BASE = math.log(BASE)
 
-    __slots__ = ("count", "total", "min", "max", "zeros", "buckets")
+    __slots__ = ("count", "total", "min", "max", "zeros", "buckets", "exemplars")
 
     def __init__(self) -> None:
         self.count = 0
@@ -161,6 +164,10 @@ class Histogram:
         self.max = -math.inf
         self.zeros = 0
         self.buckets: dict[int, int] = {}
+        #: Latest traced sample per bucket: ``{idx: (trace_id, value)}``.
+        #: Populated only for samples recorded under a sampled trace
+        #: context, so untraced runs carry no exemplar state at all.
+        self.exemplars: dict[int, tuple[str, float]] = {}
 
     def record(self, value: float) -> None:
         """Insert one sample (negative values clamp into the zero slot)."""
@@ -177,6 +184,20 @@ class Histogram:
         idx = math.floor(math.log(value) / self._LOG_BASE)
         self.buckets[idx] = self.buckets.get(idx, 0) + 1
 
+    def note_exemplar(self, value: float, trace_id: str) -> None:
+        """Tag the bucket holding ``value`` with a trace id.
+
+        Exemplars let a dashboard jump from a latency bucket to one
+        concrete traced request that landed in it.  Last-write-wins per
+        bucket (freshest trace is the useful one); non-positive samples
+        carry no exemplar.
+        """
+        value = float(value)
+        if value <= 0.0:
+            return
+        idx = math.floor(math.log(value) / self._LOG_BASE)
+        self.exemplars[idx] = (trace_id, value)
+
     def merge(self, other: "Histogram") -> None:
         """Fold another histogram into this one (exact on buckets)."""
         self.count += other.count
@@ -186,6 +207,7 @@ class Histogram:
         self.zeros += other.zeros
         for idx, n in other.buckets.items():
             self.buckets[idx] = self.buckets.get(idx, 0) + n
+        self.exemplars.update(other.exemplars)
 
     def percentile(self, q: float) -> float:
         """The q-th percentile (0 ≤ q ≤ 100), ~4.5% relative error.
@@ -227,7 +249,7 @@ class Histogram:
 
     def to_dict(self) -> dict:
         """JSON form: summary stats plus sparse ``{index: count}`` buckets."""
-        return {
+        doc = {
             "count": self.count,
             "sum": self.total,
             "min": self.min if self.count else 0.0,
@@ -238,6 +260,12 @@ class Histogram:
             "zeros": self.zeros,
             "buckets": {str(i): self.buckets[i] for i in sorted(self.buckets)},
         }
+        if self.exemplars:
+            doc["exemplars"] = {
+                str(i): [tid, val]
+                for i, (tid, val) in sorted(self.exemplars.items())
+            }
+        return doc
 
     @classmethod
     def from_dict(cls, doc: dict) -> "Histogram":
@@ -250,6 +278,10 @@ class Histogram:
             h.max = float(doc["max"])
         h.zeros = int(doc.get("zeros", 0))
         h.buckets = {int(i): int(n) for i, n in doc.get("buckets", {}).items()}
+        h.exemplars = {
+            int(i): (str(ex[0]), float(ex[1]))
+            for i, ex in doc.get("exemplars", {}).items()
+        }
         return h
 
 
@@ -308,6 +340,46 @@ def memory_delta() -> Iterator[dict[str, int]]:
         out["net_bytes"] = current - base
 
 
+class WarningLimiter:
+    """A per-message token bucket for structured warnings.
+
+    A wedged worker can emit the same stall/fallback warning thousands
+    of times per second; without a limiter every one of them lands in
+    the journal (a *sync* kind — each costs an fsync) and the trace.
+    Each distinct message gets a bucket of ``burst`` tokens refilling
+    at ``rate`` tokens/second; warnings without a token are dropped and
+    counted, and the count is surfaced as ``suppressed_count`` on the
+    next warning of that message that does get through.
+
+    ``clock`` is injectable so tests can drive refill deterministically.
+    """
+
+    def __init__(
+        self,
+        rate: float = 1.0,
+        burst: int = 8,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._buckets: dict[str, tuple[float, float]] = {}
+        self._suppressed: dict[str, int] = {}
+
+    def admit(self, message: str) -> tuple[bool, int]:
+        """Whether this warning may be emitted, plus how many identical
+        warnings were suppressed since the last emission."""
+        now = self._clock()
+        tokens, last = self._buckets.get(message, (self.burst, now))
+        tokens = min(self.burst, tokens + (now - last) * self.rate)
+        if tokens >= 1.0:
+            self._buckets[message] = (tokens - 1.0, now)
+            return True, self._suppressed.pop(message, 0)
+        self._buckets[message] = (tokens, now)
+        self._suppressed[message] = self._suppressed.get(message, 0) + 1
+        return False, 0
+
+
 class _NullSpan:
     """The shared no-op context manager returned while disabled."""
 
@@ -336,6 +408,11 @@ class Observability:
         #: CLI resets the collector *before* attaching the journal, and
         #: a reset mid-run must not silently detach the spool.
         self.journal: Any | None = None
+        #: Token bucket applied to :meth:`warning` (replaceable by tests
+        #: or operators needing a different rate).  Survives
+        #: :meth:`reset` for the same reason the journal does: a reset
+        #: mid-run must not re-open the floodgates for a warning storm.
+        self.warn_limiter = WarningLimiter()
         self.reset()
 
     # ------------------------------------------------------------------
@@ -378,6 +455,19 @@ class Observability:
 
     @contextmanager
     def _live_span(self, name: str, attrs: dict) -> Iterator[Span]:
+        # When a sampled trace context is ambient, every span joins the
+        # request tree: it gets its own span_id, records its parent's,
+        # and activates itself as the context for anything it encloses.
+        # Unsampled or untraced runs pay one ContextVar read here.
+        ctx = _trace_context.current()
+        token = None
+        if ctx is not None and ctx.sampled:
+            child = ctx.child()
+            attrs.setdefault("trace_id", child.trace_id)
+            attrs.setdefault("span_id", child.span_id)
+            if ctx.span_id:
+                attrs.setdefault("parent_span_id", ctx.span_id)
+            token = _trace_context._CURRENT.set(child)
         sp = Span(name=name, attrs=attrs, start=self.now())
         parent = self._stack[-1] if self._stack else None
         (parent.children if parent is not None else self.roots).append(sp)
@@ -390,6 +480,8 @@ class Observability:
         finally:
             sp.duration = time.perf_counter() - t0
             self._stack.pop()
+            if token is not None:
+                _trace_context._CURRENT.reset(token)
             if self.journal is not None:
                 self.journal.record(
                     "span_close",
@@ -447,6 +539,9 @@ class Observability:
         if hist is None:
             hist = self.histograms[name] = Histogram()
         hist.record(value)
+        ctx = _trace_context.current()
+        if ctx is not None and ctx.sampled:
+            hist.note_exemplar(value, ctx.trace_id)
         if self.journal is not None:
             self.journal.record("observe", name=name, value=float(value))
 
@@ -490,8 +585,19 @@ class Observability:
         """Log a structured warning; record it in the trace if enabled.
 
         The stdlib log record fires unconditionally so that operational
-        problems surface even without ``--trace``.
+        problems surface even without ``--trace``.  Repeats of the same
+        message are rate-limited by :attr:`warn_limiter`; the first
+        warning emitted after a run of suppression carries a
+        ``suppressed_count`` attribute accounting for the drops.
         """
+        emit, suppressed = self.warn_limiter.admit(message)
+        if not emit:
+            return
+        if suppressed:
+            attrs = {**attrs, "suppressed_count": suppressed}
+        ctx = _trace_context.current()
+        if ctx is not None and ctx.sampled and "trace_id" not in attrs:
+            attrs = {**attrs, "trace_id": ctx.trace_id}
         if attrs:
             detail = ", ".join(f"{k}={v!r}" for k, v in sorted(attrs.items()))
             _log.warning("%s (%s)", message, detail)

@@ -118,6 +118,71 @@ def _chrome_span_events(
             child_cursor += max(child.duration * 1e6, 1.0)
 
 
+def _flow_events(events: list[dict]) -> list[dict]:
+    """Flow arrows stitching cross-process request traces together.
+
+    Spans annotated by the trace-context layer carry ``span_id`` /
+    ``parent_span_id`` args.  When a child span landed on a *different*
+    pid track than its parent (the serve/sweep pool-worker case, where
+    worker clocks are schematic), Perfetto has no visual link between
+    them — so emit a flow-start (``"s"``) on the parent and a
+    flow-finish (``"f"``, binding to the enclosing slice) on the child,
+    sharing an id.  Same-pid links are skipped: there the span tree
+    already nests.  Must run before the global timestamp sort so the
+    exporter's monotonicity guarantee holds.
+    """
+    by_span: dict[str, dict] = {}
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        sid = ev.get("args", {}).get("span_id")
+        if isinstance(sid, str) and sid:
+            by_span[sid] = ev
+    flows: list[dict] = []
+    flow_id = 0
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        args = ev.get("args", {})
+        parent_sid = args.get("parent_span_id")
+        if not isinstance(parent_sid, str) or not parent_sid:
+            continue
+        src = by_span.get(parent_sid)
+        if src is None or src["pid"] == ev["pid"]:
+            continue
+        if src.get("args", {}).get("trace_id") != args.get("trace_id"):
+            continue
+        flow_id += 1
+        flows.append(
+            {
+                "name": "trace",
+                "cat": "trace",
+                "ph": "s",
+                "id": flow_id,
+                "ts": src["ts"],
+                "pid": src["pid"],
+                "tid": src["tid"],
+                "args": {"trace_id": args.get("trace_id")},
+            }
+        )
+        flows.append(
+            {
+                "name": "trace",
+                "cat": "trace",
+                "ph": "f",
+                "bp": "e",
+                "id": flow_id,
+                # Nudged just inside the destination slice so the
+                # enclosing-slice binding resolves to it.
+                "ts": round(ev["ts"] + 0.001, 3),
+                "pid": ev["pid"],
+                "tid": ev["tid"],
+                "args": {"trace_id": args.get("trace_id")},
+            }
+        )
+    return flows
+
+
 def export_chrome(obs: Observability | None = None, indent: int | None = None) -> str:
     """The collector state in Chrome trace-event format (Perfetto-loadable).
 
@@ -135,6 +200,7 @@ def export_chrome(obs: Observability | None = None, indent: int | None = None) -
         _chrome_span_events(
             root, root.start * 1e6, MAIN_PID, 1, cursors, events
         )
+    events.extend(_flow_events(events))
     end_ts = max((e["ts"] + e.get("dur", 0.0) for e in events), default=0.0)
     for ev in target.events:
         events.append(

@@ -82,12 +82,23 @@ class Journal:
         self._unsynced = 0
         self._last_sync = self._epoch
         self.records_written = 0
-        self.record(
-            "journal_open",
-            version=JOURNAL_VERSION,
-            pid=os.getpid(),
-            wall_time=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        )
+        open_fields: dict[str, Any] = {
+            "version": JOURNAL_VERSION,
+            "pid": os.getpid(),
+            "wall_time": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+        }
+        # Stamp the ambient trace context (if any) so a journal can be
+        # matched to the distributed trace that produced it.
+        from repro.obs import context as _trace_context
+
+        ctx = _trace_context.current()
+        if ctx is not None and ctx.sampled:
+            open_fields["trace_id"] = ctx.trace_id
+            if ctx.span_id:
+                open_fields["span_id"] = ctx.span_id
+        self.record("journal_open", **open_fields)
 
     @property
     def closed(self) -> bool:

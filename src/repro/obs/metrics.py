@@ -30,7 +30,7 @@ from __future__ import annotations
 import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any
+from typing import Any, Callable
 
 from repro.obs.core import Histogram, Observability
 
@@ -38,6 +38,9 @@ __all__ = [
     "prom_name",
     "render_prometheus",
     "MetricsServer",
+    "add_scrape_hook",
+    "clear_scrape_hooks",
+    "run_scrape_hooks",
 ]
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
@@ -65,25 +68,40 @@ def _fmt(value: float) -> str:
     return repr(float(value))
 
 
-def _histogram_lines(name: str, hist: Histogram) -> list[str]:
+def _histogram_lines(
+    name: str, hist: Histogram, exemplars: bool = False
+) -> list[str]:
     lines = [f"# TYPE {name} histogram"]
     cumulative = hist.zeros
     for idx in sorted(hist.buckets):
         cumulative += hist.buckets[idx]
         le = Histogram.BASE ** (idx + 1)
-        lines.append(f'{name}_bucket{{le="{_fmt(le)}"}} {cumulative}')
+        line = f'{name}_bucket{{le="{_fmt(le)}"}} {cumulative}'
+        if exemplars and idx in hist.exemplars:
+            trace_id, value = hist.exemplars[idx]
+            line += f' # {{trace_id="{trace_id}"}} {_fmt(value)}'
+        lines.append(line)
     lines.append(f'{name}_bucket{{le="+Inf"}} {hist.count}')
     lines.append(f"{name}_sum {_fmt(hist.total)}")
     lines.append(f"{name}_count {hist.count}")
     return lines
 
 
-def render_prometheus(obs: Observability | None = None) -> str:
+def render_prometheus(
+    obs: Observability | None = None, exemplars: bool = False
+) -> str:
     """The collector's metrics in Prometheus text format (0.0.4).
 
     Renders the global collector when ``obs`` is ``None``.  Output is
     sorted by metric name, ends with a newline, and is valid even for an
     empty collector (zero metric families).
+
+    ``exemplars=True`` appends OpenMetrics-style exemplar suffixes
+    (``# {trace_id="..."} value``) to histogram bucket lines that have
+    one — linking a latency bucket back to a concrete distributed
+    trace.  Off by default: the suffix is an OpenMetrics extension and
+    plain 0.0.4 text parsers (including this repo's smoke scripts) do
+    not expect it.
     """
     from repro.obs import core
 
@@ -98,8 +116,46 @@ def render_prometheus(obs: Observability | None = None) -> str:
         lines.append(f"# TYPE {metric} gauge")
         lines.append(f"{metric} {_fmt(target.gauges[name])}")
     for name in sorted(target.histograms):
-        lines.extend(_histogram_lines(prom_name(name), target.histograms[name]))
+        lines.extend(
+            _histogram_lines(
+                prom_name(name), target.histograms[name], exemplars
+            )
+        )
     return "\n".join(lines) + "\n" if lines else "\n"
+
+
+# ----------------------------------------------------------------------
+# Scrape hooks
+# ----------------------------------------------------------------------
+
+_SCRAPE_HOOKS: list[Callable[[], None]] = []
+
+
+def add_scrape_hook(hook: Callable[[], None]) -> None:
+    """Register a callable to run before every ``/metrics`` scrape.
+
+    Hooks refresh *derived* gauges whose sources live outside the
+    collector — e.g. cache occupancy published by
+    :func:`repro.runtime.parallel.publish_cache_gauges`, which would
+    otherwise be a stale one-shot snapshot from whenever the last sweep
+    finished.  Hook exceptions are swallowed: a broken refresher must
+    not take the metrics endpoint down with it.
+    """
+    _SCRAPE_HOOKS.append(hook)
+
+
+def clear_scrape_hooks() -> None:
+    """Drop all registered scrape hooks (test isolation)."""
+    _SCRAPE_HOOKS.clear()
+
+
+def run_scrape_hooks() -> None:
+    """Run the registered hooks, ignoring individual failures."""
+    for hook in list(_SCRAPE_HOOKS):
+        try:
+            hook()
+        except Exception:
+            pass
 
 
 class _MetricsHandler(BaseHTTPRequestHandler):
@@ -108,10 +164,28 @@ class _MetricsHandler(BaseHTTPRequestHandler):
     server: "_MetricsHTTPServer"
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler API)
-        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+        path, _, query = self.path.partition("?")
+        if path not in ("/metrics", "/"):
             self.send_error(404, "only /metrics is served")
             return
-        body = render_prometheus(self.server.obs_target).encode("utf-8")
+        if self.server.obs_target is None:
+            # Serving the live global collector: refresh derived gauges
+            # so every scrape sees current cache occupancy, not the
+            # one-shot snapshot from the last sweep.
+            try:
+                from repro.runtime.parallel import publish_cache_gauges
+
+                publish_cache_gauges()
+            except Exception:
+                pass
+            run_scrape_hooks()
+        want_exemplars = "exemplars=1" in query.split("&") or (
+            "application/openmetrics-text"
+            in self.headers.get("Accept", "")
+        )
+        body = render_prometheus(
+            self.server.obs_target, exemplars=want_exemplars
+        ).encode("utf-8")
         self.send_response(200)
         self.send_header("Content-Type", PROM_CONTENT_TYPE)
         self.send_header("Content-Length", str(len(body)))

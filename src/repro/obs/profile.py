@@ -1,0 +1,380 @@
+"""Signal-based sampling profiler with flamegraph-ready exports.
+
+``setitimer(ITIMER_PROF)`` delivers ``SIGPROF`` every ``1/hz`` seconds
+of *CPU* time; the handler walks the interrupted Python stack and
+bumps a counter for the folded frame tuple.  That gives a statistical
+CPU profile whose overhead is one stack walk per tick — a few
+microseconds at the default 97 Hz — instead of the ~2x slowdown of a
+tracing profiler, so it is safe to leave on for whole serve runs.
+
+Two POSIX facts shape the design:
+
+* **Handlers survive fork, itimers do not.**  A pool worker forked
+  from a profiling parent inherits the SIGPROF handler but no timer,
+  so it samples nothing by default — and the handler pid-guards itself
+  anyway, so even a stray tick in a child can never account CPU to the
+  parent's table.  Workers that *should* profile get their own
+  profiler installed by the pool initializer (the same channel that
+  installs heartbeats), armed with a fresh timer in the child.
+* **Forked children skip ``atexit``.**  ``multiprocessing`` children
+  leave via ``os._exit``, so a worker cannot flush its samples on
+  shutdown.  Worker profilers therefore dump their folded stacks to a
+  spill directory periodically (atomic ``os.replace``, so a dump torn
+  by exit is invisible); the parent merges whatever the spill dir
+  holds at drain time.
+
+Exports: collapsed-stack text (``stack;frames;leaf count`` — the
+flamegraph.pl / speedscope import format) and speedscope's sampled
+JSON schema, one profile per pid.  Sampling frequencies are primes
+(97, 199) by convention so the tick never locks phase with millisecond-
+aligned periodic work.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from typing import Any, Iterable
+
+__all__ = [
+    "DEFAULT_HZ",
+    "SamplingProfiler",
+    "set_worker_spec",
+    "worker_spec",
+    "start_worker_profiler",
+    "active_worker_profiler",
+    "merge_folded",
+    "merge_folded_dir",
+    "render_collapsed",
+    "export_speedscope",
+    "validate_speedscope",
+    "validate_speedscope_file",
+]
+
+#: Default sampling frequency.  Prime, so the tick drifts relative to
+#: any millisecond-aligned periodic work instead of aliasing with it.
+DEFAULT_HZ = 97
+
+#: Frames deeper than this are truncated (recursion guard; flamegraphs
+#: past this depth are unreadable anyway).
+_MAX_DEPTH = 128
+
+#: How often a spilling profiler rewrites its folded file (seconds of
+#: wall time, checked from the signal handler).
+_SPILL_EVERY = 0.5
+
+
+class SamplingProfiler:
+    """A per-process SIGPROF stack sampler.
+
+    ``start()``/``stop()`` must run on the main thread (CPython routes
+    signal delivery there, and ``signal.signal`` refuses other
+    threads).  ``spill_path`` makes the profiler periodically persist
+    its folded stacks — the survival mechanism for forked workers that
+    will never run ``stop()``.
+    """
+
+    def __init__(
+        self,
+        hz: int = DEFAULT_HZ,
+        spill_path: str | None = None,
+        spill_every: float = _SPILL_EVERY,
+    ) -> None:
+        if hz <= 0:
+            raise ValueError(f"sampling frequency must be positive, got {hz}")
+        self.hz = int(hz)
+        self.spill_path = spill_path
+        self.spill_every = float(spill_every)
+        self.samples: dict[tuple[str, ...], int] = {}
+        self.sample_count = 0
+        self._pid: int | None = None
+        self._prev_handler: Any = None
+        self._running = False
+        self._last_spill = 0.0
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._pid = os.getpid()
+        self._prev_handler = signal.signal(signal.SIGPROF, self._on_sigprof)
+        interval = 1.0 / self.hz
+        signal.setitimer(signal.ITIMER_PROF, interval, interval)
+        self._running = True
+        self._last_spill = time.monotonic()
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        signal.setitimer(signal.ITIMER_PROF, 0.0, 0.0)
+        try:
+            signal.signal(signal.SIGPROF, self._prev_handler or signal.SIG_DFL)
+        except (ValueError, TypeError):
+            # Restoring an exotic saved handler can fail; the timer is
+            # already disarmed, which is what matters.
+            pass
+        self._running = False
+        if self.spill_path:
+            self.spill()
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # -- sampling -----------------------------------------------------
+
+    def _on_sigprof(self, signum, frame) -> None:
+        # Fork guard: children inherit this handler (but not the
+        # itimer).  If a tick lands in a child anyway, never account
+        # it to the parent's table.
+        if os.getpid() != self._pid:
+            return
+        stack = []
+        f = frame
+        depth = 0
+        while f is not None and depth < _MAX_DEPTH:
+            code = f.f_code
+            stack.append(
+                f"{os.path.basename(code.co_filename)}:{code.co_name}"
+            )
+            f = f.f_back
+            depth += 1
+        key = tuple(reversed(stack))
+        self.samples[key] = self.samples.get(key, 0) + 1
+        self.sample_count += 1
+        if self.spill_path:
+            now = time.monotonic()
+            if now - self._last_spill >= self.spill_every:
+                self._last_spill = now
+                self.spill()
+
+    # -- output -------------------------------------------------------
+
+    def folded(self) -> dict[str, int]:
+        """``{"root;frame;leaf": count}`` for every sampled stack."""
+        return {";".join(stack): n for stack, n in self.samples.items()}
+
+    def spill(self, path: str | None = None) -> str:
+        """Atomically persist the folded stacks (tmp + ``os.replace``,
+        so a dump torn by ``os._exit`` is never observed)."""
+        path = path or self.spill_path
+        if path is None:
+            raise ValueError("no spill path configured")
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as f:
+            for stack, count in sorted(self.folded().items()):
+                f.write(f"{stack} {count}\n")
+        os.replace(tmp, path)
+        return path
+
+
+# ----------------------------------------------------------------------
+# Worker propagation (pool-initializer channel)
+# ----------------------------------------------------------------------
+
+#: Parent-side spec describing the profiler pool workers should run,
+#: or None when profiling is off.  Shipped to workers as an initarg by
+#: the dispatchers in runtime.parallel and serve.service.
+_WORKER_SPEC: dict[str, Any] | None = None
+
+#: The profiler running in *this* process because a pool initializer
+#: installed it (worker side).
+_WORKER_PROFILER: SamplingProfiler | None = None
+
+
+def set_worker_spec(spec: dict[str, Any] | None) -> None:
+    """Publish (or clear) the worker profiling spec.
+
+    ``spec`` is a picklable ``{"hz": int, "dir": str}`` — workers spill
+    ``profile-<pid>.folded`` files into ``dir`` for the parent to merge
+    at drain.
+    """
+    global _WORKER_SPEC
+    _WORKER_SPEC = dict(spec) if spec is not None else None
+
+
+def worker_spec() -> dict[str, Any] | None:
+    return None if _WORKER_SPEC is None else dict(_WORKER_SPEC)
+
+
+def start_worker_profiler(spec: dict[str, Any]) -> SamplingProfiler:
+    """Install and arm a profiler in a pool worker (initializer hook).
+
+    Idempotent per process: a worker re-initialized with the same spec
+    keeps its existing profiler.  The worker never calls ``stop()`` —
+    the periodic spill is how its samples reach the parent.
+    """
+    global _WORKER_PROFILER
+    if _WORKER_PROFILER is not None and _WORKER_PROFILER.running:
+        return _WORKER_PROFILER
+    path = os.path.join(str(spec["dir"]), f"profile-{os.getpid()}.folded")
+    prof = SamplingProfiler(hz=int(spec.get("hz", DEFAULT_HZ)), spill_path=path)
+    prof.start()
+    _WORKER_PROFILER = prof
+    return prof
+
+
+def active_worker_profiler() -> SamplingProfiler | None:
+    return _WORKER_PROFILER
+
+
+# ----------------------------------------------------------------------
+# Merging and export
+# ----------------------------------------------------------------------
+
+def merge_folded(tables: Iterable[dict[str, int]]) -> dict[str, int]:
+    """Sum folded-stack tables (e.g. all pids into one flamegraph)."""
+    out: dict[str, int] = {}
+    for table in tables:
+        for stack, count in table.items():
+            out[stack] = out.get(stack, 0) + int(count)
+    return out
+
+
+def merge_folded_dir(path: str) -> dict[int, dict[str, int]]:
+    """Read every ``profile-<pid>.folded`` spill in ``path``.
+
+    Returns ``{pid: folded_table}``; unparseable lines are skipped (a
+    spill can only be torn at file granularity thanks to the atomic
+    replace, but be forgiving anyway).
+    """
+    profiles: dict[int, dict[str, int]] = {}
+    if not os.path.isdir(path):
+        return profiles
+    for name in sorted(os.listdir(path)):
+        if not (name.startswith("profile-") and name.endswith(".folded")):
+            continue
+        pid_str = name[len("profile-"):-len(".folded")]
+        if not pid_str.isdigit():
+            continue
+        table: dict[str, int] = {}
+        with open(os.path.join(path, name), encoding="utf-8") as f:
+            for line in f:
+                stack, _, count = line.rstrip("\n").rpartition(" ")
+                if stack and count.isdigit():
+                    table[stack] = table.get(stack, 0) + int(count)
+        if table:
+            profiles[int(pid_str)] = table
+    return profiles
+
+
+def render_collapsed(folded: dict[str, int]) -> str:
+    """Collapsed-stack text: ``frame;frame;leaf count`` per line."""
+    lines = [f"{stack} {count}" for stack, count in sorted(folded.items())]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def export_speedscope(
+    profiles: dict[int, dict[str, int]],
+    hz: int,
+    name: str = "repro",
+) -> dict[str, Any]:
+    """Speedscope sampled-profile JSON, one profile per pid.
+
+    Weights are seconds (``count / hz``); frames are shared across
+    profiles per the schema.
+    """
+    frames: list[dict[str, str]] = []
+    frame_index: dict[str, int] = {}
+    docs: list[dict[str, Any]] = []
+    for pid in sorted(profiles):
+        samples: list[list[int]] = []
+        weights: list[float] = []
+        total = 0.0
+        for stack_str, count in sorted(profiles[pid].items()):
+            idxs = []
+            for frame in stack_str.split(";"):
+                if frame not in frame_index:
+                    frame_index[frame] = len(frames)
+                    frames.append({"name": frame})
+                idxs.append(frame_index[frame])
+            weight = count / float(hz)
+            samples.append(idxs)
+            weights.append(weight)
+            total += weight
+        docs.append(
+            {
+                "type": "sampled",
+                "name": f"{name} pid={pid}",
+                "unit": "seconds",
+                "startValue": 0,
+                "endValue": total,
+                "samples": samples,
+                "weights": weights,
+            }
+        )
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "name": name,
+        "exporter": "repro.obs.profile",
+        "shared": {"frames": frames},
+        "profiles": docs,
+    }
+
+
+def validate_speedscope(doc: Any) -> list[str]:
+    """Structural checks on a speedscope document; [] when valid."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("$schema") != "https://www.speedscope.app/file-format-schema.json":
+        problems.append("missing or wrong $schema")
+    shared = doc.get("shared")
+    if not isinstance(shared, dict) or not isinstance(shared.get("frames"), list):
+        problems.append("shared.frames is not a list")
+        return problems
+    frames = shared["frames"]
+    for i, frame in enumerate(frames):
+        if not isinstance(frame, dict) or not isinstance(frame.get("name"), str):
+            problems.append(f"frame {i} has no name")
+            break
+    profiles = doc.get("profiles")
+    if not isinstance(profiles, list) or not profiles:
+        problems.append("profiles is empty or missing")
+        return problems
+    for p, prof in enumerate(profiles):
+        where = f"profile {p}"
+        if not isinstance(prof, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        if prof.get("type") != "sampled":
+            problems.append(f"{where} is not type 'sampled'")
+            continue
+        samples = prof.get("samples")
+        weights = prof.get("weights")
+        if not isinstance(samples, list) or not isinstance(weights, list):
+            problems.append(f"{where} lacks samples/weights lists")
+            continue
+        if len(samples) != len(weights):
+            problems.append(
+                f"{where} has {len(samples)} samples but "
+                f"{len(weights)} weights"
+            )
+        for s, stack in enumerate(samples):
+            if not isinstance(stack, list) or not all(
+                isinstance(i, int) and 0 <= i < len(frames) for i in stack
+            ):
+                problems.append(
+                    f"{where} sample {s} has out-of-range frame indices"
+                )
+                break
+        if any(
+            not isinstance(w, (int, float)) or w < 0
+            for w in weights
+        ):
+            problems.append(f"{where} has negative or non-numeric weights")
+    return problems
+
+
+def validate_speedscope_file(path: str) -> list[str]:
+    """Load ``path`` as JSON and validate; IO/parse errors become
+    problems rather than exceptions (smoke-script convenience)."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as exc:
+        return [f"cannot load {path}: {exc}"]
+    return validate_speedscope(doc)

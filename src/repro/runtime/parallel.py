@@ -60,6 +60,7 @@ import queue as queue_mod
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from functools import partial
 from typing import Any, Callable, Sequence
@@ -69,6 +70,9 @@ from repro._caching import caches_enabled, sweep_caching
 from repro.errors import ConfigError
 from repro.models.universe import Universe
 from repro.obs import Span
+from repro.obs import context as trace_context
+from repro.obs import profile as obs_profile
+from repro.obs.context import TraceContext
 from repro.runtime.shm import ShmSlice, share_universe, shm_mode
 
 __all__ = [
@@ -132,12 +136,23 @@ def heartbeat_interval(default: float = 1.0) -> float:
     return default
 
 
-def _init_pool_worker(hb_queue: Any, interval: float) -> None:
+def _init_pool_worker(
+    hb_queue: Any, interval: float, profile_spec: dict | None = None
+) -> None:
     """Pool-worker initializer: route this worker's heartbeats to the
-    parent's queue.  Passed via ``ProcessPoolExecutor(initializer=...)``
-    so it works under both fork and spawn start methods."""
+    parent's queue and, when the parent is profiling, arm this worker's
+    own SIGPROF sampler.  Passed via ``ProcessPoolExecutor(
+    initializer=...)`` so it works under both fork and spawn start
+    methods — the one channel that reaches a worker before any task."""
     global _HB
-    _HB = {"queue": hb_queue, "monitor": None, "interval": interval}
+    if hb_queue is not None:
+        _HB = {"queue": hb_queue, "monitor": None, "interval": interval}
+    if profile_spec is not None:
+        try:
+            obs_profile.start_worker_profiler(profile_spec)
+        except Exception:
+            # A worker that cannot profile must still check shards.
+            pass
 
 
 def _cache_totals_now() -> tuple[int, int]:
@@ -169,6 +184,11 @@ def _send_heartbeat(
         "cache_hits": max(0, hits - cache_base[0]),
         "cache_misses": max(0, misses - cache_base[1]),
     }
+    ctx = trace_context.current()
+    if ctx is not None and ctx.sampled:
+        hb["trace_id"] = ctx.trace_id
+        if ctx.span_id:
+            hb["span_id"] = ctx.span_id
     hb_queue = hb_state.get("queue")
     if hb_queue is not None:
         try:
@@ -244,6 +264,15 @@ class ShardSpec:
     instead of regenerating them, falling back to regeneration (with a
     structured warning and an ``shm.fallback`` counter) if the block
     cannot be attached.
+
+    ``trace`` (also stamped by :func:`run_shards`) is the sweep's
+    propagated trace context as a :meth:`TraceContext.as_tuple` tuple.
+    Like the caching and obs flags it exists because a pool worker is a
+    separate interpreter: the ambient :mod:`repro.obs.context` does not
+    cross ``fork``/``spawn``, so the spec itself carries the ids.
+    :func:`_instrumented` re-activates the context in the worker, which
+    is how shard spans, heartbeats and kernel warnings all end up
+    tagged with the originating request's ``trace_id``.
     """
 
     max_nodes: int
@@ -255,6 +284,7 @@ class ShardSpec:
     cache_enabled: bool = True
     obs_enabled: bool = False
     shm: ShmSlice | None = None
+    trace: tuple | None = None
 
     def universe(self) -> Universe:
         """Rebuild the owning universe (cheap; workers call this once)."""
@@ -341,6 +371,13 @@ class ShardMeta:
     counters_local: bool = True
     mem_peak_bytes: int = 0
     mem_net_bytes: int = 0
+    #: Propagated request ids (empty when the sweep was untraced):
+    #: ``span_id`` is this shard's own span, ``parent_span_id`` the
+    #: sweep span it hangs under — the links the Chrome exporter uses
+    #: to stitch worker-pid spans back into the request tree.
+    trace_id: str = ""
+    span_id: str = ""
+    parent_span_id: str = ""
 
     @property
     def consultations(self) -> int:
@@ -355,7 +392,7 @@ class ShardMeta:
     def as_event(self) -> dict:
         """A compact JSON-safe summary for monitor listeners (the journal's
         ``shard_done`` record, the live board's completion feed)."""
-        return {
+        event = {
             "n": self.n,
             "mask_lo": self.mask_lo,
             "mask_hi": self.mask_hi,
@@ -363,6 +400,10 @@ class ShardMeta:
             "pairs": self.pairs,
             "pid": self.pid,
         }
+        if self.trace_id:
+            event["trace_id"] = self.trace_id
+            event["span_id"] = self.span_id
+        return event
 
     def to_span(self) -> Span:
         """This shard's telemetry as an :mod:`repro.obs` span.
@@ -384,6 +425,11 @@ class ShardMeta:
         if self.mem_peak_bytes or self.mem_net_bytes:
             attrs["mem_peak_bytes"] = self.mem_peak_bytes
             attrs["mem_net_bytes"] = self.mem_net_bytes
+        if self.trace_id:
+            attrs["trace_id"] = self.trace_id
+            attrs["span_id"] = self.span_id
+            if self.parent_span_id:
+                attrs["parent_span_id"] = self.parent_span_id
         return Span(
             name="shard",
             attrs=attrs,
@@ -408,6 +454,9 @@ class ShardMeta:
             counters_local=a.get("counters_local", True),
             mem_peak_bytes=a.get("mem_peak_bytes", 0),
             mem_net_bytes=a.get("mem_net_bytes", 0),
+            trace_id=a.get("trace_id", ""),
+            span_id=a.get("span_id", ""),
+            parent_span_id=a.get("parent_span_id", ""),
         )
 
 
@@ -952,6 +1001,15 @@ def run_shards(
             obs.add("shm.fallback")
         else:
             shards = [replace(s, shm=sl) for s, sl in zip(shards, slices)]
+    # Trace propagation mirrors the shm stamping: when this sweep runs
+    # under a sampled request context, mint one child span id for the
+    # sweep and ship it to every shard so worker-side telemetry can
+    # link back to it across the fork boundary.
+    parent_ctx = trace_context.current()
+    sweep_ctx: TraceContext | None = None
+    if parent_ctx is not None and parent_ctx.sampled:
+        sweep_ctx = parent_ctx.child()
+        shards = [replace(s, trace=sweep_ctx.as_tuple()) for s in shards]
     if monitor is not None:
         monitor.on_sweep_start(label, len(shards), max(1, jobs))
         # Route this process's own kernel executions (serial fallback,
@@ -1005,6 +1063,11 @@ def run_shards(
         backend=kernels.backend_name(),
         shm_used=shm_handle is not None,
     )
+    if sweep_ctx is not None:
+        stats.span.attrs["trace_id"] = sweep_ctx.trace_id
+        stats.span.attrs["span_id"] = sweep_ctx.span_id
+        if sweep_ctx.parent_span_id:
+            stats.span.attrs["parent_span_id"] = sweep_ctx.parent_span_id
     _record_sweep(stats)
     return [o.payload for o in outcomes], stats
 
@@ -1025,7 +1088,16 @@ def _dispatch_pool(
     """
     outcomes: list[ShardOutcome | None] = [None] * len(shards)
     failed: list[int] = []
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    pool_kwargs: dict[str, Any] = {}
+    profile_spec = obs_profile.worker_spec()
+    if profile_spec is not None:
+        # Unmonitored pools normally need no initializer at all; only a
+        # profiling run pays for one (to arm each worker's sampler).
+        pool_kwargs = {
+            "initializer": _init_pool_worker,
+            "initargs": (None, heartbeat_interval(), profile_spec),
+        }
+    with ProcessPoolExecutor(max_workers=workers, **pool_kwargs) as pool:
         futures = [pool.submit(kernel, shard) for shard in shards]
         for i, future in enumerate(futures):
             try:
@@ -1086,7 +1158,7 @@ def _dispatch_pool_monitored(
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_pool_worker,
-            initargs=(hb_queue, monitor.interval),
+            initargs=(hb_queue, monitor.interval, obs_profile.worker_spec()),
         ) as pool:
             futures = {pool.submit(kernel, s): i for i, s in enumerate(shards)}
             pending = set(futures)
@@ -1186,10 +1258,24 @@ def _instrumented(
     was_enabled = collector.enabled
     if shard.obs_enabled and not was_enabled:
         collector.enable()
+    # Re-activate the sweep's trace context (shipped in the spec because
+    # ContextVars don't cross the fork boundary) for the kernel body:
+    # each shard becomes its own span id under the sweep's, and any
+    # heartbeat or warning emitted inside carries the trace id.
+    shard_ctx: TraceContext | None = None
+    if shard.trace is not None:
+        sweep_ctx = TraceContext.from_tuple(shard.trace)
+        if sweep_ctx.sampled:
+            shard_ctx = sweep_ctx.child()
     counters_before = dict(collector.counters)
     with sweep_caching(shard.cache_enabled):
         before = sweep_cache_info()
-        with obs.memory_delta() as mem:
+        activation = (
+            trace_context.activate(shard_ctx)
+            if shard_ctx is not None
+            else nullcontext()
+        )
+        with activation, obs.memory_delta() as mem:
             t0 = time.perf_counter()
             payload, pairs = body(shard)
             seconds = time.perf_counter() - t0
@@ -1223,6 +1309,11 @@ def _instrumented(
         counters_local=was_enabled,
         mem_peak_bytes=mem["peak_bytes"],
         mem_net_bytes=mem["net_bytes"],
+        trace_id=shard_ctx.trace_id if shard_ctx is not None else "",
+        span_id=shard_ctx.span_id if shard_ctx is not None else "",
+        parent_span_id=(
+            shard_ctx.parent_span_id if shard_ctx is not None else ""
+        ),
     )
     return ShardOutcome(payload=payload, meta=meta)
 

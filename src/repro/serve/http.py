@@ -10,7 +10,9 @@ deliberately small —
   back as chunked ``application/x-ndjson``: one verdict object per
   line **in completion order**, each carrying its batch ``index``, so
   a client watching a long batch sees verdicts as they land instead of
-  waiting for the stragglers.
+  waiting for the stragglers.  A W3C ``traceparent`` request header
+  joins the whole batch to the caller's trace; every verdict then
+  echoes ``trace_id`` and a per-item ``request_id``.
 * ``GET /healthz`` — liveness plus service counters and verdict-cache
   occupancy as JSON.
 
@@ -98,8 +100,15 @@ async def _stream_batch(
     service: TraceCheckService,
     lines: list[str],
     writer: asyncio.StreamWriter,
+    traceparent: str | None = None,
 ) -> None:
-    """Run one batch on a worker thread, streaming verdicts as chunks."""
+    """Run one batch on a worker thread, streaming verdicts as chunks.
+
+    ``traceparent`` is the inbound trace header, forwarded verbatim;
+    the executor thread has no ambient context of its own (contextvars
+    do not cross ``run_in_executor``), so the header must travel by
+    value into :meth:`TraceCheckService.check_batch`.
+    """
     loop = asyncio.get_running_loop()
     queue: asyncio.Queue[ItemResult | None] = asyncio.Queue()
 
@@ -116,7 +125,10 @@ async def _stream_batch(
     )
     await writer.drain()
     task = loop.run_in_executor(
-        None, lambda: service.check_batch(lines, on_result=on_result)
+        None,
+        lambda: service.check_batch(
+            lines, on_result=on_result, traceparent=traceparent
+        ),
     )
     task.add_done_callback(
         lambda _: loop.call_soon_threadsafe(queue.put_nowait, None)
@@ -162,7 +174,7 @@ async def _handle_connection(
             return
         if request is None:
             return
-        method, path, _headers, body = request
+        method, path, headers, body = request
         path = path.split("?", 1)[0]
         if obs.enabled():
             obs.add("serve.requests")
@@ -177,7 +189,12 @@ async def _handle_connection(
                 for line in body.decode("utf-8", errors="replace").splitlines()
                 if line.strip()
             ]
-            await _stream_batch(service, lines, writer)
+            await _stream_batch(
+                service,
+                lines,
+                writer,
+                traceparent=headers.get("traceparent"),
+            )
         else:
             writer.write(
                 _json_response(

@@ -42,11 +42,14 @@ import time
 from collections import OrderedDict
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
 from repro import obs
 from repro.errors import ReproError
+from repro.obs import context as trace_context
+from repro.obs.context import TraceContext
 from repro.io import (
     FormatError,
     load_computation,
@@ -64,6 +67,7 @@ __all__ = [
     "VerdictCache",
     "check_document",
     "parse_request",
+    "parse_request_ex",
     "replay_serve_ledger",
     "request_fingerprint",
 ]
@@ -138,29 +142,44 @@ class CheckOptions:
         )
 
 
-def parse_request(
+def parse_request_ex(
     line: str, defaults: CheckOptions
-) -> tuple[dict, CheckOptions]:
-    """One JSONL line → ``(document, effective options)``.
+) -> tuple[dict, CheckOptions, str | None]:
+    """One JSONL line → ``(document, effective options, traceparent)``.
 
     A dict with a ``"document"`` key (and no ``"format"`` tag of its
     own) is an option-carrying envelope; anything else must be a bare
-    :mod:`repro.io` document.  Raises :class:`repro.io.FormatError` or
-    ``ValueError`` on malformed input — per-item, so one bad line never
-    poisons its batch.
+    :mod:`repro.io` document.  An envelope may carry a ``"trace"``
+    field — a ``traceparent`` string joining this *item* to a caller's
+    existing trace independently of the batch's transport header (the
+    JSONL-over-stdin analog of the HTTP header).  Raises
+    :class:`repro.io.FormatError` or ``ValueError`` on malformed input
+    — per-item, so one bad line never poisons its batch.
     """
     data = json.loads(line)
     if not isinstance(data, dict):
         raise FormatError("request line is not a JSON object")
+    trace: str | None = None
     if "document" in data and "format" not in data:
         doc = data["document"]
         options = CheckOptions.merged(data, defaults)
+        raw_trace = data.get("trace")
+        if isinstance(raw_trace, str):
+            trace = raw_trace
     else:
         doc, options = data, defaults
     if not isinstance(doc, dict) or "format" not in doc:
         raise FormatError("not a repro document (missing format tag)")
     if doc["format"] not in _LOADERS:
         raise FormatError(f"unknown format {doc['format']!r}")
+    return doc, options, trace
+
+
+def parse_request(
+    line: str, defaults: CheckOptions
+) -> tuple[dict, CheckOptions]:
+    """:func:`parse_request_ex` without the trace field (stable API)."""
+    doc, options, _ = parse_request_ex(line, defaults)
     return doc, options
 
 
@@ -372,6 +391,11 @@ def _serve_heartbeat(items_done: int, elapsed: float) -> None:
         "pairs_done": items_done,
         "elapsed": round(elapsed, 6),
     }
+    ctx = trace_context.current()
+    if ctx is not None and ctx.sampled:
+        hb["trace_id"] = ctx.trace_id
+        if ctx.span_id:
+            hb["span_id"] = ctx.span_id
     hb_queue = hb_state.get("queue")
     if hb_queue is not None:
         try:
@@ -387,7 +411,9 @@ def _serve_heartbeat(items_done: int, elapsed: float) -> None:
 _WORKER_ITEMS = 0
 
 
-def check_document(doc: dict, options: CheckOptions) -> dict:
+def check_document(
+    doc: dict, options: CheckOptions, trace: tuple | None = None
+) -> dict:
     """Check one document; the picklable unit of pool work.
 
     Returns a verdict dict (see the README protocol section): always
@@ -397,19 +423,46 @@ def check_document(doc: dict, options: CheckOptions) -> dict:
     / ``findings`` payloads.  Malformed documents come back as
     ``{"ok": false, "error": ...}`` — a worker never raises for bad
     input, so one poisoned item cannot break its batch.
+
+    ``trace`` is the item's propagated context as a
+    :meth:`TraceContext.as_tuple` tuple (``span_id`` = the item's own
+    request span, ``parent_span_id`` = the serve batch span).  When
+    sampled it is re-activated around the check — so the heartbeat
+    below carries the trace id — and the verdict gains a transient
+    ``_worker_span`` payload identifying this process's execution; the
+    parent pops it before caching/streaming and grafts it into the
+    live trace, which is how a request's span tree crosses the pool's
+    fork boundary.
     """
     global _WORKER_ITEMS
+    ctx: TraceContext | None = None
+    if trace is not None:
+        ctx = TraceContext.from_tuple(trace)
+        if not ctx.sampled:
+            ctx = None
     t0 = time.perf_counter()
-    try:
-        obj = _load_document(doc)
-        verdict = _check_object(obj, options)
-    except (ReproError, ValueError, KeyError, TypeError, IndexError) as exc:
-        verdict = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
-    else:
-        verdict["ok"] = True
-    verdict["seconds"] = round(time.perf_counter() - t0, 6)
-    _WORKER_ITEMS += 1
-    _serve_heartbeat(_WORKER_ITEMS, verdict["seconds"])
+    activation = (
+        trace_context.activate(ctx) if ctx is not None else nullcontext()
+    )
+    with activation:
+        try:
+            obj = _load_document(doc)
+            verdict = _check_object(obj, options)
+        except (ReproError, ValueError, KeyError, TypeError, IndexError) as exc:
+            verdict = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        else:
+            verdict["ok"] = True
+        verdict["seconds"] = round(time.perf_counter() - t0, 6)
+        _WORKER_ITEMS += 1
+        _serve_heartbeat(_WORKER_ITEMS, verdict["seconds"])
+    if ctx is not None:
+        verdict["_worker_span"] = {
+            "trace_id": ctx.trace_id,
+            "span_id": ctx.span_id,
+            "parent_span_id": ctx.parent_span_id,
+            "pid": os.getpid(),
+            "seconds": verdict["seconds"],
+        }
     return verdict
 
 
@@ -571,14 +624,25 @@ class ItemResult:
     duplicate earlier in the same batch); ``verdict`` is the
     :func:`check_document` dict, witness ids already in *this*
     request's node-id space.
+
+    ``trace_id``/``request_id`` are the item's correlation ids (the
+    request id is the item's span id).  They live *here*, never inside
+    ``verdict``: the verdict dict is what the dedupe cache stores, and
+    a cached twin must get its own ids, not the first requester's.
     """
 
     index: int
     verdict: dict
     cached: bool = False
+    trace_id: str = ""
+    request_id: str = ""
 
     def to_json(self) -> dict:
-        out = {"index": self.index, "cached": self.cached}
+        out: dict[str, Any] = {"index": self.index, "cached": self.cached}
+        if self.trace_id:
+            out["trace_id"] = self.trace_id
+        if self.request_id:
+            out["request_id"] = self.request_id
         out.update(self.verdict)
         return out
 
@@ -591,6 +655,7 @@ class _PendingItem:
     key: tuple | None = None
     perm: tuple[int, ...] = ()
     translatable: bool = True
+    ctx: TraceContext | None = None
 
 
 class TraceCheckService:
@@ -616,6 +681,7 @@ class TraceCheckService:
         jobs: int | None = None,
         cache_size: int = 4096,
         clear_caches_every: int = 0,
+        trace_sample_rate: float = 1.0,
     ) -> None:
         from repro.runtime.parallel import effective_jobs
 
@@ -623,6 +689,12 @@ class TraceCheckService:
         self.jobs = effective_jobs(jobs)
         self.cache = VerdictCache(cache_size)
         self.clear_caches_every = clear_caches_every
+        #: Head-sampling rate for *generated* trace contexts (requests
+        #: arriving with their own ``traceparent`` keep the caller's
+        #: sampling decision).  Ids are minted either way — verdicts
+        #: always echo ``trace_id``/``request_id`` — but unsampled
+        #: requests skip spans, exemplars and worker-span payloads.
+        self.trace_sample_rate = float(trace_sample_rate)
         self.batches = 0
         self.items = 0
         self.errors = 0
@@ -647,11 +719,14 @@ class TraceCheckService:
                 self._hb_queue = ctx.Queue()
             except (OSError, ValueError):
                 self._hb_queue = None
-            if self._hb_queue is not None:
+            from repro.obs import profile as obs_profile
+
+            profile_spec = obs_profile.worker_spec()
+            if self._hb_queue is not None or profile_spec is not None:
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.jobs,
                     initializer=_init_pool_worker,
-                    initargs=(self._hb_queue, interval),
+                    initargs=(self._hb_queue, interval, profile_spec),
                 )
             else:
                 self._pool = ProcessPoolExecutor(max_workers=self.jobs)
@@ -695,6 +770,7 @@ class TraceCheckService:
         lines: Iterable[str],
         on_result: Callable[[ItemResult], None] | None = None,
         label: str = "batch",
+        traceparent: str | None = None,
     ) -> list[ItemResult]:
         """Check one batch of JSONL request lines.
 
@@ -705,22 +781,64 @@ class TraceCheckService:
         SIGKILL mid-batch still replays to "batch N accepted, K of M
         items done" — then one ``serve_item`` per completion and a
         closing ``serve_batch_done``.
+
+        ``traceparent`` is the transport's inbound trace header (the
+        HTTP front-end forwards it verbatim); it — or a per-item
+        ``"trace"`` envelope field — joins this batch to the caller's
+        trace, so every verdict, journal record and worker span carries
+        the caller's ``trace_id``.
         """
         with self._lock:
-            return self._check_batch_locked(lines, on_result, label)
+            return self._check_batch_locked(
+                lines, on_result, label, traceparent
+            )
 
     def _check_batch_locked(
         self,
         lines: Iterable[str],
         on_result: Callable[[ItemResult], None] | None,
         label: str,
+        traceparent: str | None,
+    ) -> list[ItemResult]:
+        # Mint the batch's trace context: the inbound header wins, else
+        # any ambient context (the CLI's REPRO_TRACEPARENT root in
+        # offline mode), else a generated one under the head-sampling
+        # rate.  The serve.batch span (when tracing) annotates itself
+        # from this context and becomes the parent of every item span.
+        if traceparent:
+            batch_ctx = trace_context.mint(
+                traceparent, self.trace_sample_rate
+            )
+        else:
+            batch_ctx = trace_context.current() or trace_context.mint(
+                None, self.trace_sample_rate
+            )
+        requests = list(lines)
+        with trace_context.activate(batch_ctx):
+            with obs.span(
+                "serve.batch", items=len(requests), label=label
+            ):
+                return self._run_batch(requests, on_result, label)
+
+    def _run_batch(
+        self,
+        requests: list[str],
+        on_result: Callable[[ItemResult], None] | None,
+        label: str,
     ) -> list[ItemResult]:
         t0 = time.perf_counter()
         batch_id = self.batches
         self.batches += 1
-        requests = list(lines)
+        base_ctx = trace_context.current()
+        if base_ctx is None:  # activate() in the caller guarantees one
+            base_ctx = trace_context.mint(None)
         self._record(
-            "serve_batch", batch=batch_id, items=len(requests), label=label
+            "serve_batch",
+            batch=batch_id,
+            items=len(requests),
+            label=label,
+            trace_id=base_ctx.trace_id,
+            span_id=base_ctx.span_id,
         )
         if obs.enabled():
             obs.add("serve.batches")
@@ -728,9 +846,17 @@ class TraceCheckService:
 
         results: list[ItemResult | None] = [None] * len(requests)
         done_count = 0
+        # Every item gets its own context — span_id doubles as the
+        # request id — minted up front so parse errors, dedupe hits and
+        # pool completions all echo ids on exactly the same terms.
+        item_ctxs: dict[int, TraceContext] = {}
 
         def finish(item: ItemResult) -> None:
             nonlocal done_count
+            ctx = item_ctxs.get(item.index)
+            if ctx is not None:
+                item.trace_id = ctx.trace_id
+                item.request_id = ctx.span_id
             results[item.index] = item
             done_count += 1
             ok = bool(item.verdict.get("ok"))
@@ -762,6 +888,8 @@ class TraceCheckService:
                 cached=item.cached,
                 doc_kind=item.verdict.get("kind"),
                 seconds=item.verdict.get("seconds"),
+                trace_id=item.trace_id,
+                request_id=item.request_id,
             )
             if on_result is not None:
                 on_result(item)
@@ -771,8 +899,11 @@ class TraceCheckService:
         unique: list[_PendingItem] = []
         waiting: dict[tuple, list[_PendingItem]] = {}
         for index, line in enumerate(requests):
+            item_ctxs[index] = base_ctx.child()
             try:
-                doc, options = parse_request(line, self.options)
+                doc, options, env_trace = parse_request_ex(
+                    line, self.options
+                )
             except (ReproError, ValueError, TypeError) as exc:
                 finish(
                     ItemResult(
@@ -785,7 +916,14 @@ class TraceCheckService:
                     )
                 )
                 continue
+            if env_trace is not None:
+                # A per-item traceparent overrides the batch context:
+                # this item's span joins the caller's own trace.
+                env_ctx = trace_context.parse_traceparent(env_trace)
+                if env_ctx is not None:
+                    item_ctxs[index] = env_ctx.child()
             item = _PendingItem(index, doc, options)
+            item.ctx = item_ctxs[index]
             # Witness translation across relabelled twins covers the
             # core verdict payload only; sanitizer/analysis output
             # embeds ids in prose, so those items dedupe exactly.
@@ -893,8 +1031,43 @@ class TraceCheckService:
             )
         t0 = time.perf_counter()
 
+        def graft_worker_span(verdict: dict) -> None:
+            """Pop the transient ``_worker_span`` payload and graft it
+            into the live trace.  Must run before the verdict is cached
+            or streamed — the payload names one process's execution of
+            one request and must never leak into NDJSON or the cache."""
+            ws = verdict.pop("_worker_span", None)
+            if ws is None or not obs.enabled():
+                return
+            obs.attach(
+                obs.Span(
+                    name="serve.check",
+                    attrs={
+                        "trace_id": str(ws.get("trace_id", "")),
+                        "span_id": str(ws.get("span_id", "")),
+                        "parent_span_id": str(
+                            ws.get("parent_span_id", "")
+                        ),
+                        "pid": int(ws.get("pid", 0)),
+                    },
+                    start=0.0,
+                    duration=float(ws.get("seconds", 0.0)),
+                )
+            )
+
+        def recheck_inline(pending: _PendingItem) -> dict:
+            """Run an item in this process, trace context included."""
+            ctx = pending.ctx
+            trace = (
+                ctx.as_tuple() if ctx is not None and ctx.sampled else None
+            )
+            verdict = check_document(pending.doc, pending.options, trace)
+            graft_worker_span(verdict)
+            return verdict
+
         def settle(item: _PendingItem, verdict: dict) -> None:
             """Store, answer the item, and fan out to its twins."""
+            graft_worker_span(verdict)
             self.cache.put(item.key, verdict, item.perm)  # type: ignore[arg-type]
             finish(ItemResult(item.index, dict(verdict), cached=False))
             # Consume the twin list: a later broken-pool retry must not
@@ -919,7 +1092,7 @@ class TraceCheckService:
                     finish(
                         ItemResult(
                             twin.index,
-                            check_document(twin.doc, twin.options),
+                            recheck_inline(twin),
                             cached=False,
                         )
                     )
@@ -928,7 +1101,14 @@ class TraceCheckService:
         try:
             pool = self._ensure_pool()
             futures = {
-                pool.submit(check_document, it.doc, it.options): it
+                pool.submit(
+                    check_document,
+                    it.doc,
+                    it.options,
+                    it.ctx.as_tuple()
+                    if it.ctx is not None and it.ctx.sampled
+                    else None,
+                ): it
                 for it in unique
             }
             pending = set(futures)
@@ -967,7 +1147,15 @@ class TraceCheckService:
                 items=len(failed),
             )
             for item in failed:
-                settle(item, check_document(item.doc, item.options))
+                ctx = item.ctx
+                trace = (
+                    ctx.as_tuple()
+                    if ctx is not None and ctx.sampled
+                    else None
+                )
+                settle(
+                    item, check_document(item.doc, item.options, trace)
+                )
         if monitor is not None:
             monitor.on_sweep_done(
                 f"serve:{label}", time.perf_counter() - t0
@@ -987,11 +1175,17 @@ def replay_serve_ledger(path: str) -> dict:
     kinds are preserved into the collector's event list), so a server
     SIGKILLed mid-batch replays to exactly the items that finished:
     ``pending`` is the accepted-but-unanswered remainder to resubmit.
+
+    Records that carry a ``trace_id`` (every one written since the
+    service started propagating contexts) are additionally folded into
+    a per-trace ``"traces"`` map, so a caller who stamped its requests
+    with a ``traceparent`` can reconcile *its own* work against a torn
+    journal without untangling interleaved batches.
     """
     from repro.obs.journal import replay_journal
 
     replay = replay_journal(path)
-    ledger = {
+    ledger: dict[str, Any] = {
         "clean": replay.clean,
         "batches_accepted": 0,
         "batches_done": 0,
@@ -1002,11 +1196,32 @@ def replay_serve_ledger(path: str) -> dict:
         "errors": 0,
         "cached": 0,
     }
+    traces: dict[str, dict[str, int]] = {}
+
+    def trace_bucket(ev: dict) -> dict[str, int] | None:
+        tid = ev.get("trace_id")
+        if not isinstance(tid, str) or not tid:
+            return None
+        return traces.setdefault(
+            tid,
+            {
+                "items_accepted": 0,
+                "items_done": 0,
+                "admitted": 0,
+                "rejected": 0,
+                "errors": 0,
+                "cached": 0,
+            },
+        )
+
     for ev in replay.obs.events:
         kind = ev.get("kind")
         if kind == "serve_batch":
             ledger["batches_accepted"] += 1
             ledger["items_accepted"] += int(ev.get("items", 0))
+            bucket = trace_bucket(ev)
+            if bucket is not None:
+                bucket["items_accepted"] += int(ev.get("items", 0))
         elif kind == "serve_item":
             ledger["items_done"] += 1
             if not ev.get("ok"):
@@ -1017,9 +1232,25 @@ def replay_serve_ledger(path: str) -> dict:
                 ledger["rejected"] += 1
             if ev.get("cached"):
                 ledger["cached"] += 1
+            bucket = trace_bucket(ev)
+            if bucket is not None:
+                bucket["items_done"] += 1
+                if not ev.get("ok"):
+                    bucket["errors"] += 1
+                elif ev.get("admitted") is True:
+                    bucket["admitted"] += 1
+                elif ev.get("admitted") is False:
+                    bucket["rejected"] += 1
+                if ev.get("cached"):
+                    bucket["cached"] += 1
         elif kind == "serve_batch_done":
             ledger["batches_done"] += 1
     ledger["pending"] = max(
         0, ledger["items_accepted"] - ledger["items_done"]
     )
+    for bucket in traces.values():
+        bucket["pending"] = max(
+            0, bucket["items_accepted"] - bucket["items_done"]
+        )
+    ledger["traces"] = traces
     return ledger

@@ -1,0 +1,297 @@
+"""Propagated trace context: ids, sampling, exemplars, rate limiting.
+
+:mod:`repro.obs.context` is the correlation-id substrate under the
+serve front-end and the sharded engine; these tests pin the wire
+format (W3C ``traceparent``), the head-sampling decision, the ambient
+ContextVar scoping, span annotation, histogram exemplars, the
+warning rate limiter, and the Prometheus scrape-hook registry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs import WarningLimiter, context
+from repro.obs.context import TraceContext, mint, parse_traceparent
+from repro.obs.core import Histogram
+from repro.obs.metrics import (
+    add_scrape_hook,
+    clear_scrape_hooks,
+    render_prometheus,
+    run_scrape_hooks,
+)
+
+TP = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    obs.disable()
+    obs.reset()
+    context.set_current(None)
+    clear_scrape_hooks()
+    yield
+    obs.disable()
+    obs.reset()
+    context.set_current(None)
+    clear_scrape_hooks()
+
+
+# ---------------------------------------------------------------------------
+# traceparent wire format
+# ---------------------------------------------------------------------------
+
+
+class TestParseTraceparent:
+    def test_valid_header_roundtrips(self):
+        ctx = parse_traceparent(TP)
+        assert ctx is not None
+        assert ctx.trace_id == "0af7651916cd43dd8448eb211c80319c"
+        assert ctx.span_id == "b7ad6b7169203331"
+        assert ctx.sampled is True
+        assert ctx.to_traceparent() == TP
+
+    def test_unsampled_flag_honored(self):
+        ctx = parse_traceparent(TP[:-2] + "00")
+        assert ctx is not None
+        assert ctx.sampled is False
+
+    def test_case_and_whitespace_normalized(self):
+        ctx = parse_traceparent("  " + TP.upper() + "  ")
+        assert ctx is not None
+        assert ctx.trace_id == "0af7651916cd43dd8448eb211c80319c"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            None,
+            "",
+            "not-a-traceparent",
+            "00-" + "0" * 32 + "-b7ad6b7169203331-01",  # zero trace id
+            "00-0af7651916cd43dd8448eb211c80319c-" + "0" * 16 + "-01",
+            "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+            "00-short-b7ad6b7169203331-01",
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331",
+        ],
+    )
+    def test_malformed_headers_rejected(self, bad):
+        assert parse_traceparent(bad) is None
+
+    def test_tuple_roundtrip(self):
+        ctx = parse_traceparent(TP).child()
+        assert TraceContext.from_tuple(ctx.as_tuple()) == ctx
+        # The 3-field legacy form gets an empty parent.
+        legacy = TraceContext.from_tuple(("a" * 32, "b" * 16, True))
+        assert legacy.parent_span_id == ""
+
+
+class TestMint:
+    def test_inbound_header_wins(self):
+        ctx = mint(TP, sample_rate=0.0)
+        assert ctx.trace_id == "0af7651916cd43dd8448eb211c80319c"
+        assert ctx.sampled is True  # upstream decision, not ours
+
+    def test_generated_ids_are_fresh(self):
+        a, b = mint(None), mint(None)
+        assert a.trace_id != b.trace_id
+        assert len(a.trace_id) == 32
+        assert a.span_id == ""  # generated root has no caller span
+
+    def test_head_sampling_rates(self):
+        assert mint(None, sample_rate=1.0).sampled is True
+        assert mint(None, sample_rate=0.0).sampled is False
+        assert mint(None, sample_rate=0.5, _rand=lambda: 0.4).sampled is True
+        assert mint(None, sample_rate=0.5, _rand=lambda: 0.6).sampled is False
+
+    def test_child_links_to_parent(self):
+        root = parse_traceparent(TP)
+        child = root.child()
+        grandchild = child.child()
+        assert child.trace_id == root.trace_id
+        assert child.parent_span_id == root.span_id
+        assert grandchild.parent_span_id == child.span_id
+        assert child.span_id != grandchild.span_id
+
+    def test_unsampled_propagates_to_children(self):
+        root = mint(None, sample_rate=0.0)
+        assert root.child().sampled is False
+
+
+class TestAmbientContext:
+    def test_activate_scopes_and_restores(self):
+        ctx = mint(TP)
+        assert context.current() is None
+        with context.activate(ctx):
+            assert context.current() is ctx
+            with context.activate(None):  # deliberate clearing
+                assert context.current() is None
+            assert context.current() is ctx
+        assert context.current() is None
+
+    def test_spans_join_the_request_tree(self):
+        obs.enable()
+        with context.activate(mint(TP)):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+        (outer,) = obs.get().roots
+        (inner,) = outer.children
+        assert outer.attrs["trace_id"] == "0af7651916cd43dd8448eb211c80319c"
+        assert outer.attrs["parent_span_id"] == "b7ad6b7169203331"
+        assert inner.attrs["parent_span_id"] == outer.attrs["span_id"]
+
+    def test_unsampled_context_annotates_nothing(self):
+        obs.enable()
+        with context.activate(mint(None, sample_rate=0.0)):
+            with obs.span("quiet"):
+                pass
+        (sp,) = obs.get().roots
+        assert "trace_id" not in sp.attrs
+
+
+# ---------------------------------------------------------------------------
+# Histogram exemplars
+# ---------------------------------------------------------------------------
+
+
+class TestExemplars:
+    def test_observe_records_exemplar_under_sampled_context(self):
+        obs.enable()
+        with context.activate(mint(TP)):
+            obs.observe("latency", 0.25)
+        hist = obs.get().histograms["latency"]
+        assert hist.exemplars
+        (tid, val) = next(iter(hist.exemplars.values()))
+        assert tid == "0af7651916cd43dd8448eb211c80319c"
+        assert val == 0.25
+
+    def test_no_exemplar_without_context_or_sampling(self):
+        obs.enable()
+        obs.observe("latency", 0.25)
+        with context.activate(mint(None, sample_rate=0.0)):
+            obs.observe("latency", 0.5)
+        assert obs.get().histograms["latency"].exemplars == {}
+
+    def test_exemplars_survive_merge_and_round_trip(self):
+        a, b = Histogram(), Histogram()
+        a.record(0.1)
+        a.note_exemplar(0.1, "a" * 32)
+        b.record(10.0)
+        b.note_exemplar(10.0, "b" * 32)
+        a.merge(b)
+        assert len(a.exemplars) == 2
+        assert Histogram.from_dict(a.to_dict()).exemplars == a.exemplars
+
+    def test_prometheus_rendering_is_gated(self):
+        obs.enable()
+        with context.activate(mint(TP)):
+            obs.observe("latency_seconds", 0.25)
+        plain = render_prometheus(obs.get())
+        assert "trace_id" not in plain  # 0.0.4 parsers stay happy
+        rich = render_prometheus(obs.get(), exemplars=True)
+        assert '# {trace_id="0af7651916cd43dd8448eb211c80319c"} 0.25' in rich
+
+
+# ---------------------------------------------------------------------------
+# Warning rate limiting
+# ---------------------------------------------------------------------------
+
+
+class TestWarningLimiter:
+    def test_burst_then_suppression_then_refill(self):
+        now = [0.0]
+        lim = WarningLimiter(rate=1.0, burst=3, clock=lambda: now[0])
+        assert [lim.admit("stall")[0] for _ in range(3)] == [True] * 3
+        for _ in range(5):
+            assert lim.admit("stall") == (False, 0)
+        now[0] = 1.0  # one token refilled
+        assert lim.admit("stall") == (True, 5)
+        # The suppressed count was consumed, not double-reported.
+        now[0] = 2.0
+        assert lim.admit("stall") == (True, 0)
+
+    def test_messages_have_independent_buckets(self):
+        lim = WarningLimiter(rate=1.0, burst=1, clock=lambda: 0.0)
+        assert lim.admit("a")[0] is True
+        assert lim.admit("a")[0] is False
+        assert lim.admit("b")[0] is True
+
+    def test_repeated_warnings_rate_limited_through_collector(self, caplog):
+        import logging
+
+        o = obs.Observability()
+        o.enable()
+        now = [0.0]
+        o.warn_limiter = WarningLimiter(rate=1.0, burst=2, clock=lambda: now[0])
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            for _ in range(10):
+                o.warning("worker wedged", shard=3)
+            now[0] = 1.0
+            o.warning("worker wedged", shard=3)
+        assert len(o.events) == 3
+        assert o.events[-1]["attrs"]["suppressed_count"] == 8
+        assert caplog.text.count("worker wedged") == 3
+
+    def test_warning_carries_ambient_trace_id(self):
+        o = obs.Observability()
+        o.enable()
+        with context.activate(mint(TP)):
+            o.warning("pool broke")
+        (ev,) = o.events
+        assert ev["attrs"]["trace_id"] == "0af7651916cd43dd8448eb211c80319c"
+
+
+# ---------------------------------------------------------------------------
+# Scrape hooks (gauges republished per scrape)
+# ---------------------------------------------------------------------------
+
+
+class TestScrapeHooks:
+    def test_hooks_run_and_clear(self):
+        calls = []
+        add_scrape_hook(lambda: calls.append(1))
+        run_scrape_hooks()
+        run_scrape_hooks()
+        assert calls == [1, 1]
+        clear_scrape_hooks()
+        run_scrape_hooks()
+        assert calls == [1, 1]
+
+    def test_hook_exceptions_do_not_break_the_scrape(self):
+        calls = []
+
+        def boom():
+            raise RuntimeError("hook bug")
+
+        add_scrape_hook(boom)
+        add_scrape_hook(lambda: calls.append(1))
+        run_scrape_hooks()  # must not raise
+        assert calls == [1]
+
+    def test_cache_gauges_refresh_per_scrape(self):
+        # The regression this pins: publish_cache_gauges() used to run
+        # once at startup, so /metrics reported frozen hit counters for
+        # the rest of the process lifetime.
+        from repro.runtime import parallel
+
+        obs.enable()
+        add_scrape_hook(parallel.publish_cache_gauges)
+        run_scrape_hooks()
+        assert "cache.entries" in obs.get().gauges
+        obs.get().gauges.clear()  # a stale scrape snapshot
+        run_scrape_hooks()
+        assert "cache.entries" in obs.get().gauges
+
+
+def test_journal_open_record_stamps_ambient_trace(tmp_path):
+    import json
+
+    from repro.obs.journal import Journal
+
+    path = str(tmp_path / "j.jsonl")
+    with context.activate(mint(TP)):
+        Journal(path).close()
+    records = [json.loads(ln) for ln in open(path, encoding="utf-8")]
+    opened = next(r for r in records if r["kind"] == "journal_open")
+    assert opened["trace_id"] == "0af7651916cd43dd8448eb211c80319c"

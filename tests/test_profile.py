@@ -1,0 +1,217 @@
+"""The SIGPROF sampling profiler: sampling, fork safety, exports.
+
+The profiler's contract is threefold: it samples real CPU work when
+armed, it costs literally nothing when off (no handler, no timer, no
+state), and a fork during profiling can neither crash the child nor
+corrupt the parent's sample table — pool workers are forked from a
+profiling parent all the time.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+
+import pytest
+
+from repro.obs.profile import (
+    DEFAULT_HZ,
+    SamplingProfiler,
+    active_worker_profiler,
+    export_speedscope,
+    merge_folded,
+    merge_folded_dir,
+    render_collapsed,
+    set_worker_spec,
+    start_worker_profiler,
+    validate_speedscope,
+    validate_speedscope_file,
+    worker_spec,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_worker_spec():
+    set_worker_spec(None)
+    yield
+    set_worker_spec(None)
+
+
+def _burn_cpu(seconds: float) -> None:
+    import time
+
+    t0 = time.process_time()
+    x = 0
+    while time.process_time() - t0 < seconds:
+        x += 1
+        x %= 1000003
+
+
+# ---------------------------------------------------------------------------
+# Sampling
+# ---------------------------------------------------------------------------
+
+
+class TestSampling:
+    def test_busy_loop_produces_samples(self):
+        prof = SamplingProfiler(hz=499)
+        prof.start()
+        try:
+            _burn_cpu(0.2)
+        finally:
+            prof.stop()
+        assert prof.sample_count > 0
+        folded = prof.folded()
+        assert folded
+        # Every folded stack ends in a frame of this test module.
+        assert any("test_profile" in stack for stack in folded)
+        assert sum(folded.values()) == prof.sample_count
+
+    def test_stop_disarms_timer_and_restores_handler(self):
+        before = signal.getsignal(signal.SIGPROF)
+        prof = SamplingProfiler(hz=97)
+        prof.start()
+        prof.stop()
+        assert signal.getitimer(signal.ITIMER_PROF) == (0.0, 0.0)
+        assert signal.getsignal(signal.SIGPROF) == before
+        count = prof.sample_count
+        _burn_cpu(0.05)
+        assert prof.sample_count == count  # no ticks after stop
+
+    def test_profiler_off_is_stateless(self):
+        # The zero-overhead claim when --profile-sample is absent: no
+        # handler installed, no timer armed, no worker spec published.
+        assert signal.getitimer(signal.ITIMER_PROF) == (0.0, 0.0)
+        assert worker_spec() is None
+        prof = SamplingProfiler(hz=97)
+        assert prof.running is False
+        assert prof.sample_count == 0
+        prof.stop()  # idempotent, never started
+
+    def test_rejects_nonpositive_hz(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=-97)
+
+
+# ---------------------------------------------------------------------------
+# Fork safety
+# ---------------------------------------------------------------------------
+
+
+class TestForkSafety:
+    def test_fork_during_profiling_is_safe(self):
+        """The POSIX contract the pool relies on: a child forked while
+        the parent profiles inherits the handler but NOT the itimer,
+        and the pid guard keeps a synthetic tick in the child out of
+        the (copied) sample table."""
+        prof = SamplingProfiler(hz=199)
+        prof.start()
+        try:
+            _burn_cpu(0.05)
+            pid = os.fork()
+            if pid == 0:  # child
+                code = 1
+                try:
+                    inherited = prof.sample_count
+                    if signal.getitimer(signal.ITIMER_PROF) != (0.0, 0.0):
+                        code = 2  # itimer leaked across fork
+                    else:
+                        # Deliver a tick by hand: the pid guard must
+                        # drop it on the floor.
+                        prof._on_sigprof(signal.SIGPROF, sys._getframe())
+                        if prof.sample_count != inherited:
+                            code = 3  # child accounted CPU to parent
+                        else:
+                            code = 0
+                finally:
+                    os._exit(code)
+            _, status = os.waitpid(pid, 0)
+        finally:
+            prof.stop()
+        assert os.WIFEXITED(status)
+        assert os.WEXITSTATUS(status) == 0
+        assert prof.sample_count > 0  # parent kept sampling normally
+
+    def test_worker_profiler_spills_for_the_parent(self, tmp_path):
+        set_worker_spec({"hz": 499, "dir": str(tmp_path)})
+        spec = worker_spec()
+        assert spec == {"hz": 499, "dir": str(tmp_path)}
+        pid = os.fork()
+        if pid == 0:  # the "pool worker"
+            code = 1
+            try:
+                prof = start_worker_profiler(spec)
+                if start_worker_profiler(spec) is prof:  # idempotent
+                    _burn_cpu(0.1)
+                    prof.spill()
+                    code = 0
+            finally:
+                os._exit(code)
+        _, status = os.waitpid(pid, 0)
+        assert os.WEXITSTATUS(status) == 0
+        profiles = merge_folded_dir(str(tmp_path))
+        assert list(profiles) == [pid]
+        assert sum(profiles[pid].values()) > 0
+        # Parent process never armed anything for itself.
+        assert active_worker_profiler() is None
+        assert signal.getitimer(signal.ITIMER_PROF) == (0.0, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Merge + exports
+# ---------------------------------------------------------------------------
+
+
+class TestExports:
+    def test_spill_and_merge_folded_dir_roundtrip(self, tmp_path):
+        prof = SamplingProfiler(
+            hz=97, spill_path=str(tmp_path / "profile-123.folded")
+        )
+        prof.samples = {("a:f", "b:g"): 3, ("a:f",): 2}
+        prof.sample_count = 5
+        prof.spill()
+        profiles = merge_folded_dir(str(tmp_path))
+        assert profiles == {123: {"a:f;b:g": 3, "a:f": 2}}
+
+    def test_merge_folded_dir_ignores_foreign_files(self, tmp_path):
+        (tmp_path / "profile-1.folded").write_text("a:f 1\n")
+        (tmp_path / "profile-x.folded").write_text("a:f 1\n")
+        (tmp_path / "notes.txt").write_text("hi\n")
+        (tmp_path / "profile-2.folded.tmp.9").write_text("torn")
+        assert list(merge_folded_dir(str(tmp_path))) == [1]
+        assert merge_folded_dir(str(tmp_path / "missing")) == {}
+
+    def test_merge_folded_sums_tables(self):
+        merged = merge_folded([{"a;b": 2, "c": 1}, {"a;b": 3}])
+        assert merged == {"a;b": 5, "c": 1}
+
+    def test_render_collapsed_format(self):
+        text = render_collapsed({"main;work;leaf": 4, "main": 1})
+        assert text == "main 1\nmain;work;leaf 4\n"
+        assert render_collapsed({}) == ""
+
+    def test_speedscope_export_validates_and_shares_frames(self):
+        doc = export_speedscope(
+            {10: {"main;work": 2}, 20: {"main;other": 1}}, hz=100
+        )
+        assert validate_speedscope(doc) == []
+        names = [p["name"] for p in doc["profiles"]]
+        assert names == ["repro pid=10", "repro pid=20"]
+        frames = [f["name"] for f in doc["shared"]["frames"]]
+        assert frames.count("main") == 1  # shared, not duplicated
+        assert doc["profiles"][0]["weights"] == [2 / 100.0]
+
+    def test_validate_speedscope_rejects_broken_documents(self, tmp_path):
+        assert validate_speedscope([]) != []
+        assert validate_speedscope({"$schema": "nope"}) != []
+        good = export_speedscope({1: {"a": 1}}, hz=DEFAULT_HZ)
+        bad = dict(good)
+        bad["profiles"] = [
+            {**good["profiles"][0], "samples": [[99]]}  # frame out of range
+        ]
+        assert any("out-of-range" in p for p in validate_speedscope(bad))
+        missing = validate_speedscope_file(str(tmp_path / "nope.json"))
+        assert missing and "cannot load" in missing[0]

@@ -245,6 +245,132 @@ class TestService:
 
 
 # ---------------------------------------------------------------------------
+# Trace propagation: ids on verdicts, journal records, worker spans
+# ---------------------------------------------------------------------------
+
+
+TP = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+TID = "0af7651916cd43dd8448eb211c80319c"
+
+
+class TestTracing:
+    def test_inbound_traceparent_echoed_on_every_verdict(self):
+        with TraceCheckService(jobs=1) as svc:
+            results = svc.check_batch(
+                lines_for(good_trace(), bad_trace(), good_trace()),
+                traceparent=TP,
+            )
+        assert [r.trace_id for r in results] == [TID] * 3
+        request_ids = [r.request_id for r in results]
+        assert all(request_ids)
+        assert len(set(request_ids)) == 3  # distinct even for the dupe
+        row = results[0].to_json()
+        assert row["trace_id"] == TID
+        assert row["request_id"] == results[0].request_id
+
+    def test_parse_errors_echo_ids_too(self):
+        with TraceCheckService(jobs=1) as svc:
+            bad, good = svc.check_batch(
+                ["{broken"] + lines_for(good_trace()), traceparent=TP
+            )
+        assert not bad.verdict["ok"]
+        assert bad.trace_id == TID and bad.request_id
+
+    def test_envelope_trace_field_overrides_per_item(self):
+        other = "00-" + "c" * 32 + "-" + "d" * 16 + "-01"
+        enveloped = json.dumps(
+            {"document": dump_trace(bad_trace()), "trace": other}
+        )
+        with TraceCheckService(jobs=1) as svc:
+            plain, routed = svc.check_batch(
+                lines_for(good_trace()) + [enveloped], traceparent=TP
+            )
+        assert plain.trace_id == TID
+        assert routed.trace_id == "c" * 32
+
+    def test_generated_ids_when_no_header(self):
+        with TraceCheckService(jobs=1) as svc:
+            (a,) = svc.check_batch(lines_for(good_trace()))
+            (b,) = svc.check_batch(lines_for(good_trace()))
+        assert a.trace_id and b.trace_id
+        assert a.trace_id != b.trace_id  # one trace per batch
+
+    def test_unsampled_batches_still_echo_ids_but_record_no_spans(self):
+        # Head sampling gates the *recording* work, never the ids: an
+        # unsampled verdict still correlates with client-side logs.
+        obs.reset()
+        obs.enable()
+        try:
+            with TraceCheckService(jobs=1, trace_sample_rate=0.0) as svc:
+                (item,) = svc.check_batch(lines_for(good_trace()))
+            assert item.to_json()["trace_id"]
+            assert item.to_json()["request_id"]
+            spans = list(obs.iter_trace_spans(obs.get().to_dict()))
+            assert all("trace_id" not in s["attrs"] for s in spans)
+        finally:
+            obs.reset()
+
+    def test_worker_spans_graft_across_the_fork_boundary(self):
+        obs.reset()
+        obs.enable()
+        try:
+            with TraceCheckService(jobs=2) as svc:
+                svc.check_batch(
+                    lines_for(good_trace(), bad_trace()), traceparent=TP
+                )
+            spans = list(obs.iter_trace_spans(obs.get().to_dict()))
+            checks = [s for s in spans if s["name"] == "serve.check"]
+            assert len(checks) == 2  # one per unique fingerprint
+            by_span = {
+                s["attrs"]["span_id"]: s
+                for s in spans
+                if s["attrs"].get("span_id")
+            }
+            me = os.getpid()
+            for sp in checks:
+                attrs = sp["attrs"]
+                assert attrs["trace_id"] == TID
+                assert attrs["pid"] != me  # measured in the worker
+                parent = by_span[attrs["parent_span_id"]]
+                assert parent["attrs"]["trace_id"] == TID
+        finally:
+            obs.reset()
+
+    def test_journal_and_ledger_bucket_by_trace(self, tmp_path):
+        from repro.obs.core import set_journal
+        from repro.obs.journal import Journal
+
+        path = str(tmp_path / "serve.jsonl")
+        obs.reset()
+        obs.enable()
+        journal = Journal(path)
+        set_journal(journal)
+        try:
+            with TraceCheckService(jobs=1) as svc:
+                svc.check_batch(
+                    lines_for(good_trace(), bad_trace()), traceparent=TP
+                )
+                svc.check_batch(lines_for(good_trace()))
+        finally:
+            journal.close()
+            set_journal(None)
+            obs.reset()
+        records = [
+            json.loads(ln) for ln in Path(path).read_text().splitlines()
+        ]
+        items = [r for r in records if r["kind"] == "serve_item"]
+        assert [r["trace_id"] for r in items[:2]] == [TID] * 2
+        assert all(r["request_id"] for r in items)
+        ledger = replay_serve_ledger(path)
+        bucket = ledger["traces"][TID]
+        assert bucket["items_accepted"] == 2
+        assert bucket["items_done"] == 2
+        assert bucket["pending"] == 0
+        assert bucket["admitted"] == 1 and bucket["rejected"] == 1
+        assert len(ledger["traces"]) == 2  # the headerless batch too
+
+
+# ---------------------------------------------------------------------------
 # Journal: crash replay ledger
 # ---------------------------------------------------------------------------
 
