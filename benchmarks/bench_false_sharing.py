@@ -12,9 +12,8 @@ consequence and its classical fix, with the LC verifier as the judge:
   mode) more corruption; diff mode keeps correctness flat while the
   transfer counts drop — the coarse-granularity bargain made safe.
 
-Legacy pytest-benchmark suite: intentionally *not* registered in
-``registry.py`` (no ``run(check, quick)`` entrypoint), so ``repro
-bench`` and the perf ledger skip it; run it directly with
+Registered in ``registry.py`` as ``false-sharing`` via :func:`run`;
+the pytest parametrizations below remain runnable directly with
 ``pytest benchmarks/bench_false_sharing.py``.
 """
 
@@ -33,9 +32,11 @@ COMP = matmul_computation(2)[0]
 RUNS = 15
 
 
-def violation_count(mode: str, num_pages: int) -> tuple[int, int, int]:
+def violation_count(
+    mode: str, num_pages: int, runs: int = RUNS
+) -> tuple[int, int, int]:
     violations = fetches = 0
-    for seed in range(RUNS):
+    for seed in range(runs):
         sched = work_stealing_schedule(COMP, 4, rng=seed)
         mem = PagedBackerMemory(
             page_of=modulo_pager(num_pages), reconcile_mode=mode
@@ -43,7 +44,7 @@ def violation_count(mode: str, num_pages: int) -> tuple[int, int, int]:
         trace = execute(sched, mem)
         violations += not trace_admits_lc(trace.partial_observer())
         fetches += mem.stats.page_fetches
-    return violations, fetches, RUNS
+    return violations, fetches, runs
 
 
 @pytest.mark.parametrize("mode", ["clobber", "diff"])
@@ -77,3 +78,44 @@ def test_granularity_sweep(benchmark):
     # Coarser pages -> fewer transfers (the reason to want them).
     fetches = [fd for (_p, _vc, _vd, fd) in rows]
     assert fetches[0] <= fetches[-1]
+
+
+def run(check: bool = True, quick: bool = False) -> dict:
+    """Unified-runner entrypoint (``repro bench``, see registry.py).
+
+    Contrasts clobber and diff reconciliation at page granularity
+    (fewer seeds in quick mode) and sweeps the page count, reporting
+    violation rates and page-transfer totals.
+    """
+    import time
+
+    runs = 5 if quick else RUNS
+    pages_sweep = (1, 8) if quick else (1, 2, 8, 64)
+
+    t0 = time.perf_counter()
+    v_clobber, f_clobber, _ = violation_count("clobber", 2, runs)
+    v_diff, f_diff, _ = violation_count("diff", 2, runs)
+    diff_fetch_curve = [
+        violation_count("diff", pages, runs)[1] for pages in pages_sweep
+    ]
+    diff_viol_curve = [
+        violation_count("diff", pages, runs)[0] for pages in pages_sweep
+    ]
+    sweep_seconds = time.perf_counter() - t0
+
+    if check:
+        assert v_clobber > runs // 2, "clobber hazard must be pervasive"
+        assert v_diff == 0, "diff reconciliation must always verify"
+        assert all(v == 0 for v in diff_viol_curve)
+        assert diff_fetch_curve[0] <= diff_fetch_curve[-1]
+
+    return {
+        "runs": runs,
+        "clobber_violations": v_clobber,
+        "diff_violations": v_diff,
+        "clobber_page_fetches": f_clobber,
+        "diff_page_fetches": f_diff,
+        "diff_fetches_coarsest": diff_fetch_curve[0],
+        "diff_fetches_finest": diff_fetch_curve[-1],
+        "sweep_seconds": round(sweep_seconds, 6),
+    }

@@ -1,0 +1,61 @@
+"""The hierarchy traffic study as a ledger benchmark.
+
+Drives :func:`repro.runtime.hier_sweep.hier_sweep` — the same engine
+behind ``repro hier sweep`` — over a cache-shape × workload grid, with
+every faithful run post-mortem LC-verified and the per-level fault
+probes (dropped reconcile/flush at each level) required to be rejected
+with a witness.  The ledger counters track both throughput (simulated
+memory-system events per second) and the study's headline traffic
+numbers (store fetches, writebacks, false sharing) so a regression in
+either the simulator's speed or the protocol's traffic profile shows
+up in the perf gate.
+"""
+
+from repro.runtime.hier_sweep import hier_sweep, resolve_shape
+
+SHAPES = ("l1", "l1l2", "l1l2l3")
+WORKLOADS = ("stencil", "racy", "fib")
+
+
+def run(check: bool = True, quick: bool = False) -> dict:
+    """Unified-runner entrypoint (``repro bench``, see registry.py)."""
+    shapes = [resolve_shape(s) for s in SHAPES]
+    procs_list = (2,) if quick else (2, 4)
+    result = hier_sweep(
+        shapes,
+        WORKLOADS,
+        procs_list,
+        quick=quick,
+        fault_probes=True,
+    )
+
+    if check:
+        assert result.ok, (
+            f"sweep must verify: faithful "
+            f"{result.faithful_verified}/{result.faithful_runs}, "
+            f"fault probes {result.fault_rejected}/{result.fault_probes}"
+        )
+        # False sharing is definitionally impossible at line size 1;
+        # the flat preset (line 1 everywhere) must report zero.
+        flat = resolve_shape("flat")
+        flat_result = hier_sweep(
+            [flat], ("racy",), (2,), quick=True, fault_probes=False
+        )
+        assert all(r["false_sharing"] == 0 for r in flat_result.records)
+
+    faithful = [r for r in result.records if r["faithful"]]
+    return {
+        "faithful_runs": result.faithful_runs,
+        "fault_probes": result.fault_probes,
+        "simulated_ops": result.simulated_ops,
+        "ops_per_second": round(
+            result.simulated_ops / result.wall_seconds, 1
+        )
+        if result.wall_seconds
+        else 0,
+        "store_fetches": sum(r["memory_fetches"] for r in faithful),
+        "writebacks": sum(r["levels"][-1]["writebacks"] for r in faithful),
+        "false_sharing": sum(r["false_sharing"] for r in faithful),
+        "messages": sum(r["messages"] for r in faithful),
+        "sweep_seconds": round(result.wall_seconds, 6),
+    }

@@ -20,10 +20,13 @@ schedules and counts coherence messages (lines moved + invalidations):
 Both protocols are post-mortem verified on every run: directory traces
 must be SC, BACKER traces must be LC.
 
-Legacy pytest-benchmark suite: intentionally *not* registered in
-``registry.py`` (no ``run(check, quick)`` entrypoint), so ``repro
-bench`` and the perf ledger skip it; run it directly with
-``pytest benchmarks/bench_protocol_comparison.py``.
+Message totals include both data messages (fetches + writebacks) and
+control messages (reconciles/flushes for BACKER, invalidations for the
+directory) — see ``BackerStats.control_messages``.
+
+Registered in ``registry.py`` as ``protocol-comparison`` via
+:func:`run`; the pytest parametrizations below remain runnable directly
+with ``pytest benchmarks/bench_protocol_comparison.py``.
 """
 
 from repro.lang import fib_computation, racy_counter_computation
@@ -103,3 +106,44 @@ def test_both_protocols_correct_across_seeds(benchmark):
 
     ok = benchmark.pedantic(sweep, rounds=1)
     assert ok == 10
+
+
+def run(check: bool = True, quick: bool = False) -> dict:
+    """Unified-runner entrypoint (``repro bench``, see registry.py).
+
+    Races the lazy BACKER protocol against the eager MSI directory on a
+    true-sharing and a migratory workload, verifying every trace and
+    counting coherence messages (data + control) on both sides.
+    """
+    import time
+
+    racy = racy_counter_computation(3 if quick else 4, 2 if quick else 3)[0]
+    fib = fib_computation(7 if quick else 9)[0]
+    procs_list = (2, 4) if quick else (2, 4, 8)
+
+    t0 = time.perf_counter()
+    racy_rows = {p: run_both(racy, p, seed=1) for p in procs_list}
+    fib_rows = {p: run_both(fib, p, seed=1) for p in procs_list}
+    sweep_seconds = time.perf_counter() - t0
+
+    if check:
+        for p, (d, b, _inv) in racy_rows.items():
+            assert b < d, (
+                "lazy LC must beat eager SC under contention — the "
+                "paper's motivating trade-off"
+            )
+        for p, (_d, _b, inv) in fib_rows.items():
+            assert inv == 0, "dataflow must not generate invalidations"
+        d_wide, b_wide, _ = fib_rows[procs_list[-1]]
+        assert b_wide > 0 and d_wide > 0
+
+    widest = procs_list[-1]
+    return {
+        "widest_procs": widest,
+        "racy_directory_messages": racy_rows[widest][0],
+        "racy_backer_messages": racy_rows[widest][1],
+        "racy_invalidations": racy_rows[widest][2],
+        "fib_directory_messages": fib_rows[widest][0],
+        "fib_backer_messages": fib_rows[widest][1],
+        "sweep_seconds": round(sweep_seconds, 6),
+    }

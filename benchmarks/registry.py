@@ -120,6 +120,30 @@ MANIFEST = (
         140,
         "wall-clock cost of the SIGPROF sampler on the serve workload",
     ),
+    BenchmarkSpec(
+        "hier-sweep",
+        "bench_hier_sweep",
+        150,
+        "multi-level BACKER traffic grid, every run LC-verified",
+    ),
+    BenchmarkSpec(
+        "false-sharing",
+        "bench_false_sharing",
+        160,
+        "page granularity: clobber corruption vs diff reconciliation",
+    ),
+    BenchmarkSpec(
+        "timed-backer",
+        "bench_timed_backer",
+        170,
+        "timed BACKER curves: makespan vs processors and miss cost",
+    ),
+    BenchmarkSpec(
+        "protocol-comparison",
+        "bench_protocol_comparison",
+        180,
+        "lazy LC (BACKER) vs eager SC (MSI directory) message counts",
+    ),
 )
 
 

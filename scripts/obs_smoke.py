@@ -50,6 +50,14 @@ Four checks, all exercised by the ``obs-smoke`` CI job:
    ``--profile-sample`` artifact is a structurally valid speedscope
    document (``repro.obs.profile.validate_speedscope``) with at least
    one profile containing at least one sample.
+8. ``python scripts/obs_smoke.py hier RUNS.jsonl CHROME.json`` — the
+   ``repro hier sweep`` contract: every faithful run record carries
+   ``lc_verified: true`` (the post-mortem streaming check passed),
+   every fault probe is rejected with a rendered violation, per-level
+   counters are present on every record, miss-latency p50s are
+   monotone in level depth within each record, and the Chrome trace is
+   valid with at least two ``hier p<proc> L<level>`` process tracks
+   spanning at least two levels.
 
 Exit code 0 on success, 1 with a diagnostic on the first failure.
 """
@@ -485,6 +493,125 @@ def check_speedscope(path: str) -> int:
     return 0
 
 
+_LEVEL_KEYS = (
+    "fetches",
+    "hits",
+    "writebacks",
+    "evictions",
+    "false_sharing",
+    "miss_latency_p50",
+    "miss_count",
+)
+
+
+def check_hier(runs_path: str, chrome_path: str) -> int:
+    from repro.obs import validate_chrome_trace
+
+    with open(runs_path) as f:
+        records = [json.loads(line) for line in f if line.strip()]
+    if not records:
+        print("obs-smoke: hier runs file is empty", file=sys.stderr)
+        return 1
+    faithful = [r for r in records if r.get("faithful")]
+    probes = [r for r in records if not r.get("faithful")]
+    if not faithful:
+        print("obs-smoke: no faithful hier runs recorded", file=sys.stderr)
+        return 1
+    if not probes:
+        print("obs-smoke: no hier fault probes recorded", file=sys.stderr)
+        return 1
+    for i, rec in enumerate(records):
+        levels = rec.get("levels")
+        if not levels:
+            print(
+                f"obs-smoke: hier record {i} has no per-level counters",
+                file=sys.stderr,
+            )
+            return 1
+        for lv in levels:
+            missing = [k for k in _LEVEL_KEYS if k not in lv]
+            if missing:
+                print(
+                    f"obs-smoke: hier record {i} level {lv.get('level')} "
+                    f"is missing counters {missing}",
+                    file=sys.stderr,
+                )
+                return 1
+        # Miss latency grows with depth: a deeper level only sees
+        # requests that already paid every shallower level's probe.
+        p50s = [
+            lv["miss_latency_p50"] for lv in levels if lv["miss_count"] > 0
+        ]
+        if p50s != sorted(p50s):
+            print(
+                f"obs-smoke: hier record {i} "
+                f"({rec.get('shape')}/{rec.get('workload')}) has "
+                f"non-monotone per-level miss-latency p50s: {p50s}",
+                file=sys.stderr,
+            )
+            return 1
+    bad = [r for r in faithful if not r.get("lc_verified")]
+    if bad:
+        print(
+            f"obs-smoke: {len(bad)} faithful hier run(s) failed the "
+            "post-mortem LC check: "
+            f"{[(r['shape'], r['workload']) for r in bad]}",
+            file=sys.stderr,
+        )
+        return 1
+    unrejected = [
+        r for r in probes if r.get("lc_verified") or not r.get("violation")
+    ]
+    if unrejected:
+        print(
+            f"obs-smoke: {len(unrejected)} fault probe(s) were not "
+            "rejected with a violation: "
+            f"{[r['workload'] for r in unrejected]}",
+            file=sys.stderr,
+        )
+        return 1
+
+    with open(chrome_path) as f:
+        doc = json.load(f)
+    problems = validate_chrome_trace(doc)
+    if problems:
+        for p in problems:
+            print(f"obs-smoke: invalid chrome trace: {p}", file=sys.stderr)
+        return 1
+    track_names = {
+        ev["args"]["name"]
+        for ev in doc["traceEvents"]
+        if ev.get("ph") == "M" and ev.get("name") == "process_name"
+    }
+    hier_tracks = {n for n in track_names if n.startswith("hier p")}
+    if len(hier_tracks) < 2:
+        print(
+            f"obs-smoke: chrome trace has {len(hier_tracks)} hier track(s) "
+            f"({sorted(hier_tracks)}); expected per-(processor, level) "
+            "tracks",
+            file=sys.stderr,
+        )
+        return 1
+    levels_seen = {n.rsplit("L", 1)[-1] for n in hier_tracks}
+    if len(levels_seen) < 2:
+        print(
+            f"obs-smoke: hier tracks cover only level(s) "
+            f"{sorted(levels_seen)}; expected at least two levels",
+            file=sys.stderr,
+        )
+        return 1
+    shapes = sorted({r["shape"] for r in faithful})
+    workloads = sorted({r["workload"] for r in faithful})
+    print(
+        f"obs-smoke: hier OK — {len(faithful)} faithful run(s) "
+        f"({len(shapes)} shapes × {len(workloads)} workloads) all "
+        f"LC-verified, {len(probes)} fault probe(s) all rejected, "
+        f"monotone per-level miss latencies, {len(hier_tracks)} hier "
+        f"track(s) over {len(levels_seen)} level(s)"
+    )
+    return 0
+
+
 def main(argv: list[str]) -> int:
     if len(argv) >= 2 and argv[0] == "validate":
         min_pids = 1
@@ -522,6 +649,8 @@ def main(argv: list[str]) -> int:
         return check_flow(argv[1], min_pids, trace_id)
     if len(argv) == 2 and argv[0] == "speedscope":
         return check_speedscope(argv[1])
+    if len(argv) == 3 and argv[0] == "hier":
+        return check_hier(argv[1], argv[2])
     if len(argv) >= 2 and argv[0] == "sarif":
         min_results = 0
         rest = argv[2:]
@@ -542,7 +671,8 @@ def main(argv: list[str]) -> int:
         "obs_smoke.py prom METRICS.txt | "
         "obs_smoke.py sarif REPORT.sarif [--min-results N] | "
         "obs_smoke.py flow CHROME.json [--min-pids N] [--trace-id HEX] | "
-        "obs_smoke.py speedscope PROFILE.json",
+        "obs_smoke.py speedscope PROFILE.json | "
+        "obs_smoke.py hier RUNS.jsonl CHROME.json",
         file=sys.stderr,
     )
     return 2

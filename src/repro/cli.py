@@ -198,7 +198,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="program size parameter (meaning depends on program)")
     run.add_argument("--procs", type=int, default=4)
     run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--memory", choices=["backer", "serial"], default="backer")
+    run.add_argument("--memory",
+                     choices=["backer", "serial", "directory", "hier"],
+                     default="backer")
+    run.add_argument("--hier-shape", default="l1l2", metavar="SHAPE",
+                     help="hierarchy shape for --memory hier: a preset "
+                          "name or @file.json (default l1l2)")
     run.add_argument("--drop-reconcile", type=float, default=0.0,
                      help="BACKER fault injection probability")
     run.add_argument("--drop-flush", type=float, default=0.0)
@@ -395,6 +400,39 @@ def build_parser() -> argparse.ArgumentParser:
     rep_j.add_argument("--format", choices=["json", "chrome"], default="json")
     rep_j.add_argument("--out", default=None, metavar="FILE",
                        help="write here instead of stdout")
+
+    hier = sub.add_parser(
+        "hier",
+        help="multi-level BACKER hierarchies: verified traffic studies",
+    )
+    hier_sub = hier.add_subparsers(dest="hier_command", required=True)
+    hsw = hier_sub.add_parser(
+        "sweep",
+        help="run the cache-shape × latency × workload grid; every "
+             "faithful run is post-mortem LC-verified and deterministic "
+             "fault probes must be rejected",
+    )
+    hsw.add_argument("--shapes", default="l1,l1l2,l1l2l3",
+                     metavar="SHAPE[,SHAPE...]",
+                     help="hierarchy shapes: preset names (flat, l1, l1l2, "
+                          "l1l2l3) or @file.json configs (default "
+                          "l1,l1l2,l1l2l3)")
+    hsw.add_argument("--workloads", default="stencil,racy,fib",
+                     metavar="NAME[,NAME...]",
+                     help="sweep workloads: stencil, racy, fib, tree-sum "
+                          "(default stencil,racy,fib)")
+    hsw.add_argument("--procs", default="2,4", metavar="P[,P...]",
+                     help="processor counts per cell (default 2,4)")
+    hsw.add_argument("--seeds", type=int, default=1,
+                     help="work-stealing schedule seeds per cell (default 1)")
+    hsw.add_argument("--quick", action="store_true",
+                     help="small workload sizes (CI smoke)")
+    hsw.add_argument("--no-fault-probes", action="store_true",
+                     help="skip the per-level dropped-reconcile/flush "
+                          "probes (they must be rejected for exit 0)")
+    hsw.add_argument("--out", default=None, metavar="FILE",
+                     help="stream one JSON run record per line to FILE")
+    _add_obs_args(hsw)
     return parser
 
 
@@ -445,7 +483,14 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.io import dumps
-    from repro.runtime import BackerMemory, SerialMemory, execute, work_stealing_schedule
+    from repro.runtime import (
+        BackerMemory,
+        DirectoryMemory,
+        HierarchicalBackerMemory,
+        SerialMemory,
+        execute,
+        work_stealing_schedule,
+    )
     from repro.runtime.memory_base import MemorySystem
     from repro.verify import TraceSanitizer, trace_admits_lc, trace_admits_sc
 
@@ -455,6 +500,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     memory: MemorySystem
     if args.memory == "serial":
         memory = SerialMemory()
+    elif args.memory == "directory":
+        memory = DirectoryMemory()
+    elif args.memory == "hier":
+        from repro.runtime.hier_sweep import resolve_shape
+
+        memory = HierarchicalBackerMemory(
+            resolve_shape(args.hier_shape),
+            drop_reconcile_probability=args.drop_reconcile,
+            drop_flush_probability=args.drop_flush,
+            rng=args.seed,
+        )
     else:
         memory = BackerMemory(
             drop_reconcile_probability=args.drop_reconcile,
@@ -893,6 +949,52 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_hier(args: argparse.Namespace) -> int:
+    from repro.runtime.hier_sweep import (
+        hier_sweep,
+        render_sweep_table,
+        resolve_shape,
+    )
+
+    shapes = [
+        resolve_shape(s.strip())
+        for s in args.shapes.split(",")
+        if s.strip()
+    ]
+    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    procs_list = [int(p) for p in args.procs.split(",") if p.strip()]
+    if not shapes or not workloads or not procs_list:
+        raise ValueError("need at least one shape, workload and proc count")
+    if args.seeds < 1:
+        raise ValueError(f"--seeds must be >= 1, got {args.seeds}")
+
+    out_file = open(args.out, "w") if args.out else None
+    try:
+        import json
+
+        def progress(record: dict) -> None:
+            if out_file is not None:
+                out_file.write(json.dumps(record, sort_keys=True) + "\n")
+
+        result = hier_sweep(
+            shapes,
+            workloads,
+            procs_list,
+            seeds=range(args.seeds),
+            quick=args.quick,
+            fault_probes=not args.no_fault_probes,
+            progress=progress,
+        )
+    finally:
+        if out_file is not None:
+            out_file.close()
+    if args.out:
+        print(f"{len(result.records)} run record(s) written to {args.out}",
+              file=sys.stderr)
+    print(render_sweep_table(result))
+    return 0 if result.ok else 2
+
+
 def _load_trace_or_journal(path: str):
     """Load a trace JSON *or* an event journal as an ``Observability``.
 
@@ -1104,6 +1206,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "bench": _cmd_bench,
         "obs": _cmd_obs,
         "serve": _cmd_serve,
+        "hier": _cmd_hier,
     }[args.command]
     trace_path: str | None = getattr(args, "obs_trace", None)
     trace_format: str = getattr(args, "obs_trace_format", "json")

@@ -47,6 +47,11 @@ MAIN_PID = 1
 """Synthetic pid of the orchestration process in Chrome exports (worker
 spans use their real OS pid, which never collides with 1)."""
 
+TRACK_PID_BASE = 100_000
+"""Synthetic pids for named tracks (spans carrying a string ``track``
+attribute, e.g. the memory hierarchy's per-(processor, level) tracks)
+are allocated upward from here — far above any real OS pid."""
+
 
 def export_json(obs: Observability | None = None, indent: int | None = 2) -> str:
     """The collector state as a JSON string (global collector by default)."""
@@ -72,6 +77,7 @@ def _chrome_span_events(
     tid: int,
     cursors: dict[int, float],
     events: list[dict],
+    tracks: dict[str, int],
 ) -> None:
     """Emit one span (and its subtree) as complete events.
 
@@ -80,6 +86,10 @@ def _chrome_span_events(
     telemetry (``start == 0.0`` with a ``pid`` attribute) have no
     cross-process clock, so they are laid head-to-tail on their worker's
     track via ``cursors`` — durations are real, offsets are schematic.
+    Hand-built spans naming a string ``track`` attribute get a stable
+    synthetic pid per track name (``tracks`` registry), so subsystems
+    like the memory hierarchy render one Perfetto process track per
+    (processor, level).
     """
     dur_us = max(sp.duration * 1e6, 1.0)
     events.append(
@@ -97,23 +107,31 @@ def _chrome_span_events(
     child_cursor = ts_us
     for child in sp.children:
         worker_pid = child.attrs.get("pid")
-        if child.start == 0.0 and isinstance(worker_pid, int) and worker_pid:
+        track = child.attrs.get("track")
+        if child.start == 0.0 and isinstance(track, str) and track:
+            track_pid = tracks.setdefault(track, TRACK_PID_BASE + len(tracks))
+            start = max(cursors.get(track_pid, 0.0), ts_us)
+            _chrome_span_events(
+                child, start, track_pid, 1, cursors, events, tracks
+            )
+            cursors[track_pid] = start + max(child.duration * 1e6, 1.0)
+        elif child.start == 0.0 and isinstance(worker_pid, int) and worker_pid:
             # Worker-reconstructed span: its own process track, shards
             # laid sequentially from this span's start.
             start = max(cursors.get(worker_pid, 0.0), ts_us)
             _chrome_span_events(
-                child, start, worker_pid, 1, cursors, events
+                child, start, worker_pid, 1, cursors, events, tracks
             )
             cursors[worker_pid] = start + max(child.duration * 1e6, 1.0)
         elif child.start > 0.0:
             _chrome_span_events(
-                child, child.start * 1e6, pid, tid, cursors, events
+                child, child.start * 1e6, pid, tid, cursors, events, tracks
             )
         else:
             # Hand-built span without a worker pid: sequential layout
             # inside the parent on the parent's track.
             _chrome_span_events(
-                child, child_cursor, pid, tid, cursors, events
+                child, child_cursor, pid, tid, cursors, events, tracks
             )
             child_cursor += max(child.duration * 1e6, 1.0)
 
@@ -196,9 +214,10 @@ def export_chrome(obs: Observability | None = None, indent: int | None = None) -
     target = obs if obs is not None else core.get()
     events: list[dict] = []
     cursors: dict[int, float] = {}
+    tracks: dict[str, int] = {}
     for root in target.roots:
         _chrome_span_events(
-            root, root.start * 1e6, MAIN_PID, 1, cursors, events
+            root, root.start * 1e6, MAIN_PID, 1, cursors, events, tracks
         )
     events.extend(_flow_events(events))
     end_ts = max((e["ts"] + e.get("dur", 0.0) for e in events), default=0.0)
@@ -229,8 +248,14 @@ def export_chrome(obs: Observability | None = None, indent: int | None = None) -
         )
     events.sort(key=lambda e: e["ts"])
     meta: list[dict] = []
+    track_names = {pid: name for name, pid in tracks.items()}
     for pid in sorted({e["pid"] for e in events} | {MAIN_PID}):
-        label = "repro (parent)" if pid == MAIN_PID else f"worker pid={pid}"
+        if pid == MAIN_PID:
+            label = "repro (parent)"
+        elif pid in track_names:
+            label = track_names[pid]
+        else:
+            label = f"worker pid={pid}"
         meta.append(
             {
                 "name": "process_name",

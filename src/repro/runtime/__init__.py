@@ -29,6 +29,14 @@ from repro.runtime.parallel import (
 )
 from repro.runtime.directory import DirectoryMemory, DirectoryStats
 from repro.runtime.executor import execute
+from repro.runtime.hierarchy import (
+    HIERARCHY_PRESETS,
+    HierarchicalBackerMemory,
+    HierarchyConfig,
+    HierarchyStats,
+    LevelConfig,
+    LevelStats,
+)
 from repro.runtime.paged_backer import PagedBackerMemory, PagedStats, modulo_pager
 from repro.runtime.memory_base import MemorySystem, SerialMemory
 from repro.runtime.replay import ReadDivergence, ReplayResult, replay
@@ -52,6 +60,12 @@ __all__ = [
     "BackerStats",
     "DirectoryMemory",
     "DirectoryStats",
+    "HierarchicalBackerMemory",
+    "HierarchyConfig",
+    "HierarchyStats",
+    "LevelConfig",
+    "LevelStats",
+    "HIERARCHY_PRESETS",
     "PagedBackerMemory",
     "PagedStats",
     "modulo_pager",

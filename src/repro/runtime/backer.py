@@ -59,9 +59,25 @@ class BackerStats:
     dropped_flushes: int = 0
 
     @property
-    def messages(self) -> int:
-        """Total lines moved between caches and the backing store."""
+    def data_messages(self) -> int:
+        """Lines moved between caches and the backing store."""
         return self.fetches + self.writebacks
+
+    @property
+    def control_messages(self) -> int:
+        """Protocol events that carry no data lines themselves.
+
+        Each reconcile/flush costs at least one round-trip of
+        bookkeeping with the backing store even when no line is dirty;
+        historically ``messages`` silently omitted these, under-counting
+        BACKER's communication in the protocol-comparison tables.
+        """
+        return self.reconciles + self.flushes
+
+    @property
+    def messages(self) -> int:
+        """Total protocol communication: data lines plus control events."""
+        return self.data_messages + self.control_messages
 
 
 class BackerMemory(MemorySystem):

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.ops import Location
 from repro.runtime.memory_base import MemorySystem
 
@@ -44,9 +45,19 @@ class DirectoryStats:
     cache_hits: int = 0
 
     @property
+    def data_messages(self) -> int:
+        """Messages that carry a data line (fetches and writebacks)."""
+        return self.fetches + self.writebacks
+
+    @property
+    def control_messages(self) -> int:
+        """Data-free protocol messages (invalidations)."""
+        return self.invalidations
+
+    @property
     def messages(self) -> int:
         """Total coherence messages (everything except local hits)."""
-        return self.fetches + self.invalidations + self.writebacks
+        return self.data_messages + self.control_messages
 
 
 class DirectoryMemory(MemorySystem):
@@ -89,6 +100,8 @@ class DirectoryMemory(MemorySystem):
         self._caches[owner][loc] = (value, self._SHARED)
         self._owner[loc] = None
         self.stats.writebacks += 1
+        if obs.enabled():
+            obs.add("directory.writebacks")
 
     # ------------------------------------------------------------------
     # MemorySystem interface
@@ -98,6 +111,8 @@ class DirectoryMemory(MemorySystem):
         cache = self._caches[proc]
         if loc in cache:
             self.stats.cache_hits += 1
+            if obs.enabled():
+                obs.add("directory.cache_hits")
             return cache[loc][0]
         # Miss: if somebody holds it modified, they write back first.
         self._writeback_owner(loc)
@@ -105,17 +120,23 @@ class DirectoryMemory(MemorySystem):
         cache[loc] = (value, self._SHARED)
         self._sharers.setdefault(loc, set()).add(proc)
         self.stats.fetches += 1
+        if obs.enabled():
+            obs.add("directory.fetches")
         return value
 
     def write(self, proc: int, node: int, loc: Location) -> None:
         # Gain exclusivity: write back a foreign owner, invalidate sharers.
         if self._owner.get(loc) not in (None, proc):
             self._writeback_owner(loc)
+        invalidated = 0
         for p in list(self._sharers.get(loc, ())):
             if p != proc:
                 self._caches[p].pop(loc, None)
                 self._sharers[loc].discard(p)
-                self.stats.invalidations += 1
+                invalidated += 1
+        self.stats.invalidations += invalidated
+        if invalidated and obs.enabled():
+            obs.add("directory.invalidations", invalidated)
         self._caches[proc][loc] = (node, self._MODIFIED)
         self._sharers.setdefault(loc, set()).add(proc)
         self._owner[loc] = proc

@@ -68,6 +68,12 @@ def execute(
         if sp is not None:
             sp.attrs["reads"] = len(trace.reads)
             sp.attrs["violation"] = trace.violation is not None
+        # Memories that batch their telemetry (the hierarchy keeps
+        # plain-int counters in the hot loop) flush it here, inside the
+        # execute span so attached track spans nest under the run.
+        publish = getattr(memory, "publish_obs", None)
+        if publish is not None and obs.enabled():
+            publish()
     return trace
 
 

@@ -1,0 +1,318 @@
+"""The hierarchy traffic study: shape × latency × workload sweeps.
+
+Backs the ``repro hier sweep`` CLI and the ``hier-sweep`` ledger
+benchmark.  Each grid cell executes one bundled workload under a
+:class:`~repro.runtime.hierarchy.HierarchicalBackerMemory` of a given
+shape on a work-stealing schedule, then **post-mortem verifies the
+trace with the streaming LC checker** — the paper's thesis applied to
+its own simulation: the protocol's correctness is not assumed, it is
+checked after every run.  Alongside the faithful grid the sweep runs
+deterministic *fault probes*: a producer/consumer scenario where a
+dropped reconcile or flush at each individual level provably loses a
+masked write, so the checker must reject it with a witness.  A sweep
+"passes" only when every faithful run verifies and every fault probe
+is rejected.
+
+Run records are plain dicts (one JSONL line each in the CLI) carrying
+per-level traffic counters, miss-latency percentiles, false-sharing
+attribution, and the verification verdict — the raw material of the
+EXPERIMENTS.md "coherence traffic vs. hierarchy shape" study.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core import Computation, R, W
+from repro.dag import Dag
+from repro.runtime.executor import execute
+from repro.runtime.hierarchy import (
+    HIERARCHY_PRESETS,
+    HierarchicalBackerMemory,
+    HierarchyConfig,
+)
+from repro.runtime.scheduler import Schedule, work_stealing_schedule
+from repro.verify.streaming import StreamingLCVerifier
+
+__all__ = [
+    "SWEEP_WORKLOADS",
+    "HierSweepResult",
+    "fault_probe",
+    "hier_sweep",
+    "render_sweep_table",
+    "sweep_workload",
+]
+
+
+# Full-mode sizes are calibrated so the default grid simulates millions
+# of memory-system events while post-mortem verification stays tolerable:
+# the LC checker is near-quadratic on the stencil's dense dag (so that
+# workload stays moderate) and near-linear on the others (so they carry
+# the op volume).
+
+
+def _stencil(quick: bool):
+    from repro.lang.programs import stencil_computation
+
+    return stencil_computation(6, 3) if quick else stencil_computation(24, 24)
+
+
+def _racy(quick: bool):
+    from repro.lang.programs import racy_counter_computation
+
+    return (
+        racy_counter_computation(4, 2)
+        if quick
+        else racy_counter_computation(128, 96)
+    )
+
+
+def _fib(quick: bool):
+    from repro.lang.programs import fib_computation
+
+    return fib_computation(7) if quick else fib_computation(20)
+
+
+def _tree_sum(quick: bool):
+    from repro.lang.programs import tree_sum_computation
+
+    return tree_sum_computation(8) if quick else tree_sum_computation(16384)
+
+
+SWEEP_WORKLOADS = {
+    "stencil": _stencil,  # neighbour sharing: the false-sharing magnet
+    "racy": _racy,  # one hot location: true sharing, migratory lines
+    "fib": _fib,  # fork/join memoization: producer/consumer traffic
+    "tree-sum": _tree_sum,  # reduction: all-to-root communication
+}
+
+
+def sweep_workload(name: str, quick: bool) -> Computation:
+    """Unfold a sweep workload by name (sized for quick or full mode)."""
+    try:
+        factory = SWEEP_WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sweep workload {name!r} "
+            f"(choose from {', '.join(sorted(SWEEP_WORKLOADS))})"
+        ) from None
+    comp, _info = factory(quick)
+    return comp
+
+
+def resolve_shape(spec: str) -> HierarchyConfig:
+    """A preset name, or ``@file.json`` holding a config document."""
+    if spec.startswith("@"):
+        import json
+
+        with open(spec[1:]) as f:
+            return HierarchyConfig.from_dict(json.load(f))
+    return HierarchyConfig.preset(spec)
+
+
+def _simulated_ops(mem: HierarchicalBackerMemory, reads: int, writes: int) -> int:
+    """Total memory-system events the run simulated.
+
+    Counts every probe outcome and transfer the hierarchy performed —
+    per-level fetches, hits, writebacks and evictions, plus store
+    fetches and the executor's read/write operations themselves.
+    """
+    st = mem.stats
+    ops = reads + writes + st.memory_fetches
+    for ls in st.levels:
+        ops += ls.fetches + ls.hits + ls.writebacks + ls.evictions
+    return ops
+
+
+def _run_record(
+    shape: HierarchyConfig,
+    workload: str,
+    procs: int,
+    seed: int,
+    schedule: Schedule,
+    mem: HierarchicalBackerMemory,
+    faithful: bool,
+) -> dict:
+    comp = schedule.comp
+    t0 = time.perf_counter()
+    trace = execute(schedule, mem)
+    violation = StreamingLCVerifier.check_trace(trace)
+    wall = time.perf_counter() - t0
+    st = mem.stats
+    reads = len(trace.reads)
+    writes = sum(1 for u in comp.nodes() if comp.op(u).is_write)
+    return {
+        "shape": shape.name,
+        "workload": workload,
+        "procs": procs,
+        "seed": seed,
+        "faithful": faithful,
+        "nodes": comp.num_nodes,
+        "reads": reads,
+        "writes": writes,
+        "simulated_ops": _simulated_ops(mem, reads, writes),
+        "lc_verified": violation is None,
+        "violation": None if violation is None else violation.reason,
+        "levels": [
+            {
+                "level": k + 1,
+                "fetches": ls.fetches,
+                "hits": ls.hits,
+                "writebacks": ls.writebacks,
+                "evictions": ls.evictions,
+                "false_sharing": ls.false_sharing,
+                "miss_latency_p50": ls.miss_latency.p50,
+                "miss_latency_p90": ls.miss_latency.p90,
+                "miss_count": ls.miss_latency.count,
+            }
+            for k, ls in enumerate(st.levels)
+        ],
+        "memory_fetches": st.memory_fetches,
+        "reconciles": st.reconciles,
+        "flushes": st.flushes,
+        "dropped_reconciles": st.dropped_reconciles,
+        "dropped_flushes": st.dropped_flushes,
+        "false_sharing": st.false_sharing_total,
+        "data_messages": st.data_messages,
+        "control_messages": st.control_messages,
+        "messages": st.messages,
+        "wall_seconds": round(wall, 6),
+    }
+
+
+def _fault_comp() -> tuple[Computation, Schedule]:
+    """The deterministic masked-write scenario (see :func:`fault_probe`)."""
+    comp = Computation(Dag(3, [(0, 2), (1, 2)]), (R("x"), W("x"), R("x")))
+    # p1 caches ⊥ at step 0; p0 writes and reconciles at step 1; p1's
+    # read at step 2 crosses a processor edge, so a faithful flush must
+    # evict the stale ⊥ — observing it is a masked-write LC violation.
+    return comp, Schedule(comp, (1, 0, 1), (0, 1, 2), 2)
+
+
+def fault_probe(shape: HierarchyConfig, level: int, mode: str) -> dict:
+    """Run the deterministic fault scenario at one level of ``shape``.
+
+    ``mode`` is ``"reconcile"`` or ``"flush"``; the returned record's
+    ``lc_verified`` must read ``False`` (the streaming checker catches
+    the lost write with a witness) for the sweep to pass.
+    """
+    comp, schedule = _fault_comp()
+    kwargs = {
+        "reconcile": {"drop_reconcile_probability": 1.0},
+        "flush": {"drop_flush_probability": 1.0},
+    }[mode]
+    mem = HierarchicalBackerMemory(shape, fault_level=level, rng=0, **kwargs)
+    record = _run_record(
+        shape, f"fault-{mode}-L{level}", 2, 0, schedule, mem, faithful=False
+    )
+    return record
+
+
+@dataclass
+class HierSweepResult:
+    """Everything one sweep produced, plus the pass/fail verdict."""
+
+    records: list[dict] = field(default_factory=list)
+    faithful_runs: int = 0
+    faithful_verified: int = 0
+    fault_probes: int = 0
+    fault_rejected: int = 0
+    simulated_ops: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.faithful_verified == self.faithful_runs
+            and self.fault_rejected == self.fault_probes
+        )
+
+
+def hier_sweep(
+    shapes: Iterable[HierarchyConfig],
+    workloads: Iterable[str],
+    procs_list: Iterable[int],
+    seeds: Iterable[int] = (0,),
+    quick: bool = False,
+    fault_probes: bool = True,
+    progress=None,
+) -> HierSweepResult:
+    """Drive the full grid; every cell is executed and LC-verified.
+
+    ``progress`` (optional callable) receives each record as it lands —
+    the CLI streams them to the runs JSONL.
+    """
+    shapes = list(shapes)
+    workloads = list(workloads)
+    procs_list = list(procs_list)
+    seeds = list(seeds)
+    result = HierSweepResult()
+    t0 = time.perf_counter()
+    comps = {w: sweep_workload(w, quick) for w in workloads}
+    for workload in workloads:
+        comp = comps[workload]
+        for procs in procs_list:
+            for seed in seeds:
+                schedule = work_stealing_schedule(comp, procs, rng=seed)
+                for shape in shapes:
+                    mem = HierarchicalBackerMemory(shape)
+                    record = _run_record(
+                        shape, workload, procs, seed, schedule, mem, True
+                    )
+                    result.records.append(record)
+                    result.faithful_runs += 1
+                    result.faithful_verified += record["lc_verified"]
+                    result.simulated_ops += record["simulated_ops"]
+                    if progress is not None:
+                        progress(record)
+    if fault_probes:
+        for shape in shapes:
+            for level in range(1, shape.depth + 1):
+                for mode in ("reconcile", "flush"):
+                    record = fault_probe(shape, level, mode)
+                    result.records.append(record)
+                    result.fault_probes += 1
+                    result.fault_rejected += not record["lc_verified"]
+                    result.simulated_ops += record["simulated_ops"]
+                    if progress is not None:
+                        progress(record)
+    result.wall_seconds = time.perf_counter() - t0
+    return result
+
+
+def render_sweep_table(result: HierSweepResult) -> str:
+    """The study's traffic table, aggregated per (workload, shape)."""
+    groups: dict[tuple[str, str], list[dict]] = {}
+    for rec in result.records:
+        if rec["faithful"]:
+            groups.setdefault((rec["workload"], rec["shape"]), []).append(rec)
+    lines = [
+        f"{'workload':<10} {'shape':<8} {'procs':>5} {'ops':>9} "
+        f"{'store-fetch':>11} {'writebacks':>10} {'false-share':>11} "
+        f"{'msgs':>8} {'L1 p50':>7} {'verified':>8}"
+    ]
+    for (workload, shape), recs in sorted(groups.items()):
+        n = len(recs)
+        procs = ",".join(sorted({str(r["procs"]) for r in recs}, key=int))
+        ops = sum(r["simulated_ops"] for r in recs)
+        fetches = sum(r["memory_fetches"] for r in recs) // n
+        wb = sum(r["levels"][-1]["writebacks"] for r in recs) // n
+        fs = sum(r["false_sharing"] for r in recs) // n
+        msgs = sum(r["messages"] for r in recs) // n
+        p50 = sum(r["levels"][0]["miss_latency_p50"] for r in recs) / n
+        verified = all(r["lc_verified"] for r in recs)
+        lines.append(
+            f"{workload:<10} {shape:<8} {procs:>5} {ops:>9} "
+            f"{fetches:>11} {wb:>10} {fs:>11} {msgs:>8} {p50:>7.1f} "
+            f"{'yes' if verified else 'NO':>8}"
+        )
+    lines.append(
+        f"faithful {result.faithful_verified}/{result.faithful_runs} "
+        f"LC-verified; fault probes {result.fault_rejected}/"
+        f"{result.fault_probes} rejected; "
+        f"{result.simulated_ops} simulated ops in "
+        f"{result.wall_seconds:.2f}s"
+    )
+    return "\n".join(lines)

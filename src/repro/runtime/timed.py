@@ -34,6 +34,7 @@ import heapq
 import random
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.computation import Computation
 from repro.dag.random_dags import as_rng
 from repro.errors import ScheduleError
@@ -120,6 +121,42 @@ def simulate_timed(
     if num_procs < 1:
         raise ScheduleError("need at least one processor")
     mem = memory if memory is not None else BackerMemory()
+    with obs.span(
+        "timed.simulate",
+        nodes=comp.num_nodes,
+        procs=num_procs,
+        memory=mem.name,
+        miss_cost=miss_cost,
+    ) as sp:
+        result = _simulate_body(comp, num_procs, mem, miss_cost, rng)
+        if obs.enabled():
+            # Simulated per-node service time: 1 + miss_cost · lines
+            # moved — the histogram every backend's pricing feeds.
+            for u in range(comp.num_nodes):
+                obs.observe(
+                    "timed.node_latency",
+                    result.finish_of[u] - result.start_of[u],
+                )
+            obs.add("timed.runs")
+            obs.add("timed.nodes", comp.num_nodes)
+            obs.add("timed.steals", result.steals)
+            obs.set_gauge("timed.makespan", result.makespan)
+            if sp is not None:
+                sp.attrs["steals"] = result.steals
+                sp.attrs["makespan"] = result.makespan
+            publish = getattr(mem, "publish_obs", None)
+            if publish is not None:
+                publish()
+    return result
+
+
+def _simulate_body(
+    comp: Computation,
+    num_procs: int,
+    mem: MemorySystem,
+    miss_cost: int,
+    rng: random.Random | int | None,
+) -> TimedExecution:
     r = as_rng(rng)
     n = comp.num_nodes
     mem.attach(num_procs)

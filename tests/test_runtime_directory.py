@@ -98,3 +98,54 @@ class TestEndToEnd:
             sched = greedy_schedule(comp, 4, rng=2)
             trace = execute(sched, DirectoryMemory())
             assert trace_admits_sc(trace.partial_observer()) is not None
+
+
+class TestObsWiring:
+    """The directory reports to repro.obs on the same terms as BACKER."""
+
+    def test_counters_published_when_enabled(self):
+        from repro import obs
+        from repro.lang import racy_counter_computation
+
+        obs.disable()
+        obs.reset()
+        obs.enable()
+        try:
+            comp = racy_counter_computation(3, 2)[0]
+            sched = work_stealing_schedule(comp, 4, rng=2)
+            mem = DirectoryMemory()
+            execute(sched, mem)
+            counters = obs.get().counters
+            assert counters.get("directory.fetches") == mem.stats.fetches
+            assert counters.get("directory.cache_hits") == mem.stats.cache_hits
+            assert (
+                counters.get("directory.invalidations")
+                == mem.stats.invalidations
+            )
+            assert mem.stats.invalidations > 0
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_no_state_while_disabled(self):
+        from repro import obs
+
+        obs.disable()
+        obs.reset()
+        m = DirectoryMemory()
+        m.attach(2)
+        m.write(0, 1, "x")
+        m.read(1, 2, "x")
+        assert obs.get().counters == {}
+
+    def test_message_split(self):
+        m = DirectoryMemory()
+        m.attach(2)
+        m.write(0, 1, "x")
+        m.read(1, 2, "x")
+        m.write(1, 3, "x")
+        st_ = m.stats
+        assert st_.data_messages == st_.fetches + st_.writebacks
+        assert st_.control_messages == st_.invalidations
+        assert st_.messages == st_.data_messages + st_.control_messages
+        assert st_.invalidations > 0

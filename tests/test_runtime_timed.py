@@ -113,3 +113,64 @@ class TestCorrectness:
         b = simulate_timed(comp, 4, rng=11)
         assert a.makespan == b.makespan
         assert a.proc_of == b.proc_of
+
+
+class TestObsWiring:
+    """simulate_timed reports spans, counters and the node-latency
+    histogram so all four memory backends observe on identical terms."""
+
+    def _clean(self):
+        from repro import obs
+
+        obs.disable()
+        obs.reset()
+
+    def test_span_counters_and_histogram(self):
+        from repro import obs
+        from repro.lang import fib_computation
+
+        self._clean()
+        obs.enable()
+        try:
+            comp = fib_computation(6)[0]
+            res = simulate_timed(comp, 3, miss_cost=2, rng=1)
+            o = obs.get()
+            assert o.counters.get("timed.runs") == 1
+            assert o.counters.get("timed.nodes") == comp.num_nodes
+            hist = o.histograms.get("timed.node_latency")
+            assert hist is not None
+            assert hist.count == comp.num_nodes
+            assert o.gauges.get("timed.makespan") == res.makespan
+            roots = [sp.name for sp in o.roots]
+            assert "timed.simulate" in roots
+            sim = next(sp for sp in o.roots if sp.name == "timed.simulate")
+            assert sim.attrs["makespan"] == res.makespan
+            assert "steals" in sim.attrs
+        finally:
+            self._clean()
+
+    def test_memory_backend_publishes_through_timed(self):
+        from repro import obs
+        from repro.lang import fib_computation
+        from repro.runtime import HierarchicalBackerMemory
+
+        self._clean()
+        obs.enable()
+        try:
+            comp = fib_computation(6)[0]
+            mem = HierarchicalBackerMemory("l1")
+            simulate_timed(comp, 3, memory=mem, miss_cost=2, rng=1)
+            counters = obs.get().counters
+            assert counters.get("hier.L1.fetches") == mem.stats.levels[0].fetches
+        finally:
+            self._clean()
+
+    def test_disabled_leaves_no_state(self):
+        from repro import obs
+        from repro.lang import fib_computation
+
+        self._clean()
+        comp = fib_computation(5)[0]
+        simulate_timed(comp, 2, rng=0)
+        assert obs.get().counters == {}
+        assert obs.get().roots == []
